@@ -1,0 +1,117 @@
+#pragma once
+
+// Shared scaffolding for the paper-reproduction benches: command-line
+// options, the standard train-config builder, and headline printing.
+//
+// Every bench accepts:
+//   --scale <f>    dataset scale factor (default 1.0; see data/registry.hpp)
+//   --procs <P>    simulated ranks (default 8, the paper's per-table setup)
+//   --seed <s>     RNG seed (default 42)
+//   --libsvm <f>   train on a real LIBSVM file instead of the stand-in
+//   --libsvm-test <f>  matching test file (required with --libsvm)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "casvm/core/train.hpp"
+#include "casvm/data/io.hpp"
+#include "casvm/data/registry.hpp"
+#include "casvm/support/table.hpp"
+
+namespace casvm::bench {
+
+struct Options {
+  double scale = 1.0;
+  int procs = 8;
+  std::uint64_t seed = 42;
+  std::string libsvmTrain;
+  std::string libsvmTest;
+};
+
+inline Options parseArgs(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--scale") == 0) {
+      opts.scale = std::atof(next("--scale"));
+    } else if (std::strcmp(argv[i], "--procs") == 0) {
+      opts.procs = std::atoi(next("--procs"));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      opts.seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
+    } else if (std::strcmp(argv[i], "--libsvm") == 0) {
+      opts.libsvmTrain = next("--libsvm");
+    } else if (std::strcmp(argv[i], "--libsvm-test") == 0) {
+      opts.libsvmTest = next("--libsvm-test");
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "options: --scale <f> --procs <P> --seed <s> "
+          "--libsvm <train> --libsvm-test <test>\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return opts;
+}
+
+/// Load a stand-in (or the user's real LIBSVM files, if given).
+inline data::NamedDataset loadDataset(const std::string& name,
+                                      const Options& opts) {
+  if (!opts.libsvmTrain.empty()) {
+    data::NamedDataset nd;
+    nd.name = opts.libsvmTrain;
+    nd.train = data::readLibsvmFile(opts.libsvmTrain);
+    nd.test = opts.libsvmTest.empty()
+                  ? data::readLibsvmFile(opts.libsvmTrain)
+                  : data::readLibsvmFile(opts.libsvmTest, nd.train.cols());
+    nd.suggestedGamma = 1.0 / static_cast<double>(nd.train.cols());
+    nd.suggestedC = 1.0;
+    return nd;
+  }
+  return data::standin(name, opts.scale, opts.seed);
+}
+
+/// The standard paper-experiment configuration for one method.
+inline core::TrainConfig makeConfig(const data::NamedDataset& nd,
+                                    core::Method method,
+                                    const Options& opts) {
+  core::TrainConfig cfg;
+  cfg.method = method;
+  cfg.processes = opts.procs;
+  cfg.solver.kernel = kernel::KernelParams::gaussian(nd.suggestedGamma);
+  cfg.solver.C = nd.suggestedC;
+  cfg.seed = opts.seed;
+  return cfg;
+}
+
+/// Benches that exercise the tree methods (Cascade/DC-SVM/DC-Filter) need
+/// a power-of-two rank count; fail fast with a clear message.
+inline void requirePowerOfTwoProcs(const Options& opts) {
+  if (opts.procs < 1 || (opts.procs & (opts.procs - 1)) != 0) {
+    std::fprintf(stderr,
+                 "this bench runs tree methods: --procs must be a power of "
+                 "two (got %d)\n",
+                 opts.procs);
+    std::exit(2);
+  }
+}
+
+inline void heading(const std::string& title, const std::string& paperRef) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("reproduces: %s\n", paperRef.c_str());
+}
+
+inline void note(const std::string& text) {
+  std::printf("note: %s\n", text.c_str());
+}
+
+}  // namespace casvm::bench

@@ -1,0 +1,41 @@
+// Reproduces Fig. 8: the P x P point-to-point communication pattern of all
+// six approaches on the same toy dataset, 8 nodes. The paper renders these
+// as 3-D bar charts; here each pattern is an aligned byte matrix
+// (sender row -> receiver column). The shapes to recognize:
+//   - Dis-SMO: dense all-to-all haze of small messages (tree edges every
+//     iteration);
+//   - Cascade: sparse tree edges 1->0, 2->0/3->2 style pairs only;
+//   - DC-SVM / DC-Filter / CP-SVM: K-means allreduce trees plus an
+//     all-to-all redistribution band;
+//   - CA-SVM: an empty matrix.
+
+#include "bench_common.hpp"
+
+using namespace casvm;
+
+int main(int argc, char** argv) {
+  const bench::Options opts = bench::parseArgs(argc, argv);
+  bench::requirePowerOfTwoProcs(opts);
+  bench::heading("Fig. 8: communication patterns (P x P byte matrices)",
+                 "paper Fig. 8 (toy dataset, 8 nodes)");
+
+  const data::NamedDataset nd = bench::loadDataset("toy", opts);
+
+  const core::Method methods[] = {core::Method::DisSmo, core::Method::Cascade,
+                                  core::Method::DcSvm, core::Method::DcFilter,
+                                  core::Method::CpSvm, core::Method::RaCa};
+  for (core::Method method : methods) {
+    const core::TrainConfig cfg = bench::makeConfig(nd, method, opts);
+    const core::TrainResult res = core::train(nd.train, cfg);
+    std::printf("\n[%s]  total %s in %s messages\n",
+                methodName(method).c_str(),
+                TablePrinter::fmtBytes(
+                    static_cast<double>(res.runStats.traffic.totalBytes()))
+                    .c_str(),
+                TablePrinter::fmtCount(
+                    static_cast<long long>(res.runStats.traffic.totalOps()))
+                    .c_str());
+    std::printf("%s", res.runStats.traffic.heatmap().c_str());
+  }
+  return 0;
+}

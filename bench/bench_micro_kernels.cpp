@@ -1,0 +1,152 @@
+// Micro-benchmarks (google-benchmark) for the hot primitives underneath
+// every experiment: kernel evaluations (dense and sparse), kernel rows
+// through the LRU cache, SMO solves, the partitioners, and the
+// message-passing runtime's collectives. These are the constants that the
+// scaling model's calibration measures end-to-end.
+
+#include <benchmark/benchmark.h>
+
+#include "casvm/cluster/balanced_kmeans.hpp"
+#include "casvm/cluster/fcfs.hpp"
+#include "casvm/cluster/kmeans.hpp"
+#include "casvm/data/registry.hpp"
+#include "casvm/kernel/row_cache.hpp"
+#include "casvm/net/comm.hpp"
+#include "casvm/solver/smo.hpp"
+
+using namespace casvm;
+
+namespace {
+
+const data::Dataset& denseData() {
+  static const data::Dataset ds = [] {
+    data::MixtureSpec spec;
+    spec.samples = 2000;
+    spec.features = 128;
+    spec.clusters = 8;
+    spec.seed = 7;
+    return data::generateMixture(spec);
+  }();
+  return ds;
+}
+
+const data::Dataset& sparseData() {
+  static const data::Dataset ds = [] {
+    data::MixtureSpec spec;
+    spec.samples = 2000;
+    spec.features = 512;
+    spec.clusters = 8;
+    spec.sparsity = 0.9;
+    spec.sparseOutput = true;
+    spec.seed = 7;
+    return data::generateMixture(spec);
+  }();
+  return ds;
+}
+
+void BM_GaussianKernelDense(benchmark::State& state) {
+  const kernel::Kernel k(kernel::KernelParams::gaussian(0.5));
+  const auto& ds = denseData();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k.eval(ds, i % ds.rows(), (i * 7 + 1) % ds.rows()));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GaussianKernelDense);
+
+void BM_GaussianKernelSparse(benchmark::State& state) {
+  const kernel::Kernel k(kernel::KernelParams::gaussian(0.5));
+  const auto& ds = sparseData();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k.eval(ds, i % ds.rows(), (i * 7 + 1) % ds.rows()));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GaussianKernelSparse);
+
+void BM_KernelRowCached(benchmark::State& state) {
+  const kernel::Kernel k(kernel::KernelParams::gaussian(0.5));
+  const auto& ds = denseData();
+  kernel::RowCache cache(k, ds, 64u << 20);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    // A small working set, like SMO's repeatedly re-selected pairs.
+    benchmark::DoNotOptimize(cache.row(i % 16).data());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KernelRowCached);
+
+void BM_SmoSolve(benchmark::State& state) {
+  const auto nd = data::standin("toy", state.range(0) / 2000.0);
+  solver::SolverOptions opts;
+  opts.kernel = kernel::KernelParams::gaussian(nd.suggestedGamma);
+  opts.C = nd.suggestedC;
+  const solver::SmoSolver solver(opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(nd.train).iterations);
+  }
+  state.SetLabel(std::to_string(nd.train.rows()) + " samples");
+}
+BENCHMARK(BM_SmoSolve)->Arg(500)->Arg(1000)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_KmeansPartition(benchmark::State& state) {
+  const auto& ds = denseData();
+  cluster::KMeansOptions opts;
+  opts.clusters = 8;
+  opts.changeThreshold = 0.001;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::kmeans(ds, opts).loops);
+  }
+  state.SetLabel("2000x128, k=8");
+}
+BENCHMARK(BM_KmeansPartition)->Unit(benchmark::kMillisecond);
+
+void BM_FcfsPartition(benchmark::State& state) {
+  const auto& ds = denseData();
+  cluster::FcfsOptions opts;
+  opts.parts = 8;
+  opts.ratioBalanced = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::fcfsPartition(ds, opts).assign.size());
+  }
+  state.SetLabel("2000x128, P=8, ratio-balanced");
+}
+BENCHMARK(BM_FcfsPartition)->Unit(benchmark::kMillisecond);
+
+void BM_BalancedKmeansPartition(benchmark::State& state) {
+  const auto& ds = denseData();
+  cluster::BalancedKMeansOptions opts;
+  opts.parts = 8;
+  opts.ratioBalanced = true;
+  opts.kmeansChangeThreshold = 0.001;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::balancedKmeans(ds, opts).moves);
+  }
+  state.SetLabel("2000x128, P=8, ratio-balanced");
+}
+BENCHMARK(BM_BalancedKmeansPartition)->Unit(benchmark::kMillisecond);
+
+void BM_Allreduce(benchmark::State& state) {
+  const int P = static_cast<int>(state.range(0));
+  net::Engine engine(P);
+  for (auto _ : state) {
+    engine.run([](net::Comm& comm) {
+      double v = comm.rank();
+      for (int i = 0; i < 100; ++i) v = comm.allreduceSum(v);
+      benchmark::DoNotOptimize(v);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+  state.SetLabel("100 allreduces per run, P=" + std::to_string(P));
+}
+BENCHMARK(BM_Allreduce)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

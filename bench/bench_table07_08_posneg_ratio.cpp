@@ -1,0 +1,57 @@
+// Reproduces Tables VII and VIII: per-rank sample counts, positive/negative
+// splits and SV counts under FCFS partitioning, before and after the
+// ratio-balancing refinement. The mechanism the paper isolates: the SVM
+// grows one negative SV per positive SV on skewed data, so a rank with
+// more positives grows more SVs and does more work — per-class quotas
+// equalize the (+)/(-) ratio across ranks and with it the SV counts.
+
+#include "bench_common.hpp"
+
+using namespace casvm;
+
+namespace {
+
+void report(const char* title, const core::TrainResult& res, int P) {
+  std::printf("\n[%s]\n", title);
+  TablePrinter table({"rank", "samples", "#(+)", "#(-)", "(+)/(-)", "SVs"});
+  for (int r = 0; r < P; ++r) {
+    const auto ur = static_cast<std::size_t>(r);
+    const long long pos = res.positivesPerRank[ur];
+    const long long neg = res.samplesPerRank[ur] - pos;
+    table.addRow({std::to_string(r),
+                  TablePrinter::fmtCount(res.samplesPerRank[ur]),
+                  TablePrinter::fmtCount(pos), TablePrinter::fmtCount(neg),
+                  TablePrinter::fmt(neg > 0 ? double(pos) / double(neg) : 0.0,
+                                    4),
+                  TablePrinter::fmtCount(res.svsPerRank[ur])});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options opts = bench::parseArgs(argc, argv);
+  bench::heading("Tables VII & VIII: per-rank class ratios and SV counts",
+                 "paper Tables VII and VIII (face dataset, 8 nodes)");
+
+  const data::NamedDataset nd = bench::loadDataset("face", opts);
+  std::printf("dataset: %zu samples, %zu positives (%.1f%%)\n",
+              nd.train.rows(), nd.train.positives(),
+              100.0 * nd.train.positives() / nd.train.rows());
+
+  core::TrainConfig plain = bench::makeConfig(nd, core::Method::FcfsCa, opts);
+  plain.ratioBalance = false;
+  report("Table VII: FCFS without ratio balance — skewed (+)/(-) per rank",
+         core::train(nd.train, plain), opts.procs);
+
+  core::TrainConfig ratio = bench::makeConfig(nd, core::Method::FcfsCa, opts);
+  ratio.ratioBalance = true;
+  report("Table VIII: FCFS with ratio balance — uniform (+)/(-) per rank",
+         core::train(nd.train, ratio), opts.procs);
+
+  bench::note(
+      "paper: Table VII ratios ranged 0.0038..0.0841 (22x); Table VIII "
+      "pinned every rank near the global 0.037.");
+  return 0;
+}

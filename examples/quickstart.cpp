@@ -1,0 +1,62 @@
+// Quickstart: train a communication-avoiding SVM (CA-SVM) on synthetic
+// data, evaluate it, inspect the run's statistics, and round-trip the
+// model through a file.
+//
+//   $ ./examples/quickstart
+//
+// The five steps below are the whole public workflow: make (or load) a
+// Dataset, fill a TrainConfig, call core::train, use the DistributedModel,
+// and save it.
+
+#include <cstdio>
+
+#include "casvm/core/train.hpp"
+#include "casvm/data/registry.hpp"
+
+int main() {
+  using namespace casvm;
+
+  // 1. Data: a built-in synthetic stand-in with train/test split and tuned
+  //    kernel defaults. (Use data::readLibsvmFile for real LIBSVM files.)
+  const data::NamedDataset nd = data::standin("toy");
+  std::printf("dataset: %zu train / %zu test samples, %zu features\n",
+              nd.train.rows(), nd.test.rows(), nd.train.cols());
+
+  // 2. Configuration: CA-SVM (the paper's RA-CA) across 8 simulated ranks.
+  core::TrainConfig cfg;
+  cfg.method = core::Method::RaCa;
+  cfg.processes = 8;
+  cfg.solver.kernel = kernel::KernelParams::gaussian(nd.suggestedGamma);
+  cfg.solver.C = nd.suggestedC;
+
+  // 3. Train. The engine runs one SPMD rank per process; CA-SVM trains P
+  //    fully independent sub-SVMs with zero inter-rank communication.
+  const core::TrainResult result = core::train(nd.train, cfg);
+
+  // 4. Use the model: accuracy over a test set, or per-sample predictions
+  //    routed to the sub-model whose data center is nearest.
+  std::printf("test accuracy: %.1f%%\n",
+              100.0 * result.model.accuracy(nd.test));
+  std::printf("first 5 predictions:");
+  for (std::size_t i = 0; i < 5; ++i) {
+    std::printf(" %+d", result.model.predictFor(nd.test, i));
+  }
+  std::printf("\n");
+
+  // The run statistics the paper reports:
+  std::printf("training time: %.3fs (init %.3fs), iterations: %lld\n",
+              result.trainSeconds, result.initSeconds,
+              result.totalIterations);
+  std::printf("bytes communicated during training: %zu (CA-SVM: always 0)\n",
+              result.runStats.traffic.totalBytes());
+  std::printf("support vectors: %zu across %zu sub-models\n",
+              result.model.totalSupportVectors(), result.model.numModels());
+
+  // 5. Persist and reload.
+  const std::string path = "/tmp/casvm_quickstart.model";
+  result.model.save(path);
+  const core::DistributedModel loaded = core::DistributedModel::load(path);
+  std::printf("reloaded model accuracy: %.1f%% (same model)\n",
+              100.0 * loaded.accuracy(nd.test));
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Web-spam filtering scenario (the paper's `webspam` dataset): sparse,
+// high-dimensional text-ish features. Demonstrates the sparse (CSR) data
+// path end to end — LIBSVM export/import round trip included — and the
+// paper's method choice: on this workload CA-SVM gets its largest
+// speedups over Dis-SMO (paper: 269s -> 17.3s, 15.6x) with ~2% accuracy
+// cost.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "casvm/core/train.hpp"
+#include "casvm/data/io.hpp"
+#include "casvm/data/registry.hpp"
+#include "casvm/support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace casvm;
+
+  // Pass a real LIBSVM file to classify actual data instead.
+  data::NamedDataset nd;
+  if (argc > 1) {
+    nd.name = argv[1];
+    nd.train = data::readLibsvmFile(argv[1]);
+    nd.test = nd.train;
+    nd.suggestedGamma = 1.0 / static_cast<double>(nd.train.cols());
+    nd.suggestedC = 1.0;
+  } else {
+    nd = data::standin("webspam");
+  }
+  std::printf("webspam stand-in: %zu samples, %zu features, %.1f%% dense\n",
+              nd.train.rows(), nd.train.cols(),
+              100.0 * nd.train.nonzeros() /
+                  (nd.train.rows() * nd.train.cols()));
+
+  // Sparse datasets survive the LIBSVM round trip bit-for-bit.
+  const std::string path = "/tmp/casvm_webspam.libsvm";
+  data::writeLibsvmFile(nd.train, path);
+  const data::Dataset reread = data::readLibsvmFile(path, nd.train.cols());
+  std::printf("libsvm round trip: %zu rows re-read, storage %s\n",
+              reread.rows(),
+              reread.storage() == data::Storage::Sparse ? "sparse" : "dense");
+
+  TablePrinter table({"method", "accuracy", "time (s)", "comm bytes"});
+  for (core::Method method :
+       {core::Method::DisSmo, core::Method::CpSvm, core::Method::RaCa}) {
+    core::TrainConfig cfg;
+    cfg.method = method;
+    cfg.processes = 8;
+    cfg.solver.kernel = kernel::KernelParams::gaussian(nd.suggestedGamma);
+    cfg.solver.C = nd.suggestedC;
+    const core::TrainResult res = core::train(nd.train, cfg);
+    table.addRow({core::methodName(method),
+                  TablePrinter::fmtPercent(res.model.accuracy(nd.test)),
+                  TablePrinter::fmt(res.initSeconds + res.trainSeconds, 3),
+                  TablePrinter::fmtBytes(static_cast<double>(
+                      res.runStats.traffic.totalBytes()))});
+  }
+  table.print();
+  std::remove(path.c_str());
+  return 0;
+}

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file balanced_kmeans.hpp
+/// Balanced K-means partitioning (the paper's Algorithm 5), the
+/// partitioner behind BKM-CA.
+///
+/// Ordinary K-means is run first, then samples are migrated from
+/// over-loaded centers to under-loaded ones — always moving the sample
+/// farthest from its over-loaded center to the nearest center with spare
+/// capacity — until every part holds ~m/P samples. The ratio-balanced
+/// variant applies the same migration per class so each part also carries
+/// the global positive/negative ratio (Tables VIII-IX).
+
+#include <cstdint>
+
+#include "casvm/cluster/kmeans.hpp"
+#include "casvm/cluster/partition.hpp"
+#include "casvm/net/comm.hpp"
+
+namespace casvm::cluster {
+
+struct BalancedKMeansOptions {
+  int parts = 8;
+  /// Also equalize the per-class counts across parts.
+  bool ratioBalanced = false;
+  /// Recompute centers as part means after rebalancing (optional per the
+  /// paper).
+  bool recomputeCenters = true;
+  /// Underlying K-means loop controls.
+  std::size_t maxKmeansLoops = 300;
+  double kmeansChangeThreshold = 0.0;
+  std::uint64_t seed = 42;
+};
+
+struct BalancedKMeansResult {
+  Partition partition;
+  std::size_t kmeansLoops = 0;  ///< loops the initial K-means took
+  std::size_t moves = 0;        ///< samples migrated during rebalancing
+};
+
+/// Serial balanced K-means (Algorithm 5).
+BalancedKMeansResult balancedKmeans(const data::Dataset& ds,
+                                    const BalancedKMeansOptions& options);
+
+/// Distributed variant: distributed K-means for the clustering phase, then
+/// the same divide-and-conquer trick as parallel FCFS — each rank
+/// rebalances its own block against per-rank quotas, then centers are
+/// recomputed globally. Returns local assignment + global centers.
+BalancedKMeansResult balancedKmeansDistributed(
+    net::Comm& comm, const data::Dataset& local,
+    const BalancedKMeansOptions& options);
+
+}  // namespace casvm::cluster

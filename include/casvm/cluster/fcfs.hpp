@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file fcfs.hpp
+/// First-Come-First-Served partitioning (the paper's Algorithms 3 and 4),
+/// the partitioner behind FCFS-CA.
+///
+/// Each sample is assigned to its nearest *under-loaded* center; once a
+/// center reaches the balanced size it stops accepting, so every part ends
+/// up with ~m/P samples by construction. The ratio-balanced variant
+/// (§IV-B1, Tables VII-IX) additionally enforces per-class quotas, because
+/// the paper shows equal data volume alone does not equalize work: ranks
+/// with more positive samples grow more support vectors and need more
+/// iterations.
+
+#include <cstdint>
+
+#include "casvm/cluster/partition.hpp"
+#include "casvm/net/comm.hpp"
+
+namespace casvm::cluster {
+
+struct FcfsOptions {
+  int parts = 8;
+  /// Enforce per-class (positive/negative) quotas, not just total size.
+  bool ratioBalanced = false;
+  /// Recompute centers as part means after assignment (Algorithm 3
+  /// lines 15-21; the paper notes this is optional).
+  bool recomputeCenters = true;
+  std::uint64_t seed = 42;
+};
+
+/// Serial FCFS partitioning (Algorithm 3).
+Partition fcfsPartition(const data::Dataset& ds, const FcfsOptions& options);
+
+/// Parallel FCFS partitioning (Algorithm 4): every rank solves an
+/// independent local FCFS over its block with per-rank quotas balanced/P,
+/// then centers are recomputed globally with two allreduces. Returns the
+/// local assignment and the global centers.
+Partition fcfsPartitionDistributed(net::Comm& comm,
+                                   const data::Dataset& local,
+                                   const FcfsOptions& options);
+
+}  // namespace casvm::cluster

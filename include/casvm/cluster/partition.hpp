@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file partition.hpp
+/// Common partitioning types plus the Randomly-Averaging partitioner that
+/// underlies RA-CA / CA-SVM (§IV-B3): deal samples evenly at random, then
+/// define each part's "center" as the mean of its samples (eqn. 14) so the
+/// prediction router can still pick the nearest part.
+
+#include <cstdint>
+#include <vector>
+
+#include "casvm/data/dataset.hpp"
+
+namespace casvm::cluster {
+
+/// Assignment of every sample to one of `parts` groups, with one dense
+/// center per group (the CT vectors of the paper's algorithms).
+struct Partition {
+  int parts = 0;
+  std::vector<int> assign;                  ///< one entry per sample
+  std::vector<std::vector<float>> centers;  ///< parts x n
+
+  /// Samples per part.
+  std::vector<std::size_t> sizes() const;
+
+  /// Row indices per part, in input order.
+  std::vector<std::vector<std::size_t>> groups() const;
+
+  /// Positive-label samples per part (needs the dataset for labels).
+  std::vector<std::size_t> positiveCounts(const data::Dataset& ds) const;
+
+  /// Largest part size divided by the balanced size ceil(m/parts);
+  /// 1.0 means perfectly balanced.
+  double imbalance() const;
+
+  /// Index of the center nearest to dense vector x (Euclidean).
+  int nearestCenter(std::span<const float> x) const;
+
+  /// Index of the center nearest to row i of ds.
+  int nearestCenter(const data::Dataset& ds, std::size_t i) const;
+
+  /// Validate internal consistency (sizes, ranges); throws on violation.
+  void validate(std::size_t expectedSamples) const;
+};
+
+/// Compute per-part mean centers from an assignment (eqn. 14).
+std::vector<std::vector<float>> computeCenters(const data::Dataset& ds,
+                                               const std::vector<int>& assign,
+                                               int parts);
+
+/// Randomly-averaging partition: shuffle, deal evenly (sizes differ by at
+/// most one), centers = per-part means. The partition used by RA-CA.
+Partition randomPartition(const data::Dataset& ds, int parts,
+                          std::uint64_t seed);
+
+/// Deterministic block partition: rank r gets rows [r*m/P, (r+1)*m/P).
+/// The partition used by Dis-SMO and Cascade (even split, no clustering).
+Partition blockPartition(const data::Dataset& ds, int parts);
+
+}  // namespace casvm::cluster

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file distributed_model.hpp
+/// The model produced by distributed training. Tree methods (Dis-SMO,
+/// Cascade, DC-SVM, DC-Filter) end with one global model; partitioned
+/// methods (CP-SVM and the CA-SVM family) end with P per-part model files
+/// MF_1..MF_P plus their data centers CT_1..CT_P, and prediction routes
+/// each query to the model whose center is nearest (paper Fig. 3 and
+/// Algorithm 6's prediction process).
+
+#include <vector>
+
+#include "casvm/solver/model.hpp"
+
+namespace casvm::core {
+
+class DistributedModel {
+ public:
+  DistributedModel() = default;
+
+  /// One global model (tree methods).
+  static DistributedModel single(solver::Model model);
+
+  /// P per-part models with their centers (partitioned methods).
+  static DistributedModel routed(std::vector<solver::Model> models,
+                                 std::vector<std::vector<float>> centers);
+
+  /// True when prediction routes by nearest center.
+  bool isRouted() const { return !centers_.empty(); }
+
+  std::size_t numModels() const { return models_.size(); }
+  const solver::Model& model(std::size_t i) const { return models_[i]; }
+  const std::vector<std::vector<float>>& centers() const { return centers_; }
+
+  /// Support vectors across all sub-models.
+  std::size_t totalSupportVectors() const;
+
+  /// Index of the sub-model that would classify row i (0 when single).
+  std::size_t route(const data::Dataset& ds, std::size_t i) const;
+
+  /// Decision value for row i of ds (eqn. 3 against the routed model).
+  double decisionFor(const data::Dataset& ds, std::size_t i) const;
+
+  /// Predicted label (+1 / -1).
+  std::int8_t predictFor(const data::Dataset& ds, std::size_t i) const {
+    return decisionFor(ds, i) >= 0.0 ? 1 : -1;
+  }
+
+  /// Fraction of `testSet` classified correctly.
+  double accuracy(const data::Dataset& testSet) const;
+
+  /// Wire/disk serialization.
+  std::vector<std::byte> pack() const;
+  static DistributedModel unpack(std::span<const std::byte> bytes);
+  void save(const std::string& path) const;
+  static DistributedModel load(const std::string& path);
+
+ private:
+  std::vector<solver::Model> models_;
+  std::vector<std::vector<float>> centers_;   // empty for single models
+  std::vector<double> centerSelfDots_;        // cached ||CT_j||^2
+};
+
+}  // namespace casvm::core

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file method.hpp
+/// The eight distributed SVM training methods this library implements —
+/// the paper's baseline (Dis-SMO), the two prior partitioned methods it
+/// re-implements (Cascade, DC-SVM), and its five step-by-step refinements
+/// (DC-Filter, CP-SVM, BKM-CA, FCFS-CA, RA-CA). BKM-CA, FCFS-CA and RA-CA
+/// together constitute CA-SVM; RA-CA is what the paper reports as CA-SVM
+/// in the scaling studies.
+
+#include <string>
+#include <vector>
+
+namespace casvm::core {
+
+enum class Method {
+  DisSmo = 0,    ///< distributed SMO (Cao et al. style), one global solve
+  Cascade = 1,   ///< binary reduction tree passing support vectors
+  DcSvm = 2,     ///< K-means partition, tree passing *all* samples
+  DcFilter = 3,  ///< K-means partition + SV filtering (paper §III-B)
+  CpSvm = 4,     ///< K-means partition, P independent SVMs (paper §IV-A)
+  BkmCa = 5,     ///< balanced K-means + ratio balance, independent SVMs
+  FcfsCa = 6,    ///< FCFS partition + ratio balance, independent SVMs
+  RaCa = 7,      ///< random even partition, zero-communication CA-SVM
+};
+
+/// Canonical lowercase name ("dis-smo", "cascade", ...).
+std::string methodName(Method method);
+
+/// Inverse of methodName; throws casvm::Error for unknown names.
+Method methodFromName(const std::string& name);
+
+/// All methods in the paper's presentation order.
+std::vector<Method> allMethods();
+
+/// Uses a binary reduction tree across layers (Cascade, DC-SVM, DC-Filter).
+bool isTreeMethod(Method method);
+
+/// Trains P independent sub-SVMs with per-part models (CP/BKM/FCFS/RA).
+bool isPartitionedMethod(Method method);
+
+/// Runs K-means (or a K-means variant) during initialization.
+bool usesKmeans(Method method);
+
+/// Member of the CA-SVM family (BKM-CA, FCFS-CA, RA-CA).
+bool isCaSvm(Method method);
+
+}  // namespace casvm::core

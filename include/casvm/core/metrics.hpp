@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Binary-classification metrics beyond plain accuracy. On the paper's
+/// imbalanced workloads (face: ~5% positives) accuracy alone is nearly
+/// blind — a constant "-1" classifier scores 95% — so recall/precision/F1
+/// and the full confusion matrix are what actually distinguish models.
+
+#include <string>
+
+#include "casvm/core/distributed_model.hpp"
+
+namespace casvm::core {
+
+/// Binary confusion counts and the derived rates.
+struct BinaryMetrics {
+  long long truePositives = 0;
+  long long trueNegatives = 0;
+  long long falsePositives = 0;
+  long long falseNegatives = 0;
+
+  long long total() const {
+    return truePositives + trueNegatives + falsePositives + falseNegatives;
+  }
+  double accuracy() const;
+  /// TP / (TP + FN); 0 when there are no positives.
+  double recall() const;
+  /// TP / (TP + FP); 0 when nothing was predicted positive.
+  double precision() const;
+  /// Harmonic mean of precision and recall; 0 when either is 0.
+  double f1() const;
+  /// TN / (TN + FP); 0 when there are no negatives.
+  double specificity() const;
+  /// Balanced accuracy: (recall + specificity) / 2.
+  double balancedAccuracy() const;
+  /// Matthews correlation coefficient in [-1, 1]; 0 on degenerate counts.
+  double matthews() const;
+
+  /// Multi-line human-readable report.
+  std::string report() const;
+};
+
+/// Evaluate a model over a labeled test set.
+BinaryMetrics evaluate(const DistributedModel& model,
+                       const data::Dataset& testSet);
+
+/// Evaluate precomputed predictions against a labeled test set.
+BinaryMetrics evaluatePredictions(const std::vector<std::int8_t>& predictions,
+                                  const data::Dataset& testSet);
+
+}  // namespace casvm::core

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file model_selection.hpp
+/// Stratified k-fold cross-validation and (gamma, C) grid search over the
+/// distributed training pipeline. The paper hand-picks kernel parameters
+/// per dataset; a released library needs the machinery to find them. Works
+/// with any Method — cross-validating CA-SVM measures exactly what a
+/// deployment would get, including the partition-induced accuracy cost.
+
+#include <cstdint>
+#include <vector>
+
+#include "casvm/core/train.hpp"
+
+namespace casvm::core {
+
+struct CrossValidationResult {
+  std::vector<double> foldAccuracies;
+  double meanAccuracy = 0.0;
+  double stddev = 0.0;
+  long long totalIterations = 0;
+};
+
+/// Stratified k-fold cross-validation: folds preserve the global
+/// positive/negative ratio, so imbalanced data (face) does not produce
+/// single-class folds. Deterministic in (ds, config, folds, seed).
+CrossValidationResult crossValidate(const data::Dataset& ds,
+                                    const TrainConfig& config, int folds,
+                                    std::uint64_t seed = 42);
+
+struct GridPoint {
+  double gamma = 0.0;
+  double C = 0.0;
+  double meanAccuracy = 0.0;
+  double stddev = 0.0;
+};
+
+struct GridSearchResult {
+  GridPoint best;
+  std::vector<GridPoint> evaluated;  ///< every grid point, in sweep order
+};
+
+/// Exhaustive (gamma, C) sweep with k-fold CV at each point, Gaussian
+/// kernel. Ties go to the smaller C (the simpler model).
+GridSearchResult gridSearch(const data::Dataset& ds, TrainConfig config,
+                            const std::vector<double>& gammas,
+                            const std::vector<double>& Cs, int folds,
+                            std::uint64_t seed = 42);
+
+}  // namespace casvm::core

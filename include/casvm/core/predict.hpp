@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file predict.hpp
+/// The distributed prediction process of the paper's Algorithm 6.
+///
+/// After partitioned training the P model files stay on their ranks. To
+/// classify a batch: the data centers CT_j are gathered at the root, the
+/// root routes every test sample to the rank whose center is nearest,
+/// each rank predicts with its local model MF_j, and the labels travel
+/// back. The paper's point — and what the returned traffic statistics
+/// show — is that this moves only the test samples and one byte per
+/// prediction, which is negligible next to training-data volumes ("this
+/// communication will not bring about significant overheads").
+
+#include "casvm/core/distributed_model.hpp"
+#include "casvm/net/comm.hpp"
+
+namespace casvm::core {
+
+struct DistributedPredictResult {
+  std::vector<std::int8_t> predictions;  ///< one label per test row
+  double accuracy = 0.0;                 ///< against testSet's labels
+  net::RunStats runStats;                ///< the "little communication"
+};
+
+/// Run Algorithm 6's prediction process over a simulated cluster with one
+/// rank per sub-model (a single rank for non-routed models). The test set
+/// starts on rank 0 and is routed by nearest data center.
+DistributedPredictResult distributedPredict(const DistributedModel& model,
+                                            const data::Dataset& testSet,
+                                            net::CostModel cost = {});
+
+}  // namespace casvm::core

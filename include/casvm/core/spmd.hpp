@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file spmd.hpp
+/// SPMD building blocks shared by the method implementations (and reusable
+/// for new methods): guarded local sub-SVM training, all-to-all sample
+/// exchange after a partitioning step, and the deposit board through which
+/// ranks publish their results to the driver without generating network
+/// traffic (rank-disjoint shared-memory slots; this models local disk
+/// output, not communication, so it must not pollute the traffic matrix).
+
+#include <vector>
+
+#include "casvm/cluster/partition.hpp"
+#include "casvm/net/comm.hpp"
+#include "casvm/solver/smo.hpp"
+
+namespace casvm::core {
+
+/// Outcome of one local sub-SVM solve.
+struct LocalSolve {
+  solver::Model model;
+  std::vector<double> alpha;  ///< full-length alpha over the local rows
+  long long iterations = 0;
+  long long svs = 0;
+};
+
+/// Train a sub-SVM on `local`, handling the degenerate cases partitioning
+/// can produce: an empty part yields an empty model, and a single-class
+/// part (a pure K-means cluster) yields a constant classifier with bias
+/// equal to the class label — the correct local decision rule when every
+/// nearby training point agrees.
+LocalSolve trainLocalSvm(const data::Dataset& local,
+                         const solver::SolverOptions& options,
+                         std::span<const double> initialAlpha = {});
+
+/// All-to-all exchange moving each local sample to the rank that owns its
+/// part: after this call rank r holds exactly the samples with
+/// assign[i] == r across all ranks. Used by every K-means-partitioned
+/// method to turn a logical partition into a physical one.
+data::Dataset exchangeToOwners(net::Comm& comm, const data::Dataset& local,
+                               const std::vector<int>& assign);
+
+/// Per-rank result board: rank-indexed slots the SPMD function fills and
+/// the driver reads after the run. Writes are disjoint by rank, so no
+/// synchronization (beyond thread join) is needed.
+struct RankBoard {
+  explicit RankBoard(int size)
+      : models(static_cast<std::size_t>(size)),
+        alphas(static_cast<std::size_t>(size)),
+        centers(static_cast<std::size_t>(size)),
+        iterations(static_cast<std::size_t>(size), 0),
+        samples(static_cast<std::size_t>(size), 0),
+        svs(static_cast<std::size_t>(size), 0),
+        positives(static_cast<std::size_t>(size), 0),
+        initEndVirtual(static_cast<std::size_t>(size), 0.0),
+        trainEndVirtual(static_cast<std::size_t>(size), 0.0),
+        kmeansLoops(static_cast<std::size_t>(size), 0),
+        layerRecords(static_cast<std::size_t>(size)) {}
+
+  std::vector<solver::Model> models;
+  std::vector<std::vector<double>> alphas;
+  std::vector<std::vector<float>> centers;
+  std::vector<long long> iterations;
+  std::vector<long long> samples;
+  std::vector<long long> svs;
+  std::vector<long long> positives;
+  std::vector<double> initEndVirtual;
+  std::vector<double> trainEndVirtual;
+  std::vector<std::size_t> kmeansLoops;
+
+  /// One record per layer a rank was active in (tree methods).
+  struct LayerRecord {
+    int layer = 0;
+    long long samples = 0;
+    long long iterations = 0;
+    long long svs = 0;
+    double seconds = 0.0;
+  };
+  std::vector<std::vector<LayerRecord>> layerRecords;
+
+  /// Traffic snapshot at the init/train boundary, written by rank 0.
+  net::TrafficSnapshot initSnapshot;
+};
+
+/// Current virtual time of this rank (samples the CPU clock first).
+double virtualNow(net::Comm& comm);
+
+}  // namespace casvm::core

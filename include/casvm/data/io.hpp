@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file io.hpp
+/// LIBSVM-format readers and writers.
+///
+/// The paper's datasets (adult, epsilon, face, gisette, ijcnn, usps,
+/// webspam) are distributed in LIBSVM format; the benches accept real
+/// files through this reader when present, and otherwise fall back to the
+/// synthetic stand-ins in registry.hpp.
+///
+/// Format: one sample per line, `<label> <index>:<value> ...` with 1-based,
+/// strictly increasing indices. Labels: any value > 0 maps to +1, any value
+/// <= 0 maps to -1 (covers the common {+1,-1} and {0,1} encodings).
+
+#include <iosfwd>
+#include <string>
+
+#include "casvm/data/dataset.hpp"
+
+namespace casvm::data {
+
+/// Parse a LIBSVM stream into a sparse dataset.
+/// `cols` forces the feature count (0 = infer from the max index seen).
+Dataset readLibsvm(std::istream& in, std::size_t cols = 0);
+
+/// Parse a LIBSVM file; throws casvm::Error if the file cannot be opened.
+Dataset readLibsvmFile(const std::string& path, std::size_t cols = 0);
+
+/// Write a dataset (dense or sparse) in LIBSVM format; zeros are skipped.
+void writeLibsvm(const Dataset& ds, std::ostream& out);
+
+/// Write to a file; throws casvm::Error on failure.
+void writeLibsvmFile(const Dataset& ds, const std::string& path);
+
+}  // namespace casvm::data

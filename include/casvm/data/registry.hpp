@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file registry.hpp
+/// Synthetic stand-ins for the paper's seven evaluation datasets plus the
+/// `forest` set used in Table III and a tiny `toy` set for fast tests.
+///
+/// Each stand-in matches the *shape* of its real counterpart — feature
+/// count (capped for single-node feasibility), class balance, sparsity and
+/// cluster structure — at a reduced sample count controlled by `scale`.
+/// DESIGN.md §4 documents the substitution; pass a real LIBSVM file to the
+/// bench binaries to run on actual data instead.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "casvm/data/dataset.hpp"
+#include "casvm/data/synth.hpp"
+
+namespace casvm::data {
+
+/// A train/test pair with per-dataset solver defaults.
+struct NamedDataset {
+  std::string name;
+  Dataset train;
+  Dataset test;
+  double suggestedGamma = 0.0;  ///< Gaussian-kernel gamma tuned per set
+  double suggestedC = 1.0;      ///< regularization constant
+};
+
+/// Shape metadata for one stand-in (before scaling).
+struct StandinSpec {
+  std::string name;
+  std::string applicationField;  ///< per the paper's Table XII
+  std::size_t paperSamples;      ///< sample count reported in the paper
+  std::size_t paperFeatures;     ///< feature count reported in the paper
+  MixtureSpec mixture;           ///< generator parameters at scale = 1
+  double gamma;
+  double C;
+};
+
+/// All registered stand-in names (adult, epsilon, face, gisette, ijcnn,
+/// usps, webspam, forest, toy).
+std::vector<std::string> standinNames();
+
+/// Shape metadata for one stand-in; throws casvm::Error for unknown names.
+const StandinSpec& standinSpec(const std::string& name);
+
+/// Generate train and test sets for a stand-in. `scale` multiplies the
+/// sample count (scale = 1 gives the container-feasible default size, not
+/// the paper's full size). Deterministic in (name, scale, seed).
+NamedDataset standin(const std::string& name, double scale = 1.0,
+                     std::uint64_t seed = 42);
+
+}  // namespace casvm::data

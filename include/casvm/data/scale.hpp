@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file scale.hpp
+/// Feature scaling, the svm-scale step of the classic LIBSVM workflow.
+///
+/// Gaussian-kernel SVMs are sensitive to feature ranges: one wide feature
+/// dominates every distance and the rest stop mattering. Scaling must be
+/// fit on the training split only and then applied unchanged to test data
+/// (fitting on test data leaks), which is why the parameters are a
+/// first-class, serializable object here.
+
+#include <string>
+#include <vector>
+
+#include "casvm/data/dataset.hpp"
+
+namespace casvm::data {
+
+enum class ScalingKind : std::uint8_t {
+  /// Map each feature's [min, max] to [lower, upper] (svm-scale default).
+  MinMax = 0,
+  /// Map each feature to zero mean, unit variance.
+  Standard = 1,
+};
+
+/// Fitted per-feature scaling parameters.
+class Scaler {
+ public:
+  Scaler() = default;
+
+  /// Fit on a training split. For MinMax, `lower`/`upper` give the target
+  /// range (defaults [-1, 1], like svm-scale).
+  static Scaler fit(const Dataset& train, ScalingKind kind,
+                    double lower = -1.0, double upper = 1.0);
+
+  ScalingKind kind() const { return kind_; }
+  std::size_t features() const { return offset_.size(); }
+
+  /// Apply to any dataset with the same feature count. Sparse datasets
+  /// stay sparse for Standard=false only if a zero maps to zero; MinMax
+  /// with a range not containing 0 would densify, so sparse inputs are
+  /// scaled entry-wise (zeros stay zero) — the svm-scale convention for
+  /// sparse data.
+  Dataset apply(const Dataset& ds) const;
+
+  /// Scale a single dense feature vector in place.
+  void applyTo(std::span<float> row) const;
+
+  /// Serialization (text format, one line per feature).
+  void save(const std::string& path) const;
+  static Scaler load(const std::string& path);
+
+ private:
+  // x' = (x - offset) * factor  (+ shift for MinMax target lower bound)
+  ScalingKind kind_ = ScalingKind::MinMax;
+  std::vector<double> offset_;
+  std::vector<double> factor_;
+  double targetLower_ = -1.0;
+};
+
+}  // namespace casvm::data

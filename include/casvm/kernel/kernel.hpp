@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file kernel.hpp
+/// SVM kernel functions (the paper's Table I): linear, polynomial,
+/// Gaussian (RBF) and sigmoid, evaluated over Dataset rows or external
+/// dense vectors. The Gaussian kernel is the paper's primary case — its
+/// locality (K -> 0 as distance grows) is the analytical basis for
+/// CP-SVM/CA-SVM partition-and-solve correctness (§IV-A).
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "casvm/data/dataset.hpp"
+
+namespace casvm::kernel {
+
+enum class KernelType : std::uint8_t {
+  Linear = 0,      ///< K(x, z) = x.z
+  Polynomial = 1,  ///< K(x, z) = (a x.z + r)^d
+  Gaussian = 2,    ///< K(x, z) = exp(-gamma ||x - z||^2)
+  Sigmoid = 3,     ///< K(x, z) = tanh(a x.z + r)
+};
+
+/// Parameters for every kernel family; unused fields are ignored.
+struct KernelParams {
+  KernelType type = KernelType::Gaussian;
+  double gamma = 1.0;  ///< Gaussian width
+  double a = 1.0;      ///< polynomial / sigmoid scale
+  double r = 0.0;      ///< polynomial / sigmoid offset
+  int degree = 3;      ///< polynomial degree
+
+  static KernelParams linear() { return {KernelType::Linear, 0, 0, 0, 0}; }
+  static KernelParams gaussian(double gamma) {
+    return {KernelType::Gaussian, gamma, 0, 0, 0};
+  }
+  static KernelParams polynomial(double a, double r, int degree) {
+    return {KernelType::Polynomial, 0, a, r, degree};
+  }
+  static KernelParams sigmoid(double a, double r) {
+    return {KernelType::Sigmoid, 0, a, r, 0};
+  }
+};
+
+/// Human-readable kernel name ("gaussian", ...).
+std::string kernelName(KernelType type);
+
+/// Kernel evaluator bound to parameters (not to a dataset).
+class Kernel {
+ public:
+  explicit Kernel(KernelParams params) : params_(params) {}
+
+  const KernelParams& params() const { return params_; }
+
+  /// K(xi, xj) within one dataset.
+  double eval(const data::Dataset& ds, std::size_t i, std::size_t j) const;
+
+  /// K(xi, x) against an external dense vector with precomputed ||x||^2.
+  double evalWith(const data::Dataset& ds, std::size_t i,
+                  std::span<const float> x, double xSelfDot) const;
+
+  /// K(ai, bj) across two datasets with identical feature counts.
+  double evalCross(const data::Dataset& a, std::size_t i,
+                   const data::Dataset& b, std::size_t j) const;
+
+  /// K(x, z) for two external dense vectors with precomputed norms.
+  double evalVectors(std::span<const float> x, double xSelfDot,
+                     std::span<const float> z, double zSelfDot) const;
+
+  /// Fill out[j] = K(xi, xj) for all j (one kernel row).
+  void row(const data::Dataset& ds, std::size_t i, std::span<double> out) const;
+
+  /// Approximate flops for one kernel evaluation (used for modeling).
+  double flopsPerEval(const data::Dataset& ds) const;
+
+ private:
+  double fromDot(double dot, double selfI, double selfJ) const;
+
+  KernelParams params_;
+};
+
+}  // namespace casvm::kernel

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file row_cache.hpp
+/// LRU cache of kernel matrix rows.
+///
+/// SMO touches two kernel rows per iteration (the high and low working-set
+/// samples); a small LRU over full rows captures the strong temporal reuse
+/// of frequently re-selected working-set members without materializing the
+/// m x m kernel matrix (LIBSVM uses the same strategy).
+
+#include <cstddef>
+#include <list>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "casvm/data/dataset.hpp"
+#include "casvm/kernel/kernel.hpp"
+
+namespace casvm::kernel {
+
+/// Caches rows of the kernel matrix of one dataset.
+/// Not thread-safe; each solver instance owns its cache.
+class RowCache {
+ public:
+  /// `budgetBytes` bounds the cached data (each row is rows()*8 bytes);
+  /// at least TWO row slots are always granted, because SMO holds spans to
+  /// the high and low rows of one iteration simultaneously — a single slot
+  /// would let the second fetch recycle the first span's storage.
+  RowCache(const Kernel& kernel, const data::Dataset& ds,
+           std::size_t budgetBytes);
+
+  /// Kernel row i (length = dataset rows); computed on miss, LRU-evicted.
+  /// The span stays valid until its row is evicted: with a capacity of C
+  /// rows, the C most recently touched rows are live.
+  std::span<const double> row(std::size_t i);
+
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+  std::size_t capacityRows() const { return capacityRows_; }
+
+ private:
+  struct Slot {
+    std::size_t rowIndex;
+    std::vector<double> values;
+  };
+
+  const Kernel& kernel_;
+  const data::Dataset& ds_;
+  std::size_t capacityRows_;
+  std::list<Slot> lru_;  // front = most recent
+  std::unordered_map<std::size_t, std::list<Slot>::iterator> index_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace casvm::kernel

@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file cost.hpp
+/// The alpha-beta (latency/bandwidth) communication cost model used to
+/// assign virtual time to message traffic. Matches the t_s / t_w terms of
+/// the paper's performance model (Table II): alpha is the per-message
+/// startup cost (t_s) and beta the per-byte transfer cost (t_w scaled to
+/// bytes).
+///
+/// Defaults approximate a Cray Aries-class interconnect (NERSC Edison, the
+/// paper's machine): ~1.5 us latency, ~8 GB/s effective point-to-point
+/// bandwidth.
+
+namespace casvm::net {
+
+/// Point-to-point message cost: alpha + beta * bytes seconds.
+struct CostModel {
+  double alpha = 1.5e-6;   ///< startup latency per message (seconds)
+  double beta = 1.25e-10;  ///< per-byte transfer time (seconds/byte)
+
+  /// Modeled time for one point-to-point message of `bytes` bytes.
+  double messageSeconds(double bytes) const { return alpha + beta * bytes; }
+};
+
+}  // namespace casvm::net

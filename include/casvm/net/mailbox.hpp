@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file mailbox.hpp
+/// The delivery mechanism behind casvm::net::Comm: one Mailbox per rank,
+/// holding FIFO queues keyed by (source rank, tag). Matching is exact on
+/// (src, tag) and FIFO within a queue, the same ordering guarantee MPI
+/// gives for matched point-to-point traffic.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace casvm::net {
+
+/// A message in flight: raw payload plus the sender's virtual completion
+/// time, which the receiver uses to advance its own clock past the wait.
+struct Message {
+  std::vector<std::byte> payload;
+  double arrivalVirtualTime = 0.0;
+};
+
+/// Thread-safe blocking mailbox for one receiving rank.
+class Mailbox {
+ public:
+  /// Enqueue a message from `src` with `tag`; wakes any blocked take().
+  void put(int src, int tag, Message msg);
+
+  /// Dequeue the oldest message from (src, tag); blocks until one arrives.
+  /// Throws casvm::Error if abort() is called while waiting (peer failure).
+  Message take(int src, int tag);
+
+  /// Number of queued messages across all (src, tag) queues.
+  std::size_t pending() const;
+
+  /// Wake all blocked take() calls with an error; used when a peer rank
+  /// fails so the run unwinds instead of deadlocking.
+  void abort();
+
+ private:
+  bool aborted_ = false;
+  using Key = std::uint64_t;  // (src << 32) | tag
+  static Key key(int src, int tag);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<Key, std::deque<Message>> queues_;
+};
+
+}  // namespace casvm::net

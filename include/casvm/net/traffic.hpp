@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file traffic.hpp
+/// Per-edge communication accounting. Every byte that moves through a
+/// casvm::net::Comm is recorded here, which is what lets the benchmarks
+/// reproduce the paper's Table X (communication volume), Table XI
+/// (bytes per operation) and Fig. 8 (P x P communication pattern) from a
+/// real execution rather than from estimates.
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace casvm::net {
+
+/// Immutable copy of a TrafficMatrix at a point in time.
+struct TrafficSnapshot {
+  int size = 0;                    ///< number of ranks
+  std::vector<std::size_t> bytes;  ///< row-major P x P byte counts
+  std::vector<std::size_t> ops;    ///< row-major P x P message counts
+
+  std::size_t bytesBetween(int src, int dst) const;
+  std::size_t opsBetween(int src, int dst) const;
+  std::size_t totalBytes() const;
+  std::size_t totalOps() const;
+  /// Total bytes sent by `rank` plus received by `rank`.
+  std::size_t bytesTouching(int rank) const;
+  /// Mean message size in bytes; 0 when no messages were sent.
+  double bytesPerOp() const;
+  /// Render the P x P byte matrix as an aligned text grid (Fig. 8 view).
+  std::string heatmap() const;
+  /// Difference (this - earlier), entry-wise; sizes must match.
+  TrafficSnapshot since(const TrafficSnapshot& earlier) const;
+};
+
+/// Thread-safe P x P traffic counter shared by all ranks of an Engine run.
+class TrafficMatrix {
+ public:
+  explicit TrafficMatrix(int size);
+
+  /// Record one message of `bytes` payload bytes from src to dst.
+  void record(int src, int dst, std::size_t bytes);
+
+  /// Zero all counters.
+  void reset();
+
+  int size() const { return size_; }
+
+  /// Copy the counters into a plain, immutable snapshot.
+  TrafficSnapshot snapshot() const;
+
+ private:
+  int size_;
+  std::unique_ptr<std::atomic<std::size_t>[]> bytes_;
+  std::unique_ptr<std::atomic<std::size_t>[]> ops_;
+};
+
+}  // namespace casvm::net

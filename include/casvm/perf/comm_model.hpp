@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file comm_model.hpp
+/// Closed-form communication-volume models (the paper's Table X). Given
+/// the dataset and run statistics (m samples, n features, s support
+/// vectors, I iterations, k K-means loops, p processes), each formula
+/// predicts the total bytes an algorithm moves; the paper validated them
+/// within ~5-20% of measured volume. bench_table10 compares them against
+/// the byte-exact TrafficMatrix of a real run of this library.
+
+#include <cstddef>
+
+#include "casvm/core/method.hpp"
+
+namespace casvm::perf {
+
+/// Inputs to the Table X formulas.
+struct CommModelParams {
+  long long m = 0;  ///< training samples
+  long long n = 0;  ///< features per sample
+  long long s = 0;  ///< support vectors of the full problem
+  long long I = 0;  ///< SMO iterations (Dis-SMO)
+  long long k = 0;  ///< K-means loops
+  int p = 1;        ///< processes
+};
+
+/// Predicted total communication volume in bytes (4-byte words, as in the
+/// paper's worked example). CA-SVM returns exactly 0.
+double predictedCommBytes(core::Method method, const CommModelParams& params);
+
+/// The formula as printed in Table X (for reporting).
+const char* commFormula(core::Method method);
+
+}  // namespace casvm::perf

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file isoefficiency.hpp
+/// Isoefficiency analysis (the paper's §III-A and Table IV).
+///
+/// The isoefficiency function W(P) is the problem-size growth required to
+/// hold parallel efficiency E fixed as P grows: W = K * To(W, P) with
+/// K = E/(1-E) and To = P*Tp - W the total parallel overhead (Grama §5.4.2).
+/// A method that needs W = Omega(P^3) can productively use only the cube
+/// root of the processors a W = Omega(P) method can.
+
+#include <string>
+
+#include "casvm/net/cost.hpp"
+
+namespace casvm::perf {
+
+/// Methods with a closed-form overhead model.
+enum class ScalingMethod {
+  MatVec1D,  ///< reference kernel, W = Omega(P^2)
+  MatVec2D,  ///< reference kernel, W = Omega(P)
+  DisSmo,    ///< eqn. (10): W = Omega(P^3)
+  Cascade,   ///< Table IV: W = Omega(P^3) (communication bound)
+  DcSvm,     ///< Table IV: W = Omega(P^3)
+  CaSvm,     ///< removed communication: W = Omega(P)
+};
+
+/// Asymptotic communication bound as printed in Table IV.
+std::string isoefficiencyFormula(ScalingMethod method);
+
+/// Parameters of the overhead models. ts/tw are in units of flop-time
+/// (the paper normalizes tc = 1); n is the feature count.
+struct IsoParams {
+  double ts = 1000.0;  ///< message startup, flops-equivalent (t_s)
+  double tw = 10.0;    ///< per-word transfer, flops-equivalent (t_w)
+  double n = 100.0;    ///< features per sample
+  double efficiency = 0.5;  ///< target efficiency E
+};
+
+/// Minimum problem size W (in flops, = 2mn for SMO-like kernels) needed to
+/// sustain `params.efficiency` on P processors, from the overhead model.
+/// Solved in closed form where the overhead is affine in W, otherwise by
+/// bisection on W = K*To(W, P).
+double isoefficiencyW(ScalingMethod method, int P, const IsoParams& params);
+
+}  // namespace casvm::perf

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file scaling_sim.hpp
+/// Calibrated analytic scaling simulator for the paper's large-P studies
+/// (Tables XIX-XXII: strong and weak scaling on 96-1536 processors).
+///
+/// A 1536-rank execution cannot run physically in this repository's
+/// container, so — per the substitution policy in DESIGN.md — large-P
+/// times are *modeled*: the per-iteration cost, iteration growth rate and
+/// support-vector fraction are calibrated from real solves of this
+/// library's SMO on this machine, and communication is charged with the
+/// same alpha-beta CostModel the runtime uses. The model reproduces the
+/// phenomena the paper reports:
+///   - CA-SVM strong scaling is superlinear (time ~ (m/P)^2, because both
+///     the iteration count and the per-iteration cost shrink with m/P);
+///   - CA-SVM weak scaling is flat (per-node work is constant and there is
+///     no communication to grow with P);
+///   - DC-SVM weak scaling collapses ~P^2 (its final layer retrains on all
+///     m = m_node * P samples);
+///   - Dis-SMO weak scaling degrades ~P (iterations grow with m while the
+///     per-iteration local work stays constant).
+
+#include <cstdint>
+
+#include "casvm/core/method.hpp"
+#include "casvm/data/dataset.hpp"
+#include "casvm/net/cost.hpp"
+#include "casvm/solver/smo.hpp"
+
+namespace casvm::perf {
+
+/// Machine/workload constants measured from real solves.
+struct ScalingCalibration {
+  double itersPerSample = 0.3;    ///< c_i: SMO iterations ~ c_i * m
+  double secPerIterRow = 1e-7;    ///< seconds per iteration per local row
+  double svFraction = 0.3;        ///< support vectors ~ svFraction * m
+  double warmStartFactor = 0.5;   ///< iteration discount on warm-started layers
+  double kmeansLoops = 10.0;      ///< typical K-means convergence loops
+  double cpImbalance = 2.0;       ///< largest K-means part / (m/P) at P=8
+  /// Exponent g of the imbalance growth law lambda(P) ~ cpImbalance *
+  /// (P/8)^g, fitted from K-means runs at two k values. Real datasets have
+  /// a bounded number of natural clusters, so as P grows past it the
+  /// largest K-means part stops shrinking like m/P — this is why the
+  /// paper's CP-SVM weak-scaling efficiency collapses to 6.8% while the
+  /// balanced CA-SVM variants stay near 100%.
+  double cpImbalanceGrowth = 0.5;
+  long long features = 100;       ///< n
+  net::CostModel cost;            ///< alpha-beta interconnect model
+};
+
+/// Fit the calibration by solving real subproblems of `ds` at the given
+/// sizes with this library's SmoSolver, plus one K-means run for the
+/// imbalance factor. Deterministic in (ds, sizes, seed).
+ScalingCalibration calibrate(const data::Dataset& ds,
+                             const solver::SolverOptions& options,
+                             const std::vector<std::size_t>& sizes,
+                             std::uint64_t seed = 42);
+
+/// Modeled training time, split into compute and communication seconds.
+struct ModeledTime {
+  double compute = 0.0;
+  double comm = 0.0;
+  double total() const { return compute + comm; }
+};
+
+/// Modeled time to train m samples on P processes with `method`.
+ModeledTime modeledTrainTime(core::Method method,
+                             const ScalingCalibration& cal, long long m,
+                             int P);
+
+}  // namespace casvm::perf

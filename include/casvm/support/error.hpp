@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file error.hpp
+/// Error handling for the casvm library: a single exception type plus
+/// CHECK-style macros. Internal invariants use CASVM_ASSERT (disabled in
+/// release only if CASVM_NO_ASSERT is defined); user-facing argument
+/// validation uses CASVM_CHECK and is always on.
+
+#include <stdexcept>
+#include <string>
+
+namespace casvm {
+
+/// Exception thrown on any casvm precondition or invariant violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throwError(const char* file, int line, const char* expr,
+                             const std::string& msg);
+}  // namespace detail
+
+}  // namespace casvm
+
+/// Validate a user-visible precondition; throws casvm::Error on failure.
+#define CASVM_CHECK(expr, msg)                                        \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::casvm::detail::throwError(__FILE__, __LINE__, #expr, (msg)); \
+    }                                                                 \
+  } while (0)
+
+/// Internal invariant check. Same behaviour as CASVM_CHECK but reserved for
+/// conditions that indicate a library bug rather than bad user input.
+#ifndef CASVM_NO_ASSERT
+#define CASVM_ASSERT(expr, msg) CASVM_CHECK(expr, msg)
+#else
+#define CASVM_ASSERT(expr, msg) ((void)0)
+#endif

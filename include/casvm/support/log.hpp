@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file log.hpp
+/// Minimal leveled logging. Off-by-default at Debug; the level is a process
+/// global because log output is for humans running benches/examples, not a
+/// data channel.
+
+#include <sstream>
+#include <string>
+
+namespace casvm {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Set the global threshold; messages below it are discarded.
+void setLogLevel(LogLevel level);
+
+/// Current global threshold.
+LogLevel logLevel();
+
+namespace detail {
+void logMessage(LogLevel level, const std::string& msg);
+}
+
+}  // namespace casvm
+
+#define CASVM_LOG(level, expr)                               \
+  do {                                                       \
+    if (static_cast<int>(level) >=                           \
+        static_cast<int>(::casvm::logLevel())) {             \
+      std::ostringstream casvm_log_os;                       \
+      casvm_log_os << expr;                                  \
+      ::casvm::detail::logMessage(level, casvm_log_os.str()); \
+    }                                                        \
+  } while (0)
+
+#define CASVM_DEBUG(expr) CASVM_LOG(::casvm::LogLevel::Debug, expr)
+#define CASVM_INFO(expr) CASVM_LOG(::casvm::LogLevel::Info, expr)
+#define CASVM_WARN(expr) CASVM_LOG(::casvm::LogLevel::Warn, expr)
+#define CASVM_ERROR(expr) CASVM_LOG(::casvm::LogLevel::Error, expr)

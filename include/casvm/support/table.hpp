@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file table.hpp
+/// Plain-text table rendering for the benchmark harnesses. Every bench in
+/// bench/ prints the paper's reported rows next to the values measured in
+/// this repository; TablePrinter keeps those tables aligned and uniform.
+
+#include <string>
+#include <vector>
+
+namespace casvm {
+
+/// Column-aligned ASCII table. Cells are strings; helpers format numbers.
+class TablePrinter {
+ public:
+  /// Create a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Append one row; must have the same arity as the header.
+  void addRow(std::vector<std::string> cells);
+
+  /// Render with a header rule and column padding.
+  std::string render() const;
+
+  /// Render and write to stdout.
+  void print() const;
+
+  /// Number of data rows added so far.
+  std::size_t rows() const { return rows_.size(); }
+
+  // --- formatting helpers ----------------------------------------------
+  /// Fixed-point with `digits` decimals, e.g. fmt(3.14159, 2) == "3.14".
+  static std::string fmt(double v, int digits = 2);
+  /// Integer with thousands separators, e.g. fmtCount(30297) == "30,297".
+  static std::string fmtCount(long long v);
+  /// Bytes with a binary-ish unit suffix (B, KB, MB, GB), one decimal.
+  static std::string fmtBytes(double bytes);
+  /// Percentage with one decimal, e.g. fmtPercent(0.953) == "95.3%".
+  static std::string fmtPercent(double fraction);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace casvm

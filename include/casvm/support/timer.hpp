@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file timer.hpp
+/// Wall-clock and per-thread CPU timers.
+///
+/// The per-thread CPU clock is the backbone of the virtual-time model in
+/// casvm::net: on an oversubscribed machine (many simulated ranks on few
+/// cores) wall-clock of a rank includes time it spent descheduled, while
+/// CLOCK_THREAD_CPUTIME_ID measures only the work that rank actually did —
+/// which is what a dedicated node would have spent.
+
+#include <chrono>
+
+namespace casvm {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// CPU seconds consumed by the calling thread since it started.
+double threadCpuSeconds();
+
+/// CPU seconds consumed by the whole process.
+double processCpuSeconds();
+
+}  // namespace casvm

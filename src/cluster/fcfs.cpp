@@ -1,0 +1,186 @@
+#include "casvm/cluster/fcfs.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "casvm/support/error.hpp"
+#include "casvm/support/rng.hpp"
+
+namespace casvm::cluster {
+
+namespace {
+
+std::vector<double> centerSelfDots(
+    const std::vector<std::vector<float>>& centers) {
+  std::vector<double> out(centers.size(), 0.0);
+  for (std::size_t c = 0; c < centers.size(); ++c) {
+    for (float v : centers[c]) out[c] += double(v) * double(v);
+  }
+  return out;
+}
+
+std::size_t ceilDiv(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+/// Core of Algorithm 3: assign each sample to the nearest center that has
+/// remaining quota for the sample's class bucket. `quota[bucket][center]`
+/// is decremented as samples land. bucket(i) selects 0 for the class-blind
+/// variant, or 0/1 by label for the ratio-balanced variant.
+template <class BucketFn>
+std::vector<int> assignFcfs(const data::Dataset& ds,
+                            const std::vector<std::vector<float>>& centers,
+                            std::vector<std::vector<std::size_t>>& quota,
+                            BucketFn bucket) {
+  const std::vector<double> centerSelf = centerSelfDots(centers);
+  std::vector<int> assign(ds.rows(), -1);
+  for (std::size_t i = 0; i < ds.rows(); ++i) {
+    std::vector<std::size_t>& q = quota[bucket(i)];
+    double bestDist = std::numeric_limits<double>::infinity();
+    int best = -1;
+    for (std::size_t c = 0; c < centers.size(); ++c) {
+      if (q[c] == 0) continue;  // center already balanced for this class
+      const double d = ds.squaredDistanceTo(i, centers[c], centerSelf[c]);
+      if (d < bestDist) {
+        bestDist = d;
+        best = static_cast<int>(c);
+      }
+    }
+    CASVM_ASSERT(best >= 0, "quota exhausted: ceil-divided quotas must fit");
+    --q[static_cast<std::size_t>(best)];
+    assign[i] = best;
+  }
+  return assign;
+}
+
+std::vector<std::vector<std::size_t>> makeQuota(const data::Dataset& ds,
+                                                int parts,
+                                                bool ratioBalanced) {
+  const auto p = static_cast<std::size_t>(parts);
+  if (!ratioBalanced) {
+    return {std::vector<std::size_t>(p, ceilDiv(ds.rows(), p))};
+  }
+  // Bucket 0 = negative samples, bucket 1 = positive samples.
+  return {std::vector<std::size_t>(p, ceilDiv(ds.negatives(), p)),
+          std::vector<std::size_t>(p, ceilDiv(ds.positives(), p))};
+}
+
+std::vector<std::vector<float>> pickInitialCenters(const data::Dataset& ds,
+                                                   int parts,
+                                                   std::uint64_t seed) {
+  Rng rng(seed);
+  const std::vector<std::size_t> picks = rng.sampleWithoutReplacement(
+      ds.rows(), static_cast<std::size_t>(parts));
+  std::vector<std::vector<float>> centers(
+      static_cast<std::size_t>(parts), std::vector<float>(ds.cols(), 0.0f));
+  for (std::size_t c = 0; c < picks.size(); ++c) {
+    ds.copyRowDense(picks[c], centers[c]);
+  }
+  return centers;
+}
+
+}  // namespace
+
+Partition fcfsPartition(const data::Dataset& ds, const FcfsOptions& options) {
+  const int parts = options.parts;
+  CASVM_CHECK(parts > 0, "parts must be positive");
+  CASVM_CHECK(ds.rows() >= static_cast<std::size_t>(parts),
+              "fewer samples than parts");
+
+  std::vector<std::vector<float>> centers =
+      pickInitialCenters(ds, parts, options.seed);
+  std::vector<std::vector<std::size_t>> quota =
+      makeQuota(ds, parts, options.ratioBalanced);
+
+  Partition out;
+  out.parts = parts;
+  if (options.ratioBalanced) {
+    out.assign = assignFcfs(ds, centers, quota, [&](std::size_t i) {
+      return ds.label(i) == 1 ? std::size_t{1} : std::size_t{0};
+    });
+  } else {
+    out.assign =
+        assignFcfs(ds, centers, quota, [](std::size_t) { return std::size_t{0}; });
+  }
+
+  out.centers = options.recomputeCenters
+                    ? computeCenters(ds, out.assign, parts)
+                    : std::move(centers);
+  return out;
+}
+
+Partition fcfsPartitionDistributed(net::Comm& comm, const data::Dataset& local,
+                                   const FcfsOptions& options) {
+  const int parts = options.parts;
+  CASVM_CHECK(parts > 0, "parts must be positive");
+  const std::size_t n = local.cols();
+
+  // Root seeds centers from its block and broadcasts (Algorithm 4 lines 1-4).
+  std::vector<float> flat(static_cast<std::size_t>(parts) * n, 0.0f);
+  if (comm.rank() == 0) {
+    CASVM_CHECK(local.rows() >= static_cast<std::size_t>(parts),
+                "rank 0 needs at least `parts` local samples");
+    const auto init = pickInitialCenters(local, parts, options.seed);
+    for (std::size_t c = 0; c < init.size(); ++c) {
+      std::copy(init[c].begin(), init[c].end(),
+                flat.begin() + static_cast<std::ptrdiff_t>(c * n));
+    }
+  }
+  comm.bcast(flat, 0);
+  std::vector<std::vector<float>> centers(
+      static_cast<std::size_t>(parts), std::vector<float>(n, 0.0f));
+  for (std::size_t c = 0; c < static_cast<std::size_t>(parts); ++c) {
+    std::copy(flat.begin() + static_cast<std::ptrdiff_t>(c * n),
+              flat.begin() + static_cast<std::ptrdiff_t>((c + 1) * n),
+              centers[c].begin());
+  }
+
+  // Each rank solves the m/P -> P x m/P^2 subproblem independently
+  // (Algorithm 4 lines 8-22) with per-rank quotas over its own block.
+  std::vector<std::vector<std::size_t>> quota =
+      makeQuota(local, parts, options.ratioBalanced);
+  std::vector<int> assign;
+  if (options.ratioBalanced) {
+    assign = assignFcfs(local, centers, quota, [&](std::size_t i) {
+      return local.label(i) == 1 ? std::size_t{1} : std::size_t{0};
+    });
+  } else {
+    assign = assignFcfs(local, centers, quota,
+                        [](std::size_t) { return std::size_t{0}; });
+  }
+
+  // Conquer phase (lines 23-26): recompute CT and CS with allreduces.
+  std::vector<double> sums(static_cast<std::size_t>(parts) * n, 0.0);
+  std::vector<long long> counts(static_cast<std::size_t>(parts), 0);
+  for (std::size_t i = 0; i < local.rows(); ++i) {
+    const auto c = static_cast<std::size_t>(assign[i]);
+    local.addRowTo(i, std::span<double>(sums).subspan(c * n, n));
+    ++counts[c];
+  }
+  sums = comm.allreduce(std::move(sums),
+                        [](double a, double b) { return a + b; });
+  counts = comm.allreduce(std::move(counts),
+                          [](long long a, long long b) { return a + b; });
+
+  Partition out;
+  out.parts = parts;
+  out.assign = assign;
+  out.centers.assign(static_cast<std::size_t>(parts),
+                     std::vector<float>(n, 0.0f));
+  if (options.recomputeCenters) {
+    for (std::size_t c = 0; c < static_cast<std::size_t>(parts); ++c) {
+      if (counts[c] == 0) continue;
+      for (std::size_t f = 0; f < n; ++f) {
+        out.centers[c][f] =
+            static_cast<float>(sums[c * n + f] / double(counts[c]));
+      }
+    }
+  } else {
+    out.centers = std::move(centers);
+  }
+
+  // Line 27: gather the membership to node 0 (kept for communication-volume
+  // fidelity with the paper's algorithm; the result is rank-local anyway).
+  (void)comm.gatherv(assign, 0);
+  return out;
+}
+
+}  // namespace casvm::cluster

@@ -1,0 +1,167 @@
+#include "casvm/cluster/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "casvm/support/error.hpp"
+#include "casvm/support/rng.hpp"
+
+namespace casvm::cluster {
+
+std::vector<std::size_t> Partition::sizes() const {
+  std::vector<std::size_t> out(static_cast<std::size_t>(parts), 0);
+  for (int a : assign) {
+    CASVM_ASSERT(a >= 0 && a < parts, "assignment out of range");
+    ++out[static_cast<std::size_t>(a)];
+  }
+  return out;
+}
+
+std::vector<std::vector<std::size_t>> Partition::groups() const {
+  std::vector<std::vector<std::size_t>> out(static_cast<std::size_t>(parts));
+  for (std::size_t i = 0; i < assign.size(); ++i) {
+    out[static_cast<std::size_t>(assign[i])].push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Partition::positiveCounts(
+    const data::Dataset& ds) const {
+  CASVM_CHECK(ds.rows() == assign.size(), "dataset/assignment size mismatch");
+  std::vector<std::size_t> out(static_cast<std::size_t>(parts), 0);
+  for (std::size_t i = 0; i < assign.size(); ++i) {
+    if (ds.label(i) == 1) ++out[static_cast<std::size_t>(assign[i])];
+  }
+  return out;
+}
+
+double Partition::imbalance() const {
+  if (assign.empty() || parts == 0) return 1.0;
+  const std::vector<std::size_t> s = sizes();
+  const std::size_t largest = *std::max_element(s.begin(), s.end());
+  const double balanced =
+      std::ceil(static_cast<double>(assign.size()) / parts);
+  return static_cast<double>(largest) / balanced;
+}
+
+int Partition::nearestCenter(std::span<const float> x) const {
+  CASVM_CHECK(!centers.empty(), "partition has no centers");
+  int best = 0;
+  double bestDist = std::numeric_limits<double>::infinity();
+  for (int c = 0; c < parts; ++c) {
+    const auto& center = centers[static_cast<std::size_t>(c)];
+    CASVM_CHECK(center.size() == x.size(), "center/vector length mismatch");
+    double d = 0.0;
+    for (std::size_t k = 0; k < x.size(); ++k) {
+      const double diff = double(x[k]) - double(center[k]);
+      d += diff * diff;
+    }
+    if (d < bestDist) {
+      bestDist = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+int Partition::nearestCenter(const data::Dataset& ds, std::size_t i) const {
+  CASVM_CHECK(!centers.empty(), "partition has no centers");
+  int best = 0;
+  double bestDist = std::numeric_limits<double>::infinity();
+  for (int c = 0; c < parts; ++c) {
+    const auto& center = centers[static_cast<std::size_t>(c)];
+    double centerSelf = 0.0;
+    for (float v : center) centerSelf += double(v) * double(v);
+    const double d = ds.squaredDistanceTo(i, center, centerSelf);
+    if (d < bestDist) {
+      bestDist = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+void Partition::validate(std::size_t expectedSamples) const {
+  CASVM_CHECK(parts > 0, "partition has no parts");
+  CASVM_CHECK(assign.size() == expectedSamples,
+              "assignment length mismatch");
+  for (int a : assign) {
+    CASVM_CHECK(a >= 0 && a < parts, "assignment out of range");
+  }
+  CASVM_CHECK(centers.empty() ||
+                  centers.size() == static_cast<std::size_t>(parts),
+              "center count mismatch");
+}
+
+std::vector<std::vector<float>> computeCenters(const data::Dataset& ds,
+                                               const std::vector<int>& assign,
+                                               int parts) {
+  CASVM_CHECK(ds.rows() == assign.size(), "dataset/assignment size mismatch");
+  const std::size_t n = ds.cols();
+  std::vector<std::vector<double>> sums(
+      static_cast<std::size_t>(parts), std::vector<double>(n, 0.0));
+  std::vector<std::size_t> counts(static_cast<std::size_t>(parts), 0);
+  for (std::size_t i = 0; i < ds.rows(); ++i) {
+    const auto part = static_cast<std::size_t>(assign[i]);
+    ds.addRowTo(i, sums[part]);
+    ++counts[part];
+  }
+  std::vector<std::vector<float>> centers(static_cast<std::size_t>(parts),
+                                          std::vector<float>(n, 0.0f));
+  for (std::size_t p = 0; p < static_cast<std::size_t>(parts); ++p) {
+    if (counts[p] == 0) continue;  // empty part keeps the zero center
+    for (std::size_t k = 0; k < n; ++k) {
+      centers[p][k] = static_cast<float>(sums[p][k] / double(counts[p]));
+    }
+  }
+  return centers;
+}
+
+Partition randomPartition(const data::Dataset& ds, int parts,
+                          std::uint64_t seed) {
+  CASVM_CHECK(parts > 0, "parts must be positive");
+  CASVM_CHECK(ds.rows() >= static_cast<std::size_t>(parts),
+              "fewer samples than parts");
+  Rng rng(seed);
+  std::vector<std::size_t> order(ds.rows());
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  Partition out;
+  out.parts = parts;
+  out.assign.resize(ds.rows());
+  // Deal contiguous slices of the shuffled order so sizes differ by <= 1.
+  const std::size_t m = ds.rows();
+  for (int p = 0; p < parts; ++p) {
+    const std::size_t begin = m * static_cast<std::size_t>(p) /
+                              static_cast<std::size_t>(parts);
+    const std::size_t end = m * (static_cast<std::size_t>(p) + 1) /
+                            static_cast<std::size_t>(parts);
+    for (std::size_t k = begin; k < end; ++k) out.assign[order[k]] = p;
+  }
+  out.centers = computeCenters(ds, out.assign, parts);
+  return out;
+}
+
+Partition blockPartition(const data::Dataset& ds, int parts) {
+  CASVM_CHECK(parts > 0, "parts must be positive");
+  CASVM_CHECK(ds.rows() >= static_cast<std::size_t>(parts),
+              "fewer samples than parts");
+  Partition out;
+  out.parts = parts;
+  out.assign.resize(ds.rows());
+  const std::size_t m = ds.rows();
+  for (int p = 0; p < parts; ++p) {
+    const std::size_t begin = m * static_cast<std::size_t>(p) /
+                              static_cast<std::size_t>(parts);
+    const std::size_t end = m * (static_cast<std::size_t>(p) + 1) /
+                            static_cast<std::size_t>(parts);
+    for (std::size_t k = begin; k < end; ++k) out.assign[k] = p;
+  }
+  out.centers = computeCenters(ds, out.assign, parts);
+  return out;
+}
+
+}  // namespace casvm::cluster

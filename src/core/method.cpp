@@ -1,0 +1,54 @@
+#include "casvm/core/method.hpp"
+
+#include "casvm/support/error.hpp"
+
+namespace casvm::core {
+
+std::string methodName(Method method) {
+  switch (method) {
+    case Method::DisSmo: return "dis-smo";
+    case Method::Cascade: return "cascade";
+    case Method::DcSvm: return "dc-svm";
+    case Method::DcFilter: return "dc-filter";
+    case Method::CpSvm: return "cp-svm";
+    case Method::BkmCa: return "bkm-ca";
+    case Method::FcfsCa: return "fcfs-ca";
+    case Method::RaCa: return "ra-ca";
+  }
+  throw Error("unknown method");
+}
+
+Method methodFromName(const std::string& name) {
+  for (Method m : allMethods()) {
+    if (methodName(m) == name) return m;
+  }
+  if (name == "ca-svm" || name == "casvm") return Method::RaCa;
+  throw Error("unknown method name: " + name);
+}
+
+std::vector<Method> allMethods() {
+  return {Method::DisSmo, Method::Cascade, Method::DcSvm, Method::DcFilter,
+          Method::CpSvm,  Method::BkmCa,   Method::FcfsCa, Method::RaCa};
+}
+
+bool isTreeMethod(Method method) {
+  return method == Method::Cascade || method == Method::DcSvm ||
+         method == Method::DcFilter;
+}
+
+bool isPartitionedMethod(Method method) {
+  return method == Method::CpSvm || method == Method::BkmCa ||
+         method == Method::FcfsCa || method == Method::RaCa;
+}
+
+bool usesKmeans(Method method) {
+  return method == Method::DcSvm || method == Method::DcFilter ||
+         method == Method::CpSvm || method == Method::BkmCa;
+}
+
+bool isCaSvm(Method method) {
+  return method == Method::BkmCa || method == Method::FcfsCa ||
+         method == Method::RaCa;
+}
+
+}  // namespace casvm::core

@@ -1,0 +1,44 @@
+#pragma once
+
+// Internal declarations of the per-method SPMD bodies. Each function is
+// executed once per rank under the net::Engine; the shared MethodContext
+// provides the configuration, the per-rank initial data placement and the
+// deposit board the driver reads afterwards.
+
+#include "casvm/core/spmd.hpp"
+#include "casvm/core/train.hpp"
+
+namespace casvm::core::detail {
+
+struct MethodContext {
+  const TrainConfig& config;
+  const std::vector<data::Dataset>& initialBlocks;  // one per rank
+  RankBoard& board;
+};
+
+/// Mark the end of the init phase: records this rank's virtual time and
+/// lets rank 0 take a consistent traffic snapshot (via an unrecorded
+/// instrumentation fence, so the measurement never shows up as traffic).
+void markInitEnd(net::Comm& comm, const MethodContext& ctx);
+
+/// Mark the end of the training phase for this rank.
+void markTrainEnd(net::Comm& comm, const MethodContext& ctx);
+
+void runDisSmo(net::Comm& comm, const MethodContext& ctx);
+void runTree(net::Comm& comm, const MethodContext& ctx);
+void runPartitioned(net::Comm& comm, const MethodContext& ctx);
+
+/// Dispatch to the method body for `ctx.config.method`.
+void runMethod(net::Comm& comm, const MethodContext& ctx);
+
+/// Build the per-run TrainResult pieces derivable from the deposit board
+/// (model, timing, iterations, per-rank detail). Traffic and RunStats are
+/// filled by the caller, which owns the engine.
+TrainResult assembleFromBoard(const TrainConfig& config, RankBoard& board,
+                              int P);
+
+/// Deterministic initial per-rank data placement for a method run.
+std::vector<data::Dataset> placementFor(const data::Dataset& trainSet,
+                                        const TrainConfig& config);
+
+}  // namespace casvm::core::detail

@@ -1,0 +1,98 @@
+#include "casvm/core/metrics.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "casvm/support/error.hpp"
+
+namespace casvm::core {
+
+double BinaryMetrics::accuracy() const {
+  const long long t = total();
+  return t == 0 ? 0.0
+               : static_cast<double>(truePositives + trueNegatives) / t;
+}
+
+double BinaryMetrics::recall() const {
+  const long long positives = truePositives + falseNegatives;
+  return positives == 0 ? 0.0
+                        : static_cast<double>(truePositives) / positives;
+}
+
+double BinaryMetrics::precision() const {
+  const long long predicted = truePositives + falsePositives;
+  return predicted == 0 ? 0.0
+                        : static_cast<double>(truePositives) / predicted;
+}
+
+double BinaryMetrics::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double BinaryMetrics::specificity() const {
+  const long long negatives = trueNegatives + falsePositives;
+  return negatives == 0 ? 0.0
+                        : static_cast<double>(trueNegatives) / negatives;
+}
+
+double BinaryMetrics::balancedAccuracy() const {
+  return (recall() + specificity()) / 2.0;
+}
+
+double BinaryMetrics::matthews() const {
+  const double tp = static_cast<double>(truePositives);
+  const double tn = static_cast<double>(trueNegatives);
+  const double fp = static_cast<double>(falsePositives);
+  const double fn = static_cast<double>(falseNegatives);
+  const double denom =
+      std::sqrt((tp + fp) * (tp + fn) * (tn + fp) * (tn + fn));
+  return denom == 0.0 ? 0.0 : (tp * tn - fp * fn) / denom;
+}
+
+std::string BinaryMetrics::report() const {
+  std::ostringstream os;
+  os << "confusion: TP=" << truePositives << " FN=" << falseNegatives
+     << " FP=" << falsePositives << " TN=" << trueNegatives << "\n";
+  auto pct = [](double v) { return std::round(v * 1000.0) / 10.0; };
+  os << "accuracy=" << pct(accuracy()) << "% recall=" << pct(recall())
+     << "% precision=" << pct(precision()) << "% F1=" << pct(f1())
+     << "% balanced=" << pct(balancedAccuracy()) << "% MCC="
+     << std::round(matthews() * 1000.0) / 1000.0 << "\n";
+  return os.str();
+}
+
+BinaryMetrics evaluate(const DistributedModel& model,
+                       const data::Dataset& testSet) {
+  CASVM_CHECK(testSet.rows() > 0, "empty test set");
+  BinaryMetrics m;
+  for (std::size_t i = 0; i < testSet.rows(); ++i) {
+    const bool predictedPositive = model.predictFor(testSet, i) == 1;
+    const bool actuallyPositive = testSet.label(i) == 1;
+    if (predictedPositive && actuallyPositive) ++m.truePositives;
+    else if (predictedPositive) ++m.falsePositives;
+    else if (actuallyPositive) ++m.falseNegatives;
+    else ++m.trueNegatives;
+  }
+  return m;
+}
+
+BinaryMetrics evaluatePredictions(const std::vector<std::int8_t>& predictions,
+                                  const data::Dataset& testSet) {
+  CASVM_CHECK(predictions.size() == testSet.rows(),
+              "one prediction per test row required");
+  CASVM_CHECK(testSet.rows() > 0, "empty test set");
+  BinaryMetrics m;
+  for (std::size_t i = 0; i < testSet.rows(); ++i) {
+    const bool predictedPositive = predictions[i] == 1;
+    const bool actuallyPositive = testSet.label(i) == 1;
+    if (predictedPositive && actuallyPositive) ++m.truePositives;
+    else if (predictedPositive) ++m.falsePositives;
+    else if (actuallyPositive) ++m.falseNegatives;
+    else ++m.trueNegatives;
+  }
+  return m;
+}
+
+}  // namespace casvm::core

@@ -1,0 +1,112 @@
+#include "casvm/core/model_selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "casvm/support/error.hpp"
+#include "casvm/support/rng.hpp"
+
+namespace casvm::core {
+
+namespace {
+
+/// Stratified fold assignment: shuffle each class separately, deal
+/// round-robin, so every fold carries the global class ratio.
+std::vector<int> stratifiedFolds(const data::Dataset& ds, int folds,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int> fold(ds.rows(), 0);
+  for (const std::int8_t cls : {std::int8_t{1}, std::int8_t{-1}}) {
+    std::vector<std::size_t> members;
+    for (std::size_t i = 0; i < ds.rows(); ++i) {
+      if (ds.label(i) == cls) members.push_back(i);
+    }
+    std::shuffle(members.begin(), members.end(), rng);
+    for (std::size_t j = 0; j < members.size(); ++j) {
+      fold[members[j]] = static_cast<int>(j % static_cast<std::size_t>(folds));
+    }
+  }
+  return fold;
+}
+
+/// Shrink the process count for small training folds (same policy as the
+/// multiclass pair trainer).
+int clampProcesses(const TrainConfig& config, std::size_t rows) {
+  int p = std::min<int>(config.processes,
+                        std::max<int>(1, static_cast<int>(rows / 4)));
+  if (isTreeMethod(config.method)) {
+    int pow2 = 1;
+    while (pow2 * 2 <= p) pow2 *= 2;
+    p = pow2;
+  }
+  return std::max(p, 1);
+}
+
+}  // namespace
+
+CrossValidationResult crossValidate(const data::Dataset& ds,
+                                    const TrainConfig& config, int folds,
+                                    std::uint64_t seed) {
+  CASVM_CHECK(folds >= 2, "need at least two folds");
+  CASVM_CHECK(ds.rows() >= static_cast<std::size_t>(2 * folds),
+              "too few samples for this many folds");
+  CASVM_CHECK(ds.positives() >= static_cast<std::size_t>(folds) &&
+                  ds.negatives() >= static_cast<std::size_t>(folds),
+              "each fold needs at least one sample of each class");
+
+  const std::vector<int> fold = stratifiedFolds(ds, folds, seed);
+
+  CrossValidationResult result;
+  for (int k = 0; k < folds; ++k) {
+    std::vector<std::size_t> trainIdx, testIdx;
+    for (std::size_t i = 0; i < ds.rows(); ++i) {
+      (fold[i] == k ? testIdx : trainIdx).push_back(i);
+    }
+    const data::Dataset trainSet = ds.subset(trainIdx);
+    const data::Dataset testSet = ds.subset(testIdx);
+
+    TrainConfig foldConfig = config;
+    foldConfig.processes = clampProcesses(config, trainSet.rows());
+    const TrainResult trained = train(trainSet, foldConfig);
+    result.foldAccuracies.push_back(trained.model.accuracy(testSet));
+    result.totalIterations += trained.totalIterations;
+  }
+
+  double sum = 0.0;
+  for (double a : result.foldAccuracies) sum += a;
+  result.meanAccuracy = sum / folds;
+  double var = 0.0;
+  for (double a : result.foldAccuracies) {
+    var += (a - result.meanAccuracy) * (a - result.meanAccuracy);
+  }
+  result.stddev = std::sqrt(var / folds);
+  return result;
+}
+
+GridSearchResult gridSearch(const data::Dataset& ds, TrainConfig config,
+                            const std::vector<double>& gammas,
+                            const std::vector<double>& Cs, int folds,
+                            std::uint64_t seed) {
+  CASVM_CHECK(!gammas.empty() && !Cs.empty(), "empty parameter grid");
+
+  GridSearchResult result;
+  bool first = true;
+  for (double gamma : gammas) {
+    for (double c : Cs) {
+      config.solver.kernel = kernel::KernelParams::gaussian(gamma);
+      config.solver.C = c;
+      const CrossValidationResult cv = crossValidate(ds, config, folds, seed);
+      GridPoint point{gamma, c, cv.meanAccuracy, cv.stddev};
+      result.evaluated.push_back(point);
+      const bool better =
+          first || point.meanAccuracy > result.best.meanAccuracy ||
+          (point.meanAccuracy == result.best.meanAccuracy &&
+           point.C < result.best.C);
+      if (better) result.best = point;
+      first = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace casvm::core

@@ -1,0 +1,134 @@
+// The single-layer partitioned methods: CP-SVM and the CA-SVM family
+// (BKM-CA, FCFS-CA, RA-CA).
+//
+// All four partition the data into P parts, train P fully independent
+// sub-SVMs, and keep P model files routed by nearest data center at
+// prediction time (paper Fig. 3 / Algorithm 6). They differ only in the
+// partitioner: K-means (CP-SVM), ratio-balanced balanced-K-means (BKM-CA),
+// ratio-balanced FCFS (FCFS-CA) or a random even split (RA-CA). RA-CA in
+// its casvm2 placement — data born distributed — performs zero
+// communication during the entire training process, which is the paper's
+// headline communication-avoiding property.
+
+#include "casvm/cluster/balanced_kmeans.hpp"
+#include "casvm/cluster/fcfs.hpp"
+#include "casvm/cluster/kmeans.hpp"
+#include "methods.hpp"
+#include "casvm/support/error.hpp"
+
+namespace casvm::core::detail {
+
+namespace {
+
+constexpr int kScatterTag = 300;
+
+/// Mean of all local rows (eqn. 14): the data center a RA-CA rank
+/// publishes for prediction routing. Purely local.
+std::vector<float> localMeanCenter(const data::Dataset& ds) {
+  std::vector<float> center(ds.cols(), 0.0f);
+  if (ds.rows() == 0) return center;
+  std::vector<double> sum(ds.cols(), 0.0);
+  for (std::size_t i = 0; i < ds.rows(); ++i) ds.addRowTo(i, sum);
+  for (std::size_t k = 0; k < ds.cols(); ++k) {
+    center[k] = static_cast<float>(sum[k] / double(ds.rows()));
+  }
+  return center;
+}
+
+}  // namespace
+
+void runPartitioned(net::Comm& comm, const MethodContext& ctx) {
+  const int rank = comm.rank();
+  const auto urank = static_cast<std::size_t>(rank);
+  const int P = comm.size();
+  const Method method = ctx.config.method;
+  RankBoard& board = ctx.board;
+  const data::Dataset& initial = ctx.initialBlocks[urank];
+
+  // --- init phase: build the partition and place the parts ---------------
+  data::Dataset mine;
+  std::vector<float> myCenter;
+
+  switch (method) {
+    case Method::CpSvm: {
+      cluster::KMeansOptions km;
+      km.clusters = P;
+      km.maxLoops = ctx.config.kmeansMaxLoops;
+      km.changeThreshold = ctx.config.kmeansChangeThreshold;
+      km.seed = ctx.config.seed;
+      const cluster::KMeansResult result =
+          cluster::kmeansDistributed(comm, initial, km);
+      board.kmeansLoops[urank] = result.loops;
+      mine = exchangeToOwners(comm, initial, result.partition.assign);
+      myCenter = result.partition.centers[urank];
+      break;
+    }
+    case Method::BkmCa: {
+      cluster::BalancedKMeansOptions bkm;
+      bkm.parts = P;
+      bkm.ratioBalanced = ctx.config.ratioBalance;
+      bkm.maxKmeansLoops = ctx.config.kmeansMaxLoops;
+      bkm.kmeansChangeThreshold = ctx.config.kmeansChangeThreshold;
+      bkm.seed = ctx.config.seed;
+      const cluster::BalancedKMeansResult result =
+          cluster::balancedKmeansDistributed(comm, initial, bkm);
+      board.kmeansLoops[urank] = result.kmeansLoops;
+      mine = exchangeToOwners(comm, initial, result.partition.assign);
+      myCenter = result.partition.centers[urank];
+      break;
+    }
+    case Method::FcfsCa: {
+      cluster::FcfsOptions fcfs;
+      fcfs.parts = P;
+      fcfs.ratioBalanced = ctx.config.ratioBalance;
+      fcfs.seed = ctx.config.seed;
+      const cluster::Partition partition =
+          cluster::fcfsPartitionDistributed(comm, initial, fcfs);
+      mine = exchangeToOwners(comm, initial, partition.assign);
+      myCenter = partition.centers[urank];
+      break;
+    }
+    case Method::RaCa: {
+      if (ctx.config.raInitialDataOnRoot) {
+        // casvm1: the whole dataset starts on rank 0, which deals random
+        // even parts to everyone — this distribution is RA-CA's only
+        // communication, shown in the paper's Fig. 9 as casvm1.
+        if (rank == 0) {
+          const cluster::Partition part = cluster::randomPartition(
+              initial, P, ctx.config.seed);
+          const auto groups = part.groups();
+          for (int dst = 1; dst < P; ++dst) {
+            const std::vector<std::byte> packed =
+                initial.pack(groups[static_cast<std::size_t>(dst)]);
+            comm.sendBytes(dst, kScatterTag, packed.data(), packed.size());
+          }
+          mine = initial.subset(groups[0]);
+        } else {
+          mine = data::Dataset::unpack(comm.recvBytes(0, kScatterTag));
+        }
+      } else {
+        // casvm2: data is born distributed; no communication at all.
+        mine = initial;
+      }
+      myCenter = localMeanCenter(mine);
+      break;
+    }
+    default:
+      throw Error("runPartitioned called with a non-partitioned method");
+  }
+
+  board.samples[urank] = static_cast<long long>(mine.rows());
+  board.positives[urank] = static_cast<long long>(mine.positives());
+  markInitEnd(comm, ctx);
+
+  // --- training phase: one fully independent sub-SVM ----------------------
+  const LocalSolve solve = trainLocalSvm(mine, ctx.config.solver);
+  markTrainEnd(comm, ctx);
+
+  board.models[urank] = solve.model;
+  board.centers[urank] = std::move(myCenter);
+  board.iterations[urank] = solve.iterations;
+  board.svs[urank] = solve.svs;
+}
+
+}  // namespace casvm::core::detail

@@ -1,0 +1,72 @@
+#include "casvm/core/predict.hpp"
+
+#include "casvm/support/error.hpp"
+
+namespace casvm::core {
+
+DistributedPredictResult distributedPredict(const DistributedModel& model,
+                                            const data::Dataset& testSet,
+                                            net::CostModel cost) {
+  CASVM_CHECK(model.numModels() >= 1, "empty distributed model");
+  CASVM_CHECK(testSet.rows() > 0, "empty test set");
+  const int P = static_cast<int>(model.numModels());
+
+  constexpr int kQueryTag = 400;
+  constexpr int kLabelTag = 401;
+
+  DistributedPredictResult result;
+  result.predictions.assign(testSet.rows(), 0);
+
+  net::Engine engine(P, cost);
+  result.runStats = engine.run([&](net::Comm& comm) {
+    const int rank = comm.rank();
+    if (rank == 0) {
+      // Route each test sample to the owner of its nearest center
+      // (Algorithm 6, prediction steps 1-2).
+      std::vector<std::vector<std::size_t>> buckets(
+          static_cast<std::size_t>(P));
+      for (std::size_t i = 0; i < testSet.rows(); ++i) {
+        buckets[model.route(testSet, i)].push_back(i);
+      }
+      for (int dst = 1; dst < P; ++dst) {
+        const std::vector<std::byte> packed =
+            testSet.pack(buckets[static_cast<std::size_t>(dst)]);
+        comm.sendBytes(dst, kQueryTag, packed.data(), packed.size());
+      }
+      // Rank 0's own share.
+      for (std::size_t i : buckets[0]) {
+        result.predictions[i] = model.model(0).predictFor(testSet, i);
+      }
+      // Collect the labels (step 3's results coming home).
+      for (int src = 1; src < P; ++src) {
+        const std::vector<std::int8_t> labels =
+            comm.recvVec<std::int8_t>(src, kLabelTag);
+        const auto& bucket = buckets[static_cast<std::size_t>(src)];
+        CASVM_CHECK(labels.size() == bucket.size(),
+                    "prediction count mismatch");
+        for (std::size_t j = 0; j < bucket.size(); ++j) {
+          result.predictions[bucket[j]] = labels[j];
+        }
+      }
+    } else {
+      const data::Dataset queries =
+          data::Dataset::unpack(comm.recvBytes(0, kQueryTag));
+      std::vector<std::int8_t> labels(queries.rows());
+      const solver::Model& mine = model.model(static_cast<std::size_t>(rank));
+      for (std::size_t i = 0; i < queries.rows(); ++i) {
+        labels[i] = mine.predictFor(queries, i);
+      }
+      comm.send(0, labels, kLabelTag);
+    }
+  });
+
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < testSet.rows(); ++i) {
+    correct += (result.predictions[i] == testSet.label(i));
+  }
+  result.accuracy =
+      static_cast<double>(correct) / static_cast<double>(testSet.rows());
+  return result;
+}
+
+}  // namespace casvm::core

@@ -1,0 +1,225 @@
+#include "casvm/core/train.hpp"
+
+#include <algorithm>
+
+#include "casvm/cluster/partition.hpp"
+#include "casvm/support/error.hpp"
+#include "methods.hpp"
+
+namespace casvm::core {
+
+namespace {
+
+bool isPowerOfTwo(int p) { return p > 0 && (p & (p - 1)) == 0; }
+
+/// Initial per-rank data placement, modelling a dataset that lives
+/// distributed on a parallel filesystem (or, for RA-CA casvm1, staged on
+/// one node). This happens outside the engine and is not charged to any
+/// phase — it is where the data *starts*, not something the method does.
+std::vector<data::Dataset> initialPlacement(const data::Dataset& trainSet,
+                                            const TrainConfig& config) {
+  const int P = config.processes;
+  std::vector<data::Dataset> blocks(static_cast<std::size_t>(P));
+  if (config.method == Method::RaCa && !config.raInitialDataOnRoot) {
+    // casvm2: random even parts are already in place on each node.
+    const cluster::Partition part =
+        cluster::randomPartition(trainSet, P, config.seed);
+    const auto groups = part.groups();
+    for (int r = 0; r < P; ++r) {
+      blocks[static_cast<std::size_t>(r)] =
+          trainSet.subset(groups[static_cast<std::size_t>(r)]);
+    }
+  } else if (config.method == Method::RaCa) {
+    // casvm1: everything starts on rank 0.
+    blocks[0] = trainSet;
+  } else {
+    // Even contiguous blocks, the standard distributed starting layout.
+    const cluster::Partition part = cluster::blockPartition(trainSet, P);
+    const auto groups = part.groups();
+    for (int r = 0; r < P; ++r) {
+      blocks[static_cast<std::size_t>(r)] =
+          trainSet.subset(groups[static_cast<std::size_t>(r)]);
+    }
+  }
+  return blocks;
+}
+
+long long LayerStatsMaxOf(const std::vector<long long>& v) {
+  long long best = 0;
+  for (long long x : v) best = std::max(best, x);
+  return best;
+}
+
+}  // namespace
+
+long long LayerStats::maxIterations() const {
+  return LayerStatsMaxOf(iterationsPerNode);
+}
+
+long long LayerStats::totalSVs() const {
+  long long total = 0;
+  for (long long s : svsPerNode) total += s;
+  return total;
+}
+
+double LayerStats::maxSeconds() const {
+  double best = 0.0;
+  for (double s : secondsPerNode) best = std::max(best, s);
+  return best;
+}
+
+long long LayerStats::maxSamples() const {
+  return LayerStatsMaxOf(samplesPerNode);
+}
+
+TrainResult train(const data::Dataset& trainSet, const TrainConfig& config) {
+  const int P = config.processes;
+  CASVM_CHECK(P >= 1, "need at least one process");
+  CASVM_CHECK(trainSet.rows() >= static_cast<std::size_t>(P),
+              "fewer samples than processes");
+  if (isTreeMethod(config.method)) {
+    CASVM_CHECK(isPowerOfTwo(P),
+                "tree methods (cascade/dc-svm/dc-filter) need a power-of-two "
+                "process count");
+  }
+
+  const std::vector<data::Dataset> blocks = initialPlacement(trainSet, config);
+  RankBoard board(P);
+  detail::MethodContext mctx{config, blocks, board};
+
+  net::Engine engine(P, config.cost);
+  net::RunStats stats = engine.run(
+      [&](net::Comm& comm) { detail::runMethod(comm, mctx); });
+
+  TrainResult out = detail::assembleFromBoard(config, board, P);
+  out.runStats = stats;
+  out.wallSeconds = stats.wallSeconds;
+
+  // --- traffic ----------------------------------------------------------------
+  out.initTraffic = board.initSnapshot;
+  if (out.initTraffic.size == 0) {
+    // Zero-communication path never snapshotted; synthesize an empty one.
+    out.initTraffic.size = stats.size;
+    out.initTraffic.bytes.assign(
+        static_cast<std::size_t>(stats.size) * stats.size, 0);
+    out.initTraffic.ops.assign(
+        static_cast<std::size_t>(stats.size) * stats.size, 0);
+  }
+  out.trainTraffic = stats.traffic.since(out.initTraffic);
+  return out;
+}
+
+namespace detail {
+
+TrainResult assembleFromBoard(const TrainConfig& config, RankBoard& board,
+                              int P) {
+  TrainResult out;
+  out.method = config.method;
+
+  // --- model assembly ------------------------------------------------------
+  if (config.method == Method::DisSmo) {
+    data::Dataset svs;
+    std::vector<double> alphaY;
+    for (int r = 0; r < P; ++r) {
+      const solver::Model& fragment = board.models[static_cast<std::size_t>(r)];
+      svs = data::Dataset::concat(svs, fragment.supportVectors());
+      alphaY.insert(alphaY.end(), fragment.alphaY().begin(),
+                    fragment.alphaY().end());
+    }
+    out.model = DistributedModel::single(solver::Model(
+        config.solver.kernel, std::move(svs), std::move(alphaY),
+        board.models[0].bias()));
+  } else if (isTreeMethod(config.method)) {
+    out.model = DistributedModel::single(board.models[0]);
+  } else {
+    std::vector<solver::Model> models(board.models.begin(),
+                                      board.models.end());
+    out.model = DistributedModel::routed(std::move(models), board.centers);
+  }
+
+  // --- timing ---------------------------------------------------------------
+  for (int r = 0; r < P; ++r) {
+    const auto ur = static_cast<std::size_t>(r);
+    out.initSeconds = std::max(out.initSeconds, board.initEndVirtual[ur]);
+    out.trainSeconds = std::max(
+        out.trainSeconds,
+        board.trainEndVirtual[ur] - board.initEndVirtual[ur]);
+  }
+
+  // --- per-rank detail -------------------------------------------------------
+  out.samplesPerRank = board.samples;
+  out.svsPerRank = board.svs;
+  out.positivesPerRank = board.positives;
+  out.trainSecondsPerRank.resize(static_cast<std::size_t>(P));
+  for (int r = 0; r < P; ++r) {
+    const auto ur = static_cast<std::size_t>(r);
+    out.trainSecondsPerRank[ur] =
+        board.trainEndVirtual[ur] - board.initEndVirtual[ur];
+  }
+  out.kmeansLoops = *std::max_element(board.kmeansLoops.begin(),
+                                      board.kmeansLoops.end());
+
+  // --- iterations ------------------------------------------------------------
+  if (config.method == Method::DisSmo) {
+    out.iterationsPerRank = board.iterations;
+    out.totalIterations = board.iterations[0];
+    out.criticalIterations = board.iterations[0];
+  } else if (isTreeMethod(config.method)) {
+    int maxLayer = 0;
+    for (const auto& records : board.layerRecords) {
+      for (const auto& rec : records) maxLayer = std::max(maxLayer, rec.layer);
+    }
+    for (int layer = 1; layer <= maxLayer; ++layer) {
+      LayerStats ls;
+      ls.layer = layer;
+      for (int r = 0; r < P; ++r) {
+        for (const auto& rec : board.layerRecords[static_cast<std::size_t>(r)]) {
+          if (rec.layer != layer) continue;
+          ++ls.nodesUsed;
+          ls.samplesPerNode.push_back(rec.samples);
+          ls.iterationsPerNode.push_back(rec.iterations);
+          ls.svsPerNode.push_back(rec.svs);
+          ls.secondsPerNode.push_back(rec.seconds);
+          out.totalIterations += rec.iterations;
+        }
+      }
+      out.criticalIterations += ls.maxIterations();
+      out.layers.push_back(std::move(ls));
+    }
+  } else {
+    out.iterationsPerRank = board.iterations;
+    for (long long it : board.iterations) {
+      out.totalIterations += it;
+      out.criticalIterations = std::max(out.criticalIterations, it);
+    }
+  }
+
+  return out;
+}
+
+/// Deterministic initial data placement, shared with the group-parallel
+/// multiclass trainer (every rank recomputes the same placement locally).
+std::vector<data::Dataset> placementFor(const data::Dataset& trainSet,
+                                        const TrainConfig& config) {
+  return initialPlacement(trainSet, config);
+}
+
+void runMethod(net::Comm& comm, const MethodContext& ctx) {
+  switch (ctx.config.method) {
+    case Method::DisSmo:
+      runDisSmo(comm, ctx);
+      break;
+    case Method::Cascade:
+    case Method::DcSvm:
+    case Method::DcFilter:
+      runTree(comm, ctx);
+      break;
+    default:
+      runPartitioned(comm, ctx);
+      break;
+  }
+}
+
+}  // namespace detail
+
+}  // namespace casvm::core

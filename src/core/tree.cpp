@@ -1,0 +1,167 @@
+// The binary-reduction-tree methods: Cascade SVM, DC-SVM and DC-Filter.
+//
+// All three run log2(P)+1 layers. Layer 1 trains P sub-SVMs; at each later
+// layer half of the previously active ranks ship their current output to a
+// partner, which merges and re-trains with the received alphas as a warm
+// start. They differ in (a) the initial partition — even blocks for
+// Cascade, K-means for DC-SVM and DC-Filter — and (b) what travels between
+// layers — only support vectors (Cascade, DC-Filter) or the entire sample
+// set (DC-SVM). The paper's Table V profile (parallelism halving per
+// layer, the single-node bottom layer dominating) falls directly out of
+// this structure.
+
+#include <algorithm>
+
+#include "casvm/cluster/kmeans.hpp"
+#include "methods.hpp"
+#include "casvm/support/error.hpp"
+
+namespace casvm::core::detail {
+
+namespace {
+
+constexpr int kTreeDataTag = 200;
+constexpr int kTreeAlphaTag = 201;
+
+int log2int(int p) {
+  int layers = 0;
+  while ((1 << layers) < p) ++layers;
+  return layers;
+}
+
+/// Indices of the nonzero-alpha rows of a just-solved subproblem.
+std::vector<std::size_t> supportIndices(const std::vector<double>& alpha) {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < alpha.size(); ++i) {
+    if (alpha[i] > 0.0) idx.push_back(i);
+  }
+  return idx;
+}
+
+}  // namespace
+
+void runTree(net::Comm& comm, const MethodContext& ctx) {
+  const int rank = comm.rank();
+  const auto urank = static_cast<std::size_t>(rank);
+  const int P = comm.size();
+  const Method method = ctx.config.method;
+  RankBoard& board = ctx.board;
+
+  // --- init phase: place the data ----------------------------------------
+  data::Dataset current;
+  if (method == Method::Cascade) {
+    current = ctx.initialBlocks[urank];  // even blocks, no communication
+  } else {
+    // DC-SVM / DC-Filter: distributed K-means over the initial blocks, then
+    // an all-to-all moving each sample to its cluster's owner rank.
+    cluster::KMeansOptions km;
+    km.clusters = P;
+    km.maxLoops = ctx.config.kmeansMaxLoops;
+    km.changeThreshold = ctx.config.kmeansChangeThreshold;
+    km.seed = ctx.config.seed;
+    const cluster::KMeansResult result =
+        cluster::kmeansDistributed(comm, ctx.initialBlocks[urank], km);
+    board.kmeansLoops[urank] = result.loops;
+    current = exchangeToOwners(comm, ctx.initialBlocks[urank],
+                               result.partition.assign);
+  }
+  board.samples[urank] = static_cast<long long>(current.rows());
+  board.positives[urank] = static_cast<long long>(current.positives());
+  markInitEnd(comm, ctx);
+
+  // --- training phase: the reduction tree ---------------------------------
+  const int layers = log2int(P) + 1;
+  const int passes = std::max(1, ctx.config.cascadePasses);
+  const data::Dataset original = current;  // this rank's pass-1 input
+  std::vector<double> currentAlpha;        // warm start, empty on layer 1
+
+  for (int pass = 1; pass <= passes; ++pass) {
+    if (pass > 1) {
+      // Fig. 2's feedback loop: rank 0 distributes the final SV set (with
+      // alphas) to every node; each node re-enters the top layer on its
+      // original data plus the global support vectors, warm-started.
+      std::vector<std::byte> packedSvs;
+      if (rank == 0) packedSvs = current.packAll();
+      comm.bcast(packedSvs, 0);
+      std::vector<double> svAlpha = currentAlpha;
+      comm.bcast(svAlpha, 0);
+      const data::Dataset svs = data::Dataset::unpack(packedSvs);
+      current = data::Dataset::concat(original, svs);
+      currentAlpha.assign(original.rows(), 0.0);
+      currentAlpha.insert(currentAlpha.end(), svAlpha.begin(), svAlpha.end());
+    }
+
+    for (int layer = 1; layer <= layers; ++layer) {
+      const int step = 1 << (layer - 1);
+      if (rank % step != 0) break;  // this rank went inactive this pass
+
+      if (layer > 1) {
+        // Merge the partner's output with ours.
+        const int partner = rank + step / 2;
+        const data::Dataset partnerData =
+            data::Dataset::unpack(comm.recvBytes(partner, kTreeDataTag));
+        const std::vector<double> partnerAlpha =
+            comm.recvVec<double>(partner, kTreeAlphaTag);
+        CASVM_ASSERT(partnerData.rows() == partnerAlpha.size(),
+                     "tree merge: sample/alpha count mismatch");
+        current = data::Dataset::concat(current, partnerData);
+        currentAlpha.insert(currentAlpha.end(), partnerAlpha.begin(),
+                            partnerAlpha.end());
+      }
+
+      const double t0 = virtualNow(comm);
+      const LocalSolve solve = trainLocalSvm(
+          current, ctx.config.solver,
+          ctx.config.treeWarmStart ? std::span<const double>(currentAlpha)
+                                   : std::span<const double>());
+      const double t1 = virtualNow(comm);
+
+      // Layers keep counting across passes so per-layer stats stay unique.
+      board.layerRecords[urank].push_back(
+          {(pass - 1) * layers + layer,
+           static_cast<long long>(current.rows()), solve.iterations,
+           solve.svs, t1 - t0});
+
+      // Prepare this layer's output: everything for DC-SVM, only the
+      // support vectors (with their alphas, the warm start for the next
+      // layer) for Cascade and DC-Filter.
+      if (method == Method::DcSvm) {
+        currentAlpha = solve.alpha;
+      } else {
+        const std::vector<std::size_t> svIdx = supportIndices(solve.alpha);
+        if (svIdx.empty() && !current.empty()) {
+          // Degenerate subproblem (typically a single-class K-means part
+          // under DC-Filter): there is no margin yet, so *every* sample is
+          // a potential support vector once the other class joins at the
+          // next layer. Filtering to the empty SV set would silently
+          // delete this part's information from the cascade.
+          currentAlpha.assign(current.rows(), 0.0);
+        } else {
+          std::vector<double> svAlpha;
+          svAlpha.reserve(svIdx.size());
+          for (std::size_t i : svIdx) svAlpha.push_back(solve.alpha[i]);
+          current = current.subset(svIdx);
+          currentAlpha = std::move(svAlpha);
+        }
+      }
+
+      if (layer == layers) {
+        // Bottom of the tree: rank 0 holds the final model.
+        CASVM_ASSERT(rank == 0, "final layer must run on rank 0");
+        board.models[0] = solve.model;
+        board.svs[0] = solve.svs;
+      } else if (rank % (step * 2) != 0) {
+        // This rank is the sending half of the next layer's pairs.
+        const int dst = rank - step;
+        const std::vector<std::byte> packed = current.packAll();
+        comm.sendBytes(dst, kTreeDataTag, packed.data(), packed.size());
+        comm.send(dst, currentAlpha, kTreeAlphaTag);
+        break;  // inactive for the rest of this pass
+      }
+    }
+  }
+
+  markTrainEnd(comm, ctx);
+}
+
+}  // namespace casvm::core::detail

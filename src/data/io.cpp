@@ -1,0 +1,104 @@
+#include "casvm/data/io.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "casvm/support/error.hpp"
+
+namespace casvm::data {
+
+Dataset readLibsvm(std::istream& in, std::size_t cols) {
+  std::vector<std::size_t> rowPtr{0};
+  std::vector<std::uint32_t> colIdx;
+  std::vector<float> values;
+  std::vector<std::int8_t> labels;
+  std::size_t maxCol = 0;
+
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    // Strip comments and skip blank lines.
+    if (const std::size_t hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream ls(line);
+    double rawLabel = 0.0;
+    if (!(ls >> rawLabel)) continue;  // blank or comment-only line
+    labels.push_back(rawLabel > 0.0 ? 1 : -1);
+
+    std::string pair;
+    std::uint32_t prevIdx = 0;
+    bool first = true;
+    while (ls >> pair) {
+      const std::size_t colon = pair.find(':');
+      CASVM_CHECK(colon != std::string::npos,
+                  "libsvm parse error (missing ':') at line " +
+                      std::to_string(lineNo));
+      char* end = nullptr;
+      const long long rawIdx = std::strtoll(pair.c_str(), &end, 10);
+      CASVM_CHECK(end == pair.c_str() + colon && rawIdx >= 1,
+                  "libsvm parse error (bad index) at line " +
+                      std::to_string(lineNo));
+      const float value =
+          std::strtof(pair.c_str() + colon + 1, &end);
+      CASVM_CHECK(end == pair.c_str() + pair.size(),
+                  "libsvm parse error (bad value) at line " +
+                      std::to_string(lineNo));
+      const std::uint32_t idx = static_cast<std::uint32_t>(rawIdx - 1);
+      CASVM_CHECK(first || idx > prevIdx,
+                  "libsvm parse error (indices not increasing) at line " +
+                      std::to_string(lineNo));
+      first = false;
+      prevIdx = idx;
+      if (value != 0.0f) {
+        colIdx.push_back(idx);
+        values.push_back(value);
+        maxCol = std::max(maxCol, static_cast<std::size_t>(idx) + 1);
+      }
+    }
+    rowPtr.push_back(colIdx.size());
+  }
+
+  std::size_t n = cols;
+  if (n == 0) n = maxCol == 0 ? 1 : maxCol;
+  CASVM_CHECK(n >= maxCol, "explicit cols smaller than max feature index");
+  return Dataset::fromSparse(n, std::move(rowPtr), std::move(colIdx),
+                             std::move(values), std::move(labels));
+}
+
+Dataset readLibsvmFile(const std::string& path, std::size_t cols) {
+  std::ifstream in(path);
+  CASVM_CHECK(in.good(), "cannot open libsvm file: " + path);
+  return readLibsvm(in, cols);
+}
+
+void writeLibsvm(const Dataset& ds, std::ostream& out) {
+  for (std::size_t i = 0; i < ds.rows(); ++i) {
+    out << static_cast<int>(ds.label(i));
+    if (ds.storage() == Storage::Sparse) {
+      const auto idx = ds.sparseIndices(i);
+      const auto val = ds.sparseValues(i);
+      for (std::size_t p = 0; p < idx.size(); ++p) {
+        out << ' ' << (idx[p] + 1) << ':' << val[p];
+      }
+    } else {
+      const auto row = ds.denseRow(i);
+      for (std::size_t k = 0; k < row.size(); ++k) {
+        if (row[k] != 0.0f) out << ' ' << (k + 1) << ':' << row[k];
+      }
+    }
+    out << '\n';
+  }
+}
+
+void writeLibsvmFile(const Dataset& ds, const std::string& path) {
+  std::ofstream out(path);
+  CASVM_CHECK(out.good(), "cannot open file for writing: " + path);
+  writeLibsvm(ds, out);
+  CASVM_CHECK(out.good(), "write failed: " + path);
+}
+
+}  // namespace casvm::data

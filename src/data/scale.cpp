@@ -1,0 +1,145 @@
+#include "casvm/data/scale.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+
+#include "casvm/support/error.hpp"
+
+namespace casvm::data {
+
+Scaler Scaler::fit(const Dataset& train, ScalingKind kind, double lower,
+                   double upper) {
+  CASVM_CHECK(train.rows() > 0, "cannot fit a scaler on an empty dataset");
+  CASVM_CHECK(upper > lower, "target range must be non-empty");
+  const std::size_t n = train.cols();
+  Scaler s;
+  s.kind_ = kind;
+  s.targetLower_ = lower;
+  s.offset_.assign(n, 0.0);
+  s.factor_.assign(n, 1.0);
+
+  // Accumulate per-feature statistics with one densifying pass.
+  std::vector<float> row(n);
+  if (kind == ScalingKind::MinMax) {
+    std::vector<double> lo(n, std::numeric_limits<double>::infinity());
+    std::vector<double> hi(n, -std::numeric_limits<double>::infinity());
+    for (std::size_t i = 0; i < train.rows(); ++i) {
+      train.copyRowDense(i, row);
+      for (std::size_t f = 0; f < n; ++f) {
+        lo[f] = std::min(lo[f], double(row[f]));
+        hi[f] = std::max(hi[f], double(row[f]));
+      }
+    }
+    for (std::size_t f = 0; f < n; ++f) {
+      s.offset_[f] = lo[f];
+      const double span = hi[f] - lo[f];
+      // Constant features map to the lower target bound.
+      s.factor_[f] = span > 0.0 ? (upper - lower) / span : 0.0;
+    }
+  } else {
+    std::vector<double> sum(n, 0.0), sumSq(n, 0.0);
+    for (std::size_t i = 0; i < train.rows(); ++i) {
+      train.copyRowDense(i, row);
+      for (std::size_t f = 0; f < n; ++f) {
+        sum[f] += row[f];
+        sumSq[f] += double(row[f]) * double(row[f]);
+      }
+    }
+    const double m = static_cast<double>(train.rows());
+    for (std::size_t f = 0; f < n; ++f) {
+      const double mean = sum[f] / m;
+      const double var = std::max(0.0, sumSq[f] / m - mean * mean);
+      s.offset_[f] = mean;
+      s.factor_[f] = var > 0.0 ? 1.0 / std::sqrt(var) : 0.0;
+    }
+  }
+  return s;
+}
+
+void Scaler::applyTo(std::span<float> row) const {
+  CASVM_CHECK(row.size() == offset_.size(), "feature count mismatch");
+  for (std::size_t f = 0; f < row.size(); ++f) {
+    double v = (double(row[f]) - offset_[f]) * factor_[f];
+    if (kind_ == ScalingKind::MinMax) v += targetLower_;
+    row[f] = static_cast<float>(v);
+  }
+}
+
+Dataset Scaler::apply(const Dataset& ds) const {
+  CASVM_CHECK(ds.cols() == features(), "feature count mismatch");
+  const std::size_t n = ds.cols();
+
+  if (ds.storage() == Storage::Dense) {
+    std::vector<float> values;
+    values.reserve(ds.rows() * n);
+    std::vector<float> row(n);
+    for (std::size_t i = 0; i < ds.rows(); ++i) {
+      ds.copyRowDense(i, row);
+      applyTo(row);
+      values.insert(values.end(), row.begin(), row.end());
+    }
+    return Dataset::fromDense(n, std::move(values),
+                              std::vector<std::int8_t>(ds.labels()));
+  }
+
+  // Sparse: scale stored entries only (zeros stay zero — the svm-scale
+  // convention, since densifying high-dimensional data is not viable).
+  std::vector<std::size_t> rowPtr{0};
+  std::vector<std::uint32_t> colIdx;
+  std::vector<float> values;
+  for (std::size_t i = 0; i < ds.rows(); ++i) {
+    const auto idx = ds.sparseIndices(i);
+    const auto val = ds.sparseValues(i);
+    for (std::size_t p = 0; p < idx.size(); ++p) {
+      const std::size_t f = idx[p];
+      double v = (double(val[p]) - offset_[f]) * factor_[f];
+      if (kind_ == ScalingKind::MinMax) v += targetLower_;
+      if (v != 0.0) {
+        colIdx.push_back(idx[p]);
+        values.push_back(static_cast<float>(v));
+      }
+    }
+    rowPtr.push_back(colIdx.size());
+  }
+  return Dataset::fromSparse(n, std::move(rowPtr), std::move(colIdx),
+                             std::move(values),
+                             std::vector<std::int8_t>(ds.labels()));
+}
+
+void Scaler::save(const std::string& path) const {
+  std::ofstream out(path);
+  CASVM_CHECK(out.good(), "cannot open scaler file for writing: " + path);
+  out << (kind_ == ScalingKind::MinMax ? "minmax" : "standard") << ' '
+      << targetLower_ << ' ' << features() << '\n';
+  for (std::size_t f = 0; f < features(); ++f) {
+    out << offset_[f] << ' ' << factor_[f] << '\n';
+  }
+  CASVM_CHECK(out.good(), "scaler write failed: " + path);
+}
+
+Scaler Scaler::load(const std::string& path) {
+  std::ifstream in(path);
+  CASVM_CHECK(in.good(), "cannot open scaler file: " + path);
+  std::string kindName;
+  std::size_t n = 0;
+  Scaler s;
+  CASVM_CHECK(static_cast<bool>(in >> kindName >> s.targetLower_ >> n),
+              "scaler parse error: header");
+  if (kindName == "minmax") {
+    s.kind_ = ScalingKind::MinMax;
+  } else if (kindName == "standard") {
+    s.kind_ = ScalingKind::Standard;
+  } else {
+    throw Error("scaler parse error: unknown kind " + kindName);
+  }
+  s.offset_.resize(n);
+  s.factor_.resize(n);
+  for (std::size_t f = 0; f < n; ++f) {
+    CASVM_CHECK(static_cast<bool>(in >> s.offset_[f] >> s.factor_[f]),
+                "scaler parse error: feature " + std::to_string(f));
+  }
+  return s;
+}
+
+}  // namespace casvm::data

@@ -1,0 +1,101 @@
+#include "casvm/kernel/kernel.hpp"
+
+#include <cmath>
+
+#include "casvm/support/error.hpp"
+
+namespace casvm::kernel {
+
+std::string kernelName(KernelType type) {
+  switch (type) {
+    case KernelType::Linear: return "linear";
+    case KernelType::Polynomial: return "polynomial";
+    case KernelType::Gaussian: return "gaussian";
+    case KernelType::Sigmoid: return "sigmoid";
+  }
+  return "unknown";
+}
+
+double Kernel::fromDot(double dot, double selfI, double selfJ) const {
+  switch (params_.type) {
+    case KernelType::Linear:
+      return dot;
+    case KernelType::Polynomial:
+      return std::pow(params_.a * dot + params_.r, params_.degree);
+    case KernelType::Gaussian: {
+      const double d2 = selfI + selfJ - 2.0 * dot;
+      // Guard tiny negative values from floating-point cancellation.
+      return std::exp(-params_.gamma * (d2 > 0.0 ? d2 : 0.0));
+    }
+    case KernelType::Sigmoid:
+      return std::tanh(params_.a * dot + params_.r);
+  }
+  throw Error("unknown kernel type");
+}
+
+double Kernel::eval(const data::Dataset& ds, std::size_t i,
+                    std::size_t j) const {
+  return fromDot(ds.dot(i, j), ds.selfDot(i), ds.selfDot(j));
+}
+
+double Kernel::evalWith(const data::Dataset& ds, std::size_t i,
+                        std::span<const float> x, double xSelfDot) const {
+  return fromDot(ds.dotWith(i, x), ds.selfDot(i), xSelfDot);
+}
+
+double Kernel::evalCross(const data::Dataset& a, std::size_t i,
+                         const data::Dataset& b, std::size_t j) const {
+  CASVM_CHECK(a.cols() == b.cols(), "cross-kernel feature counts differ");
+  double dot = 0.0;
+  if (b.storage() == data::Storage::Dense) {
+    dot = a.dotWith(i, b.denseRow(j));
+  } else if (a.storage() == data::Storage::Dense) {
+    dot = b.dotWith(j, a.denseRow(i));
+  } else {
+    // Sparse x sparse across datasets: merge join.
+    const auto ia = a.sparseIndices(i);
+    const auto va = a.sparseValues(i);
+    const auto ib = b.sparseIndices(j);
+    const auto vb = b.sparseValues(j);
+    std::size_t pa = 0, pb = 0;
+    while (pa < ia.size() && pb < ib.size()) {
+      if (ia[pa] == ib[pb]) {
+        dot += double(va[pa]) * double(vb[pb]);
+        ++pa;
+        ++pb;
+      } else if (ia[pa] < ib[pb]) {
+        ++pa;
+      } else {
+        ++pb;
+      }
+    }
+  }
+  return fromDot(dot, a.selfDot(i), b.selfDot(j));
+}
+
+double Kernel::evalVectors(std::span<const float> x, double xSelfDot,
+                           std::span<const float> z, double zSelfDot) const {
+  CASVM_CHECK(x.size() == z.size(), "vector lengths differ");
+  double dot = 0.0;
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    dot += double(x[k]) * double(z[k]);
+  }
+  return fromDot(dot, xSelfDot, zSelfDot);
+}
+
+void Kernel::row(const data::Dataset& ds, std::size_t i,
+                 std::span<double> out) const {
+  CASVM_CHECK(out.size() == ds.rows(), "kernel row output has wrong length");
+  for (std::size_t j = 0; j < ds.rows(); ++j) out[j] = eval(ds, i, j);
+}
+
+double Kernel::flopsPerEval(const data::Dataset& ds) const {
+  // Dominated by the dot product: ~2 flops per stored nonzero per row pair.
+  const double avgNnzPerRow =
+      ds.rows() == 0 ? 0.0
+                     : static_cast<double>(ds.nonzeros()) /
+                           static_cast<double>(ds.rows());
+  return 2.0 * avgNnzPerRow + 4.0;
+}
+
+}  // namespace casvm::kernel

@@ -1,0 +1,40 @@
+#include "casvm/kernel/row_cache.hpp"
+
+#include <algorithm>
+
+#include "casvm/support/error.hpp"
+
+namespace casvm::kernel {
+
+RowCache::RowCache(const Kernel& kernel, const data::Dataset& ds,
+                   std::size_t budgetBytes)
+    : kernel_(kernel), ds_(ds) {
+  const std::size_t rowBytes = std::max<std::size_t>(1, ds.rows()) * sizeof(double);
+  // Two-slot floor: callers may hold spans to two rows at once (SMO).
+  capacityRows_ = std::max<std::size_t>(2, budgetBytes / rowBytes);
+}
+
+std::span<const double> RowCache::row(std::size_t i) {
+  CASVM_CHECK(i < ds_.rows(), "kernel row out of range");
+  if (auto it = index_.find(i); it != index_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->values;
+  }
+  ++misses_;
+  if (lru_.size() >= capacityRows_) {
+    // Recycle the least-recently-used slot's allocation.
+    auto victim = std::prev(lru_.end());
+    index_.erase(victim->rowIndex);
+    victim->rowIndex = i;
+    kernel_.row(ds_, i, victim->values);
+    lru_.splice(lru_.begin(), lru_, victim);
+  } else {
+    lru_.push_front(Slot{i, std::vector<double>(ds_.rows())});
+    kernel_.row(ds_, i, lru_.front().values);
+  }
+  index_[i] = lru_.begin();
+  return lru_.front().values;
+}
+
+}  // namespace casvm::kernel

@@ -1,0 +1,29 @@
+#include "casvm/net/clock.hpp"
+
+#include "casvm/support/error.hpp"
+#include "casvm/support/timer.hpp"
+
+namespace casvm::net {
+
+void VirtualClock::start() {
+  lastCpuSample_ = threadCpuSeconds();
+  started_ = true;
+}
+
+void VirtualClock::sampleCompute() {
+  CASVM_ASSERT(started_, "VirtualClock used before start()");
+  const double cpu = threadCpuSeconds();
+  computeSeconds_ += cpu - lastCpuSample_;
+  lastCpuSample_ = cpu;
+}
+
+void VirtualClock::addComm(double seconds) { commSeconds_ += seconds; }
+
+void VirtualClock::addCompute(double seconds) { computeSeconds_ += seconds; }
+
+void VirtualClock::advanceTo(double t) {
+  const double current = now();
+  if (t > current) skew_ += t - current;
+}
+
+}  // namespace casvm::net

@@ -1,0 +1,233 @@
+#include "casvm/net/comm.hpp"
+
+#include <algorithm>
+
+namespace casvm::net {
+
+namespace {
+// World abort state lives outside World so Mailbox stays self-contained;
+// each World instance owns one flag.
+}  // namespace
+
+World::World(int size, CostModel cost)
+    : size_(size), cost_(cost), traffic_(size),
+      mailboxes_(static_cast<std::size_t>(size)) {
+  CASVM_CHECK(size > 0, "world needs at least one rank");
+}
+
+Mailbox& World::mailbox(int rank) {
+  CASVM_ASSERT(rank >= 0 && rank < size_, "rank out of range");
+  return mailboxes_[static_cast<std::size_t>(rank)];
+}
+
+void World::abortAll() {
+  for (auto& mb : mailboxes_) mb.abort();
+}
+
+bool World::aborted() const { return false; }
+
+void Comm::sendRaw(int dst, int tag, const void* data, std::size_t bytes) {
+  CASVM_CHECK(dst >= 0 && dst < size(), "send: bad destination rank");
+  CASVM_CHECK(dst != rank_, "send: self-messaging is not allowed");
+  const int worldDst = toWorld(dst);
+  const int worldSrc = worldRank();
+
+  // Fold the compute since the last comm call into the clock, then charge
+  // the transfer; the message carries its modeled arrival time.
+  clock_->sampleCompute();
+  clock_->addComm(world_->cost().messageSeconds(static_cast<double>(bytes)));
+
+  Message msg;
+  msg.payload.resize(bytes);
+  if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
+  msg.arrivalVirtualTime = clock_->now();
+
+  world_->traffic().record(worldSrc, worldDst, bytes);
+  world_->mailbox(worldDst).put(worldSrc, contextTag(tag), std::move(msg));
+}
+
+Message Comm::recvRaw(int src, int tag) {
+  CASVM_CHECK(src >= 0 && src < size(), "recv: bad source rank");
+  CASVM_CHECK(src != rank_, "recv: self-messaging is not allowed");
+  clock_->sampleCompute();
+  Message msg =
+      world_->mailbox(worldRank()).take(toWorld(src), contextTag(tag));
+  // If the sender finished later than our local virtual now, we were
+  // waiting: advance to the arrival time (the wait shows up as comm time).
+  clock_->advanceTo(msg.arrivalVirtualTime);
+  return msg;
+}
+
+void Comm::sendBytes(int dst, int tag, const void* data, std::size_t bytes) {
+  CASVM_CHECK(tag >= 0 && tag < kUserTagLimit, "user tag out of range");
+  sendRaw(dst, tag, data, bytes);
+}
+
+std::vector<std::byte> Comm::recvBytes(int src, int tag) {
+  CASVM_CHECK(tag >= 0 && tag < kUserTagLimit, "user tag out of range");
+  return recvRaw(src, tag).payload;
+}
+
+void Comm::barrier() {
+  // Reduce a token to rank 0, then broadcast it back: 2 log P rounds whose
+  // timestamps drag every rank up to the global maximum virtual time.
+  unsigned char token = 0;
+  token = reduce(token, [](unsigned char a, unsigned char) { return a; }, 0);
+  bcastBytes(&token, sizeof(token), 0, tagBarrier);
+}
+
+void Comm::instrumentationFence(const std::function<void()>& atRoot) {
+  // Centralized two-phase barrier over the raw mailboxes: no traffic
+  // recording, no clock charges. While rank 0 runs `atRoot`, every other
+  // rank is parked waiting for its release token and all messages sent
+  // before the fence have already been recorded by their senders.
+  const int members = size();
+  const int rootWorld = toWorld(0);
+  const int fenceTag = contextTag(tagFence);
+  if (rank_ == 0) {
+    for (int r = 1; r < members; ++r) {
+      (void)world_->mailbox(rootWorld).take(toWorld(r), fenceTag);
+    }
+    if (atRoot) atRoot();
+    for (int r = 1; r < members; ++r) {
+      world_->mailbox(toWorld(r)).put(rootWorld, fenceTag, Message{});
+    }
+  } else {
+    world_->mailbox(rootWorld).put(worldRank(), fenceTag, Message{});
+    (void)world_->mailbox(worldRank()).take(rootWorld, fenceTag);
+  }
+}
+
+Comm Comm::split(int color, int key) {
+  // Everyone learns everyone's (color, key) through the parent.
+  struct Entry {
+    int color;
+    int key;
+    int localRank;
+  };
+  const std::vector<Entry> all = allgather(Entry{color, key, rank_});
+
+  // My group: same color, ordered by (key, old rank).
+  std::vector<Entry> members;
+  for (const Entry& e : all) {
+    if (e.color == color) members.push_back(e);
+  }
+  std::sort(members.begin(), members.end(), [](const Entry& a, const Entry& b) {
+    return a.key != b.key ? a.key < b.key : a.localRank < b.localRank;
+  });
+
+  std::vector<int> group;
+  group.reserve(members.size());
+  int myLocal = -1;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    group.push_back(toWorld(members[i].localRank));
+    if (members[i].localRank == rank_) myLocal = static_cast<int>(i);
+  }
+  CASVM_ASSERT(myLocal >= 0, "split: caller missing from its own group");
+
+  // Deterministic context allocation: every rank of this communicator
+  // executes the same split sequence, so the counters agree. Sibling
+  // groups of one split call can share a context (their rank sets are
+  // disjoint, so no mailbox key can collide).
+  ++childContexts_;
+  CASVM_CHECK(childContexts_ < 16, "too many splits of one communicator");
+  const int childContext = context_ * 16 + childContexts_;
+  CASVM_CHECK(childContext <= kMaxContext,
+              "communicator nesting too deep (context budget exhausted)");
+
+  return Comm(world_, myLocal, clock_, std::move(group), childContext);
+}
+
+void Comm::bcastBytes(void* data, std::size_t bytes, int root, int tag) {
+  const int size = this->size();
+  CASVM_CHECK(root >= 0 && root < size, "bcast: bad root");
+  if (size == 1) return;
+  const int vrank = (rank_ - root + size) % size;
+
+  int mask = 1;
+  while (mask < size) {
+    if (vrank & mask) {
+      const int peer = ((vrank - mask) + root) % size;
+      Message msg = recvRaw(peer, tag);
+      CASVM_CHECK(msg.payload.size() == bytes, "bcast: size mismatch");
+      if (bytes > 0) std::memcpy(data, msg.payload.data(), bytes);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < size) {
+      const int peer = (vrank + mask + root) % size;
+      sendRaw(peer, tag, data, bytes);
+    }
+    mask >>= 1;
+  }
+}
+
+std::vector<std::vector<std::byte>> Comm::alltoallvBytes(
+    std::vector<std::vector<std::byte>> sendParts) {
+  const int size = this->size();
+  CASVM_CHECK(sendParts.size() == static_cast<std::size_t>(size),
+              "alltoallv: one part per rank required");
+  std::vector<std::vector<std::byte>> received(
+      static_cast<std::size_t>(size));
+  for (int dst = 0; dst < size; ++dst) {
+    if (dst == rank_) continue;
+    const auto& part = sendParts[static_cast<std::size_t>(dst)];
+    sendRaw(dst, tagAlltoall, part.data(), part.size());
+  }
+  received[static_cast<std::size_t>(rank_)] =
+      std::move(sendParts[static_cast<std::size_t>(rank_)]);
+  for (int src = 0; src < size; ++src) {
+    if (src == rank_) continue;
+    received[static_cast<std::size_t>(src)] =
+        recvRaw(src, tagAlltoall).payload;
+  }
+  return received;
+}
+
+Comm::ValIdx Comm::allreduceMinloc(double value, long long index) {
+  return allreduce(ValIdx{value, index}, [](ValIdx a, ValIdx b) {
+    if (a.value < b.value) return a;
+    if (b.value < a.value) return b;
+    return a.index <= b.index ? a : b;
+  });
+}
+
+Comm::ValIdx Comm::allreduceMaxloc(double value, long long index) {
+  return allreduce(ValIdx{value, index}, [](ValIdx a, ValIdx b) {
+    if (a.value > b.value) return a;
+    if (b.value > a.value) return b;
+    return a.index <= b.index ? a : b;
+  });
+}
+
+double RunStats::virtualSeconds() const {
+  double worst = 0.0;
+  for (int r = 0; r < size; ++r) {
+    worst = std::max(worst, computeSeconds[static_cast<std::size_t>(r)] +
+                                commSeconds[static_cast<std::size_t>(r)]);
+  }
+  return worst;
+}
+
+double RunStats::maxComputeSeconds() const {
+  double worst = 0.0;
+  for (double c : computeSeconds) worst = std::max(worst, c);
+  return worst;
+}
+
+double RunStats::maxCommSeconds() const {
+  double worst = 0.0;
+  for (double c : commSeconds) worst = std::max(worst, c);
+  return worst;
+}
+
+double RunStats::totalComputeSeconds() const {
+  double total = 0.0;
+  for (double c : computeSeconds) total += c;
+  return total;
+}
+
+}  // namespace casvm::net

@@ -1,0 +1,71 @@
+#include <atomic>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "casvm/net/comm.hpp"
+#include "casvm/support/log.hpp"
+#include "casvm/support/timer.hpp"
+
+namespace casvm::net {
+
+Engine::Engine(int size, CostModel cost) : size_(size), cost_(cost) {
+  CASVM_CHECK(size > 0, "engine needs at least one rank");
+}
+
+RunStats Engine::run(const std::function<void(Comm&)>& fn) {
+  World world(size_, cost_);
+  std::vector<VirtualClock> clocks(static_cast<std::size_t>(size_));
+  std::vector<std::optional<std::string>> errors(
+      static_cast<std::size_t>(size_));
+  std::atomic<bool> failed{false};
+
+  WallTimer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([&, r] {
+      VirtualClock& clock = clocks[static_cast<std::size_t>(r)];
+      clock.start();
+      Comm comm(&world, r, &clock);
+      try {
+        fn(comm);
+        clock.sampleCompute();
+      } catch (const std::exception& e) {
+        errors[static_cast<std::size_t>(r)] = e.what();
+        failed = true;
+        world.abortAll();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  if (failed) {
+    // Prefer a root-cause message over the cascaded "run aborted" ones.
+    std::string best;
+    for (int r = 0; r < size_; ++r) {
+      const auto& err = errors[static_cast<std::size_t>(r)];
+      if (!err) continue;
+      const bool cascade = err->find("run aborted") != std::string::npos;
+      if (best.empty() || !cascade) {
+        best = "rank " + std::to_string(r) + ": " + *err;
+        if (!cascade) break;
+      }
+    }
+    throw Error("engine run failed: " + best);
+  }
+
+  RunStats stats;
+  stats.size = size_;
+  stats.wallSeconds = wall.seconds();
+  stats.computeSeconds.reserve(static_cast<std::size_t>(size_));
+  stats.commSeconds.reserve(static_cast<std::size_t>(size_));
+  for (const auto& clock : clocks) {
+    stats.computeSeconds.push_back(clock.computeSeconds());
+    stats.commSeconds.push_back(clock.commSeconds());
+  }
+  stats.traffic = world.traffic().snapshot();
+  return stats;
+}
+
+}  // namespace casvm::net

@@ -1,0 +1,55 @@
+#include "casvm/net/mailbox.hpp"
+
+#include "casvm/support/error.hpp"
+
+namespace casvm::net {
+
+Mailbox::Key Mailbox::key(int src, int tag) {
+  CASVM_ASSERT(src >= 0 && tag >= 0, "negative src/tag");
+  return (static_cast<Key>(static_cast<std::uint32_t>(src)) << 32) |
+         static_cast<std::uint32_t>(tag);
+}
+
+void Mailbox::put(int src, int tag, Message msg) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queues_[key(src, tag)].push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::take(int src, int tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const Key k = key(src, tag);
+  cv_.wait(lock, [&] {
+    if (aborted_) return true;
+    auto it = queues_.find(k);
+    return it != queues_.end() && !it->second.empty();
+  });
+  auto it = queues_.find(k);
+  if (it == queues_.end() || it->second.empty()) {
+    CASVM_ASSERT(aborted_, "spurious wake without message");
+    throw Error("casvm::net run aborted while waiting for a message");
+  }
+  Message msg = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) queues_.erase(it);
+  return msg;
+}
+
+void Mailbox::abort() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    aborted_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [k, q] : queues_) total += q.size();
+  return total;
+}
+
+}  // namespace casvm::net

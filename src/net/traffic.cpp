@@ -1,0 +1,115 @@
+#include "casvm/net/traffic.hpp"
+
+#include <sstream>
+
+#include "casvm/support/error.hpp"
+#include "casvm/support/table.hpp"
+
+namespace casvm::net {
+
+std::size_t TrafficSnapshot::bytesBetween(int src, int dst) const {
+  CASVM_CHECK(src >= 0 && src < size && dst >= 0 && dst < size,
+              "rank out of range");
+  return bytes[static_cast<std::size_t>(src) * size + dst];
+}
+
+std::size_t TrafficSnapshot::opsBetween(int src, int dst) const {
+  CASVM_CHECK(src >= 0 && src < size && dst >= 0 && dst < size,
+              "rank out of range");
+  return ops[static_cast<std::size_t>(src) * size + dst];
+}
+
+std::size_t TrafficSnapshot::totalBytes() const {
+  std::size_t total = 0;
+  for (std::size_t b : bytes) total += b;
+  return total;
+}
+
+std::size_t TrafficSnapshot::totalOps() const {
+  std::size_t total = 0;
+  for (std::size_t o : ops) total += o;
+  return total;
+}
+
+std::size_t TrafficSnapshot::bytesTouching(int rank) const {
+  std::size_t total = 0;
+  for (int other = 0; other < size; ++other) {
+    total += bytesBetween(rank, other);
+    total += bytesBetween(other, rank);
+  }
+  return total;
+}
+
+double TrafficSnapshot::bytesPerOp() const {
+  const std::size_t o = totalOps();
+  return o == 0 ? 0.0 : static_cast<double>(totalBytes()) / o;
+}
+
+std::string TrafficSnapshot::heatmap() const {
+  std::vector<std::string> headers{"src\\dst"};
+  for (int dst = 0; dst < size; ++dst) headers.push_back(std::to_string(dst));
+  TablePrinter table(std::move(headers));
+  for (int src = 0; src < size; ++src) {
+    std::vector<std::string> row{std::to_string(src)};
+    for (int dst = 0; dst < size; ++dst) {
+      row.push_back(TablePrinter::fmtBytes(
+          static_cast<double>(bytesBetween(src, dst))));
+    }
+    table.addRow(std::move(row));
+  }
+  return table.render();
+}
+
+TrafficSnapshot TrafficSnapshot::since(const TrafficSnapshot& earlier) const {
+  CASVM_CHECK(size == earlier.size, "snapshot sizes differ");
+  TrafficSnapshot out;
+  out.size = size;
+  out.bytes.resize(bytes.size());
+  out.ops.resize(ops.size());
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    CASVM_ASSERT(bytes[i] >= earlier.bytes[i] && ops[i] >= earlier.ops[i],
+                 "snapshot is not later than `earlier`");
+    out.bytes[i] = bytes[i] - earlier.bytes[i];
+    out.ops[i] = ops[i] - earlier.ops[i];
+  }
+  return out;
+}
+
+TrafficMatrix::TrafficMatrix(int size) : size_(size) {
+  CASVM_CHECK(size > 0, "traffic matrix needs at least one rank");
+  const std::size_t cells = static_cast<std::size_t>(size) * size;
+  bytes_ = std::make_unique<std::atomic<std::size_t>[]>(cells);
+  ops_ = std::make_unique<std::atomic<std::size_t>[]>(cells);
+  reset();
+}
+
+void TrafficMatrix::record(int src, int dst, std::size_t bytes) {
+  CASVM_ASSERT(src >= 0 && src < size_ && dst >= 0 && dst < size_,
+               "rank out of range");
+  const std::size_t idx = static_cast<std::size_t>(src) * size_ + dst;
+  bytes_[idx].fetch_add(bytes, std::memory_order_relaxed);
+  ops_[idx].fetch_add(1, std::memory_order_relaxed);
+}
+
+void TrafficMatrix::reset() {
+  const std::size_t cells = static_cast<std::size_t>(size_) * size_;
+  for (std::size_t i = 0; i < cells; ++i) {
+    bytes_[i].store(0, std::memory_order_relaxed);
+    ops_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+TrafficSnapshot TrafficMatrix::snapshot() const {
+  TrafficSnapshot snap;
+  snap.size = size_;
+  const std::size_t cells = static_cast<std::size_t>(size_) * size_;
+  snap.bytes.resize(cells);
+  snap.ops.resize(cells);
+  for (std::size_t i = 0; i < cells; ++i) {
+    snap.bytes[i] = bytes_[i].load(std::memory_order_relaxed);
+    snap.ops[i] = ops_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+}  // namespace casvm::net

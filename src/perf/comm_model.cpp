@@ -1,0 +1,56 @@
+#include "casvm/perf/comm_model.hpp"
+
+#include "casvm/support/error.hpp"
+
+namespace casvm::perf {
+
+double predictedCommBytes(core::Method method, const CommModelParams& q) {
+  const double m = static_cast<double>(q.m);
+  const double n = static_cast<double>(q.n);
+  const double s = static_cast<double>(q.s);
+  const double I = static_cast<double>(q.I);
+  const double k = static_cast<double>(q.k);
+  const double p = static_cast<double>(q.p);
+  constexpr double w = 4.0;  // bytes per word, as in the paper's example
+
+  switch (method) {
+    case core::Method::DisSmo:
+      // Theta(26Ip + 2pm + 4mn)
+      return w * (26.0 * I * p + 2.0 * p * m + 4.0 * m * n);
+    case core::Method::Cascade:
+      // O(3mn + 3m + 3sn)
+      return w * (3.0 * m * n + 3.0 * m + 3.0 * s * n);
+    case core::Method::DcSvm:
+      // Theta(9mn + 12m + 2kpn)
+      return w * (9.0 * m * n + 12.0 * m + 2.0 * k * p * n);
+    case core::Method::DcFilter:
+      // O(6mn + 7m + 3sn + 2kpn)
+      return w * (6.0 * m * n + 7.0 * m + 3.0 * s * n + 2.0 * k * p * n);
+    case core::Method::CpSvm:
+      // Theta(6mn + 7m + 2kpn)
+      return w * (6.0 * m * n + 7.0 * m + 2.0 * k * p * n);
+    case core::Method::BkmCa:
+    case core::Method::FcfsCa:
+      // Partitioning-only traffic, same order as CP-SVM's K-means part.
+      return w * (3.0 * m * n + 3.0 * m + 2.0 * k * p * n);
+    case core::Method::RaCa:
+      return 0.0;
+  }
+  throw Error("unknown method");
+}
+
+const char* commFormula(core::Method method) {
+  switch (method) {
+    case core::Method::DisSmo: return "Theta(26Ip + 2pm + 4mn)";
+    case core::Method::Cascade: return "O(3mn + 3m + 3sn)";
+    case core::Method::DcSvm: return "Theta(9mn + 12m + 2kpn)";
+    case core::Method::DcFilter: return "O(6mn + 7m + 3sn + 2kpn)";
+    case core::Method::CpSvm: return "Theta(6mn + 7m + 2kpn)";
+    case core::Method::BkmCa: return "O(3mn + 3m + 2kpn)";
+    case core::Method::FcfsCa: return "O(3mn + 3m + 2kpn)";
+    case core::Method::RaCa: return "0";
+  }
+  throw Error("unknown method");
+}
+
+}  // namespace casvm::perf

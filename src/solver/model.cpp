@@ -1,0 +1,105 @@
+#include "casvm/solver/model.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "casvm/support/error.hpp"
+
+namespace casvm::solver {
+
+Model::Model(kernel::KernelParams params, data::Dataset supportVectors,
+             std::vector<double> alphaY, double bias)
+    : params_(params), svs_(std::move(supportVectors)),
+      alphaY_(std::move(alphaY)), bias_(bias) {
+  CASVM_CHECK(svs_.rows() == alphaY_.size(),
+              "one coefficient per support vector required");
+}
+
+double Model::decision(std::span<const float> x) const {
+  const kernel::Kernel k(params_);
+  double xSelf = 0.0;
+  for (float v : x) xSelf += double(v) * double(v);
+  double acc = bias_;
+  for (std::size_t i = 0; i < svs_.rows(); ++i) {
+    acc += alphaY_[i] * k.evalWith(svs_, i, x, xSelf);
+  }
+  return acc;
+}
+
+double Model::decisionFor(const data::Dataset& ds, std::size_t i) const {
+  const kernel::Kernel k(params_);
+  double acc = bias_;
+  for (std::size_t s = 0; s < svs_.rows(); ++s) {
+    acc += alphaY_[s] * k.evalCross(svs_, s, ds, i);
+  }
+  return acc;
+}
+
+double Model::accuracy(const data::Dataset& testSet) const {
+  CASVM_CHECK(testSet.rows() > 0, "empty test set");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < testSet.rows(); ++i) {
+    correct += (predictFor(testSet, i) == testSet.label(i));
+  }
+  return static_cast<double>(correct) / static_cast<double>(testSet.rows());
+}
+
+std::vector<std::byte> Model::pack() const {
+  const std::vector<std::byte> svBytes = svs_.packAll();
+  std::vector<std::byte> out;
+  out.reserve(sizeof(params_) + sizeof(bias_) + sizeof(std::uint64_t) +
+              alphaY_.size() * sizeof(double) + svBytes.size());
+  auto append = [&out](const void* data, std::size_t bytes) {
+    const std::size_t off = out.size();
+    out.resize(off + bytes);
+    std::memcpy(out.data() + off, data, bytes);
+  };
+  append(&params_, sizeof(params_));
+  append(&bias_, sizeof(bias_));
+  const std::uint64_t count = alphaY_.size();
+  append(&count, sizeof(count));
+  append(alphaY_.data(), alphaY_.size() * sizeof(double));
+  append(svBytes.data(), svBytes.size());
+  return out;
+}
+
+Model Model::unpack(std::span<const std::byte> bytes) {
+  auto read = [&bytes](void* data, std::size_t count) {
+    CASVM_CHECK(bytes.size() >= count, "model unpack: truncated");
+    std::memcpy(data, bytes.data(), count);
+    bytes = bytes.subspan(count);
+  };
+  Model m;
+  read(&m.params_, sizeof(m.params_));
+  read(&m.bias_, sizeof(m.bias_));
+  std::uint64_t count = 0;
+  read(&count, sizeof(count));
+  m.alphaY_.resize(count);
+  read(m.alphaY_.data(), count * sizeof(double));
+  m.svs_ = data::Dataset::unpack(bytes);
+  CASVM_CHECK(m.svs_.rows() == m.alphaY_.size(),
+              "model unpack: SV/coefficient count mismatch");
+  return m;
+}
+
+void Model::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  CASVM_CHECK(out.good(), "cannot open model file for writing: " + path);
+  const std::vector<std::byte> bytes = pack();
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  CASVM_CHECK(out.good(), "model write failed: " + path);
+}
+
+Model Model::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  CASVM_CHECK(in.good(), "cannot open model file: " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  CASVM_CHECK(in.good(), "model read failed: " + path);
+  return unpack(bytes);
+}
+
+}  // namespace casvm::solver

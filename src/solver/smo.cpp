@@ -1,0 +1,297 @@
+#include "casvm/solver/smo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "casvm/kernel/row_cache.hpp"
+#include "casvm/support/error.hpp"
+#include "casvm/support/timer.hpp"
+
+namespace casvm::solver {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kEtaFloor = 1e-12;
+
+/// Relative slack treating alphas within eps of a box bound as *at* the
+/// bound. Without this, an alpha at C - 1e-17 keeps its sample in the high
+/// set while leaving the two-variable step no room to move, and the solver
+/// spins on an unmovable pair.
+constexpr double kBoundSlack = 1e-10;
+
+/// Membership in the high set: can f_i still decrease the upper threshold?
+inline bool inHighSet(std::int8_t y, double alpha, double ci, double eps) {
+  return (y == 1 && alpha < ci - eps) || (y == -1 && alpha > eps);
+}
+
+/// Membership in the low set: mirror condition for the lower threshold.
+inline bool inLowSet(std::int8_t y, double alpha, double ci, double eps) {
+  return (y == 1 && alpha > eps) || (y == -1 && alpha < ci - eps);
+}
+
+}  // namespace
+
+SmoSolver::SmoSolver(SolverOptions options) : options_(options) {
+  CASVM_CHECK(options_.C > 0.0, "C must be positive");
+  CASVM_CHECK(options_.tolerance > 0.0, "tolerance must be positive");
+  CASVM_CHECK(options_.positiveWeight > 0.0 && options_.negativeWeight > 0.0,
+              "class weights must be positive");
+  CASVM_CHECK(options_.shrinkInterval > 0, "shrink interval must be positive");
+}
+
+SolverResult SmoSolver::solve(const data::Dataset& ds,
+                              std::span<const double> initialAlpha) const {
+  const std::size_t m = ds.rows();
+  CASVM_CHECK(m >= 2, "SMO needs at least two samples");
+  CASVM_CHECK(initialAlpha.empty() || initialAlpha.size() == m,
+              "initial alpha must match sample count");
+  // A single-class subproblem cannot satisfy the equality constraint with a
+  // separating solution; callers partitioning data must guard against it.
+  CASVM_CHECK(ds.positives() > 0 && ds.negatives() > 0,
+              "SMO needs samples of both classes");
+
+  WallTimer timer;
+  const double cPos = options_.C * options_.positiveWeight;
+  const double cNeg = options_.C * options_.negativeWeight;
+  const double boundEps = kBoundSlack * std::max(cPos, cNeg);
+  const double tau = options_.tolerance;
+  const kernel::Kernel kern(options_.kernel);
+  kernel::RowCache cache(kern, ds, options_.cacheBytes);
+
+  auto boxOf = [&](std::size_t i) {
+    return ds.label(i) == 1 ? cPos : cNeg;
+  };
+
+  std::vector<double> alpha(m, 0.0);
+  std::vector<double> f(m);
+
+  if (initialAlpha.empty()) {
+    // f_i = -y_i when alpha == 0 (eqn. 4).
+    for (std::size_t i = 0; i < m; ++i) f[i] = -double(ds.label(i));
+  } else {
+    for (std::size_t i = 0; i < m; ++i) {
+      alpha[i] = std::clamp(initialAlpha[i], 0.0, boxOf(i));
+    }
+    // Full gradient reconstruction: one kernel row per nonzero alpha.
+    for (std::size_t i = 0; i < m; ++i) f[i] = -double(ds.label(i));
+    for (std::size_t j = 0; j < m; ++j) {
+      if (alpha[j] == 0.0) continue;
+      const double coef = alpha[j] * double(ds.label(j));
+      const std::span<const double> kj = cache.row(j);
+      for (std::size_t i = 0; i < m; ++i) f[i] += coef * kj[i];
+    }
+  }
+
+  const std::size_t maxIters =
+      options_.maxIterations > 0 ? options_.maxIterations : 100 * m + 10000;
+
+  // Active working set: all samples initially; shrinking trims it.
+  std::vector<std::size_t> active(m);
+  std::iota(active.begin(), active.end(), 0);
+  bool everShrunk = false;
+
+  // Rebuild f entries of shrunk-out samples from the nonzero alphas, then
+  // reactivate everything. Called before convergence can be declared.
+  auto unshrink = [&] {
+    if (active.size() == m) return;
+    std::vector<bool> isActive(m, false);
+    for (std::size_t i : active) isActive[i] = true;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!isActive[i]) f[i] = -double(ds.label(i));
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      if (alpha[j] == 0.0) continue;
+      const double coef = alpha[j] * double(ds.label(j));
+      const std::span<const double> kj = cache.row(j);
+      for (std::size_t i = 0; i < m; ++i) {
+        if (!isActive[i]) f[i] += coef * kj[i];
+      }
+    }
+    active.resize(m);
+    std::iota(active.begin(), active.end(), 0);
+  };
+
+  std::size_t iter = 0;
+  bool converged = false;
+  double bHigh = 0.0, bLow = 0.0;
+
+  for (; iter < maxIters; ++iter) {
+    // Working-set selection: the maximal violating pair over the active set.
+    std::size_t iHigh = m, iLow = m;
+    bHigh = kInf;
+    bLow = -kInf;
+    for (std::size_t i : active) {
+      const std::int8_t y = ds.label(i);
+      const double a = alpha[i];
+      const double ci = boxOf(i);
+      if (inHighSet(y, a, ci, boundEps) && f[i] < bHigh) {
+        bHigh = f[i];
+        iHigh = i;
+      }
+      if (inLowSet(y, a, ci, boundEps) && f[i] > bLow) {
+        bLow = f[i];
+        iLow = i;
+      }
+    }
+
+    if (iHigh == m || iLow == m || bLow <= bHigh + 2.0 * tau) {
+      // Converged over the active set. If anything was shrunk away, bring
+      // it back and re-check against the full problem before declaring
+      // victory (the shrink rules are heuristics).
+      if (everShrunk && active.size() < m) {
+        unshrink();
+        everShrunk = false;  // one reconstruction per convergence attempt
+        continue;
+      }
+      converged = true;
+      break;
+    }
+
+    const std::span<const double> rowHigh = cache.row(iHigh);
+
+    if (options_.selection == Selection::SecondOrder) {
+      // Re-pick iLow to maximize the guaranteed objective decrease
+      // (b_high - f_j)^2 / eta_j among violating candidates.
+      double bestGain = -kInf;
+      std::size_t bestJ = m;
+      for (std::size_t j : active) {
+        if (!inLowSet(ds.label(j), alpha[j], boxOf(j), boundEps)) continue;
+        const double diff = f[j] - bHigh;
+        if (diff <= 2.0 * tau) continue;
+        double eta = rowHigh[iHigh] + kern.eval(ds, j, j) - 2.0 * rowHigh[j];
+        if (eta < kEtaFloor) eta = kEtaFloor;
+        const double gain = diff * diff / eta;
+        if (gain > bestGain) {
+          bestGain = gain;
+          bestJ = j;
+        }
+      }
+      if (bestJ < m) iLow = bestJ;
+    }
+
+    const std::span<const double> rowLow = cache.row(iLow);
+
+    const std::int8_t yHigh = ds.label(iHigh);
+    const std::int8_t yLow = ds.label(iLow);
+    const double cHigh = boxOf(iHigh);
+    const double cLow = boxOf(iLow);
+    const double fHigh = f[iHigh];
+    const double fLow = f[iLow];
+
+    // Two-variable analytic step (eqns. 6-7), clipped to the per-class box.
+    double eta = rowHigh[iHigh] + rowLow[iLow] - 2.0 * rowHigh[iLow];
+    if (eta < kEtaFloor) eta = kEtaFloor;
+
+    const double s = double(yHigh) * double(yLow);
+    const double aHighOld = alpha[iHigh];
+    const double aLowOld = alpha[iLow];
+
+    double low, high;  // feasible range for the new alpha[iLow]
+    if (s < 0.0) {
+      low = std::max(0.0, aLowOld - aHighOld);
+      high = std::min(cLow, cHigh + aLowOld - aHighOld);
+    } else {
+      low = std::max(0.0, aHighOld + aLowOld - cHigh);
+      high = std::min(cLow, aHighOld + aLowOld);
+    }
+
+    double aLowNew = aLowOld + double(yLow) * (fHigh - fLow) / eta;
+    aLowNew = std::clamp(aLowNew, low, high);
+    const double dLow = aLowNew - aLowOld;
+    if (std::abs(dLow) < 1e-14) {
+      // Degenerate step: the maximal violating pair is pinned at the box
+      // and cannot move. With bound-slack set membership this should not
+      // occur; bail out without claiming convergence.
+      break;
+    }
+    const double dHigh = -s * dLow;
+    double aHighNew = aHighOld + dHigh;
+    // Snap to the box against accumulated floating-point drift so bound
+    // membership stays crisp.
+    if (aLowNew < boundEps) aLowNew = 0.0;
+    if (aLowNew > cLow - boundEps) aLowNew = cLow;
+    if (aHighNew < boundEps) aHighNew = 0.0;
+    if (aHighNew > cHigh - boundEps) aHighNew = cHigh;
+    alpha[iLow] = aLowNew;
+    alpha[iHigh] = aHighNew;
+
+    // Gradient update with the two cached rows (eqn. 5), active rows only.
+    const double coefHigh = dHigh * double(yHigh);
+    const double coefLow = dLow * double(yLow);
+    for (std::size_t k : active) {
+      f[k] += coefHigh * rowHigh[k] + coefLow * rowLow[k];
+    }
+
+    // Periodic shrink pass: drop bound-pinned samples whose gradient keeps
+    // them out of contention for either threshold.
+    if (options_.shrinking && (iter + 1) % options_.shrinkInterval == 0 &&
+        bLow > bHigh + 2.0 * tau) {
+      const auto keep = [&](std::size_t i) {
+        const std::int8_t y = ds.label(i);
+        const double a = alpha[i];
+        const double ci = boxOf(i);
+        if (a <= boundEps) {
+          // Lower bound: only ever a high candidate (y=+1) / low (y=-1).
+          if (y == 1 && f[i] > bLow + tau) return false;
+          if (y == -1 && f[i] < bHigh - tau) return false;
+        } else if (a >= ci - boundEps) {
+          // Upper bound: only ever a low candidate (y=+1) / high (y=-1).
+          if (y == 1 && f[i] < bHigh - tau) return false;
+          if (y == -1 && f[i] > bLow + tau) return false;
+        }
+        return true;
+      };
+      std::vector<std::size_t> stillActive;
+      stillActive.reserve(active.size());
+      for (std::size_t i : active) {
+        if (keep(i)) stillActive.push_back(i);
+      }
+      // Never shrink below a workable core.
+      if (stillActive.size() >= 2 && stillActive.size() < active.size()) {
+        active = std::move(stillActive);
+        everShrunk = true;
+      }
+    }
+  }
+
+  if (!converged && everShrunk) unshrink();
+
+  // Bias from the two thresholds at the solution.
+  const double bias = -(bHigh + bLow) / 2.0;
+
+  // Dual objective: F = sum a_i - 1/2 sum_i a_i y_i (f_i + y_i).
+  // (With shrinking, f of inactive rows was reconstructed above whenever
+  // the run ended; the identity holds for the full vector.)
+  double objective = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    objective += alpha[i] - 0.5 * alpha[i] * double(ds.label(i)) *
+                                (f[i] + double(ds.label(i)));
+  }
+
+  // Extract the support vectors.
+  std::vector<std::size_t> svIdx;
+  std::vector<double> alphaY;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (alpha[i] > 0.0) {
+      svIdx.push_back(i);
+      alphaY.push_back(alpha[i] * double(ds.label(i)));
+    }
+  }
+
+  SolverResult result;
+  result.model =
+      Model(options_.kernel, ds.subset(svIdx), std::move(alphaY), bias);
+  result.alpha = std::move(alpha);
+  result.iterations = iter;
+  result.converged = converged;
+  result.objective = objective;
+  result.seconds = timer.seconds();
+  result.kernelRowsComputed = cache.misses();
+  result.kernelRowHits = cache.hits();
+  return result;
+}
+
+}  // namespace casvm::solver

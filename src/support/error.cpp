@@ -1,0 +1,15 @@
+#include "casvm/support/error.hpp"
+
+#include <sstream>
+
+namespace casvm::detail {
+
+void throwError(const char* file, int line, const char* expr,
+                const std::string& msg) {
+  std::ostringstream os;
+  os << "casvm error: " << msg << " [" << expr << " at " << file << ":" << line
+     << "]";
+  throw Error(os.str());
+}
+
+}  // namespace casvm::detail

@@ -1,0 +1,36 @@
+#include "casvm/support/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace casvm {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+std::mutex g_logMutex;
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level = static_cast<int>(level); }
+
+LogLevel logLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+namespace detail {
+void logMessage(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_logMutex);
+  std::cerr << "[casvm " << levelName(level) << "] " << msg << '\n';
+}
+}  // namespace detail
+
+}  // namespace casvm

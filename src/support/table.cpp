@@ -1,0 +1,94 @@
+#include "casvm/support/table.hpp"
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "casvm/support/error.hpp"
+
+namespace casvm {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  CASVM_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void TablePrinter::addRow(std::vector<std::string> cells) {
+  CASVM_CHECK(cells.size() == headers_.size(),
+              "row arity does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::render() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emitRow = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c] << std::string(width[c] - row[c].size(), ' ')
+         << " |";
+    }
+    os << '\n';
+  };
+  auto emitRule = [&]() {
+    os << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << std::string(width[c] + 2, '-') << "|";
+    }
+    os << '\n';
+  };
+
+  emitRow(headers_);
+  emitRule();
+  for (const auto& row : rows_) emitRow(row);
+  return os.str();
+}
+
+void TablePrinter::print() const { std::cout << render() << std::flush; }
+
+std::string TablePrinter::fmt(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string TablePrinter::fmtCount(long long v) {
+  const bool neg = v < 0;
+  unsigned long long u = neg ? static_cast<unsigned long long>(-(v + 1)) + 1
+                             : static_cast<unsigned long long>(v);
+  std::string digits = std::to_string(u);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (neg) out.push_back('-');
+  return {out.rbegin(), out.rend()};
+}
+
+std::string TablePrinter::fmtBytes(double bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  return fmt(bytes, u == 0 ? 0 : 1) + units[u];
+}
+
+std::string TablePrinter::fmtPercent(double fraction) {
+  return fmt(fraction * 100.0, 1) + "%";
+}
+
+}  // namespace casvm

@@ -1,0 +1,20 @@
+#include "casvm/support/timer.hpp"
+
+#include <ctime>
+
+namespace casvm {
+
+namespace {
+double clockSeconds(clockid_t id) {
+  timespec ts{};
+  clock_gettime(id, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+}  // namespace
+
+double threadCpuSeconds() { return clockSeconds(CLOCK_THREAD_CPUTIME_ID); }
+
+double processCpuSeconds() { return clockSeconds(CLOCK_PROCESS_CPUTIME_ID); }
+
+}  // namespace casvm

@@ -1,0 +1,139 @@
+#include "casvm/cluster/balanced_kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "casvm/data/synth.hpp"
+#include "casvm/support/error.hpp"
+
+namespace casvm::cluster {
+namespace {
+
+data::Dataset clusteredData(std::size_t rows = 400, std::uint64_t seed = 5,
+                            double posFrac = 0.5) {
+  data::MixtureSpec spec;
+  spec.samples = rows;
+  spec.features = 6;
+  spec.clusters = 4;  // fewer natural clusters than parts -> imbalance
+  spec.positiveFraction = posFrac;
+  spec.seed = seed;
+  return data::generateMixture(spec);
+}
+
+std::size_t ceilDiv(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+TEST(BalancedKMeansTest, PerfectSizeBalanceAfterRebalance) {
+  const auto ds = clusteredData(397);
+  BalancedKMeansOptions opts;
+  opts.parts = 8;
+  const BalancedKMeansResult res = balancedKmeans(ds, opts);
+  res.partition.validate(ds.rows());
+  const auto sizes = res.partition.sizes();
+  for (std::size_t s : sizes) EXPECT_LE(s, ceilDiv(397, 8));
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), std::size_t{0}),
+            397u);
+}
+
+TEST(BalancedKMeansTest, MovesReportedWhenImbalanced) {
+  const auto ds = clusteredData(400, 7);
+  BalancedKMeansOptions opts;
+  opts.parts = 8;  // 8 parts over 4 natural clusters forces migration
+  const BalancedKMeansResult res = balancedKmeans(ds, opts);
+  EXPECT_GT(res.moves, 0u);
+  EXPECT_GE(res.kmeansLoops, 1u);
+}
+
+TEST(BalancedKMeansTest, RatioBalanceEqualizesClasses) {
+  const auto ds = clusteredData(600, 11, 0.15);
+  BalancedKMeansOptions opts;
+  opts.parts = 6;
+  opts.ratioBalanced = true;
+  const BalancedKMeansResult res = balancedKmeans(ds, opts);
+  const auto pos = res.partition.positiveCounts(ds);
+  for (std::size_t c : pos) EXPECT_LE(c, ceilDiv(ds.positives(), 6));
+  const auto sizes = res.partition.sizes();
+  for (std::size_t s : sizes) {
+    EXPECT_LE(s, ceilDiv(ds.positives(), 6) + ceilDiv(ds.negatives(), 6));
+  }
+}
+
+TEST(BalancedKMeansTest, PreservesLocalityBetterThanRandom) {
+  // Rebalancing moves only boundary samples, so the average distance from
+  // a sample to its part center should stay well below a random split's.
+  const auto ds = clusteredData(400, 13);
+  BalancedKMeansOptions opts;
+  opts.parts = 4;
+  const Partition bkm = balancedKmeans(ds, opts).partition;
+  const Partition rnd = randomPartition(ds, 4, 13);
+
+  auto meanDistToCenter = [&](const Partition& p) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < ds.rows(); ++i) {
+      const auto& c = p.centers[static_cast<std::size_t>(p.assign[i])];
+      double self = 0.0;
+      for (float v : c) self += double(v) * double(v);
+      total += ds.squaredDistanceTo(i, c, self);
+    }
+    return total / ds.rows();
+  };
+  EXPECT_LT(meanDistToCenter(bkm), meanDistToCenter(rnd) * 0.9);
+}
+
+TEST(BalancedKMeansTest, DeterministicInSeed) {
+  const auto ds = clusteredData();
+  BalancedKMeansOptions opts;
+  opts.parts = 4;
+  opts.seed = 41;
+  EXPECT_EQ(balancedKmeans(ds, opts).partition.assign,
+            balancedKmeans(ds, opts).partition.assign);
+}
+
+TEST(BalancedKMeansTest, FewerSamplesThanPartsThrows) {
+  const auto ds = clusteredData(20);
+  BalancedKMeansOptions opts;
+  opts.parts = 30;
+  EXPECT_THROW((void)balancedKmeans(ds, opts), Error);
+}
+
+class DistributedBkmTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistributedBkmTest, LocalBlocksBalanced) {
+  const int P = GetParam();
+  const auto ds = clusteredData(320, 17);
+  const Partition blocks = blockPartition(ds, P);
+  const auto groups = blocks.groups();
+
+  BalancedKMeansOptions opts;
+  opts.parts = P;
+  opts.seed = 43;
+
+  std::vector<std::vector<int>> assign(P);
+  net::Engine engine(P);
+  engine.run([&](net::Comm& comm) {
+    const auto r = static_cast<std::size_t>(comm.rank());
+    const data::Dataset local = ds.subset(groups[r]);
+    assign[r] = balancedKmeansDistributed(comm, local, opts).partition.assign;
+  });
+
+  // Global sizes end up near m/P (each rank balances its own block).
+  std::vector<std::size_t> global(static_cast<std::size_t>(P), 0);
+  for (int r = 0; r < P; ++r) {
+    for (int a : assign[r]) {
+      ASSERT_GE(a, 0);
+      ASSERT_LT(a, P);
+      ++global[static_cast<std::size_t>(a)];
+    }
+  }
+  const std::size_t balanced = ds.rows() / static_cast<std::size_t>(P);
+  for (std::size_t g : global) {
+    EXPECT_GE(g, balanced - static_cast<std::size_t>(P));
+    EXPECT_LE(g, balanced + static_cast<std::size_t>(P));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, DistributedBkmTest,
+                         ::testing::Values(2, 4, 8));
+
+}  // namespace
+}  // namespace casvm::cluster

@@ -1,0 +1,178 @@
+#include "casvm/cluster/fcfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "casvm/cluster/partition.hpp"
+#include "casvm/data/synth.hpp"
+#include "casvm/support/error.hpp"
+
+namespace casvm::cluster {
+namespace {
+
+data::Dataset imbalancedData(std::size_t rows = 400, std::uint64_t seed = 3) {
+  data::MixtureSpec spec;
+  spec.samples = rows;
+  spec.features = 6;
+  spec.clusters = 5;
+  spec.positiveFraction = 0.1;  // skewed, like the paper's `face`
+  spec.seed = seed;
+  return data::generateMixture(spec);
+}
+
+std::size_t ceilDiv(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+TEST(FcfsTest, EveryPartAtMostBalancedSize) {
+  const auto ds = imbalancedData(403);
+  FcfsOptions opts;
+  opts.parts = 8;
+  const Partition p = fcfsPartition(ds, opts);
+  p.validate(ds.rows());
+  const auto sizes = p.sizes();
+  for (std::size_t s : sizes) EXPECT_LE(s, ceilDiv(403, 8));
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), std::size_t{0}),
+            403u);
+}
+
+TEST(FcfsTest, BalancedComparedToKmeans) {
+  // The Fig. 5 property: FCFS sizes are all ~m/P.
+  const auto ds = imbalancedData(800);
+  FcfsOptions opts;
+  opts.parts = 8;
+  const Partition p = fcfsPartition(ds, opts);
+  EXPECT_LE(p.imbalance(), 1.0 + 1e-9);
+}
+
+TEST(FcfsTest, RatioBalancedEqualizesClassCounts) {
+  // The Tables VII->VIII property: per-part positive counts all ~pos/P.
+  const auto ds = imbalancedData(800);
+  FcfsOptions opts;
+  opts.parts = 8;
+  opts.ratioBalanced = true;
+  const Partition p = fcfsPartition(ds, opts);
+  const auto pos = p.positiveCounts(ds);
+  const std::size_t posQuota = ceilDiv(ds.positives(), 8);
+  for (std::size_t c : pos) EXPECT_LE(c, posQuota);
+  const auto sizes = p.sizes();
+  for (std::size_t s : sizes) {
+    EXPECT_LE(s, ceilDiv(ds.positives(), 8) + ceilDiv(ds.negatives(), 8));
+  }
+}
+
+TEST(FcfsTest, WithoutRatioBalanceClassSkewSurvives) {
+  // The Table VII phenomenon: plain FCFS balances volume, not class mix.
+  const auto ds = imbalancedData(800, 5);
+  FcfsOptions opts;
+  opts.parts = 8;
+  opts.ratioBalanced = false;
+  const Partition p = fcfsPartition(ds, opts);
+  const auto pos = p.positiveCounts(ds);
+  const std::size_t lo = *std::min_element(pos.begin(), pos.end());
+  const std::size_t hi = *std::max_element(pos.begin(), pos.end());
+  // Clustered positives land unevenly; expect visible spread.
+  EXPECT_GT(hi, lo);
+}
+
+TEST(FcfsTest, DeterministicInSeed) {
+  const auto ds = imbalancedData();
+  FcfsOptions opts;
+  opts.parts = 4;
+  opts.seed = 31;
+  EXPECT_EQ(fcfsPartition(ds, opts).assign, fcfsPartition(ds, opts).assign);
+}
+
+TEST(FcfsTest, RecomputeCentersGivesGroupMeans) {
+  const auto ds = imbalancedData(120);
+  FcfsOptions opts;
+  opts.parts = 4;
+  opts.recomputeCenters = true;
+  const Partition p = fcfsPartition(ds, opts);
+  const auto groups = p.groups();
+  for (int c = 0; c < 4; ++c) {
+    if (groups[c].empty()) continue;
+    std::vector<double> mean(ds.cols(), 0.0);
+    for (std::size_t i : groups[c]) ds.addRowTo(i, mean);
+    for (std::size_t f = 0; f < ds.cols(); ++f) {
+      EXPECT_NEAR(p.centers[c][f], mean[f] / groups[c].size(), 1e-4);
+    }
+  }
+}
+
+TEST(FcfsTest, KeepInitialCentersWhenNotRecomputing) {
+  const auto ds = imbalancedData(120);
+  FcfsOptions opts;
+  opts.parts = 4;
+  opts.recomputeCenters = false;
+  const Partition p = fcfsPartition(ds, opts);
+  // Initial centers are actual samples of the dataset.
+  for (const auto& center : p.centers) {
+    bool found = false;
+    for (std::size_t i = 0; i < ds.rows() && !found; ++i) {
+      double self = 0.0;
+      for (float v : center) self += double(v) * double(v);
+      found = ds.squaredDistanceTo(i, center, self) < 1e-9;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(FcfsTest, FewerSamplesThanPartsThrows) {
+  const auto ds = imbalancedData(16);
+  FcfsOptions opts;
+  opts.parts = 20;
+  EXPECT_THROW((void)fcfsPartition(ds, opts), Error);
+}
+
+class ParallelFcfsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelFcfsTest, LocalQuotasHold) {
+  const int P = GetParam();
+  const auto ds = imbalancedData(320, 7);
+  const Partition blocks = blockPartition(ds, P);
+  const auto groups = blocks.groups();
+
+  FcfsOptions opts;
+  opts.parts = P;
+  opts.seed = 37;
+
+  std::vector<std::vector<int>> assign(P);
+  net::Engine engine(P);
+  engine.run([&](net::Comm& comm) {
+    const auto r = static_cast<std::size_t>(comm.rank());
+    const data::Dataset local = ds.subset(groups[r]);
+    assign[r] = fcfsPartitionDistributed(comm, local, opts).assign;
+  });
+
+  // Every rank's local assignment respects the per-rank quota of
+  // ceil(localRows / P) per destination part (Algorithm 4's pm/P).
+  for (int r = 0; r < P; ++r) {
+    std::vector<std::size_t> counts(static_cast<std::size_t>(P), 0);
+    for (int a : assign[r]) {
+      ASSERT_GE(a, 0);
+      ASSERT_LT(a, P);
+      ++counts[static_cast<std::size_t>(a)];
+    }
+    const std::size_t quota =
+        (assign[r].size() + static_cast<std::size_t>(P) - 1) /
+        static_cast<std::size_t>(P);
+    for (std::size_t c : counts) EXPECT_LE(c, quota);
+  }
+
+  // Global result: every destination part ends up with ~m/P samples.
+  std::vector<std::size_t> global(static_cast<std::size_t>(P), 0);
+  for (int r = 0; r < P; ++r) {
+    for (int a : assign[r]) ++global[static_cast<std::size_t>(a)];
+  }
+  const std::size_t balanced = ds.rows() / static_cast<std::size_t>(P);
+  for (std::size_t g : global) {
+    EXPECT_GE(g, balanced - static_cast<std::size_t>(P));
+    EXPECT_LE(g, balanced + static_cast<std::size_t>(P));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, ParallelFcfsTest,
+                         ::testing::Values(2, 4, 8));
+
+}  // namespace
+}  // namespace casvm::cluster

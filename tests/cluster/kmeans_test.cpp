@@ -1,0 +1,176 @@
+#include "casvm/cluster/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "casvm/cluster/partition.hpp"
+#include "casvm/data/synth.hpp"
+#include "casvm/support/error.hpp"
+
+namespace casvm::cluster {
+namespace {
+
+data::Dataset clustered(std::size_t rows = 300, std::size_t clusters = 4,
+                        std::uint64_t seed = 9) {
+  data::MixtureSpec spec;
+  spec.samples = rows;
+  spec.features = 5;
+  spec.clusters = clusters;
+  spec.seed = seed;
+  return data::generateMixture(spec);
+}
+
+TEST(KMeansTest, ConvergesOnSeparatedClusters) {
+  const auto ds = clustered();
+  KMeansOptions opts;
+  opts.clusters = 4;
+  const KMeansResult res = kmeans(ds, opts);
+  EXPECT_TRUE(res.converged);
+  EXPECT_GE(res.loops, 1u);
+  res.partition.validate(ds.rows());
+}
+
+TEST(KMeansTest, AssignmentIsNearestCenterAtConvergence) {
+  const auto ds = clustered();
+  KMeansOptions opts;
+  opts.clusters = 4;
+  const KMeansResult res = kmeans(ds, opts);
+  ASSERT_TRUE(res.converged);
+  for (std::size_t i = 0; i < ds.rows(); i += 3) {
+    EXPECT_EQ(res.partition.assign[i], res.partition.nearestCenter(ds, i));
+  }
+}
+
+TEST(KMeansTest, AllPartsCovered) {
+  const auto ds = clustered(400, 4);
+  KMeansOptions opts;
+  opts.clusters = 4;
+  const auto sizes = kmeans(ds, opts).partition.sizes();
+  const std::size_t total =
+      std::accumulate(sizes.begin(), sizes.end(), std::size_t{0});
+  EXPECT_EQ(total, 400u);
+}
+
+TEST(KMeansTest, DeterministicInSeed) {
+  const auto ds = clustered();
+  KMeansOptions opts;
+  opts.clusters = 3;
+  opts.seed = 17;
+  EXPECT_EQ(kmeans(ds, opts).partition.assign,
+            kmeans(ds, opts).partition.assign);
+}
+
+TEST(KMeansTest, MaxLoopsCapRespected) {
+  const auto ds = clustered();
+  KMeansOptions opts;
+  opts.clusters = 4;
+  opts.maxLoops = 2;
+  const KMeansResult res = kmeans(ds, opts);
+  EXPECT_LE(res.loops, 2u);
+}
+
+TEST(KMeansTest, ThresholdStopsEarlier) {
+  const auto ds = clustered(600, 6, 13);
+  KMeansOptions strict;
+  strict.clusters = 6;
+  strict.changeThreshold = 0.0;
+  KMeansOptions loose = strict;
+  loose.changeThreshold = 0.2;
+  EXPECT_LE(kmeans(ds, loose).loops, kmeans(ds, strict).loops);
+}
+
+TEST(KMeansTest, MoreClustersThanSamplesThrows) {
+  const auto ds = clustered(5, 2);
+  KMeansOptions opts;
+  opts.clusters = 10;
+  EXPECT_THROW((void)kmeans(ds, opts), Error);
+}
+
+TEST(KMeansTest, RecoversTrueClusters) {
+  // With well-separated mixture components, the K-means objective should
+  // place nearly all samples of one component in one part: check that each
+  // part is label-pure when labels are cluster-correlated and noise-free.
+  data::MixtureSpec spec;
+  spec.samples = 400;
+  spec.features = 6;
+  spec.clusters = 4;
+  spec.labelNoise = 0.0;
+  spec.seed = 19;
+  spec.minCenterSeparation = 10.0;  // unambiguous cluster structure
+  const auto ds = data::generateMixture(spec);
+  KMeansOptions opts;
+  opts.clusters = 4;
+  opts.plusPlusInit = true;  // D^2 seeding avoids collapsed inits
+  opts.restarts = 5;         // best-of-5 by SSE escapes Lloyd local optima
+  const Partition p = kmeans(ds, opts).partition;
+  const auto groups = p.groups();
+  std::size_t pure = 0, total = 0;
+  for (const auto& g : groups) {
+    if (g.empty()) continue;
+    std::size_t pos = 0;
+    for (std::size_t i : g) pos += (ds.label(i) == 1);
+    const std::size_t majority = std::max(pos, g.size() - pos);
+    pure += majority;
+    total += g.size();
+  }
+  EXPECT_GT(static_cast<double>(pure) / total, 0.9);
+}
+
+class DistributedKMeansTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistributedKMeansTest, MatchesGlobalSemantics) {
+  const int P = GetParam();
+  const auto ds = clustered(320, 4, 23);
+  const Partition blocks = blockPartition(ds, P);
+  const auto groups = blocks.groups();
+
+  KMeansOptions opts;
+  opts.clusters = 4;
+  opts.seed = 29;
+
+  std::vector<std::vector<int>> localAssign(P);
+  std::vector<std::vector<std::vector<float>>> centers(P);
+  std::vector<std::size_t> loops(P);
+  net::Engine engine(P);
+  engine.run([&](net::Comm& comm) {
+    const auto r = static_cast<std::size_t>(comm.rank());
+    const data::Dataset local = ds.subset(groups[r]);
+    const KMeansResult res = kmeansDistributed(comm, local, opts);
+    localAssign[r] = res.partition.assign;
+    centers[r] = res.partition.centers;
+    loops[r] = res.loops;
+  });
+
+  // Every rank converged in the same number of loops to identical centers.
+  for (int r = 1; r < P; ++r) {
+    EXPECT_EQ(loops[r], loops[0]);
+    for (int c = 0; c < 4; ++c) {
+      for (std::size_t f = 0; f < ds.cols(); ++f) {
+        EXPECT_FLOAT_EQ(centers[r][c][f], centers[0][c][f]);
+      }
+    }
+  }
+
+  // Local assignments are nearest-center w.r.t. the shared centers.
+  Partition shared;
+  shared.parts = 4;
+  shared.centers = centers[0];
+  for (int r = 0; r < P; ++r) {
+    const data::Dataset local = ds.subset(groups[r]);
+    for (std::size_t i = 0; i < local.rows(); ++i) {
+      EXPECT_EQ(localAssign[r][i], shared.nearestCenter(local, i));
+    }
+  }
+
+  // Total assigned samples across ranks covers the dataset.
+  std::size_t total = 0;
+  for (int r = 0; r < P; ++r) total += localAssign[r].size();
+  EXPECT_EQ(total, ds.rows());
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, DistributedKMeansTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace casvm::cluster

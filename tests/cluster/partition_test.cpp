@@ -1,0 +1,141 @@
+#include "casvm/cluster/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "casvm/data/synth.hpp"
+#include "casvm/support/error.hpp"
+
+namespace casvm::cluster {
+namespace {
+
+data::Dataset makeData(std::size_t rows = 100, std::uint64_t seed = 5) {
+  data::MixtureSpec spec;
+  spec.samples = rows;
+  spec.features = 6;
+  spec.clusters = 4;
+  spec.seed = seed;
+  return data::generateMixture(spec);
+}
+
+TEST(RandomPartitionTest, SizesDifferByAtMostOne) {
+  const auto ds = makeData(103);
+  const Partition p = randomPartition(ds, 8, 42);
+  const auto sizes = p.sizes();
+  const std::size_t lo = *std::min_element(sizes.begin(), sizes.end());
+  const std::size_t hi = *std::max_element(sizes.begin(), sizes.end());
+  EXPECT_LE(hi - lo, 1u);
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), std::size_t{0}),
+            103u);
+}
+
+TEST(RandomPartitionTest, DeterministicInSeed) {
+  const auto ds = makeData();
+  const Partition a = randomPartition(ds, 4, 7);
+  const Partition b = randomPartition(ds, 4, 7);
+  EXPECT_EQ(a.assign, b.assign);
+}
+
+TEST(RandomPartitionTest, DifferentSeedsShuffleDifferently) {
+  const auto ds = makeData();
+  const Partition a = randomPartition(ds, 4, 7);
+  const Partition b = randomPartition(ds, 4, 8);
+  EXPECT_NE(a.assign, b.assign);
+}
+
+TEST(RandomPartitionTest, CentersAreGroupMeans) {
+  const auto ds = makeData(40);
+  const Partition p = randomPartition(ds, 4, 11);
+  const auto groups = p.groups();
+  for (int c = 0; c < 4; ++c) {
+    std::vector<double> mean(ds.cols(), 0.0);
+    for (std::size_t i : groups[c]) ds.addRowTo(i, mean);
+    for (std::size_t f = 0; f < ds.cols(); ++f) {
+      EXPECT_NEAR(p.centers[c][f], mean[f] / groups[c].size(), 1e-4);
+    }
+  }
+}
+
+TEST(BlockPartitionTest, ContiguousBlocks) {
+  const auto ds = makeData(10);
+  const Partition p = blockPartition(ds, 3);
+  // Assignments must be nondecreasing (contiguous blocks).
+  for (std::size_t i = 1; i < p.assign.size(); ++i) {
+    EXPECT_GE(p.assign[i], p.assign[i - 1]);
+  }
+  const auto sizes = p.sizes();
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), std::size_t{0}), 10u);
+}
+
+TEST(PartitionTest, GroupsPreserveOrder) {
+  const auto ds = makeData(20);
+  const Partition p = blockPartition(ds, 4);
+  const auto groups = p.groups();
+  for (const auto& g : groups) {
+    for (std::size_t i = 1; i < g.size(); ++i) EXPECT_GT(g[i], g[i - 1]);
+  }
+}
+
+TEST(PartitionTest, PositiveCounts) {
+  const auto ds = makeData(60);
+  const Partition p = blockPartition(ds, 3);
+  const auto pos = p.positiveCounts(ds);
+  std::size_t total = 0;
+  for (std::size_t c : pos) total += c;
+  EXPECT_EQ(total, ds.positives());
+}
+
+TEST(PartitionTest, ImbalanceOfEvenPartitionIsOne) {
+  const auto ds = makeData(80);
+  const Partition p = randomPartition(ds, 8, 3);
+  EXPECT_NEAR(p.imbalance(), 1.0, 1e-9);
+}
+
+TEST(PartitionTest, NearestCenterPicksClosest) {
+  Partition p;
+  p.parts = 2;
+  p.centers = {{0.0f, 0.0f}, {10.0f, 10.0f}};
+  const std::vector<float> nearOrigin{1.0f, 1.0f};
+  const std::vector<float> nearFar{9.0f, 9.0f};
+  EXPECT_EQ(p.nearestCenter(nearOrigin), 0);
+  EXPECT_EQ(p.nearestCenter(nearFar), 1);
+}
+
+TEST(PartitionTest, NearestCenterOnDatasetRows) {
+  const auto ds = data::Dataset::fromDense(2, {0.5f, 0.5f, 9.5f, 9.5f},
+                                           {1, -1});
+  Partition p;
+  p.parts = 2;
+  p.centers = {{0.0f, 0.0f}, {10.0f, 10.0f}};
+  EXPECT_EQ(p.nearestCenter(ds, 0), 0);
+  EXPECT_EQ(p.nearestCenter(ds, 1), 1);
+}
+
+TEST(PartitionTest, ValidateCatchesBadAssign) {
+  Partition p;
+  p.parts = 2;
+  p.assign = {0, 1, 2};  // 2 out of range
+  EXPECT_THROW(p.validate(3), Error);
+  p.assign = {0, 1};
+  EXPECT_THROW(p.validate(3), Error);  // wrong length
+  p.assign = {0, 1, 1};
+  EXPECT_NO_THROW(p.validate(3));
+}
+
+TEST(PartitionTest, ComputeCentersHandlesEmptyPart) {
+  const auto ds = makeData(10);
+  std::vector<int> assign(10, 0);  // everything in part 0; part 1 empty
+  const auto centers = computeCenters(ds, assign, 2);
+  ASSERT_EQ(centers.size(), 2u);
+  for (float v : centers[1]) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(PartitionTest, FewerSamplesThanPartsThrows) {
+  const auto ds = makeData(3);
+  EXPECT_THROW((void)randomPartition(ds, 5, 1), Error);
+  EXPECT_THROW((void)blockPartition(ds, 5), Error);
+}
+
+}  // namespace
+}  // namespace casvm::cluster

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "casvm/cluster/kmeans.hpp"
+#include "casvm/data/synth.hpp"
+
+namespace casvm::cluster {
+namespace {
+
+data::Dataset hardClusters(std::uint64_t seed) {
+  data::MixtureSpec spec;
+  spec.samples = 400;
+  spec.features = 6;
+  spec.clusters = 6;
+  spec.minCenterSeparation = 8.0;
+  spec.seed = seed;
+  return data::generateMixture(spec);
+}
+
+TEST(KMeansRestartTest, MoreRestartsNeverWorseSse) {
+  // Best-of-R by SSE is monotone in R by construction; verify end to end
+  // over several data draws.
+  for (std::uint64_t seed : {3u, 11u, 29u}) {
+    const data::Dataset ds = hardClusters(seed);
+    KMeansOptions one;
+    one.clusters = 6;
+    one.seed = 5;
+    KMeansOptions five = one;
+    five.restarts = 5;
+    EXPECT_LE(kmeans(ds, five).sse, kmeans(ds, one).sse + 1e-9) << seed;
+  }
+}
+
+TEST(KMeansRestartTest, SseMatchesDirectComputation) {
+  const data::Dataset ds = hardClusters(7);
+  KMeansOptions opts;
+  opts.clusters = 4;
+  const KMeansResult res = kmeans(ds, opts);
+  double direct = 0.0;
+  for (std::size_t i = 0; i < ds.rows(); ++i) {
+    const auto& c = res.partition.centers[
+        static_cast<std::size_t>(res.partition.assign[i])];
+    double self = 0.0;
+    for (float v : c) self += double(v) * double(v);
+    direct += ds.squaredDistanceTo(i, c, self);
+  }
+  EXPECT_NEAR(res.sse, direct, 1e-6 * std::max(1.0, direct));
+}
+
+TEST(KMeansRestartTest, PlusPlusAtLeastAsGoodOnAverage) {
+  // Aggregate SSE across draws: ++ seeding should not lose to uniform.
+  double uniformTotal = 0.0, plusTotal = 0.0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const data::Dataset ds = hardClusters(seed * 13);
+    KMeansOptions uniform;
+    uniform.clusters = 6;
+    uniform.seed = 9;
+    KMeansOptions plus = uniform;
+    plus.plusPlusInit = true;
+    uniformTotal += kmeans(ds, uniform).sse;
+    plusTotal += kmeans(ds, plus).sse;
+  }
+  EXPECT_LE(plusTotal, uniformTotal * 1.05);
+}
+
+TEST(KMeansRestartTest, InvalidRestartsThrow) {
+  const data::Dataset ds = hardClusters(1);
+  KMeansOptions opts;
+  opts.clusters = 4;
+  opts.restarts = 0;
+  EXPECT_THROW((void)kmeans(ds, opts), Error);
+}
+
+}  // namespace
+}  // namespace casvm::cluster

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "casvm/core/train.hpp"
+#include "casvm/data/synth.hpp"
+#include "casvm/solver/smo.hpp"
+
+namespace casvm::core {
+namespace {
+
+/// Property sweep: the distributed SMO must solve the same optimization
+/// problem as the serial solver — same data, same KKT tolerance — so the
+/// resulting classifiers must agree on (nearly) every point, for any rank
+/// count and any dataset draw.
+struct EquivCase {
+  int seed;
+  int processes;
+};
+
+class DisSmoEquivalenceTest : public ::testing::TestWithParam<EquivCase> {};
+
+TEST_P(DisSmoEquivalenceTest, MatchesSerialSolver) {
+  const EquivCase param = GetParam();
+  data::MixtureSpec spec;
+  spec.samples = 300;
+  spec.features = 6;
+  spec.clusters = 4;
+  spec.minCenterSeparation = 8.0;
+  spec.seed = static_cast<std::uint64_t>(param.seed);
+  const data::Dataset ds = data::generateMixture(spec);
+  if (ds.positives() < 4 || ds.negatives() < 4) GTEST_SKIP();
+
+  solver::SolverOptions sopts;
+  sopts.kernel = kernel::KernelParams::gaussian(0.5);
+  sopts.C = 1.0;
+  const solver::SolverResult serial = solver::SmoSolver(sopts).solve(ds);
+
+  TrainConfig cfg;
+  cfg.method = Method::DisSmo;
+  cfg.processes = param.processes;
+  cfg.solver = sopts;
+  const TrainResult distributed = train(ds, cfg);
+
+  // Same decision on (almost) every training point: both stopped within
+  // the same KKT tolerance, so only margin-grazing points may flip.
+  std::size_t disagree = 0;
+  for (std::size_t i = 0; i < ds.rows(); ++i) {
+    disagree += (distributed.model.predictFor(ds, i) !=
+                 serial.model.predictFor(ds, i));
+  }
+  EXPECT_LE(disagree, ds.rows() / 50 + 2)
+      << "seed " << param.seed << " P " << param.processes;
+
+  // SV counts in the same ballpark.
+  const double svRatio =
+      static_cast<double>(distributed.model.totalSupportVectors()) /
+      static_cast<double>(serial.model.numSupportVectors());
+  EXPECT_GT(svRatio, 0.5);
+  EXPECT_LT(svRatio, 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndRanks, DisSmoEquivalenceTest,
+    ::testing::Values(EquivCase{1, 2}, EquivCase{1, 5}, EquivCase{2, 3},
+                      EquivCase{2, 8}, EquivCase{3, 4}, EquivCase{4, 7},
+                      EquivCase{5, 2}, EquivCase{5, 8}, EquivCase{6, 6},
+                      EquivCase{7, 3}),
+    [](const ::testing::TestParamInfo<EquivCase>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_P" +
+             std::to_string(info.param.processes);
+    });
+
+/// All-methods accuracy floor across random datasets: no method may fall
+/// apart on any cluster-structured draw.
+class MethodRobustnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MethodRobustnessTest, EveryMethodLearnsEveryDraw) {
+  data::MixtureSpec spec;
+  spec.samples = 640;
+  spec.features = 8;
+  spec.clusters = 8;
+  spec.minCenterSeparation = 8.0;
+  spec.labelNoise = 0.01;
+  spec.seed = static_cast<std::uint64_t>(GetParam()) * 101;
+  const data::Dataset ds = data::generateMixture(spec);
+  if (ds.positives() < 32 || ds.negatives() < 32) GTEST_SKIP();
+
+  for (Method m : allMethods()) {
+    TrainConfig cfg;
+    cfg.method = m;
+    cfg.processes = 8;
+    // Within-cluster squared distances are ~2*n*clusterSpread^2 = 16 for
+    // this geometry, so the kernel width must be ~1/(2n).
+    cfg.solver.kernel = kernel::KernelParams::gaussian(
+        1.0 / (2.0 * static_cast<double>(ds.cols())));
+    const TrainResult res = train(ds, cfg);
+    // The SV-filtering tree methods legitimately lose accuracy when the
+    // partition hides global margin samples inside locally-pure parts —
+    // the paper's own Table XV shows Cascade at 88.3% and DC-Filter at
+    // 85.7% against Dis-SMO's 97.6% on gisette. Hold them to that bar and
+    // everything else to a tight one.
+    const bool lossyFilter =
+        m == Method::Cascade || m == Method::DcFilter;
+    EXPECT_GT(res.model.accuracy(ds), lossyFilter ? 0.8 : 0.9)
+        << methodName(m) << " on draw " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Draws, MethodRobustnessTest, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace casvm::core

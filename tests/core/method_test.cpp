@@ -1,0 +1,61 @@
+#include "casvm/core/method.hpp"
+
+#include <gtest/gtest.h>
+
+#include "casvm/support/error.hpp"
+
+namespace casvm::core {
+namespace {
+
+TEST(MethodTest, EightMethodsInPaperOrder) {
+  const auto all = allMethods();
+  ASSERT_EQ(all.size(), 8u);
+  EXPECT_EQ(all.front(), Method::DisSmo);
+  EXPECT_EQ(all.back(), Method::RaCa);
+}
+
+TEST(MethodTest, NamesRoundTrip) {
+  for (Method m : allMethods()) {
+    EXPECT_EQ(methodFromName(methodName(m)), m);
+  }
+}
+
+TEST(MethodTest, CaSvmAliasesResolveToRaCa) {
+  EXPECT_EQ(methodFromName("ca-svm"), Method::RaCa);
+  EXPECT_EQ(methodFromName("casvm"), Method::RaCa);
+}
+
+TEST(MethodTest, UnknownNameThrows) {
+  EXPECT_THROW((void)methodFromName("svm-lite"), Error);
+}
+
+TEST(MethodTest, TraitsPartitionTheMethods) {
+  for (Method m : allMethods()) {
+    const int kinds = (m == Method::DisSmo ? 1 : 0) +
+                      (isTreeMethod(m) ? 1 : 0) +
+                      (isPartitionedMethod(m) ? 1 : 0);
+    EXPECT_EQ(kinds, 1) << methodName(m);
+  }
+}
+
+TEST(MethodTest, KmeansUsers) {
+  EXPECT_FALSE(usesKmeans(Method::DisSmo));
+  EXPECT_FALSE(usesKmeans(Method::Cascade));
+  EXPECT_TRUE(usesKmeans(Method::DcSvm));
+  EXPECT_TRUE(usesKmeans(Method::DcFilter));
+  EXPECT_TRUE(usesKmeans(Method::CpSvm));
+  EXPECT_TRUE(usesKmeans(Method::BkmCa));
+  EXPECT_FALSE(usesKmeans(Method::FcfsCa));
+  EXPECT_FALSE(usesKmeans(Method::RaCa));
+}
+
+TEST(MethodTest, CaSvmFamily) {
+  EXPECT_TRUE(isCaSvm(Method::BkmCa));
+  EXPECT_TRUE(isCaSvm(Method::FcfsCa));
+  EXPECT_TRUE(isCaSvm(Method::RaCa));
+  EXPECT_FALSE(isCaSvm(Method::CpSvm));
+  EXPECT_FALSE(isCaSvm(Method::DisSmo));
+}
+
+}  // namespace
+}  // namespace casvm::core

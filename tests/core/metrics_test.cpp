@@ -1,0 +1,104 @@
+#include "casvm/core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "casvm/core/train.hpp"
+#include "casvm/data/registry.hpp"
+#include "casvm/support/error.hpp"
+
+namespace casvm::core {
+namespace {
+
+BinaryMetrics counts(long long tp, long long tn, long long fp,
+                     long long fn) {
+  BinaryMetrics m;
+  m.truePositives = tp;
+  m.trueNegatives = tn;
+  m.falsePositives = fp;
+  m.falseNegatives = fn;
+  return m;
+}
+
+TEST(MetricsMathTest, PerfectClassifier) {
+  const BinaryMetrics m = counts(10, 90, 0, 0);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(m.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(m.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(m.f1(), 1.0);
+  EXPECT_DOUBLE_EQ(m.matthews(), 1.0);
+}
+
+TEST(MetricsMathTest, ConstantNegativeClassifierOnImbalancedData) {
+  // The reason accuracy alone misleads: 95% accuracy, recall 0, MCC 0.
+  const BinaryMetrics m = counts(0, 95, 0, 5);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.95);
+  EXPECT_DOUBLE_EQ(m.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(m.f1(), 0.0);
+  EXPECT_DOUBLE_EQ(m.balancedAccuracy(), 0.5);
+  EXPECT_DOUBLE_EQ(m.matthews(), 0.0);
+}
+
+TEST(MetricsMathTest, KnownValues) {
+  const BinaryMetrics m = counts(40, 30, 20, 10);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.70);
+  EXPECT_DOUBLE_EQ(m.recall(), 0.8);
+  EXPECT_NEAR(m.precision(), 40.0 / 60.0, 1e-12);
+  EXPECT_NEAR(m.f1(), 2 * (2.0 / 3.0) * 0.8 / ((2.0 / 3.0) + 0.8), 1e-12);
+  EXPECT_DOUBLE_EQ(m.specificity(), 0.6);
+  EXPECT_DOUBLE_EQ(m.balancedAccuracy(), 0.7);
+}
+
+TEST(MetricsMathTest, DegenerateCountsDoNotDivideByZero) {
+  const BinaryMetrics empty = counts(0, 0, 0, 0);
+  EXPECT_DOUBLE_EQ(empty.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.f1(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.matthews(), 0.0);
+}
+
+TEST(MetricsMathTest, ReportMentionsEverything) {
+  const std::string report = counts(1, 2, 3, 4).report();
+  for (const char* token : {"TP=1", "TN=2", "FP=3", "FN=4", "recall",
+                            "precision", "F1", "MCC"}) {
+    EXPECT_NE(report.find(token), std::string::npos) << token;
+  }
+}
+
+TEST(MetricsEvaluateTest, CountsSumToTestSize) {
+  const auto nd = data::standin("face", 0.3);
+  TrainConfig cfg;
+  cfg.method = Method::FcfsCa;
+  cfg.processes = 4;
+  cfg.solver.kernel = kernel::KernelParams::gaussian(nd.suggestedGamma);
+  const TrainResult res = train(nd.train, cfg);
+  const BinaryMetrics m = evaluate(res.model, nd.test);
+  EXPECT_EQ(m.total(), static_cast<long long>(nd.test.rows()));
+  EXPECT_NEAR(m.accuracy(), res.model.accuracy(nd.test), 1e-12);
+  EXPECT_EQ(m.truePositives + m.falseNegatives,
+            static_cast<long long>(nd.test.positives()));
+}
+
+TEST(MetricsEvaluateTest, PredictionVectorVariantAgrees) {
+  const auto nd = data::standin("toy", 0.3);
+  TrainConfig cfg;
+  cfg.method = Method::RaCa;
+  cfg.processes = 4;
+  cfg.solver.kernel = kernel::KernelParams::gaussian(nd.suggestedGamma);
+  const TrainResult res = train(nd.train, cfg);
+  std::vector<std::int8_t> predictions(nd.test.rows());
+  for (std::size_t i = 0; i < nd.test.rows(); ++i) {
+    predictions[i] = res.model.predictFor(nd.test, i);
+  }
+  const BinaryMetrics a = evaluate(res.model, nd.test);
+  const BinaryMetrics b = evaluatePredictions(predictions, nd.test);
+  EXPECT_EQ(a.truePositives, b.truePositives);
+  EXPECT_EQ(a.falsePositives, b.falsePositives);
+}
+
+TEST(MetricsEvaluateTest, EmptyTestSetThrows) {
+  EXPECT_THROW((void)evaluatePredictions({}, data::Dataset()), Error);
+}
+
+}  // namespace
+}  // namespace casvm::core

@@ -1,0 +1,109 @@
+#include "casvm/core/model_selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "casvm/data/registry.hpp"
+#include "casvm/support/error.hpp"
+
+namespace casvm::core {
+namespace {
+
+TrainConfig fastConfig(double gamma = 0.5) {
+  TrainConfig cfg;
+  cfg.method = Method::RaCa;
+  cfg.processes = 4;
+  cfg.solver.kernel = kernel::KernelParams::gaussian(gamma);
+  return cfg;
+}
+
+TEST(CrossValidateTest, FiveFoldOnToy) {
+  const auto nd = data::standin("toy", 0.5);
+  const CrossValidationResult res =
+      crossValidate(nd.train, fastConfig(nd.suggestedGamma), 5);
+  ASSERT_EQ(res.foldAccuracies.size(), 5u);
+  EXPECT_GT(res.meanAccuracy, 0.9);
+  EXPECT_LT(res.stddev, 0.1);
+  EXPECT_GT(res.totalIterations, 0);
+}
+
+TEST(CrossValidateTest, DeterministicInSeed) {
+  const auto nd = data::standin("toy", 0.3);
+  const auto a = crossValidate(nd.train, fastConfig(), 3, 7);
+  const auto b = crossValidate(nd.train, fastConfig(), 3, 7);
+  EXPECT_EQ(a.foldAccuracies, b.foldAccuracies);
+}
+
+TEST(CrossValidateTest, StratificationSurvivesImbalance) {
+  // face stand-in: ~5% positives. Unstratified folds would regularly get
+  // zero positives and crash the solver; stratified folds must not.
+  const auto nd = data::standin("face", 0.4);
+  const CrossValidationResult res =
+      crossValidate(nd.train, fastConfig(nd.suggestedGamma), 5);
+  EXPECT_EQ(res.foldAccuracies.size(), 5u);
+  for (double a : res.foldAccuracies) EXPECT_GT(a, 0.5);
+}
+
+TEST(CrossValidateTest, WorksWithTreeMethods) {
+  const auto nd = data::standin("toy", 0.3);
+  TrainConfig cfg = fastConfig();
+  cfg.method = Method::Cascade;
+  cfg.processes = 8;
+  const CrossValidationResult res = crossValidate(nd.train, cfg, 3);
+  EXPECT_GT(res.meanAccuracy, 0.9);
+}
+
+TEST(CrossValidateTest, InvalidInputsThrow) {
+  const auto nd = data::standin("toy", 0.1);
+  EXPECT_THROW((void)crossValidate(nd.train, fastConfig(), 1), Error);
+  const auto tiny = data::Dataset::fromDense(1, {1, 2, 3, 4}, {1, -1, 1, -1});
+  EXPECT_THROW((void)crossValidate(tiny, fastConfig(), 4), Error);
+}
+
+TEST(GridSearchTest, FindsReasonableRegion) {
+  const auto nd = data::standin("toy", 0.4);
+  // gamma 0.5 is the tuned value; 50.0 badly overfits (kernel too narrow).
+  const GridSearchResult res = gridSearch(nd.train, fastConfig(),
+                                          {0.5, 50.0}, {1.0}, 3);
+  ASSERT_EQ(res.evaluated.size(), 2u);
+  EXPECT_DOUBLE_EQ(res.best.gamma, 0.5);
+  EXPECT_GT(res.best.meanAccuracy, 0.9);
+}
+
+TEST(GridSearchTest, EvaluatesFullGrid) {
+  const auto nd = data::standin("toy", 0.25);
+  const GridSearchResult res = gridSearch(nd.train, fastConfig(),
+                                          {0.25, 0.5}, {0.5, 1.0, 2.0}, 2);
+  EXPECT_EQ(res.evaluated.size(), 6u);
+  // Best must be one of the evaluated points.
+  bool found = false;
+  for (const GridPoint& p : res.evaluated) {
+    found |= (p.gamma == res.best.gamma && p.C == res.best.C &&
+              p.meanAccuracy == res.best.meanAccuracy);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GridSearchTest, TiesPreferSmallerC) {
+  const auto nd = data::standin("toy", 0.25);
+  // On easy data many (gamma, C) points tie at the same accuracy; the
+  // winner must then be the smallest C among the tied best.
+  const GridSearchResult res = gridSearch(nd.train, fastConfig(),
+                                          {0.5}, {4.0, 2.0, 1.0}, 2);
+  double bestAcc = 0.0;
+  for (const GridPoint& p : res.evaluated) {
+    bestAcc = std::max(bestAcc, p.meanAccuracy);
+  }
+  double smallestTiedC = 1e300;
+  for (const GridPoint& p : res.evaluated) {
+    if (p.meanAccuracy == bestAcc) smallestTiedC = std::min(smallestTiedC, p.C);
+  }
+  EXPECT_DOUBLE_EQ(res.best.C, smallestTiedC);
+}
+
+TEST(GridSearchTest, EmptyGridThrows) {
+  const auto nd = data::standin("toy", 0.2);
+  EXPECT_THROW((void)gridSearch(nd.train, fastConfig(), {}, {1.0}, 2), Error);
+}
+
+}  // namespace
+}  // namespace casvm::core

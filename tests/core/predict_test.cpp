@@ -1,0 +1,97 @@
+#include "casvm/core/predict.hpp"
+
+#include <gtest/gtest.h>
+
+#include "casvm/core/train.hpp"
+#include "casvm/data/registry.hpp"
+#include "casvm/support/error.hpp"
+
+namespace casvm::core {
+namespace {
+
+struct Trained {
+  data::NamedDataset nd;
+  TrainResult result;
+};
+
+const Trained& trainedRaCa() {
+  static const Trained t = [] {
+    Trained out;
+    out.nd = data::standin("toy");
+    TrainConfig cfg;
+    cfg.method = Method::RaCa;
+    cfg.processes = 8;
+    cfg.solver.kernel =
+        kernel::KernelParams::gaussian(out.nd.suggestedGamma);
+    cfg.solver.C = out.nd.suggestedC;
+    out.result = train(out.nd.train, cfg);
+    return out;
+  }();
+  return t;
+}
+
+TEST(DistributedPredictTest, MatchesLocalPrediction) {
+  const Trained& t = trainedRaCa();
+  const DistributedPredictResult res =
+      distributedPredict(t.result.model, t.nd.test);
+  ASSERT_EQ(res.predictions.size(), t.nd.test.rows());
+  for (std::size_t i = 0; i < t.nd.test.rows(); ++i) {
+    EXPECT_EQ(res.predictions[i], t.result.model.predictFor(t.nd.test, i));
+  }
+  EXPECT_DOUBLE_EQ(res.accuracy, t.result.model.accuracy(t.nd.test));
+}
+
+TEST(DistributedPredictTest, CommunicationIsLittle) {
+  // The paper's Algorithm 6 remark: prediction routing moves only the test
+  // samples (out) and one byte per label (back) — far less than the
+  // training data would be.
+  const Trained& t = trainedRaCa();
+  const DistributedPredictResult res =
+      distributedPredict(t.result.model, t.nd.test);
+  const std::size_t testBytes = t.nd.test.sampleBytes();
+  EXPECT_GT(res.runStats.traffic.totalBytes(), 0u);
+  EXPECT_LT(res.runStats.traffic.totalBytes(), 2 * testBytes + 4096);
+  // And is an order of magnitude below the training set's volume.
+  EXPECT_LT(res.runStats.traffic.totalBytes(),
+            t.nd.train.sampleBytes() / 2);
+}
+
+TEST(DistributedPredictTest, OnlyRootEdgesUsed) {
+  // Queries go root -> owner, labels owner -> root; no peer-to-peer
+  // traffic between non-root ranks.
+  const Trained& t = trainedRaCa();
+  const DistributedPredictResult res =
+      distributedPredict(t.result.model, t.nd.test);
+  const int P = static_cast<int>(t.result.model.numModels());
+  for (int src = 1; src < P; ++src) {
+    for (int dst = 1; dst < P; ++dst) {
+      if (src == dst) continue;
+      EXPECT_EQ(res.runStats.traffic.bytesBetween(src, dst), 0u);
+    }
+  }
+}
+
+TEST(DistributedPredictTest, SingleModelWorks) {
+  const auto nd = data::standin("toy", 0.3);
+  TrainConfig cfg;
+  cfg.method = Method::Cascade;
+  cfg.processes = 4;
+  cfg.solver.kernel = kernel::KernelParams::gaussian(nd.suggestedGamma);
+  const TrainResult trained = train(nd.train, cfg);
+  const DistributedPredictResult res =
+      distributedPredict(trained.model, nd.test);
+  EXPECT_DOUBLE_EQ(res.accuracy, trained.model.accuracy(nd.test));
+  // One rank: no communication at all.
+  EXPECT_EQ(res.runStats.traffic.totalBytes(), 0u);
+}
+
+TEST(DistributedPredictTest, EmptyInputsThrow) {
+  const Trained& t = trainedRaCa();
+  EXPECT_THROW((void)distributedPredict(t.result.model, data::Dataset()),
+               Error);
+  EXPECT_THROW((void)distributedPredict(DistributedModel(), t.nd.test),
+               Error);
+}
+
+}  // namespace
+}  // namespace casvm::core

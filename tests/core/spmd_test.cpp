@@ -1,0 +1,126 @@
+#include "casvm/core/spmd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "casvm/cluster/partition.hpp"
+#include "casvm/data/synth.hpp"
+#include "casvm/support/error.hpp"
+
+namespace casvm::core {
+namespace {
+
+solver::SolverOptions defaultOptions() {
+  solver::SolverOptions opts;
+  opts.kernel = kernel::KernelParams::gaussian(0.5);
+  return opts;
+}
+
+TEST(TrainLocalSvmTest, NormalSolve) {
+  const auto ds = data::generateTwoGaussians(100, 4, 5.0, 3);
+  const LocalSolve solve = trainLocalSvm(ds, defaultOptions());
+  EXPECT_GT(solve.iterations, 0);
+  EXPECT_GT(solve.svs, 0);
+  EXPECT_EQ(solve.alpha.size(), ds.rows());
+  EXPECT_GT(solve.model.accuracy(ds), 0.95);
+}
+
+TEST(TrainLocalSvmTest, EmptyDatasetGivesEmptyModel) {
+  const LocalSolve solve = trainLocalSvm(data::Dataset(), defaultOptions());
+  EXPECT_EQ(solve.iterations, 0);
+  EXPECT_TRUE(solve.model.supportVectors().empty());
+}
+
+TEST(TrainLocalSvmTest, SingleClassGivesConstantClassifier) {
+  const auto pos = data::Dataset::fromDense(2, {1, 2, 3, 4}, {1, 1});
+  const LocalSolve solvePos = trainLocalSvm(pos, defaultOptions());
+  EXPECT_EQ(solvePos.iterations, 0);
+  const auto probe = data::Dataset::fromDense(2, {0, 0}, {1});
+  EXPECT_EQ(solvePos.model.predictFor(probe, 0), 1);
+
+  const auto neg = data::Dataset::fromDense(2, {1, 2, 3, 4}, {-1, -1});
+  const LocalSolve solveNeg = trainLocalSvm(neg, defaultOptions());
+  EXPECT_EQ(solveNeg.model.predictFor(probe, 0), -1);
+}
+
+TEST(TrainLocalSvmTest, SingleSampleGivesItsLabel) {
+  const auto one = data::Dataset::fromDense(1, {3.0f}, {-1});
+  const LocalSolve solve = trainLocalSvm(one, defaultOptions());
+  const auto probe = data::Dataset::fromDense(1, {9.0f}, {1});
+  EXPECT_EQ(solve.model.predictFor(probe, 0), -1);
+}
+
+class ExchangeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExchangeTest, SamplesLandOnOwningRanks) {
+  const int P = GetParam();
+  data::MixtureSpec spec;
+  spec.samples = 240;
+  spec.features = 4;
+  spec.seed = 13;
+  const auto ds = data::generateMixture(spec);
+  const cluster::Partition blocks = cluster::blockPartition(ds, P);
+  const auto groups = blocks.groups();
+  // Destination of each sample: round-robin by global index, reconstructed
+  // per-rank from the contiguous block layout.
+  std::vector<data::Dataset> received(static_cast<std::size_t>(P));
+
+  net::Engine engine(P);
+  engine.run([&](net::Comm& comm) {
+    const auto r = static_cast<std::size_t>(comm.rank());
+    const data::Dataset local = ds.subset(groups[r]);
+    std::vector<int> assign(local.rows());
+    for (std::size_t i = 0; i < local.rows(); ++i) {
+      assign[i] = static_cast<int>((groups[r][i]) % P);
+    }
+    received[r] = exchangeToOwners(comm, local, assign);
+  });
+
+  // Every rank holds exactly the samples with globalIndex % P == rank.
+  std::size_t total = 0;
+  for (int r = 0; r < P; ++r) {
+    const std::size_t expected = (ds.rows() + static_cast<std::size_t>(P) -
+                                  1 - static_cast<std::size_t>(r)) /
+                                 static_cast<std::size_t>(P);
+    EXPECT_EQ(received[static_cast<std::size_t>(r)].rows(), expected);
+    total += received[static_cast<std::size_t>(r)].rows();
+  }
+  EXPECT_EQ(total, ds.rows());
+
+  // Content preserved: the multiset of norms matches per destination.
+  for (int r = 0; r < P; ++r) {
+    std::vector<double> want, got;
+    for (std::size_t i = r; i < ds.rows(); i += static_cast<std::size_t>(P)) {
+      want.push_back(ds.selfDot(i));
+    }
+    const auto& mine = received[static_cast<std::size_t>(r)];
+    for (std::size_t i = 0; i < mine.rows(); ++i) {
+      got.push_back(mine.selfDot(i));
+    }
+    std::sort(want.begin(), want.end());
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(want.size(), got.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_NEAR(want[i], got[i], 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, ExchangeTest, ::testing::Values(2, 3, 8));
+
+TEST(ExchangeTest, BadAssignmentThrows) {
+  const auto ds = data::generateTwoGaussians(16, 2, 3.0, 17);
+  net::Engine engine(2);
+  EXPECT_THROW(engine.run([&](net::Comm& comm) {
+                 std::vector<int> assign(8, 7);  // rank 7 does not exist
+                 const cluster::Partition blocks =
+                     cluster::blockPartition(ds, 2);
+                 const auto groups = blocks.groups();
+                 const data::Dataset local = ds.subset(
+                     groups[static_cast<std::size_t>(comm.rank())]);
+                 (void)exchangeToOwners(comm, local, assign);
+               }),
+               Error);
+}
+
+}  // namespace
+}  // namespace casvm::core

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "casvm/data/io.hpp"
+#include "casvm/data/synth.hpp"
+#include "casvm/support/rng.hpp"
+
+namespace casvm::data {
+namespace {
+
+/// Randomized structural invariants over chained dataset operations:
+/// subset, concat, pack/unpack and LIBSVM round trips must preserve row
+/// identity (norms + labels) for arbitrary shapes, both storages.
+class DatasetFuzzTest : public ::testing::TestWithParam<int> {
+ protected:
+  Dataset randomDataset(Rng& rng, bool sparse) {
+    MixtureSpec spec;
+    spec.samples = 5 + rng.below(60);
+    spec.features = 1 + rng.below(24);
+    spec.clusters = 1 + rng.below(4);
+    spec.positiveFraction = rng.uniform(0.2, 0.8);
+    spec.sparsity = sparse ? rng.uniform(0.3, 0.9) : 0.0;
+    spec.sparseOutput = sparse;
+    spec.seed = rng.next();
+    return generateMixture(spec);
+  }
+
+  static void expectSameRows(const Dataset& a, const Dataset& b) {
+    ASSERT_EQ(a.rows(), b.rows());
+    ASSERT_EQ(a.cols(), b.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      EXPECT_EQ(a.label(i), b.label(i)) << i;
+      EXPECT_NEAR(a.selfDot(i), b.selfDot(i),
+                  1e-6 * std::max(1.0, a.selfDot(i)))
+          << i;
+    }
+  }
+};
+
+TEST_P(DatasetFuzzTest, PackUnpackIdentity) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (bool sparse : {false, true}) {
+    const Dataset ds = randomDataset(rng, sparse);
+    expectSameRows(ds, Dataset::unpack(ds.packAll()));
+  }
+}
+
+TEST_P(DatasetFuzzTest, SubsetThenConcatIsPermutation) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  for (bool sparse : {false, true}) {
+    const Dataset ds = randomDataset(rng, sparse);
+    // Split at a random point and re-concatenate.
+    const std::size_t cut = 1 + rng.below(ds.rows() - 1);
+    std::vector<std::size_t> front(cut), back(ds.rows() - cut);
+    for (std::size_t i = 0; i < cut; ++i) front[i] = i;
+    for (std::size_t i = cut; i < ds.rows(); ++i) back[i - cut] = i;
+    const Dataset glued =
+        Dataset::concat(ds.subset(front), ds.subset(back));
+    expectSameRows(ds, glued);
+  }
+}
+
+TEST_P(DatasetFuzzTest, LibsvmRoundTripPreservesRows) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 200);
+  const Dataset ds = randomDataset(rng, true);
+  std::ostringstream out;
+  writeLibsvm(ds, out);
+  std::istringstream in(out.str());
+  const Dataset back = readLibsvm(in, ds.cols());
+  ASSERT_EQ(back.rows(), ds.rows());
+  for (std::size_t i = 0; i < ds.rows(); ++i) {
+    EXPECT_EQ(back.label(i), ds.label(i));
+    // Text serialization uses default float precision; allow small error.
+    EXPECT_NEAR(back.selfDot(i), ds.selfDot(i),
+                1e-4 * std::max(1.0, ds.selfDot(i)));
+  }
+}
+
+TEST_P(DatasetFuzzTest, DotSymmetryAndCauchySchwarz) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 300);
+  const Dataset ds = randomDataset(rng, rng.bernoulli(0.5));
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t i = rng.below(ds.rows());
+    const std::size_t j = rng.below(ds.rows());
+    const double dij = ds.dot(i, j);
+    EXPECT_NEAR(dij, ds.dot(j, i), 1e-9);
+    EXPECT_LE(dij * dij,
+              ds.selfDot(i) * ds.selfDot(j) * (1.0 + 1e-9) + 1e-12);
+    EXPECT_GE(ds.squaredDistance(i, j), -1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DatasetFuzzTest, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace casvm::data

@@ -1,0 +1,115 @@
+#include "casvm/data/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "casvm/support/error.hpp"
+
+namespace casvm::data {
+namespace {
+
+TEST(LibsvmReadTest, ParsesBasicFile) {
+  std::istringstream in("+1 1:0.5 3:2.0\n-1 2:1.5\n");
+  const Dataset ds = readLibsvm(in);
+  ASSERT_EQ(ds.rows(), 2u);
+  EXPECT_EQ(ds.cols(), 3u);
+  EXPECT_EQ(ds.storage(), Storage::Sparse);
+  EXPECT_EQ(ds.label(0), 1);
+  EXPECT_EQ(ds.label(1), -1);
+  EXPECT_DOUBLE_EQ(ds.selfDot(0), 0.25 + 4.0);
+  EXPECT_DOUBLE_EQ(ds.selfDot(1), 2.25);
+}
+
+TEST(LibsvmReadTest, ZeroOneLabelsMapToPlusMinus) {
+  std::istringstream in("1 1:1\n0 1:2\n");
+  const Dataset ds = readLibsvm(in);
+  EXPECT_EQ(ds.label(0), 1);
+  EXPECT_EQ(ds.label(1), -1);
+}
+
+TEST(LibsvmReadTest, SkipsBlankLinesAndComments) {
+  std::istringstream in("\n# full comment line\n+1 1:1.0 # trailing\n\n-1 1:2\n");
+  const Dataset ds = readLibsvm(in);
+  EXPECT_EQ(ds.rows(), 2u);
+}
+
+TEST(LibsvmReadTest, ExplicitColumnCount) {
+  std::istringstream in("+1 2:1.0\n");
+  const Dataset ds = readLibsvm(in, 10);
+  EXPECT_EQ(ds.cols(), 10u);
+}
+
+TEST(LibsvmReadTest, ExplicitColumnsTooSmallThrows) {
+  std::istringstream in("+1 5:1.0\n");
+  EXPECT_THROW((void)readLibsvm(in, 2), Error);
+}
+
+TEST(LibsvmReadTest, MissingColonThrows) {
+  std::istringstream in("+1 1-0.5\n");
+  EXPECT_THROW((void)readLibsvm(in), Error);
+}
+
+TEST(LibsvmReadTest, ZeroIndexThrows) {
+  std::istringstream in("+1 0:0.5\n");
+  EXPECT_THROW((void)readLibsvm(in), Error);
+}
+
+TEST(LibsvmReadTest, NonIncreasingIndicesThrow) {
+  std::istringstream in("+1 3:1.0 2:1.0\n");
+  EXPECT_THROW((void)readLibsvm(in), Error);
+}
+
+TEST(LibsvmReadTest, ExplicitZeroValuesDropped) {
+  std::istringstream in("+1 1:0 2:3.0\n");
+  const Dataset ds = readLibsvm(in);
+  EXPECT_EQ(ds.nonzeros(), 1u);
+}
+
+TEST(LibsvmReadTest, SamplesWithNoFeatures) {
+  std::istringstream in("+1\n-1 1:1.0\n");
+  const Dataset ds = readLibsvm(in);
+  ASSERT_EQ(ds.rows(), 2u);
+  EXPECT_DOUBLE_EQ(ds.selfDot(0), 0.0);
+}
+
+TEST(LibsvmRoundTripTest, SparseWriteRead) {
+  std::istringstream in("+1 1:0.5 3:-2.25\n-1 2:1.5\n+1 1:4\n");
+  const Dataset ds = readLibsvm(in);
+  std::ostringstream out;
+  writeLibsvm(ds, out);
+  std::istringstream in2(out.str());
+  const Dataset back = readLibsvm(in2, ds.cols());
+  ASSERT_EQ(back.rows(), ds.rows());
+  for (std::size_t i = 0; i < ds.rows(); ++i) {
+    EXPECT_EQ(back.label(i), ds.label(i));
+    EXPECT_DOUBLE_EQ(back.selfDot(i), ds.selfDot(i));
+  }
+}
+
+TEST(LibsvmRoundTripTest, DenseWriteSkipsZeros) {
+  const Dataset ds = Dataset::fromDense(3, {1.0f, 0.0f, 2.0f}, {1});
+  std::ostringstream out;
+  writeLibsvm(ds, out);
+  EXPECT_EQ(out.str(), "1 1:1 3:2\n");
+}
+
+TEST(LibsvmFileTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/casvm_io_test.libsvm";
+  const Dataset ds = Dataset::fromDense(2, {1.5f, -2.0f, 0.0f, 3.0f}, {1, -1});
+  writeLibsvmFile(ds, path);
+  const Dataset back = readLibsvmFile(path, 2);
+  ASSERT_EQ(back.rows(), 2u);
+  EXPECT_DOUBLE_EQ(back.selfDot(0), ds.selfDot(0));
+  EXPECT_DOUBLE_EQ(back.selfDot(1), ds.selfDot(1));
+  std::remove(path.c_str());
+}
+
+TEST(LibsvmFileTest, MissingFileThrows) {
+  EXPECT_THROW((void)readLibsvmFile("/nonexistent/path/file.libsvm"), Error);
+}
+
+}  // namespace
+}  // namespace casvm::data

@@ -1,0 +1,95 @@
+#include "casvm/data/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "casvm/support/error.hpp"
+
+namespace casvm::data {
+namespace {
+
+TEST(RegistryTest, AllPaperDatasetsPresent) {
+  const auto names = standinNames();
+  for (const char* expected :
+       {"adult", "epsilon", "face", "gisette", "ijcnn", "usps", "webspam",
+        "forest", "toy"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(RegistryTest, UnknownNameThrows) {
+  EXPECT_THROW((void)standinSpec("nope"), Error);
+  EXPECT_THROW((void)standin("nope"), Error);
+}
+
+TEST(RegistryTest, SpecRecordsPaperShape) {
+  const StandinSpec& spec = standinSpec("webspam");
+  EXPECT_EQ(spec.paperSamples, 350000u);
+  EXPECT_EQ(spec.paperFeatures, 16609143u);
+  EXPECT_TRUE(spec.mixture.sparseOutput);
+}
+
+TEST(RegistryTest, TrainAndTestShareGeometry) {
+  const NamedDataset nd = standin("toy");
+  EXPECT_EQ(nd.train.cols(), nd.test.cols());
+  EXPECT_GT(nd.train.rows(), nd.test.rows());
+  EXPECT_GT(nd.test.rows(), 0u);
+}
+
+TEST(RegistryTest, ScaleControlsSize) {
+  const NamedDataset full = standin("toy", 1.0);
+  const NamedDataset half = standin("toy", 0.5);
+  EXPECT_NEAR(static_cast<double>(half.train.rows()),
+              full.train.rows() / 2.0, 2.0);
+}
+
+TEST(RegistryTest, DeterministicInSeed) {
+  const NamedDataset a = standin("ijcnn", 0.1, 5);
+  const NamedDataset b = standin("ijcnn", 0.1, 5);
+  ASSERT_EQ(a.train.rows(), b.train.rows());
+  for (std::size_t i = 0; i < a.train.rows(); ++i) {
+    EXPECT_DOUBLE_EQ(a.train.selfDot(i), b.train.selfDot(i));
+  }
+}
+
+TEST(RegistryTest, FaceIsImbalanced) {
+  const NamedDataset nd = standin("face", 0.5);
+  const double frac =
+      static_cast<double>(nd.train.positives()) / nd.train.rows();
+  EXPECT_LT(frac, 0.12);
+  EXPECT_GT(frac, 0.01);
+}
+
+TEST(RegistryTest, WebspamIsSparse) {
+  const NamedDataset nd = standin("webspam", 0.2);
+  EXPECT_EQ(nd.train.storage(), Storage::Sparse);
+  const double density = static_cast<double>(nd.train.nonzeros()) /
+                         (nd.train.rows() * nd.train.cols());
+  EXPECT_LT(density, 0.3);
+}
+
+TEST(RegistryTest, SuggestedParametersPositive) {
+  for (const auto& name : standinNames()) {
+    const NamedDataset nd = standin(name, 0.05);
+    EXPECT_GT(nd.suggestedGamma, 0.0) << name;
+    EXPECT_GT(nd.suggestedC, 0.0) << name;
+  }
+}
+
+TEST(RegistryTest, BothClassesInEveryStandin) {
+  for (const auto& name : standinNames()) {
+    const NamedDataset nd = standin(name, 0.25);
+    EXPECT_GT(nd.train.positives(), 0u) << name;
+    EXPECT_GT(nd.train.negatives(), 0u) << name;
+  }
+}
+
+TEST(RegistryTest, InvalidScaleThrows) {
+  EXPECT_THROW((void)standin("toy", 0.0), Error);
+  EXPECT_THROW((void)standin("toy", -1.0), Error);
+}
+
+}  // namespace
+}  // namespace casvm::data

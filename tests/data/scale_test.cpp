@@ -1,0 +1,141 @@
+#include "casvm/data/scale.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "casvm/data/synth.hpp"
+#include "casvm/support/error.hpp"
+
+namespace casvm::data {
+namespace {
+
+Dataset wideRanges() {
+  // Feature 0 in [0, 1000], feature 1 in [-1, 1], feature 2 constant.
+  return Dataset::fromDense(3,
+                            {0.0f, -1.0f, 5.0f,     //
+                             500.0f, 0.0f, 5.0f,    //
+                             1000.0f, 1.0f, 5.0f},  //
+                            {1, -1, 1});
+}
+
+TEST(ScalerMinMaxTest, MapsToTargetRange) {
+  const Dataset ds = wideRanges();
+  const Scaler s = Scaler::fit(ds, ScalingKind::MinMax, -1.0, 1.0);
+  const Dataset scaled = s.apply(ds);
+  EXPECT_FLOAT_EQ(scaled.denseRow(0)[0], -1.0f);
+  EXPECT_FLOAT_EQ(scaled.denseRow(1)[0], 0.0f);
+  EXPECT_FLOAT_EQ(scaled.denseRow(2)[0], 1.0f);
+  EXPECT_FLOAT_EQ(scaled.denseRow(0)[1], -1.0f);
+  EXPECT_FLOAT_EQ(scaled.denseRow(2)[1], 1.0f);
+}
+
+TEST(ScalerMinMaxTest, ConstantFeatureGoesToLowerBound) {
+  const Dataset ds = wideRanges();
+  const Scaler s = Scaler::fit(ds, ScalingKind::MinMax, 0.0, 1.0);
+  const Dataset scaled = s.apply(ds);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_FLOAT_EQ(scaled.denseRow(i)[2], 0.0f);
+  }
+}
+
+TEST(ScalerMinMaxTest, CustomRange) {
+  const Dataset ds = wideRanges();
+  const Scaler s = Scaler::fit(ds, ScalingKind::MinMax, 0.0, 10.0);
+  const Dataset scaled = s.apply(ds);
+  EXPECT_FLOAT_EQ(scaled.denseRow(0)[0], 0.0f);
+  EXPECT_FLOAT_EQ(scaled.denseRow(2)[0], 10.0f);
+}
+
+TEST(ScalerStandardTest, ZeroMeanUnitVariance) {
+  MixtureSpec spec;
+  spec.samples = 500;
+  spec.features = 6;
+  spec.seed = 5;
+  const Dataset ds = generateMixture(spec);
+  const Scaler s = Scaler::fit(ds, ScalingKind::Standard);
+  const Dataset scaled = s.apply(ds);
+  for (std::size_t f = 0; f < scaled.cols(); ++f) {
+    double sum = 0.0, sumSq = 0.0;
+    for (std::size_t i = 0; i < scaled.rows(); ++i) {
+      sum += scaled.denseRow(i)[f];
+      sumSq += double(scaled.denseRow(i)[f]) * scaled.denseRow(i)[f];
+    }
+    const double mean = sum / scaled.rows();
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(sumSq / scaled.rows() - mean * mean, 1.0, 1e-3);
+  }
+}
+
+TEST(ScalerTest, LabelsPreserved) {
+  const Dataset ds = wideRanges();
+  const Dataset scaled = Scaler::fit(ds, ScalingKind::Standard).apply(ds);
+  for (std::size_t i = 0; i < ds.rows(); ++i) {
+    EXPECT_EQ(scaled.label(i), ds.label(i));
+  }
+}
+
+TEST(ScalerTest, TrainFitAppliesToTest) {
+  // The central leak-prevention property: test data scaled with TRAIN
+  // statistics, so identical values map identically.
+  const Dataset train = wideRanges();
+  const Dataset test = Dataset::fromDense(3, {250.0f, 0.5f, 5.0f}, {1});
+  const Scaler s = Scaler::fit(train, ScalingKind::MinMax, -1.0, 1.0);
+  const Dataset scaled = s.apply(test);
+  EXPECT_FLOAT_EQ(scaled.denseRow(0)[0], -0.5f);  // 250/1000 -> -0.5
+  EXPECT_FLOAT_EQ(scaled.denseRow(0)[1], 0.5f);
+}
+
+TEST(ScalerTest, SparseStaysSparse) {
+  MixtureSpec spec;
+  spec.samples = 100;
+  spec.features = 40;
+  spec.sparsity = 0.8;
+  spec.sparseOutput = true;
+  spec.seed = 9;
+  const Dataset ds = generateMixture(spec);
+  const Scaler s = Scaler::fit(ds, ScalingKind::Standard);
+  const Dataset scaled = s.apply(ds);
+  EXPECT_EQ(scaled.storage(), Storage::Sparse);
+  EXPECT_LE(scaled.nonzeros(), ds.nonzeros());
+}
+
+TEST(ScalerTest, ApplyToSingleRow) {
+  const Dataset ds = wideRanges();
+  const Scaler s = Scaler::fit(ds, ScalingKind::MinMax, -1.0, 1.0);
+  std::vector<float> row{500.0f, 0.0f, 5.0f};
+  s.applyTo(row);
+  EXPECT_FLOAT_EQ(row[0], 0.0f);
+  EXPECT_FLOAT_EQ(row[1], 0.0f);
+}
+
+TEST(ScalerTest, SaveLoadRoundTrip) {
+  const Dataset ds = wideRanges();
+  const Scaler s = Scaler::fit(ds, ScalingKind::MinMax, -1.0, 1.0);
+  const std::string path = ::testing::TempDir() + "/casvm_scaler_test.txt";
+  s.save(path);
+  const Scaler back = Scaler::load(path);
+  EXPECT_EQ(back.kind(), s.kind());
+  EXPECT_EQ(back.features(), s.features());
+  const Dataset a = s.apply(ds);
+  const Dataset b = back.apply(ds);
+  for (std::size_t i = 0; i < ds.rows(); ++i) {
+    for (std::size_t f = 0; f < ds.cols(); ++f) {
+      EXPECT_FLOAT_EQ(a.denseRow(i)[f], b.denseRow(i)[f]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ScalerTest, ErrorsOnMisuse) {
+  const Dataset ds = wideRanges();
+  EXPECT_THROW((void)Scaler::fit(data::Dataset(), ScalingKind::MinMax), Error);
+  EXPECT_THROW((void)Scaler::fit(ds, ScalingKind::MinMax, 1.0, 1.0), Error);
+  const Scaler s = Scaler::fit(ds, ScalingKind::MinMax);
+  const Dataset wrong = Dataset::fromDense(2, {1.0f, 2.0f}, {1});
+  EXPECT_THROW((void)s.apply(wrong), Error);
+  EXPECT_THROW((void)Scaler::load("/nonexistent/scaler.txt"), Error);
+}
+
+}  // namespace
+}  // namespace casvm::data

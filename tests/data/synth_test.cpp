@@ -1,0 +1,183 @@
+#include "casvm/data/synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "casvm/support/error.hpp"
+
+namespace casvm::data {
+namespace {
+
+TEST(MixtureTest, ShapeMatchesSpec) {
+  MixtureSpec spec;
+  spec.samples = 500;
+  spec.features = 12;
+  spec.clusters = 4;
+  const Dataset ds = generateMixture(spec);
+  EXPECT_EQ(ds.rows(), 500u);
+  EXPECT_EQ(ds.cols(), 12u);
+  EXPECT_EQ(ds.storage(), Storage::Dense);
+}
+
+TEST(MixtureTest, DeterministicInSeed) {
+  MixtureSpec spec;
+  spec.samples = 100;
+  spec.seed = 99;
+  const Dataset a = generateMixture(spec);
+  const Dataset b = generateMixture(spec);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    EXPECT_EQ(a.label(i), b.label(i));
+    EXPECT_DOUBLE_EQ(a.selfDot(i), b.selfDot(i));
+  }
+}
+
+TEST(MixtureTest, DifferentSeedsDiffer) {
+  MixtureSpec spec;
+  spec.samples = 100;
+  spec.seed = 1;
+  const Dataset a = generateMixture(spec);
+  spec.seed = 2;
+  const Dataset b = generateMixture(spec);
+  int same = 0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    same += (a.selfDot(i) == b.selfDot(i));
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(MixtureTest, PositiveFractionApproximatelyMet) {
+  MixtureSpec spec;
+  spec.samples = 4000;
+  spec.clusters = 8;
+  spec.positiveFraction = 0.25;
+  spec.labelNoise = 0.0;
+  const Dataset ds = generateMixture(spec);
+  const double frac = static_cast<double>(ds.positives()) / ds.rows();
+  EXPECT_NEAR(frac, 0.25, 0.06);
+}
+
+TEST(MixtureTest, SkewedPositiveFraction) {
+  MixtureSpec spec;
+  spec.samples = 6000;
+  spec.clusters = 8;
+  spec.positiveFraction = 0.05;  // below 1/clusters: needs per-sample mixing
+  spec.labelNoise = 0.0;
+  const Dataset ds = generateMixture(spec);
+  const double frac = static_cast<double>(ds.positives()) / ds.rows();
+  EXPECT_NEAR(frac, 0.05, 0.02);
+}
+
+TEST(MixtureTest, ClusterStructureExists) {
+  // With cluster-correlated labels and low noise, nearby samples should
+  // mostly share a label: check label purity among the 3 nearest samples.
+  MixtureSpec spec;
+  spec.samples = 400;
+  spec.features = 8;
+  spec.clusters = 4;
+  spec.labelNoise = 0.0;
+  const Dataset ds = generateMixture(spec);
+  int agree = 0, total = 0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    double best = 1e300;
+    std::size_t nearest = 0;
+    for (std::size_t j = 0; j < ds.rows(); ++j) {
+      if (j == i) continue;
+      const double d = ds.squaredDistance(i, j);
+      if (d < best) {
+        best = d;
+        nearest = j;
+      }
+    }
+    agree += (ds.label(i) == ds.label(nearest));
+    ++total;
+  }
+  EXPECT_GT(static_cast<double>(agree) / total, 0.8);
+}
+
+TEST(MixtureTest, HyperplaneLabelsWhenNotClusterCorrelated) {
+  MixtureSpec spec;
+  spec.samples = 1000;
+  spec.clusterCorrelatedLabels = false;
+  spec.labelNoise = 0.0;
+  const Dataset ds = generateMixture(spec);
+  // Both classes present and roughly balanced for a symmetric hyperplane.
+  const double frac = static_cast<double>(ds.positives()) / ds.rows();
+  EXPECT_GT(frac, 0.2);
+  EXPECT_LT(frac, 0.8);
+}
+
+TEST(MixtureTest, SparsityZeroesEntries) {
+  MixtureSpec spec;
+  spec.samples = 300;
+  spec.features = 50;
+  spec.sparsity = 0.8;
+  const Dataset ds = generateMixture(spec);
+  std::size_t nonzero = 0;
+  for (std::size_t i = 0; i < ds.rows(); ++i) {
+    for (float v : ds.denseRow(i)) nonzero += (v != 0.0f);
+  }
+  const double density =
+      static_cast<double>(nonzero) / (ds.rows() * ds.cols());
+  EXPECT_NEAR(density, 0.2, 0.05);
+}
+
+TEST(MixtureTest, SparseOutputUsesCsr) {
+  MixtureSpec spec;
+  spec.samples = 100;
+  spec.features = 40;
+  spec.sparsity = 0.9;
+  spec.sparseOutput = true;
+  const Dataset ds = generateMixture(spec);
+  EXPECT_EQ(ds.storage(), Storage::Sparse);
+  EXPECT_LT(ds.nonzeros(), ds.rows() * ds.cols() / 2);
+}
+
+TEST(MixtureTest, DegenerateSpecThrows) {
+  MixtureSpec spec;
+  spec.samples = 0;
+  EXPECT_THROW((void)generateMixture(spec), Error);
+  spec.samples = 10;
+  spec.positiveFraction = 1.5;
+  EXPECT_THROW((void)generateMixture(spec), Error);
+}
+
+TEST(TwoGaussiansTest, SeparableByFirstFeature) {
+  const Dataset ds = generateTwoGaussians(500, 4, 10.0, 3);
+  int correct = 0;
+  for (std::size_t i = 0; i < ds.rows(); ++i) {
+    const std::int8_t predicted = ds.denseRow(i)[0] >= 0.0f ? 1 : -1;
+    correct += (predicted == ds.label(i));
+  }
+  EXPECT_GT(static_cast<double>(correct) / ds.rows(), 0.98);
+}
+
+TEST(TwoGaussiansTest, BothClassesPresent) {
+  const Dataset ds = generateTwoGaussians(200, 2, 4.0, 5);
+  EXPECT_GT(ds.positives(), 50u);
+  EXPECT_GT(ds.negatives(), 50u);
+}
+
+TEST(SplitTest, PartitionsAllIndices) {
+  const Split split = trainTestSplit(100, 0.2, 7);
+  EXPECT_EQ(split.test.size(), 20u);
+  EXPECT_EQ(split.train.size(), 80u);
+  std::set<std::size_t> all(split.train.begin(), split.train.end());
+  all.insert(split.test.begin(), split.test.end());
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(SplitTest, ZeroTestFraction) {
+  const Split split = trainTestSplit(50, 0.0, 7);
+  EXPECT_TRUE(split.test.empty());
+  EXPECT_EQ(split.train.size(), 50u);
+}
+
+TEST(SplitTest, InvalidFractionThrows) {
+  EXPECT_THROW((void)trainTestSplit(10, 1.0, 7), Error);
+  EXPECT_THROW((void)trainTestSplit(10, -0.1, 7), Error);
+}
+
+}  // namespace
+}  // namespace casvm::data

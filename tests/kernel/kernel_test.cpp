@@ -1,0 +1,187 @@
+#include "casvm/kernel/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "casvm/data/synth.hpp"
+#include "casvm/support/error.hpp"
+
+namespace casvm::kernel {
+namespace {
+
+data::Dataset pair() {
+  // x0 = (1, 2), x1 = (3, -1).
+  return data::Dataset::fromDense(2, {1.0f, 2.0f, 3.0f, -1.0f}, {1, -1});
+}
+
+TEST(KernelValueTest, Linear) {
+  const Kernel k(KernelParams::linear());
+  EXPECT_DOUBLE_EQ(k.eval(pair(), 0, 1), 1.0);  // 1*3 + 2*(-1)
+  EXPECT_DOUBLE_EQ(k.eval(pair(), 0, 0), 5.0);
+}
+
+TEST(KernelValueTest, Polynomial) {
+  const Kernel k(KernelParams::polynomial(2.0, 1.0, 3));
+  // (2*1 + 1)^3 = 27
+  EXPECT_DOUBLE_EQ(k.eval(pair(), 0, 1), 27.0);
+}
+
+TEST(KernelValueTest, Gaussian) {
+  const Kernel k(KernelParams::gaussian(0.25));
+  // ||x0 - x1||^2 = 4 + 9 = 13
+  EXPECT_NEAR(k.eval(pair(), 0, 1), std::exp(-0.25 * 13.0), 1e-12);
+}
+
+TEST(KernelValueTest, Sigmoid) {
+  const Kernel k(KernelParams::sigmoid(0.5, -1.0));
+  EXPECT_NEAR(k.eval(pair(), 0, 1), std::tanh(0.5 * 1.0 - 1.0), 1e-12);
+}
+
+TEST(KernelValueTest, GaussianDiagonalIsOne) {
+  const Kernel k(KernelParams::gaussian(2.0));
+  const auto ds = pair();
+  EXPECT_DOUBLE_EQ(k.eval(ds, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(k.eval(ds, 1, 1), 1.0);
+}
+
+TEST(KernelValueTest, NamesStable) {
+  EXPECT_EQ(kernelName(KernelType::Linear), "linear");
+  EXPECT_EQ(kernelName(KernelType::Polynomial), "polynomial");
+  EXPECT_EQ(kernelName(KernelType::Gaussian), "gaussian");
+  EXPECT_EQ(kernelName(KernelType::Sigmoid), "sigmoid");
+}
+
+/// Property sweep: symmetry, bounds and cross-consistency on random data,
+/// parameterized over kernel families.
+class KernelPropertyTest : public ::testing::TestWithParam<KernelParams> {
+ protected:
+  data::Dataset ds_ = [] {
+    data::MixtureSpec spec;
+    spec.samples = 60;
+    spec.features = 7;
+    spec.clusters = 3;
+    spec.seed = 11;
+    return data::generateMixture(spec);
+  }();
+};
+
+TEST_P(KernelPropertyTest, Symmetric) {
+  const Kernel k(GetParam());
+  for (std::size_t i = 0; i < ds_.rows(); i += 5) {
+    for (std::size_t j = 0; j < ds_.rows(); j += 7) {
+      EXPECT_NEAR(k.eval(ds_, i, j), k.eval(ds_, j, i), 1e-12);
+    }
+  }
+}
+
+TEST_P(KernelPropertyTest, RowMatchesPointwise) {
+  const Kernel k(GetParam());
+  std::vector<double> row(ds_.rows());
+  k.row(ds_, 4, row);
+  for (std::size_t j = 0; j < ds_.rows(); ++j) {
+    EXPECT_DOUBLE_EQ(row[j], k.eval(ds_, 4, j));
+  }
+}
+
+TEST_P(KernelPropertyTest, EvalWithMatchesEval) {
+  const Kernel k(GetParam());
+  std::vector<float> x(ds_.cols());
+  ds_.copyRowDense(9, x);
+  for (std::size_t i = 0; i < ds_.rows(); i += 3) {
+    EXPECT_NEAR(k.evalWith(ds_, i, x, ds_.selfDot(9)), k.eval(ds_, i, 9),
+                1e-9);
+  }
+}
+
+TEST_P(KernelPropertyTest, EvalVectorsMatchesEval) {
+  const Kernel k(GetParam());
+  std::vector<float> x(ds_.cols()), z(ds_.cols());
+  ds_.copyRowDense(2, x);
+  ds_.copyRowDense(5, z);
+  EXPECT_NEAR(k.evalVectors(x, ds_.selfDot(2), z, ds_.selfDot(5)),
+              k.eval(ds_, 2, 5), 1e-9);
+}
+
+TEST_P(KernelPropertyTest, CrossEvalMatchesWithinDataset) {
+  const Kernel k(GetParam());
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(k.evalCross(ds_, i, ds_, i + 10), k.eval(ds_, i, i + 10),
+                1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, KernelPropertyTest,
+    ::testing::Values(KernelParams::linear(), KernelParams::gaussian(0.3),
+                      KernelParams::polynomial(0.5, 1.0, 2),
+                      KernelParams::sigmoid(0.1, 0.0)),
+    [](const ::testing::TestParamInfo<KernelParams>& info) {
+      return kernelName(info.param.type);
+    });
+
+TEST(KernelGaussianTest, BoundedInUnitInterval) {
+  data::MixtureSpec spec;
+  spec.samples = 80;
+  spec.seed = 3;
+  const auto ds = data::generateMixture(spec);
+  const Kernel k(KernelParams::gaussian(0.7));
+  for (std::size_t i = 0; i < ds.rows(); i += 4) {
+    for (std::size_t j = 0; j < ds.rows(); j += 5) {
+      const double v = k.eval(ds, i, j);
+      // Far pairs may underflow to exactly 0; that is within bounds.
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(KernelGaussianTest, DecaysWithDistance) {
+  // The locality property CP-SVM relies on (paper §IV-A): far pairs have
+  // near-zero kernel values.
+  const auto ds = data::Dataset::fromDense(
+      1, {0.0f, 0.1f, 100.0f}, {1, -1, 1});
+  const Kernel k(KernelParams::gaussian(1.0));
+  EXPECT_GT(k.eval(ds, 0, 1), 0.9);
+  EXPECT_LT(k.eval(ds, 0, 2), 1e-100);
+}
+
+TEST(KernelSparseTest, SparseCrossDenseAgree) {
+  data::MixtureSpec spec;
+  spec.samples = 40;
+  spec.features = 20;
+  spec.sparsity = 0.6;
+  spec.seed = 8;
+  const data::Dataset dense = data::generateMixture(spec);
+  spec.sparseOutput = true;
+  const data::Dataset sparse = data::generateMixture(spec);
+  const Kernel k(KernelParams::gaussian(0.2));
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(k.evalCross(sparse, i, dense, i + 1),
+                k.eval(dense, i, i + 1), 1e-6);
+    EXPECT_NEAR(k.evalCross(sparse, i, sparse, i + 1),
+                k.eval(dense, i, i + 1), 1e-6);
+  }
+}
+
+TEST(KernelTest, CrossDimensionMismatchThrows) {
+  const auto a = data::Dataset::fromDense(2, {1, 2}, {1});
+  const auto b = data::Dataset::fromDense(3, {1, 2, 3}, {1});
+  const Kernel k(KernelParams::linear());
+  EXPECT_THROW((void)k.evalCross(a, 0, b, 0), Error);
+}
+
+TEST(KernelTest, FlopsPerEvalScalesWithDensity) {
+  data::MixtureSpec spec;
+  spec.samples = 50;
+  spec.features = 100;
+  const auto dense = data::generateMixture(spec);
+  spec.sparsity = 0.9;
+  spec.sparseOutput = true;
+  const auto sparse = data::generateMixture(spec);
+  const Kernel k(KernelParams::gaussian(1.0));
+  EXPECT_GT(k.flopsPerEval(dense), k.flopsPerEval(sparse));
+}
+
+}  // namespace
+}  // namespace casvm::kernel

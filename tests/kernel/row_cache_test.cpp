@@ -1,0 +1,92 @@
+#include "casvm/kernel/row_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "casvm/data/synth.hpp"
+#include "casvm/support/error.hpp"
+
+namespace casvm::kernel {
+namespace {
+
+data::Dataset makeData(std::size_t rows = 30) {
+  data::MixtureSpec spec;
+  spec.samples = rows;
+  spec.features = 5;
+  spec.seed = 21;
+  return data::generateMixture(spec);
+}
+
+TEST(RowCacheTest, ValuesMatchDirectEvaluation) {
+  const auto ds = makeData();
+  const Kernel k(KernelParams::gaussian(0.4));
+  RowCache cache(k, ds, 1 << 20);
+  const auto row = cache.row(3);
+  ASSERT_EQ(row.size(), ds.rows());
+  for (std::size_t j = 0; j < ds.rows(); ++j) {
+    EXPECT_DOUBLE_EQ(row[j], k.eval(ds, 3, j));
+  }
+}
+
+TEST(RowCacheTest, HitsAndMissesCounted) {
+  const auto ds = makeData();
+  const Kernel k(KernelParams::gaussian(0.4));
+  RowCache cache(k, ds, 1 << 20);
+  cache.row(0);
+  cache.row(0);
+  cache.row(1);
+  cache.row(0);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(RowCacheTest, EvictsLeastRecentlyUsed) {
+  const auto ds = makeData();
+  const Kernel k(KernelParams::gaussian(0.4));
+  // Budget for exactly two rows.
+  RowCache cache(k, ds, 2 * ds.rows() * sizeof(double));
+  ASSERT_EQ(cache.capacityRows(), 2u);
+  cache.row(0);  // miss
+  cache.row(1);  // miss
+  cache.row(0);  // hit (0 becomes MRU)
+  cache.row(2);  // miss, evicts 1
+  cache.row(0);  // hit
+  cache.row(1);  // miss again (was evicted)
+  EXPECT_EQ(cache.misses(), 4u);
+  EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(RowCacheTest, EvictedRowRecomputedCorrectly) {
+  const auto ds = makeData(10);
+  const Kernel k(KernelParams::linear());
+  RowCache cache(k, ds, 2 * ds.rows() * sizeof(double));  // two rows
+  cache.row(0);
+  cache.row(1);
+  cache.row(2);  // evicts row 0
+  const auto row0 = cache.row(0);
+  for (std::size_t j = 0; j < ds.rows(); ++j) {
+    EXPECT_DOUBLE_EQ(row0[j], k.eval(ds, 0, j));
+  }
+}
+
+TEST(RowCacheTest, TinyBudgetStillGrantsTwoRows) {
+  // SMO holds spans to two rows of the same iteration, so the cache never
+  // shrinks below two slots no matter the budget.
+  const auto ds = makeData();
+  const Kernel k(KernelParams::gaussian(0.4));
+  RowCache cache(k, ds, 1);
+  EXPECT_EQ(cache.capacityRows(), 2u);
+  const auto a = cache.row(5);
+  const auto b = cache.row(6);
+  EXPECT_NE(a.data(), b.data());  // both rows live simultaneously
+  EXPECT_EQ(a.size(), ds.rows());
+}
+
+TEST(RowCacheTest, OutOfRangeRowThrows) {
+  const auto ds = makeData(10);
+  const Kernel k(KernelParams::gaussian(0.4));
+  RowCache cache(k, ds, 1 << 20);
+  EXPECT_THROW((void)cache.row(10), Error);
+}
+
+}  // namespace
+}  // namespace casvm::kernel

@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "casvm/net/comm.hpp"
+
+namespace casvm::net {
+namespace {
+
+/// Collectives must be correct for any rank count, including non-powers of
+/// two (the binomial trees must handle ragged shapes). Parameterized over P.
+class CollectiveTest : public ::testing::TestWithParam<int> {
+ protected:
+  int P() const { return GetParam(); }
+
+  RunStats run(const std::function<void(Comm&)>& fn) {
+    Engine engine(P());
+    return engine.run(fn);
+  }
+};
+
+TEST_P(CollectiveTest, BarrierCompletes) {
+  run([](Comm& c) {
+    for (int i = 0; i < 3; ++i) c.barrier();
+  });
+}
+
+TEST_P(CollectiveTest, BcastScalarFromRankZero) {
+  run([](Comm& c) {
+    int value = c.rank() == 0 ? 99 : -1;
+    c.bcast(value, 0);
+    EXPECT_EQ(value, 99);
+  });
+}
+
+TEST_P(CollectiveTest, BcastFromEveryRoot) {
+  run([&](Comm& c) {
+    for (int root = 0; root < c.size(); ++root) {
+      double value = c.rank() == root ? root * 1.5 : -1.0;
+      c.bcast(value, root);
+      EXPECT_EQ(value, root * 1.5);
+    }
+  });
+}
+
+TEST_P(CollectiveTest, BcastVectorResizesNonRoots) {
+  run([](Comm& c) {
+    std::vector<int> v;
+    if (c.rank() == 0) v = {5, 6, 7, 8};
+    c.bcast(v, 0);
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_EQ(v[3], 8);
+  });
+}
+
+TEST_P(CollectiveTest, BcastEmptyVector) {
+  run([](Comm& c) {
+    std::vector<int> v;
+    if (c.rank() != 0) v = {1, 2, 3};  // must be cleared by the bcast
+    c.bcast(v, 0);
+    EXPECT_TRUE(v.empty());
+  });
+}
+
+TEST_P(CollectiveTest, ReduceSumOnRoot) {
+  run([&](Comm& c) {
+    const long long result = c.reduce(
+        static_cast<long long>(c.rank() + 1),
+        [](long long a, long long b) { return a + b; }, 0);
+    if (c.rank() == 0) {
+      EXPECT_EQ(result, static_cast<long long>(P()) * (P() + 1) / 2);
+    }
+  });
+}
+
+TEST_P(CollectiveTest, ReduceToNonZeroRoot) {
+  if (P() < 2) GTEST_SKIP();
+  run([&](Comm& c) {
+    const int result =
+        c.reduce(1, [](int a, int b) { return a + b; }, P() - 1);
+    if (c.rank() == P() - 1) {
+      EXPECT_EQ(result, P());
+    }
+  });
+}
+
+TEST_P(CollectiveTest, AllreduceSumEverywhere) {
+  run([&](Comm& c) {
+    const double result = c.allreduceSum(static_cast<double>(c.rank()));
+    EXPECT_DOUBLE_EQ(result, P() * (P() - 1) / 2.0);
+  });
+}
+
+TEST_P(CollectiveTest, AllreduceMax) {
+  run([&](Comm& c) {
+    EXPECT_DOUBLE_EQ(c.allreduceMax(static_cast<double>(c.rank() * 2)),
+                     (P() - 1) * 2.0);
+  });
+}
+
+TEST_P(CollectiveTest, AllreduceVectorElementwise) {
+  run([&](Comm& c) {
+    std::vector<long long> v{1, static_cast<long long>(c.rank()), 100};
+    v = c.allreduce(std::move(v),
+                    [](long long a, long long b) { return a + b; });
+    EXPECT_EQ(v[0], P());
+    EXPECT_EQ(v[1], static_cast<long long>(P()) * (P() - 1) / 2);
+    EXPECT_EQ(v[2], 100LL * P());
+  });
+}
+
+TEST_P(CollectiveTest, GatherOnRoot) {
+  run([&](Comm& c) {
+    const std::vector<int> all = c.gather(c.rank() * 10, 0);
+    if (c.rank() == 0) {
+      ASSERT_EQ(all.size(), static_cast<std::size_t>(P()));
+      for (int r = 0; r < P(); ++r) EXPECT_EQ(all[r], r * 10);
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST_P(CollectiveTest, GathervVariableLengths) {
+  run([&](Comm& c) {
+    std::vector<double> mine(static_cast<std::size_t>(c.rank()), 1.5);
+    const auto parts = c.gatherv(mine, 0);
+    if (c.rank() == 0) {
+      ASSERT_EQ(parts.size(), static_cast<std::size_t>(P()));
+      for (int r = 0; r < P(); ++r) {
+        EXPECT_EQ(parts[r].size(), static_cast<std::size_t>(r));
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveTest, ScattervDeliversParts) {
+  run([&](Comm& c) {
+    std::vector<std::vector<int>> parts;
+    if (c.rank() == 0) {
+      for (int r = 0; r < P(); ++r) {
+        parts.push_back(std::vector<int>(static_cast<std::size_t>(r + 1), r));
+      }
+    }
+    const std::vector<int> mine = c.scatterv(parts, 0);
+    ASSERT_EQ(mine.size(), static_cast<std::size_t>(c.rank() + 1));
+    for (int v : mine) EXPECT_EQ(v, c.rank());
+  });
+}
+
+TEST_P(CollectiveTest, AllgatherEverywhere) {
+  run([&](Comm& c) {
+    const std::vector<int> all = c.allgather(c.rank() + 7);
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(P()));
+    for (int r = 0; r < P(); ++r) EXPECT_EQ(all[r], r + 7);
+  });
+}
+
+TEST_P(CollectiveTest, AllgathervConcatenatesInRankOrder) {
+  run([&](Comm& c) {
+    const std::vector<int> mine{c.rank(), c.rank()};
+    const std::vector<int> flat = c.allgatherv(mine);
+    ASSERT_EQ(flat.size(), static_cast<std::size_t>(2 * P()));
+    for (int r = 0; r < P(); ++r) {
+      EXPECT_EQ(flat[2 * r], r);
+      EXPECT_EQ(flat[2 * r + 1], r);
+    }
+  });
+}
+
+TEST_P(CollectiveTest, MinlocFindsGlobalMinimum) {
+  run([&](Comm& c) {
+    // Rank r contributes value P - r, so the max rank holds the minimum.
+    const auto result = c.allreduceMinloc(
+        static_cast<double>(P() - c.rank()), c.rank());
+    EXPECT_DOUBLE_EQ(result.value, 1.0);
+    EXPECT_EQ(result.index, P() - 1);
+  });
+}
+
+TEST_P(CollectiveTest, MaxlocFindsGlobalMaximum) {
+  run([&](Comm& c) {
+    const auto result = c.allreduceMaxloc(
+        static_cast<double>(c.rank() * 3), c.rank() + 100);
+    EXPECT_DOUBLE_EQ(result.value, (P() - 1) * 3.0);
+    EXPECT_EQ(result.index, P() - 1 + 100);
+  });
+}
+
+TEST_P(CollectiveTest, MinlocTieBreaksToSmallestIndex) {
+  run([](Comm& c) {
+    const auto result = c.allreduceMinloc(5.0, c.rank());
+    EXPECT_EQ(result.index, 0);
+  });
+}
+
+TEST_P(CollectiveTest, CollectivesComposeRepeatedly) {
+  run([&](Comm& c) {
+    long long acc = 0;
+    for (int round = 0; round < 20; ++round) {
+      acc = c.allreduceSum(static_cast<long long>(c.rank() + round));
+    }
+    EXPECT_EQ(acc, static_cast<long long>(P()) * (P() - 1) / 2 +
+                       static_cast<long long>(P()) * 19);
+  });
+}
+
+
+TEST_P(CollectiveTest, AlltoallvDeliversPersonalizedParts) {
+  run([&](Comm& c) {
+    // Rank r sends {r*100 + dst} repeated (dst+1) times to each dst.
+    std::vector<std::vector<int>> parts(static_cast<std::size_t>(P()));
+    for (int dst = 0; dst < P(); ++dst) {
+      parts[static_cast<std::size_t>(dst)].assign(
+          static_cast<std::size_t>(dst + 1), c.rank() * 100 + dst);
+    }
+    const auto received = c.alltoallv(std::move(parts));
+    ASSERT_EQ(received.size(), static_cast<std::size_t>(P()));
+    for (int src = 0; src < P(); ++src) {
+      const auto& part = received[static_cast<std::size_t>(src)];
+      ASSERT_EQ(part.size(), static_cast<std::size_t>(c.rank() + 1));
+      for (int v : part) EXPECT_EQ(v, src * 100 + c.rank());
+    }
+  });
+}
+
+TEST_P(CollectiveTest, AlltoallvEmptyParts) {
+  run([&](Comm& c) {
+    std::vector<std::vector<double>> parts(static_cast<std::size_t>(P()));
+    // Only even ranks send anything, and only to rank 0.
+    if (c.rank() % 2 == 0) parts[0] = {double(c.rank())};
+    const auto received = c.alltoallv(std::move(parts));
+    if (c.rank() == 0) {
+      for (int src = 0; src < P(); ++src) {
+        const auto& part = received[static_cast<std::size_t>(src)];
+        if (src % 2 == 0) {
+          ASSERT_EQ(part.size(), 1u);
+          EXPECT_EQ(part[0], double(src));
+        } else {
+          EXPECT_TRUE(part.empty());
+        }
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveTest, AlltoallvBytesRoundTrip) {
+  run([&](Comm& c) {
+    std::vector<std::vector<std::byte>> parts(static_cast<std::size_t>(P()));
+    for (int dst = 0; dst < P(); ++dst) {
+      parts[static_cast<std::size_t>(dst)].assign(
+          static_cast<std::size_t>(c.rank() + dst),
+          std::byte{static_cast<unsigned char>(c.rank())});
+    }
+    const auto received = c.alltoallvBytes(std::move(parts));
+    for (int src = 0; src < P(); ++src) {
+      const auto& part = received[static_cast<std::size_t>(src)];
+      ASSERT_EQ(part.size(), static_cast<std::size_t>(src + c.rank()));
+      for (std::byte b : part) {
+        EXPECT_EQ(b, std::byte{static_cast<unsigned char>(src)});
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveTest, AlltoallvWrongArityThrows) {
+  if (P() < 2) GTEST_SKIP();
+  EXPECT_THROW(run([&](Comm& c) {
+                 std::vector<std::vector<int>> tooFew(
+                     static_cast<std::size_t>(P() - 1));
+                 (void)c.alltoallv(std::move(tooFew));
+               }),
+               Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectiveTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16));
+
+}  // namespace
+}  // namespace casvm::net

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "casvm/net/comm.hpp"
+
+namespace casvm::net {
+namespace {
+
+/// Busy-work the optimizer cannot fold away (multiplicative recurrence).
+double spin(int iters) {
+  double x = 1.0;
+  for (int i = 0; i < iters; ++i) x = x * 1.0000001 + 1e-9;
+  return x;
+}
+
+TEST(EngineTest, RunsEveryRankExactlyOnce) {
+  std::atomic<int> count{0};
+  std::vector<std::atomic<int>> perRank(6);
+  Engine engine(6);
+  engine.run([&](Comm& c) {
+    ++count;
+    ++perRank[static_cast<std::size_t>(c.rank())];
+    EXPECT_EQ(c.size(), 6);
+  });
+  EXPECT_EQ(count.load(), 6);
+  for (auto& p : perRank) EXPECT_EQ(p.load(), 1);
+}
+
+TEST(EngineTest, ZeroRanksRejected) {
+  EXPECT_THROW(Engine(0), Error);
+}
+
+TEST(EngineTest, ExceptionPropagatesWithRank) {
+  Engine engine(3);
+  try {
+    engine.run([](Comm& c) {
+      if (c.rank() == 2) throw Error("deliberate failure");
+      // Other ranks do unrelated work and finish.
+    });
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank 2"), std::string::npos);
+    EXPECT_NE(what.find("deliberate failure"), std::string::npos);
+  }
+}
+
+TEST(EngineTest, FailureUnblocksWaitingPeers) {
+  // Rank 0 blocks on a message that will never come; rank 1 throws. The
+  // abort must wake rank 0 rather than deadlocking the join.
+  Engine engine(2);
+  EXPECT_THROW(engine.run([](Comm& c) {
+                 if (c.rank() == 0) {
+                   (void)c.recv<int>(1);  // never sent
+                 } else {
+                   throw Error("peer failure");
+                 }
+               }),
+               Error);
+}
+
+TEST(EngineTest, RootCausePreferredOverCascade) {
+  Engine engine(4);
+  try {
+    engine.run([](Comm& c) {
+      if (c.rank() == 3) throw Error("root cause");
+      (void)c.recv<int>((c.rank() + 1) % c.size());
+    });
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("root cause"), std::string::npos);
+  }
+}
+
+TEST(EngineTest, EngineIsReusable) {
+  Engine engine(2);
+  for (int round = 0; round < 3; ++round) {
+    const RunStats stats = engine.run([](Comm& c) {
+      if (c.rank() == 0) c.send(1, 1);
+      else (void)c.recv<int>(0);
+    });
+    // Traffic resets between runs: always exactly one message.
+    EXPECT_EQ(stats.traffic.totalOps(), 1u);
+  }
+}
+
+TEST(EngineStatsTest, ComputeTimeReflectsWork) {
+  Engine engine(2);
+  const RunStats stats = engine.run([](Comm& c) {
+    if (c.rank() == 0) {
+      EXPECT_GT(spin(30000000), 0.0);
+    }
+  });
+  EXPECT_GT(stats.computeSeconds[0], stats.computeSeconds[1]);
+  EXPECT_GT(stats.computeSeconds[0], 0.005);
+}
+
+TEST(EngineStatsTest, CommTimeChargedForMessages) {
+  CostModel cost;
+  cost.alpha = 1e-3;  // exaggerated latency so the charge is visible
+  Engine engine(2, cost);
+  const RunStats stats = engine.run([](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 10; ++i) c.send(1, i);
+    } else {
+      for (int i = 0; i < 10; ++i) (void)c.recv<int>(0);
+    }
+  });
+  // Sender pays 10 alpha charges.
+  EXPECT_GE(stats.commSeconds[0], 10e-3 * 0.99);
+}
+
+TEST(EngineStatsTest, ReceiverAdvancesPastSlowSender) {
+  // Rank 0 computes for a while before sending; rank 1 receives instantly.
+  // Virtual-time propagation must push rank 1's clock past rank 0's send
+  // time — the receiver "waited" in virtual time.
+  Engine engine(2);
+  const RunStats stats = engine.run([](Comm& c) {
+    if (c.rank() == 0) {
+      EXPECT_GT(spin(30000000), 0.0);
+      c.send(1, 1);
+    } else {
+      (void)c.recv<int>(0);
+    }
+  });
+  const double senderTotal = stats.computeSeconds[0] + stats.commSeconds[0];
+  const double receiverTotal = stats.computeSeconds[1] + stats.commSeconds[1];
+  EXPECT_GE(receiverTotal, senderTotal * 0.95);
+  // The receiver's time is dominated by waiting, reported as comm.
+  EXPECT_GT(stats.commSeconds[1], stats.computeSeconds[1]);
+}
+
+TEST(EngineStatsTest, VirtualSecondsIsMaxOverRanks) {
+  Engine engine(3);
+  const RunStats stats = engine.run([](Comm& c) {
+    EXPECT_GT(spin((c.rank() + 1) * 3000000), 0.0);
+  });
+  double maxTotal = 0.0;
+  for (int r = 0; r < 3; ++r) {
+    maxTotal = std::max(maxTotal,
+                        stats.computeSeconds[r] + stats.commSeconds[r]);
+  }
+  EXPECT_DOUBLE_EQ(stats.virtualSeconds(), maxTotal);
+  EXPECT_GE(stats.totalComputeSeconds(), stats.maxComputeSeconds());
+}
+
+TEST(EngineStatsTest, WallClockPositive) {
+  Engine engine(2);
+  const RunStats stats = engine.run([](Comm&) {});
+  EXPECT_GT(stats.wallSeconds, 0.0);
+  EXPECT_EQ(stats.size, 2);
+}
+
+}  // namespace
+}  // namespace casvm::net

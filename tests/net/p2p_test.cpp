@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "casvm/net/comm.hpp"
+
+namespace casvm::net {
+namespace {
+
+/// Run an SPMD function on `size` ranks and return the stats.
+RunStats run(int size, const std::function<void(Comm&)>& fn) {
+  Engine engine(size);
+  return engine.run(fn);
+}
+
+TEST(P2pTest, ScalarRoundTrip) {
+  run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 42);
+    } else {
+      EXPECT_EQ(c.recv<int>(0), 42);
+    }
+  });
+}
+
+TEST(P2pTest, DoubleAndStructRoundTrip) {
+  struct Payload {
+    double x;
+    int y;
+  };
+  run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 3.25);
+      c.send(1, Payload{1.5, 7});
+    } else {
+      EXPECT_EQ(c.recv<double>(0), 3.25);
+      const Payload p = c.recv<Payload>(0);
+      EXPECT_EQ(p.x, 1.5);
+      EXPECT_EQ(p.y, 7);
+    }
+  });
+}
+
+TEST(P2pTest, VectorRoundTrip) {
+  run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, std::vector<float>{1.0f, 2.0f, 3.0f});
+    } else {
+      const auto v = c.recvVec<float>(0);
+      ASSERT_EQ(v.size(), 3u);
+      EXPECT_EQ(v[1], 2.0f);
+    }
+  });
+}
+
+TEST(P2pTest, EmptyVectorRoundTrip) {
+  run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, std::vector<double>{});
+    } else {
+      EXPECT_TRUE(c.recvVec<double>(0).empty());
+    }
+  });
+}
+
+TEST(P2pTest, FifoOrderPerTag) {
+  run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 50; ++i) c.send(1, i, 3);
+    } else {
+      for (int i = 0; i < 50; ++i) EXPECT_EQ(c.recv<int>(0, 3), i);
+    }
+  });
+}
+
+TEST(P2pTest, TagsAreIndependentChannels) {
+  run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 1, /*tag=*/10);
+      c.send(1, 2, /*tag=*/20);
+    } else {
+      // Receive in the opposite order of sending: tags match, not order.
+      EXPECT_EQ(c.recv<int>(0, 20), 2);
+      EXPECT_EQ(c.recv<int>(0, 10), 1);
+    }
+  });
+}
+
+TEST(P2pTest, SourcesAreIndependentChannels) {
+  run(3, [](Comm& c) {
+    if (c.rank() == 1) {
+      c.send(0, 100);
+    } else if (c.rank() == 2) {
+      c.send(0, 200);
+    } else {
+      // Receive from rank 2 first even though rank 1 may have sent first.
+      EXPECT_EQ(c.recv<int>(2), 200);
+      EXPECT_EQ(c.recv<int>(1), 100);
+    }
+  });
+}
+
+TEST(P2pTest, SelfSendThrows) {
+  EXPECT_THROW(run(2, [](Comm& c) {
+                 if (c.rank() == 0) c.send(0, 1);
+               }),
+               Error);
+}
+
+TEST(P2pTest, BadDestinationThrows) {
+  EXPECT_THROW(run(2, [](Comm& c) {
+                 if (c.rank() == 0) c.send(5, 1);
+               }),
+               Error);
+}
+
+TEST(P2pTest, ReservedTagRejected) {
+  EXPECT_THROW(run(2, [](Comm& c) {
+                 if (c.rank() == 0) {
+                   const int x = 1;
+                   c.sendBytes(1, Comm::kUserTagLimit + 1, &x, sizeof(x));
+                 }
+               }),
+               Error);
+}
+
+TEST(P2pTest, SizeMismatchThrows) {
+  EXPECT_THROW(run(2, [](Comm& c) {
+                 if (c.rank() == 0) {
+                   c.send(1, std::int32_t{1});
+                 } else {
+                   c.recv<std::int64_t>(0);
+                 }
+               }),
+               Error);
+}
+
+TEST(P2pTest, ManyMessagesStress) {
+  run(4, [](Comm& c) {
+    const int next = (c.rank() + 1) % c.size();
+    const int prev = (c.rank() + c.size() - 1) % c.size();
+    for (int i = 0; i < 500; ++i) c.send(next, c.rank() * 1000 + i);
+    long long sum = 0;
+    for (int i = 0; i < 500; ++i) sum += c.recv<int>(prev);
+    EXPECT_EQ(sum, 500LL * prev * 1000 + 500LL * 499 / 2);
+  });
+}
+
+TEST(P2pTest, RawBytesRoundTrip) {
+  run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      const char msg[] = "hello casvm";
+      c.sendBytes(1, 7, msg, sizeof(msg));
+    } else {
+      const auto payload = c.recvBytes(0, 7);
+      EXPECT_STREQ(reinterpret_cast<const char*>(payload.data()),
+                   "hello casvm");
+    }
+  });
+}
+
+}  // namespace
+}  // namespace casvm::net

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "casvm/net/comm.hpp"
+
+namespace casvm::net {
+namespace {
+
+RunStats run(int size, const std::function<void(Comm&)>& fn) {
+  Engine engine(size);
+  return engine.run(fn);
+}
+
+TEST(SplitTest, EvenOddGroups) {
+  run(8, [](Comm& world) {
+    Comm group = world.split(world.rank() % 2, world.rank());
+    EXPECT_EQ(group.size(), 4);
+    EXPECT_EQ(group.rank(), world.rank() / 2);
+    EXPECT_EQ(group.worldRank(), world.rank());
+    EXPECT_FALSE(group.isWorld());
+    EXPECT_TRUE(world.isWorld());
+
+    // Group-local allreduce sums only the group's world ranks.
+    const long long sum = group.allreduceSum(
+        static_cast<long long>(world.rank()));
+    const long long expected = world.rank() % 2 == 0 ? 0 + 2 + 4 + 6
+                                                     : 1 + 3 + 5 + 7;
+    EXPECT_EQ(sum, expected);
+  });
+}
+
+TEST(SplitTest, KeyControlsOrdering) {
+  run(4, [](Comm& world) {
+    // Reverse the ranks: key = -rank.
+    Comm reversed = world.split(0, -world.rank());
+    EXPECT_EQ(reversed.size(), 4);
+    EXPECT_EQ(reversed.rank(), 3 - world.rank());
+    // Broadcast from the new rank 0 (= old rank 3).
+    int value = world.rank() == 3 ? 99 : -1;
+    reversed.bcast(value, 0);
+    EXPECT_EQ(value, 99);
+  });
+}
+
+TEST(SplitTest, SingletonGroups) {
+  run(3, [](Comm& world) {
+    Comm alone = world.split(world.rank(), 0);  // unique color each
+    EXPECT_EQ(alone.size(), 1);
+    EXPECT_EQ(alone.rank(), 0);
+    // Collectives on a singleton are no-ops that still work.
+    EXPECT_EQ(alone.allreduceSum(7LL), 7LL);
+    alone.barrier();
+  });
+}
+
+TEST(SplitTest, ParentStillUsableAfterSplit) {
+  run(6, [](Comm& world) {
+    Comm group = world.split(world.rank() / 3, world.rank());
+    const long long groupSum = group.allreduceSum(1LL);
+    EXPECT_EQ(groupSum, 3);
+    // The parent communicator is unaffected.
+    const long long worldSum = world.allreduceSum(1LL);
+    EXPECT_EQ(worldSum, 6);
+  });
+}
+
+TEST(SplitTest, ContextsIsolateTraffic) {
+  // Same (src, dst, tag) on parent and child simultaneously in flight:
+  // messages must match within their own communicator.
+  run(2, [](Comm& world) {
+    Comm child = world.split(0, world.rank());
+    if (world.rank() == 0) {
+      world.send(1, 111, /*tag=*/5);
+      child.send(1, 222, /*tag=*/5);
+    } else {
+      // Receive in the OPPOSITE order of sending: contexts must keep the
+      // two channels apart even though (src, tag) coincide.
+      EXPECT_EQ(child.recv<int>(0, 5), 222);
+      EXPECT_EQ(world.recv<int>(0, 5), 111);
+    }
+  });
+}
+
+TEST(SplitTest, NestedSplits) {
+  run(8, [](Comm& world) {
+    Comm half = world.split(world.rank() / 4, world.rank());  // two halves
+    ASSERT_EQ(half.size(), 4);
+    Comm quarter = half.split(half.rank() / 2, half.rank());  // two pairs
+    ASSERT_EQ(quarter.size(), 2);
+    const long long sum = quarter.allreduceSum(
+        static_cast<long long>(world.rank()));
+    // Pairs are (0,1), (2,3), (4,5), (6,7) in world ranks.
+    const int base = (world.rank() / 2) * 2;
+    EXPECT_EQ(sum, base + base + 1);
+  });
+}
+
+TEST(SplitTest, TrafficRecordedOnWorldEdges) {
+  TrafficSnapshot afterSplit;
+  const RunStats stats = run(4, [&](Comm& world) {
+    Comm group = world.split(world.rank() / 2, world.rank());
+    // Baseline after the split's own allgather traffic settles.
+    world.instrumentationFence(
+        [&] { afterSplit = world.trafficSnapshot(); });
+    if (group.rank() == 0) {
+      group.send(1, 42);
+    } else {
+      (void)group.recv<int>(0);
+    }
+  });
+  const TrafficSnapshot sends = stats.traffic.since(afterSplit);
+  // Group {0,1}: 0 -> 1. Group {2,3}: 2 -> 3. Physical edges preserved.
+  EXPECT_EQ(sends.bytesBetween(0, 1), sizeof(int));
+  EXPECT_EQ(sends.bytesBetween(2, 3), sizeof(int));
+  EXPECT_EQ(sends.totalOps(), 2u);
+}
+
+TEST(SplitTest, GroupGatherCollectsGroupMembers) {
+  run(6, [](Comm& world) {
+    Comm group = world.split(world.rank() % 3, world.rank());
+    ASSERT_EQ(group.size(), 2);
+    const std::vector<int> all = group.allgather(world.rank());
+    EXPECT_EQ(all[0] % 3, all[1] % 3);
+    EXPECT_NE(all[0], all[1]);
+  });
+}
+
+TEST(SplitTest, FenceWorksOnSubcommunicator) {
+  run(4, [](Comm& world) {
+    Comm group = world.split(world.rank() / 2, world.rank());
+    int hits = 0;
+    group.instrumentationFence([&] { ++hits; });
+    // Only group rank 0 executes the callback.
+    EXPECT_EQ(hits, group.rank() == 0 ? 1 : 0);
+  });
+}
+
+TEST(SplitTest, ManySplitsExhaustBudgetGracefully) {
+  run(2, [](Comm& world) {
+    // The per-communicator split budget is 15; the 16th must throw.
+    for (int i = 0; i < 15; ++i) {
+      (void)world.split(0, world.rank());
+    }
+    EXPECT_THROW((void)world.split(0, world.rank()), Error);
+  });
+}
+
+}  // namespace
+}  // namespace casvm::net

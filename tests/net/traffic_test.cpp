@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "casvm/net/comm.hpp"
+
+namespace casvm::net {
+namespace {
+
+TEST(TrafficMatrixTest, RecordAccumulates) {
+  TrafficMatrix tm(3);
+  tm.record(0, 1, 100);
+  tm.record(0, 1, 50);
+  tm.record(2, 0, 7);
+  const TrafficSnapshot s = tm.snapshot();
+  EXPECT_EQ(s.bytesBetween(0, 1), 150u);
+  EXPECT_EQ(s.opsBetween(0, 1), 2u);
+  EXPECT_EQ(s.bytesBetween(2, 0), 7u);
+  EXPECT_EQ(s.bytesBetween(1, 2), 0u);
+  EXPECT_EQ(s.totalBytes(), 157u);
+  EXPECT_EQ(s.totalOps(), 3u);
+}
+
+TEST(TrafficMatrixTest, ResetZeroes) {
+  TrafficMatrix tm(2);
+  tm.record(0, 1, 10);
+  tm.reset();
+  EXPECT_EQ(tm.snapshot().totalBytes(), 0u);
+}
+
+TEST(TrafficSnapshotTest, BytesTouchingCountsBothDirections) {
+  TrafficMatrix tm(3);
+  tm.record(0, 1, 10);
+  tm.record(1, 0, 5);
+  tm.record(1, 2, 3);
+  const TrafficSnapshot s = tm.snapshot();
+  EXPECT_EQ(s.bytesTouching(0), 15u);
+  EXPECT_EQ(s.bytesTouching(1), 18u);
+  EXPECT_EQ(s.bytesTouching(2), 3u);
+}
+
+TEST(TrafficSnapshotTest, BytesPerOp) {
+  TrafficMatrix tm(2);
+  EXPECT_EQ(tm.snapshot().bytesPerOp(), 0.0);
+  tm.record(0, 1, 100);
+  tm.record(0, 1, 200);
+  EXPECT_DOUBLE_EQ(tm.snapshot().bytesPerOp(), 150.0);
+}
+
+TEST(TrafficSnapshotTest, SinceSubtracts) {
+  TrafficMatrix tm(2);
+  tm.record(0, 1, 10);
+  const TrafficSnapshot early = tm.snapshot();
+  tm.record(0, 1, 25);
+  tm.record(1, 0, 4);
+  const TrafficSnapshot diff = tm.snapshot().since(early);
+  EXPECT_EQ(diff.bytesBetween(0, 1), 25u);
+  EXPECT_EQ(diff.bytesBetween(1, 0), 4u);
+  EXPECT_EQ(diff.totalOps(), 2u);
+}
+
+TEST(TrafficSnapshotTest, SinceSizeMismatchThrows) {
+  TrafficMatrix a(2), b(3);
+  EXPECT_THROW((void)b.snapshot().since(a.snapshot()), Error);
+}
+
+TEST(TrafficSnapshotTest, HeatmapMentionsEveryRank) {
+  TrafficMatrix tm(4);
+  tm.record(1, 2, 1024);
+  const std::string map = tm.snapshot().heatmap();
+  EXPECT_NE(map.find("1.0KB"), std::string::npos);
+  EXPECT_NE(map.find("src\\dst"), std::string::npos);
+}
+
+TEST(TrafficIntegrationTest, P2pBytesMatchPayload) {
+  Engine engine(2);
+  const RunStats stats = engine.run([](Comm& c) {
+    if (c.rank() == 0) c.send(1, std::vector<double>(100, 1.0));
+    else (void)c.recvVec<double>(0);
+  });
+  EXPECT_EQ(stats.traffic.bytesBetween(0, 1), 800u);
+  EXPECT_EQ(stats.traffic.bytesBetween(1, 0), 0u);
+  EXPECT_EQ(stats.traffic.opsBetween(0, 1), 1u);
+}
+
+TEST(TrafficIntegrationTest, NoCommMeansZeroTraffic) {
+  Engine engine(4);
+  const RunStats stats = engine.run([](Comm&) {
+    double x = 1.0;
+    for (int i = 0; i < 1000; ++i) x = x * 1.0000001 + 1e-9;
+    EXPECT_GT(x, 0.0);
+  });
+  EXPECT_EQ(stats.traffic.totalBytes(), 0u);
+  EXPECT_EQ(stats.traffic.totalOps(), 0u);
+}
+
+TEST(TrafficIntegrationTest, BcastUsesLogTreeEdges) {
+  // A binomial broadcast from rank 0 among 8 ranks sends exactly 7 payload
+  // messages (every rank receives once).
+  Engine engine(8);
+  const RunStats stats = engine.run([](Comm& c) {
+    double v = c.rank() == 0 ? 1.0 : 0.0;
+    c.bcast(v, 0);
+  });
+  std::size_t receives = 0;
+  for (int dst = 0; dst < 8; ++dst) {
+    for (int src = 0; src < 8; ++src) {
+      if (stats.traffic.bytesBetween(src, dst) > 0) ++receives;
+    }
+  }
+  EXPECT_EQ(receives, 7u);
+  EXPECT_EQ(stats.traffic.totalBytes(), 7 * sizeof(double));
+}
+
+TEST(TrafficIntegrationTest, MidRunSnapshotIsMonotonic) {
+  Engine engine(2);
+  engine.run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 1);
+      const TrafficSnapshot s1 = c.trafficSnapshot();
+      c.send(1, 2);
+      const TrafficSnapshot s2 = c.trafficSnapshot();
+      EXPECT_GE(s2.totalBytes(), s1.totalBytes());
+      EXPECT_EQ(s2.since(s1).totalOps(), 1u);
+    } else {
+      c.recv<int>(0);
+      c.recv<int>(0);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace casvm::net

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "casvm/core/train.hpp"
+#include "casvm/data/registry.hpp"
+#include "casvm/perf/comm_model.hpp"
+
+namespace casvm::perf {
+namespace {
+
+struct MeasuredRun {
+  core::TrainResult result;
+  CommModelParams params;
+};
+
+MeasuredRun trainAndMeasure(core::Method method) {
+  static const data::NamedDataset nd = data::standin("ijcnn", 0.5);
+  core::TrainConfig cfg;
+  cfg.method = method;
+  cfg.processes = 8;
+  cfg.solver.kernel = kernel::KernelParams::gaussian(nd.suggestedGamma);
+  cfg.solver.C = nd.suggestedC;
+  MeasuredRun run{core::train(nd.train, cfg), {}};
+  run.params.m = static_cast<long long>(nd.train.rows());
+  run.params.n = static_cast<long long>(nd.train.cols());
+  run.params.s = static_cast<long long>(run.result.model.totalSupportVectors());
+  run.params.I = run.result.totalIterations;
+  run.params.k = static_cast<long long>(run.result.kmeansLoops);
+  run.params.p = 8;
+  return run;
+}
+
+/// The Table X closed forms must predict the byte-exact measured traffic
+/// within an order of magnitude on a real run — the same validation the
+/// paper performs (its predictions landed within ~5-20%; ours differ more
+/// because our collectives and filtered layer sizes differ from the
+/// formulas' assumptions, but a 10x envelope catches structural breakage).
+class CommModelIntegrationTest : public ::testing::TestWithParam<core::Method> {};
+
+TEST_P(CommModelIntegrationTest, PredictionWithinOrderOfMagnitude) {
+  const MeasuredRun run = trainAndMeasure(GetParam());
+  const double measured =
+      static_cast<double>(run.result.runStats.traffic.totalBytes());
+  const double predicted = predictedCommBytes(GetParam(), run.params);
+  if (GetParam() == core::Method::RaCa) {
+    EXPECT_EQ(measured, 0.0);
+    EXPECT_EQ(predicted, 0.0);
+    return;
+  }
+  ASSERT_GT(measured, 0.0);
+  ASSERT_GT(predicted, 0.0);
+  const double ratio = predicted / measured;
+  EXPECT_GT(ratio, 0.1) << methodName(GetParam());
+  EXPECT_LT(ratio, 12.0) << methodName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, CommModelIntegrationTest,
+    ::testing::Values(core::Method::DisSmo, core::Method::Cascade,
+                      core::Method::DcSvm, core::Method::DcFilter,
+                      core::Method::CpSvm, core::Method::RaCa),
+    [](const ::testing::TestParamInfo<core::Method>& info) {
+      std::string name = core::methodName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(TrafficDecompositionTest, InitPlusTrainEqualsTotal) {
+  // The phase split must conserve bytes: init + train = whole run
+  // (collection deposits are shared-memory and add nothing).
+  for (core::Method method :
+       {core::Method::DisSmo, core::Method::Cascade, core::Method::CpSvm,
+        core::Method::RaCa}) {
+    const MeasuredRun run = trainAndMeasure(method);
+    EXPECT_EQ(run.result.initTraffic.totalBytes() +
+                  run.result.trainTraffic.totalBytes(),
+              run.result.runStats.traffic.totalBytes())
+        << methodName(method);
+    EXPECT_EQ(run.result.initTraffic.totalOps() +
+                  run.result.trainTraffic.totalOps(),
+              run.result.runStats.traffic.totalOps())
+        << methodName(method);
+  }
+}
+
+TEST(CommOrderingTest, MeasuredOrderingMatchesPaper) {
+  // Paper Table X measured ordering: Dis-SMO > DC-SVM > DC-Filter >
+  // CP-SVM (approx) > Cascade > CA-SVM = 0.
+  const double smo =
+      trainAndMeasure(core::Method::DisSmo).result.runStats.traffic.totalBytes();
+  const double dc =
+      trainAndMeasure(core::Method::DcSvm).result.runStats.traffic.totalBytes();
+  const double filter = trainAndMeasure(core::Method::DcFilter)
+                            .result.runStats.traffic.totalBytes();
+  const double cascade = trainAndMeasure(core::Method::Cascade)
+                             .result.runStats.traffic.totalBytes();
+  const double ca =
+      trainAndMeasure(core::Method::RaCa).result.runStats.traffic.totalBytes();
+  EXPECT_GT(smo, dc);
+  EXPECT_GT(dc, filter);
+  EXPECT_GT(filter, cascade);
+  EXPECT_EQ(ca, 0.0);
+}
+
+}  // namespace
+}  // namespace casvm::perf

@@ -1,0 +1,88 @@
+#include "casvm/perf/comm_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace casvm::perf {
+namespace {
+
+/// The paper's worked example (§IV-C1): ijcnn on 8 nodes with m = 48,000,
+/// n = 13, s = 4,474 predicts Cascade volume ~8.4MB.
+CommModelParams paperExample() {
+  CommModelParams q;
+  q.m = 48000;
+  q.n = 13;
+  q.s = 4474;
+  q.I = 30297;
+  q.k = 7;
+  q.p = 8;
+  return q;
+}
+
+TEST(CommModelTest, CascadeMatchesPaperWorkedExample) {
+  const double bytes = predictedCommBytes(core::Method::Cascade,
+                                          paperExample());
+  EXPECT_NEAR(bytes / (1024.0 * 1024.0), 8.4, 0.3);
+}
+
+TEST(CommModelTest, DisSmoNearPaperPrediction) {
+  // Paper predicts 36MB for Dis-SMO on the same run.
+  const double bytes =
+      predictedCommBytes(core::Method::DisSmo, paperExample());
+  EXPECT_NEAR(bytes / (1024.0 * 1024.0), 36.0, 4.0);
+}
+
+TEST(CommModelTest, DcSvmNearPaperPrediction) {
+  const double bytes = predictedCommBytes(core::Method::DcSvm, paperExample());
+  EXPECT_NEAR(bytes / (1024.0 * 1024.0), 24.0, 3.0);
+}
+
+TEST(CommModelTest, DcFilterAndCpSvmNearPaperPredictions) {
+  EXPECT_NEAR(predictedCommBytes(core::Method::DcFilter, paperExample()) /
+                  (1024.0 * 1024.0),
+              16.2, 2.0);
+  EXPECT_NEAR(predictedCommBytes(core::Method::CpSvm, paperExample()) /
+                  (1024.0 * 1024.0),
+              15.6, 2.0);
+}
+
+TEST(CommModelTest, CaSvmIsExactlyZero) {
+  EXPECT_EQ(predictedCommBytes(core::Method::RaCa, paperExample()), 0.0);
+}
+
+TEST(CommModelTest, PaperOrderingHolds) {
+  // Table X ordering: Dis-SMO > DC-SVM > DC-Filter ~ CP-SVM > Cascade > 0.
+  const auto q = paperExample();
+  const double smo = predictedCommBytes(core::Method::DisSmo, q);
+  const double dc = predictedCommBytes(core::Method::DcSvm, q);
+  const double filter = predictedCommBytes(core::Method::DcFilter, q);
+  const double cp = predictedCommBytes(core::Method::CpSvm, q);
+  const double cascade = predictedCommBytes(core::Method::Cascade, q);
+  EXPECT_GT(smo, dc);
+  EXPECT_GT(dc, filter);
+  EXPECT_GT(filter, cp * 0.99);
+  EXPECT_GT(cp, cascade);
+  EXPECT_GT(cascade, 0.0);
+}
+
+TEST(CommModelTest, VolumeGrowsWithProblemSize) {
+  CommModelParams small = paperExample();
+  CommModelParams big = small;
+  big.m *= 2;
+  big.I *= 2;
+  big.s *= 2;
+  for (core::Method m :
+       {core::Method::DisSmo, core::Method::Cascade, core::Method::DcSvm,
+        core::Method::DcFilter, core::Method::CpSvm}) {
+    EXPECT_GT(predictedCommBytes(m, big), predictedCommBytes(m, small));
+  }
+}
+
+TEST(CommModelTest, FormulasNonEmpty) {
+  for (core::Method m : core::allMethods()) {
+    EXPECT_STRNE(commFormula(m), "");
+  }
+  EXPECT_STREQ(commFormula(core::Method::RaCa), "0");
+}
+
+}  // namespace
+}  // namespace casvm::perf

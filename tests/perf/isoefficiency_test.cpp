@@ -1,0 +1,102 @@
+#include "casvm/perf/isoefficiency.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "casvm/support/error.hpp"
+
+namespace casvm::perf {
+namespace {
+
+double growthExponent(ScalingMethod method, int pLo, int pHi) {
+  const IsoParams params;
+  const double wLo = isoefficiencyW(method, pLo, params);
+  const double wHi = isoefficiencyW(method, pHi, params);
+  return std::log(wHi / wLo) / std::log(double(pHi) / pLo);
+}
+
+TEST(IsoefficiencyTest, FormulasMatchTableIV) {
+  EXPECT_EQ(isoefficiencyFormula(ScalingMethod::MatVec1D), "W = Omega(P^2)");
+  EXPECT_EQ(isoefficiencyFormula(ScalingMethod::MatVec2D), "W = Omega(P)");
+  EXPECT_EQ(isoefficiencyFormula(ScalingMethod::DisSmo), "W = Omega(P^3)");
+  EXPECT_EQ(isoefficiencyFormula(ScalingMethod::Cascade), "W = Omega(P^3)");
+  EXPECT_EQ(isoefficiencyFormula(ScalingMethod::DcSvm), "W = Omega(P^3)");
+  EXPECT_EQ(isoefficiencyFormula(ScalingMethod::CaSvm), "W = Omega(P)");
+}
+
+TEST(IsoefficiencyTest, DisSmoGrowsCubically) {
+  const double e = growthExponent(ScalingMethod::DisSmo, 256, 4096);
+  EXPECT_GT(e, 2.5);
+  EXPECT_LT(e, 3.3);
+}
+
+TEST(IsoefficiencyTest, CaSvmGrowsLinearly) {
+  const double e = growthExponent(ScalingMethod::CaSvm, 256, 4096);
+  EXPECT_NEAR(e, 1.0, 0.2);
+}
+
+TEST(IsoefficiencyTest, MatVecReferencesBracketTheMethods) {
+  const double e1d = growthExponent(ScalingMethod::MatVec1D, 256, 4096);
+  const double e2d = growthExponent(ScalingMethod::MatVec2D, 256, 4096);
+  EXPECT_GT(e1d, 1.6);
+  EXPECT_LT(e2d, 1.7);
+  EXPECT_LT(e2d, e1d);
+}
+
+TEST(IsoefficiencyTest, SmoWorseThan1DMatVec) {
+  // The paper's §III-A punchline: the SVM methods scale worse than even a
+  // 1-D matvec.
+  const IsoParams params;
+  for (int p : {512, 1024, 2048}) {
+    EXPECT_GT(isoefficiencyW(ScalingMethod::DisSmo, p, params),
+              isoefficiencyW(ScalingMethod::MatVec1D, p, params));
+  }
+}
+
+TEST(IsoefficiencyTest, CaSvmCanUseFarMoreProcessors) {
+  // At a fixed W, find the largest P each method sustains: CA-SVM's should
+  // be much larger than Dis-SMO's.
+  const IsoParams params;
+  const double budget = isoefficiencyW(ScalingMethod::DisSmo, 64, params);
+  int pCa = 64;
+  while (isoefficiencyW(ScalingMethod::CaSvm, pCa * 2, params) <= budget &&
+         pCa < (1 << 24)) {
+    pCa *= 2;
+  }
+  EXPECT_GE(pCa, 64 * 16);
+}
+
+TEST(IsoefficiencyTest, MonotoneInP) {
+  const IsoParams params;
+  for (ScalingMethod method :
+       {ScalingMethod::MatVec1D, ScalingMethod::MatVec2D,
+        ScalingMethod::DisSmo, ScalingMethod::Cascade, ScalingMethod::DcSvm,
+        ScalingMethod::CaSvm}) {
+    double prev = 0.0;
+    for (int p : {64, 128, 256, 512}) {
+      const double w = isoefficiencyW(method, p, params);
+      EXPECT_GT(w, prev);
+      prev = w;
+    }
+  }
+}
+
+TEST(IsoefficiencyTest, HigherEfficiencyNeedsBiggerProblem) {
+  IsoParams lo, hi;
+  lo.efficiency = 0.3;
+  hi.efficiency = 0.8;
+  EXPECT_LT(isoefficiencyW(ScalingMethod::DisSmo, 512, lo),
+            isoefficiencyW(ScalingMethod::DisSmo, 512, hi));
+}
+
+TEST(IsoefficiencyTest, InvalidEfficiencyThrows) {
+  IsoParams params;
+  params.efficiency = 1.0;
+  EXPECT_THROW((void)isoefficiencyW(ScalingMethod::CaSvm, 8, params), Error);
+  params.efficiency = 0.0;
+  EXPECT_THROW((void)isoefficiencyW(ScalingMethod::CaSvm, 8, params), Error);
+}
+
+}  // namespace
+}  // namespace casvm::perf

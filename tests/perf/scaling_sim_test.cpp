@@ -1,0 +1,124 @@
+#include "casvm/perf/scaling_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "casvm/data/registry.hpp"
+#include "casvm/support/error.hpp"
+
+namespace casvm::perf {
+namespace {
+
+const ScalingCalibration& cal() {
+  static const ScalingCalibration c = [] {
+    const auto nd = data::standin("toy");
+    solver::SolverOptions opts;
+    opts.kernel = kernel::KernelParams::gaussian(nd.suggestedGamma);
+    opts.C = nd.suggestedC;
+    return calibrate(nd.train, opts, {300, 600, 1200});
+  }();
+  return c;
+}
+
+TEST(CalibrateTest, ProducesPlausibleConstants) {
+  EXPECT_GT(cal().itersPerSample, 0.0);
+  EXPECT_LT(cal().itersPerSample, 10.0);
+  EXPECT_GT(cal().secPerIterRow, 0.0);
+  EXPECT_LT(cal().secPerIterRow, 1e-3);
+  EXPECT_GT(cal().svFraction, 0.0);
+  EXPECT_LE(cal().svFraction, 1.0);
+  EXPECT_GE(cal().kmeansLoops, 1.0);
+  EXPECT_GE(cal().cpImbalance, 1.0);
+}
+
+TEST(CalibrateTest, RejectsBadInputs) {
+  const auto nd = data::standin("toy", 0.1);
+  solver::SolverOptions opts;
+  EXPECT_THROW((void)calibrate(nd.train, opts, {}), Error);
+  EXPECT_THROW((void)calibrate(nd.train, opts, {nd.train.rows() + 10}),
+               Error);
+}
+
+TEST(ScalingSimTest, CaSvmStrongScalingSuperlinear) {
+  // Doubling P better than halves CA-SVM's time: both the iteration count
+  // and per-iteration cost shrink with m/P (Table XX's >100% efficiency).
+  const long long m = 128000;
+  double prev = modeledTrainTime(core::Method::RaCa, cal(), m, 96).total();
+  for (int p : {192, 384, 768, 1536}) {
+    const double t = modeledTrainTime(core::Method::RaCa, cal(), m, p).total();
+    EXPECT_LT(t, prev / 2.0) << p;
+    prev = t;
+  }
+}
+
+TEST(ScalingSimTest, CaSvmWeakScalingFlat) {
+  // 2k samples per node: time nearly constant from 96 to 1536 (Table XXII's
+  // 95.3% efficiency).
+  const double t96 =
+      modeledTrainTime(core::Method::RaCa, cal(), 2000 * 96, 96).total();
+  const double t1536 =
+      modeledTrainTime(core::Method::RaCa, cal(), 2000 * 1536, 1536).total();
+  EXPECT_NEAR(t1536 / t96, 1.0, 0.1);
+}
+
+TEST(ScalingSimTest, DisSmoWeakScalingDegradesLinearly) {
+  const double t96 =
+      modeledTrainTime(core::Method::DisSmo, cal(), 2000 * 96, 96).total();
+  const double t1536 =
+      modeledTrainTime(core::Method::DisSmo, cal(), 2000 * 1536, 1536)
+          .total();
+  const double ratio = t1536 / t96;
+  EXPECT_GT(ratio, 8.0);   // paper: ~12.7x
+  EXPECT_LT(ratio, 40.0);
+}
+
+TEST(ScalingSimTest, DcSvmWeakScalingCollapses) {
+  // The final layer retrains on all m = 2000 P samples: ~P^2 growth
+  // (paper: 17.8s -> 3547s, a 200x degradation over 16x processes).
+  const double t96 =
+      modeledTrainTime(core::Method::DcSvm, cal(), 2000 * 96, 96).total();
+  const double t1536 =
+      modeledTrainTime(core::Method::DcSvm, cal(), 2000 * 1536, 1536).total();
+  EXPECT_GT(t1536 / t96, 50.0);
+}
+
+TEST(ScalingSimTest, CaSvmFastestAtScaleStrong) {
+  const long long m = 128000;
+  const double ca =
+      modeledTrainTime(core::Method::RaCa, cal(), m, 1536).total();
+  for (core::Method method :
+       {core::Method::DisSmo, core::Method::DcSvm, core::Method::DcFilter,
+        core::Method::CpSvm}) {
+    EXPECT_GT(modeledTrainTime(method, cal(), m, 1536).total(), ca);
+  }
+}
+
+TEST(ScalingSimTest, CaSvmHasZeroCommTime) {
+  const ModeledTime t = modeledTrainTime(core::Method::RaCa, cal(), 64000, 64);
+  EXPECT_EQ(t.comm, 0.0);
+  EXPECT_GT(t.compute, 0.0);
+}
+
+TEST(ScalingSimTest, DisSmoCommGrowsWithP) {
+  const long long m = 128000;
+  const double c96 = modeledTrainTime(core::Method::DisSmo, cal(), m, 96).comm;
+  const double c1536 =
+      modeledTrainTime(core::Method::DisSmo, cal(), m, 1536).comm;
+  EXPECT_GT(c1536, c96);
+}
+
+TEST(ScalingSimTest, CpSlowerThanBalancedCa) {
+  // CP-SVM's largest K-means part dominates; BKM-CA's parts are even.
+  const long long m = 64000;
+  EXPECT_GE(modeledTrainTime(core::Method::CpSvm, cal(), m, 64).compute,
+            modeledTrainTime(core::Method::BkmCa, cal(), m, 64).compute);
+}
+
+TEST(ScalingSimTest, InvalidArgsThrow) {
+  EXPECT_THROW((void)modeledTrainTime(core::Method::RaCa, cal(), 10, 0),
+               Error);
+  EXPECT_THROW((void)modeledTrainTime(core::Method::RaCa, cal(), 4, 8),
+               Error);
+}
+
+}  // namespace
+}  // namespace casvm::perf

@@ -1,0 +1,106 @@
+#include "casvm/solver/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "casvm/data/synth.hpp"
+#include "casvm/solver/smo.hpp"
+#include "casvm/support/error.hpp"
+
+namespace casvm::solver {
+namespace {
+
+Model trainedModel(std::uint64_t seed = 61) {
+  const auto ds = data::generateTwoGaussians(150, 4, 5.0, seed);
+  SolverOptions opts;
+  opts.kernel = kernel::KernelParams::gaussian(0.2);
+  return SmoSolver(opts).solve(ds).model;
+}
+
+TEST(ModelTest, CoefficientCountMustMatchSVs) {
+  const auto svs = data::Dataset::fromDense(1, {1.0f}, {1});
+  EXPECT_THROW(Model(kernel::KernelParams::linear(), svs, {0.5, 0.5}, 0.0),
+               Error);
+}
+
+TEST(ModelTest, DecisionMatchesManualSum) {
+  const auto svs = data::Dataset::fromDense(1, {-1.0f, 1.0f}, {-1, 1});
+  const Model m(kernel::KernelParams::linear(), svs, {-0.5, 0.5}, 0.25);
+  // decision(x) = -0.5*(-1*x) ... coefficients are alpha*y already:
+  // = -0.5*(-1 . x) + 0.5*(1 . x) + 0.25 = x + 0.25
+  const std::vector<float> probe{2.0f};
+  EXPECT_NEAR(m.decision(probe), 2.25, 1e-12);
+}
+
+TEST(ModelTest, DecisionForMatchesDecision) {
+  const Model m = trainedModel();
+  const auto test = data::generateTwoGaussians(20, 4, 5.0, 67);
+  for (std::size_t i = 0; i < test.rows(); ++i) {
+    EXPECT_NEAR(m.decisionFor(test, i), m.decision(test.denseRow(i)), 1e-9);
+  }
+}
+
+TEST(ModelTest, PredictSignOfDecision) {
+  const Model m = trainedModel();
+  const auto test = data::generateTwoGaussians(30, 4, 5.0, 71);
+  for (std::size_t i = 0; i < test.rows(); ++i) {
+    const std::int8_t expected = m.decisionFor(test, i) >= 0.0 ? 1 : -1;
+    EXPECT_EQ(m.predictFor(test, i), expected);
+  }
+}
+
+TEST(ModelTest, AccuracyHighOnSeparableData) {
+  const Model m = trainedModel();
+  const auto test = data::generateTwoGaussians(200, 4, 5.0, 73);
+  EXPECT_GT(m.accuracy(test), 0.97);
+}
+
+TEST(ModelTest, EmptyModelPredictsBias) {
+  const Model m(kernel::KernelParams::gaussian(1.0), data::Dataset(), {}, -1.0);
+  const auto test = data::generateTwoGaussians(10, 4, 5.0, 79);
+  for (std::size_t i = 0; i < test.rows(); ++i) {
+    EXPECT_EQ(m.predictFor(test, i), -1);
+  }
+}
+
+TEST(ModelTest, PackUnpackRoundTrip) {
+  const Model m = trainedModel();
+  const Model back = Model::unpack(m.pack());
+  EXPECT_EQ(back.numSupportVectors(), m.numSupportVectors());
+  EXPECT_DOUBLE_EQ(back.bias(), m.bias());
+  EXPECT_EQ(back.kernelParams().type, m.kernelParams().type);
+  const auto test = data::generateTwoGaussians(25, 4, 5.0, 83);
+  for (std::size_t i = 0; i < test.rows(); ++i) {
+    EXPECT_NEAR(back.decisionFor(test, i), m.decisionFor(test, i), 1e-12);
+  }
+}
+
+TEST(ModelTest, SaveLoadRoundTrip) {
+  const Model m = trainedModel();
+  const std::string path = ::testing::TempDir() + "/casvm_model_test.bin";
+  m.save(path);
+  const Model back = Model::load(path);
+  EXPECT_EQ(back.numSupportVectors(), m.numSupportVectors());
+  EXPECT_DOUBLE_EQ(back.bias(), m.bias());
+  std::remove(path.c_str());
+}
+
+TEST(ModelTest, LoadMissingFileThrows) {
+  EXPECT_THROW((void)Model::load("/nonexistent/model.bin"), Error);
+}
+
+TEST(ModelTest, TruncatedPackThrows) {
+  const Model m = trainedModel();
+  auto bytes = m.pack();
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW((void)Model::unpack(bytes), Error);
+}
+
+TEST(ModelTest, AccuracyOnEmptyTestSetThrows) {
+  const Model m = trainedModel();
+  EXPECT_THROW((void)m.accuracy(data::Dataset()), Error);
+}
+
+}  // namespace
+}  // namespace casvm::solver

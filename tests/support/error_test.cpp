@@ -1,0 +1,40 @@
+#include "casvm/support/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace casvm {
+namespace {
+
+TEST(ErrorTest, CheckPassesOnTrue) {
+  EXPECT_NO_THROW(CASVM_CHECK(1 + 1 == 2, "math works"));
+}
+
+TEST(ErrorTest, CheckThrowsOnFalse) {
+  EXPECT_THROW(CASVM_CHECK(false, "always fails"), Error);
+}
+
+TEST(ErrorTest, MessageContainsContext) {
+  try {
+    CASVM_CHECK(2 > 3, "impossible comparison");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("impossible comparison"), std::string::npos);
+    EXPECT_NE(what.find("2 > 3"), std::string::npos);
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, AssertBehavesLikeCheck) {
+  EXPECT_THROW(CASVM_ASSERT(false, "invariant broken"), Error);
+  EXPECT_NO_THROW(CASVM_ASSERT(true, "ok"));
+}
+
+TEST(ErrorTest, ErrorIsRuntimeError) {
+  const Error e("boom");
+  const std::runtime_error& base = e;
+  EXPECT_STREQ(base.what(), "boom");
+}
+
+}  // namespace
+}  // namespace casvm

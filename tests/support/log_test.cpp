@@ -1,0 +1,42 @@
+#include "casvm/support/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace casvm {
+namespace {
+
+TEST(LogTest, LevelRoundTrips) {
+  const LogLevel original = logLevel();
+  setLogLevel(LogLevel::Debug);
+  EXPECT_EQ(logLevel(), LogLevel::Debug);
+  setLogLevel(LogLevel::Error);
+  EXPECT_EQ(logLevel(), LogLevel::Error);
+  setLogLevel(original);
+}
+
+TEST(LogTest, MacrosCompileAndRespectLevel) {
+  const LogLevel original = logLevel();
+  setLogLevel(LogLevel::Off);
+  // Should be a no-op (nothing observable, but must not crash).
+  CASVM_DEBUG("debug " << 1);
+  CASVM_INFO("info " << 2);
+  CASVM_WARN("warn " << 3);
+  CASVM_ERROR("error " << 4);
+  setLogLevel(original);
+}
+
+TEST(LogTest, ExpressionNotEvaluatedBelowLevel) {
+  const LogLevel original = logLevel();
+  setLogLevel(LogLevel::Off);
+  int evaluations = 0;
+  auto sideEffect = [&]() {
+    ++evaluations;
+    return "x";
+  };
+  CASVM_DEBUG(sideEffect());
+  EXPECT_EQ(evaluations, 0);
+  setLogLevel(original);
+}
+
+}  // namespace
+}  // namespace casvm

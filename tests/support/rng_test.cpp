@@ -1,0 +1,148 @@
+#include "casvm/support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "casvm/support/error.hpp"
+
+namespace casvm {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng a(7);
+  const std::uint64_t first = a.next();
+  a.next();
+  a.reseed(7);
+  EXPECT_EQ(a.next(), first);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(8);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(RngTest, BelowCoversAllValues) {
+  Rng rng(10);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, BelowZeroThrows) {
+  Rng rng(11);
+  EXPECT_THROW(rng.below(0), Error);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(12);
+  const int n = 200000;
+  double sum = 0.0, sumSq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumSq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumSq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalWithParams) {
+  Rng rng(13);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(14);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(15);
+  const auto sample = rng.sampleWithoutReplacement(100, 40);
+  EXPECT_EQ(sample.size(), 40u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 40u);
+  for (std::size_t v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(RngTest, SampleWholePopulation) {
+  Rng rng(16);
+  const auto sample = rng.sampleWithoutReplacement(10, 10);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(RngTest, SampleTooManyThrows) {
+  Rng rng(17);
+  EXPECT_THROW(rng.sampleWithoutReplacement(5, 6), Error);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(18);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (parent.next() == child.next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, WorksWithStdShuffle) {
+  Rng rng(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<int> original = v;
+  std::shuffle(v.begin(), v.end(), rng);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, original);
+}
+
+}  // namespace
+}  // namespace casvm

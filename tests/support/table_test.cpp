@@ -1,0 +1,80 @@
+#include "casvm/support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "casvm/support/error.hpp"
+
+namespace casvm {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRows) {
+  TablePrinter t({"name", "value"});
+  t.addRow({"alpha", "1"});
+  t.addRow({"beta", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TableTest, ColumnsAligned) {
+  TablePrinter t({"a", "b"});
+  t.addRow({"xxxxxx", "1"});
+  t.addRow({"y", "2"});
+  const std::string out = t.render();
+  // Every line has the same length when columns are padded.
+  std::size_t firstLen = out.find('\n');
+  std::size_t pos = firstLen + 1;
+  while (pos < out.size()) {
+    const std::size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, firstLen);
+    pos = next + 1;
+  }
+}
+
+TEST(TableTest, RowArityMismatchThrows) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), Error);
+}
+
+TEST(TableTest, EmptyHeaderThrows) {
+  EXPECT_THROW(TablePrinter({}), Error);
+}
+
+TEST(TableTest, RowCount) {
+  TablePrinter t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.addRow({"1"});
+  t.addRow({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableFmtTest, FixedPoint) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::fmt(-1.5, 1), "-1.5");
+}
+
+TEST(TableFmtTest, CountSeparators) {
+  EXPECT_EQ(TablePrinter::fmtCount(0), "0");
+  EXPECT_EQ(TablePrinter::fmtCount(999), "999");
+  EXPECT_EQ(TablePrinter::fmtCount(1000), "1,000");
+  EXPECT_EQ(TablePrinter::fmtCount(30297), "30,297");
+  EXPECT_EQ(TablePrinter::fmtCount(1234567), "1,234,567");
+  EXPECT_EQ(TablePrinter::fmtCount(-1234), "-1,234");
+}
+
+TEST(TableFmtTest, Bytes) {
+  EXPECT_EQ(TablePrinter::fmtBytes(0), "0B");
+  EXPECT_EQ(TablePrinter::fmtBytes(512), "512B");
+  EXPECT_EQ(TablePrinter::fmtBytes(2048), "2.0KB");
+  EXPECT_EQ(TablePrinter::fmtBytes(8.41 * 1024 * 1024), "8.4MB");
+}
+
+TEST(TableFmtTest, Percent) {
+  EXPECT_EQ(TablePrinter::fmtPercent(0.953), "95.3%");
+  EXPECT_EQ(TablePrinter::fmtPercent(1.0), "100.0%");
+}
+
+}  // namespace
+}  // namespace casvm

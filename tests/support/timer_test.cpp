@@ -1,0 +1,48 @@
+#include "casvm/support/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace casvm {
+namespace {
+
+TEST(TimerTest, WallTimerAdvances) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(t.seconds(), 0.009);
+}
+
+TEST(TimerTest, ResetRestarts) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.009);
+}
+
+TEST(TimerTest, ThreadCpuGrowsWithWork) {
+  const double before = threadCpuSeconds();
+  double x = 1.0;
+  for (int i = 0; i < 20000000; ++i) x = x * 1.0000001 + 1e-9;
+  const double after = threadCpuSeconds();
+  EXPECT_GT(x, 0.0);
+  EXPECT_GT(after, before);
+}
+
+TEST(TimerTest, ThreadCpuIgnoresSleep) {
+  const double before = threadCpuSeconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const double after = threadCpuSeconds();
+  // Sleeping burns (almost) no CPU.
+  EXPECT_LT(after - before, 0.02);
+}
+
+TEST(TimerTest, ProcessCpuAtLeastThreadCpu) {
+  double x = 1.0;
+  for (int i = 0; i < 1000000; ++i) x = x * 1.0000001 + 1e-9;
+  EXPECT_GT(x, 0.0);
+  EXPECT_GE(processCpuSeconds(), threadCpuSeconds() * 0.5);
+}
+
+}  // namespace
+}  // namespace casvm

@@ -1,0 +1,45 @@
+#!/bin/sh
+# End-to-end CLI workflow: datagen -> scale -> train -> predict (local and
+# distributed). Run by ctest with the build directory as $1.
+set -e
+BIN="$1/tools"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+"$BIN/casvm-datagen" --list > "$WORK/list.txt"
+grep -q webspam "$WORK/list.txt"
+
+"$BIN/casvm-datagen" --standin toy --scale 0.5 \
+  --out "$WORK/train.libsvm" --test-out "$WORK/test.libsvm"
+test -s "$WORK/train.libsvm"
+test -s "$WORK/test.libsvm"
+
+"$BIN/casvm-scale" --data "$WORK/train.libsvm" --kind standard \
+  --out "$WORK/train.scaled" --save-params "$WORK/scaler.txt"
+"$BIN/casvm-scale" --data "$WORK/test.libsvm" \
+  --out "$WORK/test.scaled" --load-params "$WORK/scaler.txt"
+
+"$BIN/casvm-train" --data "$WORK/train.scaled" --method fcfs-ca \
+  --gamma 0.5 --procs 4 --out "$WORK/model.bin" > "$WORK/train.log"
+grep -q "model written" "$WORK/train.log"
+
+"$BIN/casvm-predict" --model "$WORK/model.bin" --data "$WORK/test.scaled" \
+  --out "$WORK/labels.txt" > "$WORK/predict.log"
+grep -q "accuracy" "$WORK/predict.log"
+# One label per test sample.
+test "$(wc -l < "$WORK/labels.txt")" = "$(wc -l < "$WORK/test.scaled")"
+
+"$BIN/casvm-predict" --model "$WORK/model.bin" --data "$WORK/test.scaled" \
+  --distributed > "$WORK/predict_dist.log"
+grep -q "distributed prediction" "$WORK/predict_dist.log"
+
+# Accuracy parity between local and routed prediction.
+ACC1=$(grep -o 'accuracy: [0-9.]*' "$WORK/predict.log" | head -1)
+ACC2=$(grep -o 'accuracy: [0-9.]*' "$WORK/predict_dist.log" | head -1)
+test "$ACC1" = "$ACC2"
+
+"$BIN/casvm-model" --mode strong --m 16000 --procs 8,32,128 \
+  --standin toy > "$WORK/model_tool.log"
+grep -q "ra-ca" "$WORK/model_tool.log"
+
+echo "tools workflow OK"

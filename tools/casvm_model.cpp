@@ -1,0 +1,113 @@
+// casvm-model: what-if scaling exploration from the calibrated analytic
+// model (the machinery behind the Tables XIX-XXII benches, exposed as a
+// tool). Calibrates against real solves of a stand-in (or your LIBSVM
+// file) and prints modeled training time for every method over a process
+// sweep, strong- or weak-scaling.
+//
+//   casvm-model --mode strong --m 128000 --procs 96,192,384,768,1536
+//   casvm-model --mode weak --per-node 2000 --procs 96,384,1536
+//   casvm-model --standin usps --mode strong --m 266079
+
+#include <cstdio>
+#include <sstream>
+
+#include "casvm/data/io.hpp"
+#include "casvm/data/registry.hpp"
+#include "casvm/perf/scaling_sim.hpp"
+#include "casvm/support/table.hpp"
+#include "cli_common.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: casvm-model [options]
+  --mode <strong|weak>  sweep type (default strong)
+  --m <count>           total samples for strong scaling (default 128000)
+  --per-node <count>    samples per node for weak scaling (default 2000)
+  --procs <list>        comma-separated process counts (default 96..1536)
+  --standin <name>      calibration dataset (default epsilon)
+  --data <file>         calibrate on a LIBSVM file instead
+  --gamma <g> --C <c>   solver parameters for calibration
+  --alpha <s>           interconnect latency seconds (default 1.5e-6)
+  --beta <s>            interconnect seconds/byte (default 1.25e-10)
+)";
+
+std::vector<int> parseProcs(const std::string& list) {
+  std::vector<int> out;
+  std::stringstream ss(list);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const int p = std::atoi(item.c_str());
+    if (p > 0) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace casvm;
+  const cli::Args args(argc, argv, {"help"});
+  if (args.has("help")) cli::usage(kUsage);
+
+  try {
+    data::Dataset calData;
+    double gamma = args.getDouble("gamma", 0.0);
+    if (args.has("data")) {
+      calData = data::readLibsvmFile(args.get("data", ""));
+      if (gamma == 0.0) gamma = 1.0 / static_cast<double>(calData.cols());
+    } else {
+      const data::NamedDataset nd =
+          data::standin(args.get("standin", "epsilon"));
+      calData = nd.train;
+      if (gamma == 0.0) gamma = nd.suggestedGamma;
+    }
+
+    solver::SolverOptions sopts;
+    sopts.kernel = kernel::KernelParams::gaussian(gamma);
+    sopts.C = args.getDouble("C", 1.0);
+    perf::ScalingCalibration cal = perf::calibrate(
+        calData, sopts,
+        {calData.rows() / 8, calData.rows() / 4, calData.rows() / 2});
+    cal.cost.alpha = args.getDouble("alpha", cal.cost.alpha);
+    cal.cost.beta = args.getDouble("beta", cal.cost.beta);
+    std::printf(
+        "calibration: %.3f iters/sample, %.2e s/(iter*row), SV fraction "
+        "%.2f, K-means imbalance %.2f (growth P^%.2f), n=%lld\n",
+        cal.itersPerSample, cal.secPerIterRow, cal.svFraction,
+        cal.cpImbalance, cal.cpImbalanceGrowth, cal.features);
+
+    const bool weak = args.get("mode", "strong") == "weak";
+    const std::vector<int> procs =
+        parseProcs(args.get("procs", "96,192,384,768,1536"));
+    const long long mStrong = args.getInt("m", 128000);
+    const long long perNode = args.getInt("per-node", 2000);
+
+    std::vector<std::string> headers{"method"};
+    for (int p : procs) headers.push_back("P=" + std::to_string(p));
+    headers.push_back(weak ? "weak eff" : "strong eff");
+    TablePrinter table(std::move(headers));
+
+    for (core::Method method : core::allMethods()) {
+      std::vector<std::string> row{core::methodName(method)};
+      double t0 = 0.0, tLast = 0.0;
+      for (std::size_t i = 0; i < procs.size(); ++i) {
+        const long long m = weak ? perNode * procs[i] : mStrong;
+        const double t =
+            perf::modeledTrainTime(method, cal, m, procs[i]).total();
+        if (i == 0) t0 = t;
+        tLast = t;
+        row.push_back(TablePrinter::fmt(t, t < 10 ? 2 : 1) + "s");
+      }
+      const double eff = weak
+                             ? t0 / tLast
+                             : t0 * procs.front() / (tLast * procs.back());
+      row.push_back(TablePrinter::fmtPercent(eff));
+      table.addRow(std::move(row));
+    }
+    table.print();
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "casvm-model: %s\n", e.what());
+    return 1;
+  }
+}

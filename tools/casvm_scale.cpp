@@ -1,0 +1,72 @@
+// casvm-scale: feature scaling, the svm-scale step of the LIBSVM workflow.
+//
+//   casvm-scale --data train.libsvm --out train.scaled --save-params s.txt
+//   casvm-scale --data test.libsvm  --out test.scaled  --load-params s.txt
+//
+// Fit on the training split (writing the parameters), then apply the SAME
+// parameters to the test split — never refit on test data.
+
+#include <cstdio>
+
+#include "casvm/data/io.hpp"
+#include "casvm/data/scale.hpp"
+#include "cli_common.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: casvm-scale [options]
+  --data <file>         LIBSVM input (required)
+  --out <file>          scaled LIBSVM output (required)
+  --kind <k>            minmax (default) | standard
+  --lower <l>           minmax target lower bound (default -1)
+  --upper <u>           minmax target upper bound (default 1)
+  --save-params <file>  fit on --data and write the parameters
+  --load-params <file>  apply previously fitted parameters instead of fitting
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace casvm;
+  const cli::Args args(argc, argv, {"help"});
+  if (args.has("help") || !args.has("data") || !args.has("out")) {
+    cli::usage(kUsage);
+  }
+
+  try {
+    std::size_t cols = 0;
+    if (args.has("load-params")) {
+      cols = data::Scaler::load(args.get("load-params", "")).features();
+    }
+    const data::Dataset input =
+        data::readLibsvmFile(args.get("data", ""), cols);
+
+    data::Scaler scaler;
+    if (args.has("load-params")) {
+      scaler = data::Scaler::load(args.get("load-params", ""));
+      std::printf("loaded %zu-feature scaler from %s\n", scaler.features(),
+                  args.get("load-params", "").c_str());
+    } else {
+      const data::ScalingKind kind = args.get("kind", "minmax") == "standard"
+                                         ? data::ScalingKind::Standard
+                                         : data::ScalingKind::MinMax;
+      scaler = data::Scaler::fit(input, kind, args.getDouble("lower", -1.0),
+                                 args.getDouble("upper", 1.0));
+      std::printf("fitted %s scaler on %zu samples\n",
+                  args.get("kind", "minmax").c_str(), input.rows());
+      if (args.has("save-params")) {
+        scaler.save(args.get("save-params", ""));
+        std::printf("parameters written to %s\n",
+                    args.get("save-params", "").c_str());
+      }
+    }
+
+    data::writeLibsvmFile(scaler.apply(input), args.get("out", ""));
+    std::printf("%zu scaled samples -> %s\n", input.rows(),
+                args.get("out", "").c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "casvm-scale: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,65 @@
+#pragma once
+
+// Shared option parsing for the casvm command-line tools.
+
+#include <cstdio>
+#include <cstdlib>
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace casvm::cli {
+
+/// Minimal "--flag value" / "--switch" parser with typed getters.
+class Args {
+ public:
+  Args(int argc, char** argv, const std::vector<std::string>& switches = {}) {
+    for (int i = 1; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(key));
+        continue;
+      }
+      key = key.substr(2);
+      const bool isSwitch =
+          std::find(switches.begin(), switches.end(), key) != switches.end();
+      if (isSwitch || i + 1 >= argc) {
+        values_[key] = "1";
+      } else {
+        values_[key] = argv[++i];
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  double getDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+  long long getInt(const std::string& key, long long fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+[[noreturn]] inline void usage(const char* text) {
+  std::fputs(text, stderr);
+  std::exit(2);
+}
+
+}  // namespace casvm::cli
