@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alg06_prediction.dir/bench_alg06_prediction.cpp.o"
+  "CMakeFiles/bench_alg06_prediction.dir/bench_alg06_prediction.cpp.o.d"
+  "bench_alg06_prediction"
+  "bench_alg06_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alg06_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

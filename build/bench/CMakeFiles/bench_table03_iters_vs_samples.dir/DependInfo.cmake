@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table03_iters_vs_samples.cpp" "bench/CMakeFiles/bench_table03_iters_vs_samples.dir/bench_table03_iters_vs_samples.cpp.o" "gcc" "bench/CMakeFiles/bench_table03_iters_vs_samples.dir/bench_table03_iters_vs_samples.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/casvm_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/casvm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/casvm_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/casvm_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/casvm_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/casvm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/casvm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/casvm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table03_iters_vs_samples.dir/bench_table03_iters_vs_samples.cpp.o"
+  "CMakeFiles/bench_table03_iters_vs_samples.dir/bench_table03_iters_vs_samples.cpp.o.d"
+  "bench_table03_iters_vs_samples"
+  "bench_table03_iters_vs_samples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table03_iters_vs_samples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table07_08_posneg_ratio.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/method_tour.dir/method_tour.cpp.o"
+  "CMakeFiles/method_tour.dir/method_tour.cpp.o.d"
+  "method_tour"
+  "method_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/method_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webspam_filtering.dir/webspam_filtering.cpp.o"
+  "CMakeFiles/webspam_filtering.dir/webspam_filtering.cpp.o.d"
+  "webspam_filtering"
+  "webspam_filtering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webspam_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/balanced_kmeans.cpp" "src/cluster/CMakeFiles/casvm_cluster.dir/balanced_kmeans.cpp.o" "gcc" "src/cluster/CMakeFiles/casvm_cluster.dir/balanced_kmeans.cpp.o.d"
+  "/root/repo/src/cluster/fcfs.cpp" "src/cluster/CMakeFiles/casvm_cluster.dir/fcfs.cpp.o" "gcc" "src/cluster/CMakeFiles/casvm_cluster.dir/fcfs.cpp.o.d"
+  "/root/repo/src/cluster/kmeans.cpp" "src/cluster/CMakeFiles/casvm_cluster.dir/kmeans.cpp.o" "gcc" "src/cluster/CMakeFiles/casvm_cluster.dir/kmeans.cpp.o.d"
+  "/root/repo/src/cluster/partition.cpp" "src/cluster/CMakeFiles/casvm_cluster.dir/partition.cpp.o" "gcc" "src/cluster/CMakeFiles/casvm_cluster.dir/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/casvm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/casvm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/casvm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

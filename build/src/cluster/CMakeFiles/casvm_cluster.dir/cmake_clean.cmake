@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casvm_cluster.dir/balanced_kmeans.cpp.o"
+  "CMakeFiles/casvm_cluster.dir/balanced_kmeans.cpp.o.d"
+  "CMakeFiles/casvm_cluster.dir/fcfs.cpp.o"
+  "CMakeFiles/casvm_cluster.dir/fcfs.cpp.o.d"
+  "CMakeFiles/casvm_cluster.dir/kmeans.cpp.o"
+  "CMakeFiles/casvm_cluster.dir/kmeans.cpp.o.d"
+  "CMakeFiles/casvm_cluster.dir/partition.cpp.o"
+  "CMakeFiles/casvm_cluster.dir/partition.cpp.o.d"
+  "libcasvm_cluster.a"
+  "libcasvm_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casvm_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dis_smo.cpp" "src/core/CMakeFiles/casvm_core.dir/dis_smo.cpp.o" "gcc" "src/core/CMakeFiles/casvm_core.dir/dis_smo.cpp.o.d"
+  "/root/repo/src/core/distributed_model.cpp" "src/core/CMakeFiles/casvm_core.dir/distributed_model.cpp.o" "gcc" "src/core/CMakeFiles/casvm_core.dir/distributed_model.cpp.o.d"
+  "/root/repo/src/core/method.cpp" "src/core/CMakeFiles/casvm_core.dir/method.cpp.o" "gcc" "src/core/CMakeFiles/casvm_core.dir/method.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/casvm_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/casvm_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/model_selection.cpp" "src/core/CMakeFiles/casvm_core.dir/model_selection.cpp.o" "gcc" "src/core/CMakeFiles/casvm_core.dir/model_selection.cpp.o.d"
+  "/root/repo/src/core/multiclass.cpp" "src/core/CMakeFiles/casvm_core.dir/multiclass.cpp.o" "gcc" "src/core/CMakeFiles/casvm_core.dir/multiclass.cpp.o.d"
+  "/root/repo/src/core/partitioned.cpp" "src/core/CMakeFiles/casvm_core.dir/partitioned.cpp.o" "gcc" "src/core/CMakeFiles/casvm_core.dir/partitioned.cpp.o.d"
+  "/root/repo/src/core/phase.cpp" "src/core/CMakeFiles/casvm_core.dir/phase.cpp.o" "gcc" "src/core/CMakeFiles/casvm_core.dir/phase.cpp.o.d"
+  "/root/repo/src/core/predict.cpp" "src/core/CMakeFiles/casvm_core.dir/predict.cpp.o" "gcc" "src/core/CMakeFiles/casvm_core.dir/predict.cpp.o.d"
+  "/root/repo/src/core/spmd.cpp" "src/core/CMakeFiles/casvm_core.dir/spmd.cpp.o" "gcc" "src/core/CMakeFiles/casvm_core.dir/spmd.cpp.o.d"
+  "/root/repo/src/core/train.cpp" "src/core/CMakeFiles/casvm_core.dir/train.cpp.o" "gcc" "src/core/CMakeFiles/casvm_core.dir/train.cpp.o.d"
+  "/root/repo/src/core/tree.cpp" "src/core/CMakeFiles/casvm_core.dir/tree.cpp.o" "gcc" "src/core/CMakeFiles/casvm_core.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/casvm_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/casvm_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/casvm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/casvm_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/casvm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/casvm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casvm_core.dir/dis_smo.cpp.o"
+  "CMakeFiles/casvm_core.dir/dis_smo.cpp.o.d"
+  "CMakeFiles/casvm_core.dir/distributed_model.cpp.o"
+  "CMakeFiles/casvm_core.dir/distributed_model.cpp.o.d"
+  "CMakeFiles/casvm_core.dir/method.cpp.o"
+  "CMakeFiles/casvm_core.dir/method.cpp.o.d"
+  "CMakeFiles/casvm_core.dir/metrics.cpp.o"
+  "CMakeFiles/casvm_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/casvm_core.dir/model_selection.cpp.o"
+  "CMakeFiles/casvm_core.dir/model_selection.cpp.o.d"
+  "CMakeFiles/casvm_core.dir/multiclass.cpp.o"
+  "CMakeFiles/casvm_core.dir/multiclass.cpp.o.d"
+  "CMakeFiles/casvm_core.dir/partitioned.cpp.o"
+  "CMakeFiles/casvm_core.dir/partitioned.cpp.o.d"
+  "CMakeFiles/casvm_core.dir/phase.cpp.o"
+  "CMakeFiles/casvm_core.dir/phase.cpp.o.d"
+  "CMakeFiles/casvm_core.dir/predict.cpp.o"
+  "CMakeFiles/casvm_core.dir/predict.cpp.o.d"
+  "CMakeFiles/casvm_core.dir/spmd.cpp.o"
+  "CMakeFiles/casvm_core.dir/spmd.cpp.o.d"
+  "CMakeFiles/casvm_core.dir/train.cpp.o"
+  "CMakeFiles/casvm_core.dir/train.cpp.o.d"
+  "CMakeFiles/casvm_core.dir/tree.cpp.o"
+  "CMakeFiles/casvm_core.dir/tree.cpp.o.d"
+  "libcasvm_core.a"
+  "libcasvm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casvm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casvm_data.dir/dataset.cpp.o"
+  "CMakeFiles/casvm_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/casvm_data.dir/io.cpp.o"
+  "CMakeFiles/casvm_data.dir/io.cpp.o.d"
+  "CMakeFiles/casvm_data.dir/registry.cpp.o"
+  "CMakeFiles/casvm_data.dir/registry.cpp.o.d"
+  "CMakeFiles/casvm_data.dir/scale.cpp.o"
+  "CMakeFiles/casvm_data.dir/scale.cpp.o.d"
+  "CMakeFiles/casvm_data.dir/synth.cpp.o"
+  "CMakeFiles/casvm_data.dir/synth.cpp.o.d"
+  "libcasvm_data.a"
+  "libcasvm_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casvm_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casvm_kernel.dir/kernel.cpp.o"
+  "CMakeFiles/casvm_kernel.dir/kernel.cpp.o.d"
+  "CMakeFiles/casvm_kernel.dir/row_cache.cpp.o"
+  "CMakeFiles/casvm_kernel.dir/row_cache.cpp.o.d"
+  "libcasvm_kernel.a"
+  "libcasvm_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casvm_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

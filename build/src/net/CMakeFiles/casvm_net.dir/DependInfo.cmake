@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/clock.cpp" "src/net/CMakeFiles/casvm_net.dir/clock.cpp.o" "gcc" "src/net/CMakeFiles/casvm_net.dir/clock.cpp.o.d"
+  "/root/repo/src/net/comm.cpp" "src/net/CMakeFiles/casvm_net.dir/comm.cpp.o" "gcc" "src/net/CMakeFiles/casvm_net.dir/comm.cpp.o.d"
+  "/root/repo/src/net/engine.cpp" "src/net/CMakeFiles/casvm_net.dir/engine.cpp.o" "gcc" "src/net/CMakeFiles/casvm_net.dir/engine.cpp.o.d"
+  "/root/repo/src/net/mailbox.cpp" "src/net/CMakeFiles/casvm_net.dir/mailbox.cpp.o" "gcc" "src/net/CMakeFiles/casvm_net.dir/mailbox.cpp.o.d"
+  "/root/repo/src/net/traffic.cpp" "src/net/CMakeFiles/casvm_net.dir/traffic.cpp.o" "gcc" "src/net/CMakeFiles/casvm_net.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/casvm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

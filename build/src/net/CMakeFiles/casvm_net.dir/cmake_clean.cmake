@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casvm_net.dir/clock.cpp.o"
+  "CMakeFiles/casvm_net.dir/clock.cpp.o.d"
+  "CMakeFiles/casvm_net.dir/comm.cpp.o"
+  "CMakeFiles/casvm_net.dir/comm.cpp.o.d"
+  "CMakeFiles/casvm_net.dir/engine.cpp.o"
+  "CMakeFiles/casvm_net.dir/engine.cpp.o.d"
+  "CMakeFiles/casvm_net.dir/mailbox.cpp.o"
+  "CMakeFiles/casvm_net.dir/mailbox.cpp.o.d"
+  "CMakeFiles/casvm_net.dir/traffic.cpp.o"
+  "CMakeFiles/casvm_net.dir/traffic.cpp.o.d"
+  "libcasvm_net.a"
+  "libcasvm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casvm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

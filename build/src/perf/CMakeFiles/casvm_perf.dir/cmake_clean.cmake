@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casvm_perf.dir/comm_model.cpp.o"
+  "CMakeFiles/casvm_perf.dir/comm_model.cpp.o.d"
+  "CMakeFiles/casvm_perf.dir/isoefficiency.cpp.o"
+  "CMakeFiles/casvm_perf.dir/isoefficiency.cpp.o.d"
+  "CMakeFiles/casvm_perf.dir/scaling_sim.cpp.o"
+  "CMakeFiles/casvm_perf.dir/scaling_sim.cpp.o.d"
+  "libcasvm_perf.a"
+  "libcasvm_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casvm_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casvm_solver.dir/model.cpp.o"
+  "CMakeFiles/casvm_solver.dir/model.cpp.o.d"
+  "CMakeFiles/casvm_solver.dir/smo.cpp.o"
+  "CMakeFiles/casvm_solver.dir/smo.cpp.o.d"
+  "libcasvm_solver.a"
+  "libcasvm_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casvm_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

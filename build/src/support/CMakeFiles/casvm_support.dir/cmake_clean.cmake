@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casvm_support.dir/error.cpp.o"
+  "CMakeFiles/casvm_support.dir/error.cpp.o.d"
+  "CMakeFiles/casvm_support.dir/log.cpp.o"
+  "CMakeFiles/casvm_support.dir/log.cpp.o.d"
+  "CMakeFiles/casvm_support.dir/rng.cpp.o"
+  "CMakeFiles/casvm_support.dir/rng.cpp.o.d"
+  "CMakeFiles/casvm_support.dir/table.cpp.o"
+  "CMakeFiles/casvm_support.dir/table.cpp.o.d"
+  "CMakeFiles/casvm_support.dir/timer.cpp.o"
+  "CMakeFiles/casvm_support.dir/timer.cpp.o.d"
+  "libcasvm_support.a"
+  "libcasvm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casvm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/distributed_model_test.cpp" "tests/CMakeFiles/test_core.dir/core/distributed_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/distributed_model_test.cpp.o.d"
+  "/root/repo/tests/core/equivalence_test.cpp" "tests/CMakeFiles/test_core.dir/core/equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/equivalence_test.cpp.o.d"
+  "/root/repo/tests/core/method_test.cpp" "tests/CMakeFiles/test_core.dir/core/method_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/method_test.cpp.o.d"
+  "/root/repo/tests/core/metrics_test.cpp" "tests/CMakeFiles/test_core.dir/core/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/metrics_test.cpp.o.d"
+  "/root/repo/tests/core/model_selection_test.cpp" "tests/CMakeFiles/test_core.dir/core/model_selection_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/model_selection_test.cpp.o.d"
+  "/root/repo/tests/core/multiclass_test.cpp" "tests/CMakeFiles/test_core.dir/core/multiclass_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/multiclass_test.cpp.o.d"
+  "/root/repo/tests/core/predict_test.cpp" "tests/CMakeFiles/test_core.dir/core/predict_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/predict_test.cpp.o.d"
+  "/root/repo/tests/core/spmd_test.cpp" "tests/CMakeFiles/test_core.dir/core/spmd_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/spmd_test.cpp.o.d"
+  "/root/repo/tests/core/train_test.cpp" "tests/CMakeFiles/test_core.dir/core/train_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/train_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/casvm_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/casvm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/casvm_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/casvm_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/casvm_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/casvm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/casvm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/casvm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/distributed_model_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/distributed_model_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/equivalence_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/equivalence_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/method_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/method_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/metrics_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/metrics_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/model_selection_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/model_selection_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/multiclass_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/multiclass_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/predict_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/predict_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/spmd_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/spmd_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/train_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/train_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/collective_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/collective_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/engine_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/engine_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/p2p_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/p2p_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/property_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/property_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/split_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/split_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/traffic_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/traffic_test.cpp.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

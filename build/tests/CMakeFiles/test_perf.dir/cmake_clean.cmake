@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf.dir/perf/comm_integration_test.cpp.o"
+  "CMakeFiles/test_perf.dir/perf/comm_integration_test.cpp.o.d"
+  "CMakeFiles/test_perf.dir/perf/comm_model_test.cpp.o"
+  "CMakeFiles/test_perf.dir/perf/comm_model_test.cpp.o.d"
+  "CMakeFiles/test_perf.dir/perf/isoefficiency_test.cpp.o"
+  "CMakeFiles/test_perf.dir/perf/isoefficiency_test.cpp.o.d"
+  "CMakeFiles/test_perf.dir/perf/scaling_sim_test.cpp.o"
+  "CMakeFiles/test_perf.dir/perf/scaling_sim_test.cpp.o.d"
+  "test_perf"
+  "test_perf.pdb"
+  "test_perf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casvm-datagen.dir/casvm_datagen.cpp.o"
+  "CMakeFiles/casvm-datagen.dir/casvm_datagen.cpp.o.d"
+  "casvm-datagen"
+  "casvm-datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casvm-datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casvm-model.dir/casvm_model.cpp.o"
+  "CMakeFiles/casvm-model.dir/casvm_model.cpp.o.d"
+  "casvm-model"
+  "casvm-model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casvm-model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

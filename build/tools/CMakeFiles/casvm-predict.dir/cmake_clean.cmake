@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casvm-predict.dir/casvm_predict.cpp.o"
+  "CMakeFiles/casvm-predict.dir/casvm_predict.cpp.o.d"
+  "casvm-predict"
+  "casvm-predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casvm-predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casvm-scale.dir/casvm_scale.cpp.o"
+  "CMakeFiles/casvm-scale.dir/casvm_scale.cpp.o.d"
+  "casvm-scale"
+  "casvm-scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casvm-scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

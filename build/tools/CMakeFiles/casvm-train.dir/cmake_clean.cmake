@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casvm-train.dir/casvm_train.cpp.o"
+  "CMakeFiles/casvm-train.dir/casvm_train.cpp.o.d"
+  "casvm-train"
+  "casvm-train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casvm-train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
