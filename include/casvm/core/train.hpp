@@ -48,6 +48,12 @@ struct TrainConfig {
   /// do). On by default, as in the paper's final methods; turn off to
   /// reproduce the Table VI/VII imbalance.
   bool ratioBalance = true;
+  /// Deterministic fault schedule for the engine run (empty = fault-free).
+  /// Partitioned methods survive an injected rank crash with a degraded
+  /// model; tree methods and Dis-SMO fail fast naming the fault.
+  net::FaultPlan faults;
+  /// Engine deadlock watchdog timeout in wall seconds (<= 0 disables).
+  double watchdogSeconds = 30.0;
 };
 
 /// Per-layer profile of a tree method run (the paper's Table V).
@@ -65,9 +71,28 @@ struct LayerStats {
   long long maxSamples() const;
 };
 
+/// Survival record for one partition of a partitioned-method run.
+struct PartitionCoverage {
+  int rank = -1;           ///< rank that owned the partition
+  long long samples = 0;   ///< training samples the partition held
+  bool survived = true;    ///< false when the owning rank crashed
+};
+
 struct TrainResult {
   Method method = Method::RaCa;
   DistributedModel model;
+
+  // --- fault tolerance -----------------------------------------------------
+  /// True when ranks crashed (injected faults) but training completed with
+  /// the surviving partitions; the model then routes around the holes.
+  bool degraded = false;
+  /// Ranks that crashed during a degraded run, ascending.
+  std::vector<int> failedRanks;
+  /// Per-partition survival detail (partitioned methods only).
+  std::vector<PartitionCoverage> coverage;
+  /// Fraction of training samples covered by surviving partitions (1.0 for
+  /// a fault-free run).
+  double coveredFraction = 1.0;
 
   // --- timing (virtual seconds: per-rank CPU + modeled communication) ----
   double initSeconds = 0.0;   ///< partitioning/distribution phase

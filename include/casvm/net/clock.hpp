@@ -35,6 +35,11 @@ class VirtualClock {
   /// Advance the clock to `t` if `t` is later than now (message arrival).
   void advanceTo(double t);
 
+  /// Scale sampled CPU time by `scale` (>= 1). Used by fault injection to
+  /// model a slow rank: the straggler's compute costs `scale`x on the
+  /// virtual clock while the real work stays the same.
+  void setComputeScale(double scale);
+
   /// Virtual now = compute + comm (+ any waiting advanced over).
   double now() const { return computeSeconds_ + commSeconds_ + skew_; }
 
@@ -48,6 +53,7 @@ class VirtualClock {
   /// Reported as communication time: it is time the rank was not computing.
   double skew_ = 0.0;
   double lastCpuSample_ = 0.0;
+  double computeScale_ = 1.0;
   bool started_ = false;
 };
 

@@ -21,13 +21,16 @@
 ///
 /// Only trivially copyable element types can be transported.
 
+#include <atomic>
 #include <cstring>
 #include <functional>
+#include <mutex>
 #include <type_traits>
 #include <vector>
 
 #include "casvm/net/clock.hpp"
 #include "casvm/net/cost.hpp"
+#include "casvm/net/fault.hpp"
 #include "casvm/net/mailbox.hpp"
 #include "casvm/net/traffic.hpp"
 #include "casvm/support/error.hpp"
@@ -37,22 +40,40 @@ namespace casvm::net {
 /// State shared by all ranks of one Engine::run invocation.
 class World {
  public:
-  World(int size, CostModel cost);
+  World(int size, CostModel cost, FaultInjector* injector = nullptr);
 
   int size() const { return size_; }
   const CostModel& cost() const { return cost_; }
   TrafficMatrix& traffic() { return traffic_; }
   Mailbox& mailbox(int rank);
 
+  /// Fault schedule of this run, or nullptr when none is installed.
+  FaultInjector* injector() const { return injector_; }
+
   /// Mark the run as failed; wakes every blocked recv with an error.
   void abortAll();
-  bool aborted() const;
+  /// True once abortAll() has been called (any rank failed fatally).
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+
+  /// Mark one rank as failed WITHOUT aborting the run: peers blocked on a
+  /// message from it are woken with an error naming `reason`, and future
+  /// waits on it fail immediately. Messages it sent before dying are still
+  /// delivered. This is the per-rank failure state that lets the
+  /// communication-avoiding methods survive a crash.
+  void markFailed(int rank, const std::string& reason);
+  bool rankFailed(int rank) const;
+  /// Ranks marked failed so far, in ascending order.
+  std::vector<int> failedRanks() const;
 
  private:
   int size_;
   CostModel cost_;
   TrafficMatrix traffic_;
   std::vector<Mailbox> mailboxes_;
+  FaultInjector* injector_ = nullptr;
+  std::atomic<bool> aborted_{false};
+  mutable std::mutex failMutex_;
+  std::vector<char> failed_;
 };
 
 /// Element types that can cross rank boundaries.
@@ -90,8 +111,16 @@ class Comm {
   /// Untyped buffered send. User tags must be < kUserTagLimit.
   void sendBytes(int dst, int tag, const void* data, std::size_t bytes);
 
-  /// Untyped blocking receive; returns the payload.
+  /// Untyped blocking receive; returns the payload. User tags must be
+  /// < kUserTagLimit, symmetric with sendBytes.
   std::vector<std::byte> recvBytes(int src, int tag);
+
+  /// Named fault-injection checkpoint: consults the run's FaultPlan for
+  /// crash-at-phase clauses targeting this rank. A no-op without a plan.
+  /// The training driver places checkpoints at phase boundaries ("init",
+  /// "train") so even zero-communication methods have deterministic crash
+  /// points.
+  void faultCheckpoint(const std::string& label);
 
   /// Send one trivially copyable value.
   template <Wire T>
@@ -455,6 +484,12 @@ std::vector<std::vector<T>> Comm::alltoallv(
   return received;
 }
 
+/// One rank that died of an injected crash the run survived.
+struct RankFailure {
+  int rank = -1;
+  std::string reason;
+};
+
 /// Run statistics returned by Engine::run.
 struct RunStats {
   int size = 0;
@@ -462,6 +497,11 @@ struct RunStats {
   std::vector<double> computeSeconds;  ///< per-rank virtual compute time
   std::vector<double> commSeconds;     ///< per-rank virtual comm (+wait) time
   TrafficSnapshot traffic;             ///< all traffic of the run
+  /// Injected crashes survived under rank-failure tolerance (rank order).
+  std::vector<RankFailure> failures;
+
+  /// True when at least one rank died but the run completed.
+  bool degraded() const { return !failures.empty(); }
 
   /// Modeled parallel time: slowest rank's virtual clock.
   double virtualSeconds() const;
@@ -481,6 +521,29 @@ class Engine {
   int size() const { return size_; }
   const CostModel& cost() const { return cost_; }
 
+  /// Install a deterministic fault schedule for subsequent run() calls
+  /// (an empty plan clears it). Injector state resets every run, so the
+  /// same plan reproduces the same faults on every run.
+  void setFaultPlan(FaultPlan plan) { faultPlan_ = std::move(plan); }
+  const FaultPlan& faultPlan() const { return faultPlan_; }
+
+  /// Survive injected rank crashes (RankCrash) instead of aborting: the
+  /// dead rank is recorded in RunStats::failures, peers waiting on it are
+  /// woken with an error, and everyone else runs to completion. Organic
+  /// (non-injected) failures always abort the whole run.
+  void setTolerateRankFailures(bool tolerate) {
+    tolerateRankFailures_ = tolerate;
+  }
+
+  /// Deadlock watchdog: if every still-running rank is blocked in a
+  /// receive and no message moves anywhere for `seconds` of wall time,
+  /// the run is aborted and unwound with a diagnostic dump of each rank's
+  /// wait target and every mailbox's pending (src, tag) queues — instead
+  /// of hanging forever (e.g. a dropped message under a collective).
+  /// `seconds` <= 0 disables the watchdog.
+  void setWatchdogSeconds(double seconds) { watchdogSeconds_ = seconds; }
+  double watchdogSeconds() const { return watchdogSeconds_; }
+
   /// Execute `fn` on every rank; returns when all ranks finish.
   /// If any rank throws, the run is aborted (blocked receives wake with an
   /// error) and the first root-cause exception is rethrown as casvm::Error.
@@ -489,6 +552,9 @@ class Engine {
  private:
   int size_;
   CostModel cost_;
+  FaultPlan faultPlan_;
+  bool tolerateRankFailures_ = false;
+  double watchdogSeconds_ = 30.0;
 };
 
 }  // namespace casvm::net

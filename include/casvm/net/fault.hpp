@@ -1,0 +1,138 @@
+#pragma once
+
+/// \file fault.hpp
+/// Deterministic fault injection for the casvm::net runtime.
+///
+/// The paper's communication table is also a survivability table: the CA
+/// family (CP-SVM, BKM-CA, FCFS-CA, RA-CA) trains P fully independent
+/// sub-SVMs, so losing a rank costs one partition; Dis-SMO and the tree
+/// methods weave every rank into one global solve, so losing a rank is
+/// fatal. To test both behaviours without a real cluster, a FaultPlan
+/// describes a schedule of injected faults and a per-run FaultInjector is
+/// consulted by Comm on every send/recv (and at named phase checkpoints):
+///
+///  - crash:  a rank dies at its Nth communication operation or at a named
+///            phase checkpoint ("init", "train");
+///  - drop:   a message silently never arrives (the sender still pays the
+///            transfer cost — the bytes left its NIC);
+///  - delay:  a message arrives `seconds` of extra virtual latency late;
+///  - slow:   a rank's compute runs `factor` times slower on the virtual
+///            clock (a straggler).
+///
+/// Every decision is deterministic: counters and the probabilistic-clause
+/// RNG streams are per sender rank, so each rank's program order alone
+/// fixes the outcome — the same plan and seed reproduce the same run
+/// regardless of thread scheduling.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "casvm/support/error.hpp"
+#include "casvm/support/rng.hpp"
+
+namespace casvm::net {
+
+/// Thrown on a rank's own thread when its FaultPlan kills it. The Engine
+/// treats this differently from organic failures: with rank-failure
+/// tolerance enabled the run survives (the crash is recorded in
+/// RunStats::failures) instead of aborting every rank.
+class RankCrash : public Error {
+ public:
+  RankCrash(int rank, const std::string& what) : Error(what), rank_(rank) {}
+  int crashedRank() const { return rank_; }
+
+ private:
+  int rank_;
+};
+
+enum class FaultKind {
+  CrashAtOp,     ///< rank dies entering its Nth comm operation (1-based)
+  CrashAtPhase,  ///< rank dies at a named phase checkpoint
+  DropMessage,   ///< matching message is silently lost
+  DelayMessage,  ///< matching message arrives extra virtual seconds late
+  SlowRank,      ///< rank's compute is scaled by `factor` on the clock
+};
+
+/// One clause of a fault schedule. Fields are interpreted per kind; see
+/// FaultPlan::parse for the textual form.
+struct FaultSpec {
+  FaultKind kind = FaultKind::CrashAtOp;
+  int rank = -1;            ///< crash/slow target rank
+  long long op = 0;         ///< CrashAtOp: 1-based comm-op index
+  std::string phase;        ///< CrashAtPhase: checkpoint label
+  int src = -1;             ///< drop/delay: sender (-1 = any)
+  int dst = -1;             ///< drop/delay: receiver (-1 = any)
+  long long nth = 0;        ///< drop/delay: only the Nth match (0 = every)
+  double probability = 1.0; ///< drop/delay: chance per match (seeded)
+  double seconds = 0.0;     ///< DelayMessage: extra virtual latency
+  double factor = 1.0;      ///< SlowRank: compute multiplier (>= 1)
+
+  /// One-clause textual form, parseable by FaultPlan::parse.
+  std::string describe() const;
+};
+
+/// A seeded, deterministic schedule of injected faults.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<FaultSpec> faults;
+
+  bool empty() const { return faults.empty(); }
+
+  /// Parse a semicolon-separated clause list, e.g.
+  ///   "crash:rank=1,op=5"            rank 1 dies at its 5th comm op
+  ///   "crash:rank=2,phase=train"     rank 2 dies entering the train phase
+  ///   "drop:src=0,dst=1,nth=1"       first message 0->1 is lost
+  ///   "drop:src=0,prob=0.25"         a quarter of rank 0's sends are lost
+  ///   "delay:src=1,dst=0,seconds=1e-3"  +1ms virtual latency on 1->0
+  ///   "slow:rank=3,factor=4"         rank 3 computes 4x slower
+  /// Unknown clauses or keys throw casvm::Error.
+  static FaultPlan parse(const std::string& text, std::uint64_t seed = 0);
+
+  /// Round-trippable textual form ("" for an empty plan).
+  std::string describe() const;
+};
+
+/// Per-run injector. One instance lives for one Engine::run invocation;
+/// the World hands it to every Comm. All mutable state is striped per
+/// sender rank and only ever touched from that rank's own thread, so the
+/// injector needs no locks and its decisions are schedule-independent.
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, int worldSize);
+
+  struct SendVerdict {
+    bool drop = false;
+    double delaySeconds = 0.0;
+  };
+
+  /// Consulted on the sender's thread before a message leaves. Counts one
+  /// comm op for `src`; throws RankCrash when the plan kills `src` here.
+  SendVerdict onSend(int src, int dst);
+
+  /// Consulted on the receiver's thread before blocking in a receive.
+  /// Counts one comm op for `rank`; throws RankCrash on a matching crash.
+  void onRecv(int rank);
+
+  /// Named phase checkpoint (CrashAtPhase clauses). Does not count as a
+  /// comm operation, so zero-communication methods (RA-CA casvm2) still
+  /// have deterministic crash points.
+  void atPhase(int rank, const std::string& label);
+
+  /// Compute-clock multiplier for `rank` (product of SlowRank clauses).
+  double computeScale(int rank) const;
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  /// Count one comm op for `rank` and throw if a CrashAtOp clause matches.
+  void countOp(int rank);
+
+  FaultPlan plan_;
+  int size_;
+  std::vector<long long> opCount_;    ///< per rank; own-thread access only
+  std::vector<long long> matchCount_; ///< per (clause, sender); sender thread
+  std::vector<Rng> senderRng_;        ///< per sender; own-thread access only
+};
+
+}  // namespace casvm::net

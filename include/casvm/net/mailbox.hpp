@@ -5,13 +5,22 @@
 /// holding FIFO queues keyed by (source rank, tag). Matching is exact on
 /// (src, tag) and FIFO within a queue, the same ordering guarantee MPI
 /// gives for matched point-to-point traffic.
+///
+/// Beyond delivery, the mailbox is the runtime's failure boundary: abort()
+/// wakes every blocked take() (whole-run failure), failSource() poisons a
+/// single peer (rank failure, survivable for communication-avoiding
+/// methods), and waitState()/pendingQueues() expose what the owning rank
+/// is blocked on — the raw material for the Engine's deadlock watchdog
+/// diagnostics.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <mutex>
+#include <string>
 #include <vector>
 
 namespace casvm::net {
@@ -30,7 +39,8 @@ class Mailbox {
   void put(int src, int tag, Message msg);
 
   /// Dequeue the oldest message from (src, tag); blocks until one arrives.
-  /// Throws casvm::Error if abort() is called while waiting (peer failure).
+  /// Throws casvm::Error if abort() is called while waiting (run failure)
+  /// or if `src` is marked dead with no message left to deliver.
   Message take(int src, int tag);
 
   /// Number of queued messages across all (src, tag) queues.
@@ -40,6 +50,34 @@ class Mailbox {
   /// fails so the run unwinds instead of deadlocking.
   void abort();
 
+  /// Mark one source rank dead: a take() on that source finds queued
+  /// messages as usual (they were sent before the failure), but once the
+  /// queue is empty it throws `reason` instead of blocking forever.
+  void failSource(int src, std::string reason);
+
+  /// What the owning rank is currently blocked on inside take(), if
+  /// anything. Read by the Engine's deadlock watchdog.
+  struct WaitState {
+    bool waiting = false;
+    int src = -1;
+    int tag = -1;
+  };
+  WaitState waitState() const;
+
+  /// Snapshot of the non-empty queues: (src, tag, queued count). Used for
+  /// the watchdog's diagnostic dump of undeliverable traffic.
+  struct QueueInfo {
+    int src = 0;
+    int tag = 0;
+    std::size_t depth = 0;
+  };
+  std::vector<QueueInfo> pendingQueues() const;
+
+  /// Monotonic count of completed put/take operations. The watchdog uses
+  /// the world-wide sum as a progress measure: if it stops moving while
+  /// every running rank is blocked, the run is deadlocked.
+  std::uint64_t opCount() const { return ops_.load(std::memory_order_relaxed); }
+
  private:
   bool aborted_ = false;
   using Key = std::uint64_t;  // (src << 32) | tag
@@ -48,6 +86,9 @@ class Mailbox {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::map<Key, std::deque<Message>> queues_;
+  std::map<int, std::string> deadSources_;
+  WaitState wait_;
+  std::atomic<std::uint64_t> ops_{0};
 };
 
 }  // namespace casvm::net

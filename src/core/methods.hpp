@@ -33,9 +33,12 @@ void runMethod(net::Comm& comm, const MethodContext& ctx);
 
 /// Build the per-run TrainResult pieces derivable from the deposit board
 /// (model, timing, iterations, per-rank detail). Traffic and RunStats are
-/// filled by the caller, which owns the engine.
+/// filled by the caller, which owns the engine. `failures` lists ranks that
+/// crashed under fault tolerance: their board slots are unfinished, so the
+/// assembly routes the model around them and marks the result degraded.
 TrainResult assembleFromBoard(const TrainConfig& config, RankBoard& board,
-                              int P);
+                              int P,
+                              const std::vector<net::RankFailure>& failures = {});
 
 /// Deterministic initial per-rank data placement for a method run.
 std::vector<data::Dataset> placementFor(const data::Dataset& trainSet,

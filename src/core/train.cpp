@@ -88,10 +88,21 @@ TrainResult train(const data::Dataset& trainSet, const TrainConfig& config) {
   detail::MethodContext mctx{config, blocks, board};
 
   net::Engine engine(P, config.cost);
+  engine.setFaultPlan(config.faults);
+  engine.setWatchdogSeconds(config.watchdogSeconds);
+  // Partitioned methods train P fully independent sub-SVMs, so a crashed
+  // rank only costs its own partition; tree methods and Dis-SMO need every
+  // rank and must fail fast instead.
+  engine.setTolerateRankFailures(isPartitionedMethod(config.method));
   net::RunStats stats = engine.run(
       [&](net::Comm& comm) { detail::runMethod(comm, mctx); });
 
-  TrainResult out = detail::assembleFromBoard(config, board, P);
+  CASVM_CHECK(stats.failures.size() < static_cast<std::size_t>(P),
+              "every rank crashed — no surviving partition to build a "
+              "model from");
+
+  TrainResult out = detail::assembleFromBoard(config, board, P,
+                                              stats.failures);
   out.runStats = stats;
   out.wallSeconds = stats.wallSeconds;
 
@@ -112,9 +123,22 @@ TrainResult train(const data::Dataset& trainSet, const TrainConfig& config) {
 namespace detail {
 
 TrainResult assembleFromBoard(const TrainConfig& config, RankBoard& board,
-                              int P) {
+                              int P,
+                              const std::vector<net::RankFailure>& failures) {
   TrainResult out;
   out.method = config.method;
+
+  // --- fault-tolerance bookkeeping ------------------------------------------
+  // A crashed rank's board slots past its crash point were never written:
+  // its model is empty, its center is empty, its trainEndVirtual is 0.
+  // Everything below must route around those holes.
+  std::vector<char> survived(static_cast<std::size_t>(P), 1);
+  for (const net::RankFailure& f : failures) {
+    survived[static_cast<std::size_t>(f.rank)] = 0;
+    out.failedRanks.push_back(f.rank);
+  }
+  std::sort(out.failedRanks.begin(), out.failedRanks.end());
+  out.degraded = !failures.empty();
 
   // --- model assembly ------------------------------------------------------
   if (config.method == Method::DisSmo) {
@@ -132,15 +156,36 @@ TrainResult assembleFromBoard(const TrainConfig& config, RankBoard& board,
   } else if (isTreeMethod(config.method)) {
     out.model = DistributedModel::single(board.models[0]);
   } else {
-    std::vector<solver::Model> models(board.models.begin(),
-                                      board.models.end());
-    out.model = DistributedModel::routed(std::move(models), board.centers);
+    // Partitioned methods: keep the surviving sub-models only. Prediction
+    // routes by nearest center, so dropping a (model, center) pair sends
+    // that partition's queries to the nearest surviving neighbour.
+    std::vector<solver::Model> models;
+    std::vector<std::vector<float>> centers;
+    long long totalSamples = 0;
+    long long coveredSamples = 0;
+    for (int r = 0; r < P; ++r) {
+      const auto ur = static_cast<std::size_t>(r);
+      totalSamples += board.samples[ur];
+      out.coverage.push_back(PartitionCoverage{
+          r, board.samples[ur], survived[ur] != 0});
+      if (survived[ur] != 0) {
+        coveredSamples += board.samples[ur];
+        models.push_back(board.models[ur]);
+        centers.push_back(board.centers[ur]);
+      }
+    }
+    if (totalSamples > 0) {
+      out.coveredFraction =
+          static_cast<double>(coveredSamples) / static_cast<double>(totalSamples);
+    }
+    out.model = DistributedModel::routed(std::move(models), std::move(centers));
   }
 
   // --- timing ---------------------------------------------------------------
   for (int r = 0; r < P; ++r) {
     const auto ur = static_cast<std::size_t>(r);
     out.initSeconds = std::max(out.initSeconds, board.initEndVirtual[ur]);
+    if (survived[ur] == 0) continue;  // dead rank never marked train end
     out.trainSeconds = std::max(
         out.trainSeconds,
         board.trainEndVirtual[ur] - board.initEndVirtual[ur]);
@@ -154,7 +199,9 @@ TrainResult assembleFromBoard(const TrainConfig& config, RankBoard& board,
   for (int r = 0; r < P; ++r) {
     const auto ur = static_cast<std::size_t>(r);
     out.trainSecondsPerRank[ur] =
-        board.trainEndVirtual[ur] - board.initEndVirtual[ur];
+        survived[ur] != 0
+            ? board.trainEndVirtual[ur] - board.initEndVirtual[ur]
+            : 0.0;
   }
   out.kmeansLoops = *std::max_element(board.kmeansLoops.begin(),
                                       board.kmeansLoops.end());
@@ -205,6 +252,7 @@ std::vector<data::Dataset> placementFor(const data::Dataset& trainSet,
 }
 
 void runMethod(net::Comm& comm, const MethodContext& ctx) {
+  comm.faultCheckpoint("init");
   switch (ctx.config.method) {
     case Method::DisSmo:
       runDisSmo(comm, ctx);

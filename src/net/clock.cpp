@@ -13,8 +13,13 @@ void VirtualClock::start() {
 void VirtualClock::sampleCompute() {
   CASVM_ASSERT(started_, "VirtualClock used before start()");
   const double cpu = threadCpuSeconds();
-  computeSeconds_ += cpu - lastCpuSample_;
+  computeSeconds_ += (cpu - lastCpuSample_) * computeScale_;
   lastCpuSample_ = cpu;
+}
+
+void VirtualClock::setComputeScale(double scale) {
+  CASVM_CHECK(scale >= 1.0, "compute scale must be >= 1");
+  computeScale_ = scale;
 }
 
 void VirtualClock::addComm(double seconds) { commSeconds_ += seconds; }

@@ -5,13 +5,20 @@
 namespace casvm::net {
 
 namespace {
-// World abort state lives outside World so Mailbox stays self-contained;
-// each World instance owns one flag.
+
+/// Both halves of the kUserTagLimit contract produce the same diagnostic.
+std::string badUserTag(const char* op, int tag) {
+  return std::string(op) + ": user tag " + std::to_string(tag) +
+         " outside [0, " + std::to_string(Comm::kUserTagLimit) +
+         ") — tags >= kUserTagLimit are reserved for collective internals";
+}
+
 }  // namespace
 
-World::World(int size, CostModel cost)
+World::World(int size, CostModel cost, FaultInjector* injector)
     : size_(size), cost_(cost), traffic_(size),
-      mailboxes_(static_cast<std::size_t>(size)) {
+      mailboxes_(static_cast<std::size_t>(size)), injector_(injector),
+      failed_(static_cast<std::size_t>(size), 0) {
   CASVM_CHECK(size > 0, "world needs at least one rank");
 }
 
@@ -21,10 +28,35 @@ Mailbox& World::mailbox(int rank) {
 }
 
 void World::abortAll() {
+  aborted_.store(true, std::memory_order_release);
   for (auto& mb : mailboxes_) mb.abort();
 }
 
-bool World::aborted() const { return false; }
+void World::markFailed(int rank, const std::string& reason) {
+  CASVM_ASSERT(rank >= 0 && rank < size_, "rank out of range");
+  {
+    std::lock_guard<std::mutex> lock(failMutex_);
+    failed_[static_cast<std::size_t>(rank)] = 1;
+  }
+  // Wake anyone blocked on (or about to block on) a message from the dead
+  // rank; messages it sent before dying remain deliverable.
+  for (auto& mb : mailboxes_) mb.failSource(rank, reason);
+}
+
+bool World::rankFailed(int rank) const {
+  CASVM_ASSERT(rank >= 0 && rank < size_, "rank out of range");
+  std::lock_guard<std::mutex> lock(failMutex_);
+  return failed_[static_cast<std::size_t>(rank)] != 0;
+}
+
+std::vector<int> World::failedRanks() const {
+  std::lock_guard<std::mutex> lock(failMutex_);
+  std::vector<int> out;
+  for (int r = 0; r < size_; ++r) {
+    if (failed_[static_cast<std::size_t>(r)] != 0) out.push_back(r);
+  }
+  return out;
+}
 
 void Comm::sendRaw(int dst, int tag, const void* data, std::size_t bytes) {
   CASVM_CHECK(dst >= 0 && dst < size(), "send: bad destination rank");
@@ -32,24 +64,36 @@ void Comm::sendRaw(int dst, int tag, const void* data, std::size_t bytes) {
   const int worldDst = toWorld(dst);
   const int worldSrc = worldRank();
 
-  // Fold the compute since the last comm call into the clock, then charge
-  // the transfer; the message carries its modeled arrival time.
+  // Fold the compute since the last comm call into the clock, then ask the
+  // fault plan for its verdict (which may kill this rank right here),
+  // then charge the transfer; the message carries its modeled arrival time.
   clock_->sampleCompute();
+  FaultInjector::SendVerdict verdict;
+  if (FaultInjector* injector = world_->injector()) {
+    verdict = injector->onSend(worldSrc, worldDst);  // may throw RankCrash
+  }
   clock_->addComm(world_->cost().messageSeconds(static_cast<double>(bytes)));
 
   Message msg;
   msg.payload.resize(bytes);
   if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
-  msg.arrivalVirtualTime = clock_->now();
+  msg.arrivalVirtualTime = clock_->now() + verdict.delaySeconds;
 
+  // The sender pays for the transfer and the traffic matrix records it
+  // even when the message is dropped: the bytes left this rank's NIC.
   world_->traffic().record(worldSrc, worldDst, bytes);
-  world_->mailbox(worldDst).put(worldSrc, contextTag(tag), std::move(msg));
+  if (!verdict.drop) {
+    world_->mailbox(worldDst).put(worldSrc, contextTag(tag), std::move(msg));
+  }
 }
 
 Message Comm::recvRaw(int src, int tag) {
   CASVM_CHECK(src >= 0 && src < size(), "recv: bad source rank");
   CASVM_CHECK(src != rank_, "recv: self-messaging is not allowed");
   clock_->sampleCompute();
+  if (FaultInjector* injector = world_->injector()) {
+    injector->onRecv(worldRank());  // may throw RankCrash
+  }
   Message msg =
       world_->mailbox(worldRank()).take(toWorld(src), contextTag(tag));
   // If the sender finished later than our local virtual now, we were
@@ -59,13 +103,19 @@ Message Comm::recvRaw(int src, int tag) {
 }
 
 void Comm::sendBytes(int dst, int tag, const void* data, std::size_t bytes) {
-  CASVM_CHECK(tag >= 0 && tag < kUserTagLimit, "user tag out of range");
+  CASVM_CHECK(tag >= 0 && tag < kUserTagLimit, badUserTag("send", tag));
   sendRaw(dst, tag, data, bytes);
 }
 
 std::vector<std::byte> Comm::recvBytes(int src, int tag) {
-  CASVM_CHECK(tag >= 0 && tag < kUserTagLimit, "user tag out of range");
+  CASVM_CHECK(tag >= 0 && tag < kUserTagLimit, badUserTag("recv", tag));
   return recvRaw(src, tag).payload;
+}
+
+void Comm::faultCheckpoint(const std::string& label) {
+  if (FaultInjector* injector = world_->injector()) {
+    injector->atPhase(worldRank(), label);  // may throw RankCrash
+  }
 }
 
 void Comm::barrier() {

@@ -1,5 +1,9 @@
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 
@@ -9,16 +13,128 @@
 
 namespace casvm::net {
 
+namespace {
+
+/// Cascaded-failure messages: symptoms of someone else's death, never the
+/// root cause the user should see.
+bool isCascadeError(const std::string& what) {
+  return what.find("run aborted") != std::string::npos;
+}
+
+/// Errors that directly name an injected fault (either the RankCrash
+/// itself or a peer woken by failSource) make the best root cause.
+bool namesInjectedFault(const std::string& what) {
+  return what.find("injected fault") != std::string::npos;
+}
+
+}  // namespace
+
 Engine::Engine(int size, CostModel cost) : size_(size), cost_(cost) {
   CASVM_CHECK(size > 0, "engine needs at least one rank");
 }
 
 RunStats Engine::run(const std::function<void(Comm&)>& fn) {
-  World world(size_, cost_);
+  std::optional<FaultInjector> injector;
+  if (!faultPlan_.empty()) injector.emplace(faultPlan_, size_);
+  World world(size_, cost_, injector ? &*injector : nullptr);
   std::vector<VirtualClock> clocks(static_cast<std::size_t>(size_));
   std::vector<std::optional<std::string>> errors(
       static_cast<std::size_t>(size_));
+  std::vector<std::optional<RankFailure>> crashes(
+      static_cast<std::size_t>(size_));
+  std::vector<std::atomic<char>> finished(static_cast<std::size_t>(size_));
+  for (auto& f : finished) f.store(0, std::memory_order_relaxed);
   std::atomic<bool> failed{false};
+
+  // --- deadlock watchdog ---------------------------------------------------
+  // A dropped message under a collective leaves every rank parked in a
+  // receive with nothing in flight; without this thread the run (and
+  // ctest) would hang forever. Deadlock test: every unfinished rank is
+  // blocked in take() AND the world-wide mailbox op count has not moved
+  // for watchdogSeconds_ of wall time. Blocked ranks cannot generate
+  // progress, so the condition is stable once true; the stall timer
+  // absorbs the benign race where a just-delivered message has not woken
+  // its receiver yet.
+  std::mutex wdMutex;
+  std::condition_variable wdCv;
+  bool wdStop = false;
+  std::string watchdogReport;
+  std::thread watchdog;
+  if (watchdogSeconds_ > 0.0) {
+    watchdog = std::thread([&] {
+      constexpr auto kTick = std::chrono::milliseconds(20);
+      double stalledSeconds = 0.0;
+      std::uint64_t lastOps = ~std::uint64_t{0};
+      std::unique_lock<std::mutex> lock(wdMutex);
+      while (!wdCv.wait_for(lock, kTick, [&] { return wdStop; })) {
+        std::uint64_t ops = 0;
+        bool allBlocked = true;
+        int running = 0;
+        for (int r = 0; r < size_; ++r) {
+          ops += world.mailbox(r).opCount();
+          if (finished[static_cast<std::size_t>(r)].load(
+                  std::memory_order_acquire)) {
+            continue;
+          }
+          ++running;
+          if (!world.mailbox(r).waitState().waiting) allBlocked = false;
+        }
+        if (running == 0) break;
+        if (allBlocked && ops == lastOps) {
+          stalledSeconds +=
+              std::chrono::duration<double>(kTick).count();
+        } else {
+          stalledSeconds = 0.0;
+        }
+        lastOps = ops;
+        if (stalledSeconds < watchdogSeconds_) continue;
+
+        // Deadlock: dump every rank's wait target and every mailbox's
+        // pending (src, tag) queues, then unwind the run.
+        std::ostringstream report;
+        report << "deadlock watchdog: no message progress for "
+               << stalledSeconds
+               << "s with every running rank blocked in a receive";
+        for (int r = 0; r < size_; ++r) {
+          report << "\n  rank " << r << ": ";
+          if (finished[static_cast<std::size_t>(r)].load(
+                  std::memory_order_acquire)) {
+            if (crashes[static_cast<std::size_t>(r)]) {
+              report << "crashed ("
+                     << crashes[static_cast<std::size_t>(r)]->reason << ")";
+            } else {
+              report << "finished";
+            }
+            continue;
+          }
+          const Mailbox::WaitState ws = world.mailbox(r).waitState();
+          if (ws.waiting) {
+            report << "blocked waiting on (src=" << ws.src
+                   << ", tag=" << ws.tag << ")";
+          } else {
+            report << "running";
+          }
+          const auto queues = world.mailbox(r).pendingQueues();
+          if (queues.empty()) {
+            report << "; mailbox empty";
+          } else {
+            report << "; mailbox pending:";
+            for (const auto& q : queues) {
+              report << " (src=" << q.src << ", tag=" << q.tag << ") x"
+                     << q.depth;
+            }
+          }
+        }
+        if (injector) {
+          report << "\n  active fault plan: " << injector->plan().describe();
+        }
+        watchdogReport = report.str();
+        failed = true;
+        world.abortAll();
+        break;
+      }
+    });
+  }
 
   WallTimer wall;
   std::vector<std::thread> threads;
@@ -26,30 +142,76 @@ RunStats Engine::run(const std::function<void(Comm&)>& fn) {
   for (int r = 0; r < size_; ++r) {
     threads.emplace_back([&, r] {
       VirtualClock& clock = clocks[static_cast<std::size_t>(r)];
+      if (injector) clock.setComputeScale(injector->computeScale(r));
       clock.start();
       Comm comm(&world, r, &clock);
       try {
         fn(comm);
         clock.sampleCompute();
+      } catch (const RankCrash& e) {
+        clock.sampleCompute();
+        if (tolerateRankFailures_) {
+          // Survivable by construction for communication-avoiding methods:
+          // record the death, poison this rank as a message source, and
+          // let everyone else run to completion.
+          crashes[static_cast<std::size_t>(r)] = RankFailure{r, e.what()};
+          world.markFailed(r, e.what());
+        } else {
+          errors[static_cast<std::size_t>(r)] = e.what();
+          failed = true;
+          world.abortAll();
+        }
       } catch (const std::exception& e) {
         errors[static_cast<std::size_t>(r)] = e.what();
         failed = true;
         world.abortAll();
       }
+      finished[static_cast<std::size_t>(r)].store(1,
+                                                  std::memory_order_release);
     });
   }
   for (auto& t : threads) t.join();
 
+  if (watchdog.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(wdMutex);
+      wdStop = true;
+    }
+    wdCv.notify_all();
+    watchdog.join();
+  }
+
   if (failed) {
-    // Prefer a root-cause message over the cascaded "run aborted" ones.
+    if (!watchdogReport.empty()) {
+      throw Error("engine run failed: " + watchdogReport);
+    }
+    // Prefer a message naming the injected fault, then any non-cascade
+    // root cause, over the cascaded "run aborted" ones.
     std::string best;
+    bool bestNamesFault = false;
+    bool bestIsCascade = true;
     for (int r = 0; r < size_; ++r) {
       const auto& err = errors[static_cast<std::size_t>(r)];
       if (!err) continue;
-      const bool cascade = err->find("run aborted") != std::string::npos;
-      if (best.empty() || !cascade) {
+      const bool cascade = isCascadeError(*err);
+      const bool fault = namesInjectedFault(*err);
+      const bool better =
+          best.empty() || (fault && !bestNamesFault) ||
+          (!bestNamesFault && bestIsCascade && !cascade);
+      if (better) {
         best = "rank " + std::to_string(r) + ": " + *err;
-        if (!cascade) break;
+        bestNamesFault = fault;
+        bestIsCascade = cascade;
+        if (fault) break;
+      }
+    }
+    // A tolerated crash that still sank the run (e.g. inside a collective)
+    // is the real root cause; name it if the errors did not already.
+    if (!bestNamesFault) {
+      for (const auto& crash : crashes) {
+        if (!crash) continue;
+        best += (best.empty() ? "" : "; after ") + crash->reason;
+        break;
       }
     }
     throw Error("engine run failed: " + best);
@@ -65,6 +227,9 @@ RunStats Engine::run(const std::function<void(Comm&)>& fn) {
     stats.commSeconds.push_back(clock.commSeconds());
   }
   stats.traffic = world.traffic().snapshot();
+  for (const auto& crash : crashes) {
+    if (crash) stats.failures.push_back(*crash);
+  }
   return stats;
 }
 

@@ -1,0 +1,295 @@
+#include "casvm/net/fault.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace casvm::net {
+
+namespace {
+
+/// Strip leading/trailing whitespace.
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\n\r");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\n\r");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> splitOn(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  parts.push_back(cur);
+  return parts;
+}
+
+long long parseInt(const std::string& clause, const std::string& value) {
+  char* end = nullptr;
+  const long long v = std::strtoll(value.c_str(), &end, 10);
+  CASVM_CHECK(end && *end == '\0' && !value.empty(),
+              "fault spec: bad integer '" + value + "' in clause '" + clause +
+                  "'");
+  return v;
+}
+
+double parseDouble(const std::string& clause, const std::string& value) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  CASVM_CHECK(end && *end == '\0' && !value.empty(),
+              "fault spec: bad number '" + value + "' in clause '" + clause +
+                  "'");
+  return v;
+}
+
+FaultSpec parseClause(const std::string& raw) {
+  const std::string clause = trim(raw);
+  const std::size_t colon = clause.find(':');
+  CASVM_CHECK(colon != std::string::npos,
+              "fault spec: clause '" + clause +
+                  "' needs the form kind:key=value,...");
+  const std::string kind = trim(clause.substr(0, colon));
+
+  FaultSpec spec;
+  bool haveOp = false;
+  bool havePhase = false;
+  if (kind == "crash") {
+    spec.kind = FaultKind::CrashAtOp;  // refined below by op=/phase=
+  } else if (kind == "drop") {
+    spec.kind = FaultKind::DropMessage;
+  } else if (kind == "delay") {
+    spec.kind = FaultKind::DelayMessage;
+  } else if (kind == "slow") {
+    spec.kind = FaultKind::SlowRank;
+  } else {
+    throw Error("fault spec: unknown fault kind '" + kind + "' in clause '" +
+                clause + "' (expected crash|drop|delay|slow)");
+  }
+
+  for (const std::string& rawPair : splitOn(clause.substr(colon + 1), ',')) {
+    const std::string pair = trim(rawPair);
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    CASVM_CHECK(eq != std::string::npos,
+                "fault spec: expected key=value, got '" + pair +
+                    "' in clause '" + clause + "'");
+    const std::string key = trim(pair.substr(0, eq));
+    const std::string value = trim(pair.substr(eq + 1));
+    if (key == "rank") {
+      spec.rank = static_cast<int>(parseInt(clause, value));
+    } else if (key == "op") {
+      spec.op = parseInt(clause, value);
+      haveOp = true;
+    } else if (key == "phase") {
+      spec.phase = value;
+      havePhase = true;
+    } else if (key == "src") {
+      spec.src = static_cast<int>(parseInt(clause, value));
+    } else if (key == "dst") {
+      spec.dst = static_cast<int>(parseInt(clause, value));
+    } else if (key == "nth") {
+      spec.nth = parseInt(clause, value);
+    } else if (key == "prob") {
+      spec.probability = parseDouble(clause, value);
+    } else if (key == "seconds") {
+      spec.seconds = parseDouble(clause, value);
+    } else if (key == "factor") {
+      spec.factor = parseDouble(clause, value);
+    } else {
+      throw Error("fault spec: unknown key '" + key + "' in clause '" +
+                  clause + "'");
+    }
+  }
+
+  // Per-kind validation, so a bad plan fails at parse time, not mid-run.
+  switch (spec.kind) {
+    case FaultKind::CrashAtOp:
+    case FaultKind::CrashAtPhase:
+      CASVM_CHECK(spec.rank >= 0,
+                  "fault spec: crash clause needs rank= ('" + clause + "')");
+      CASVM_CHECK(haveOp != havePhase,
+                  "fault spec: crash clause needs exactly one of op=/phase= "
+                  "('" + clause + "')");
+      if (havePhase) {
+        spec.kind = FaultKind::CrashAtPhase;
+      } else {
+        CASVM_CHECK(spec.op >= 1,
+                    "fault spec: crash op= is 1-based ('" + clause + "')");
+      }
+      break;
+    case FaultKind::DropMessage:
+    case FaultKind::DelayMessage:
+      CASVM_CHECK(spec.src >= 0 || spec.dst >= 0,
+                  "fault spec: drop/delay clause needs src= and/or dst= ('" +
+                      clause + "')");
+      CASVM_CHECK(spec.nth >= 0,
+                  "fault spec: nth= must be >= 1 (0 = every match) ('" +
+                      clause + "')");
+      CASVM_CHECK(spec.probability > 0.0 && spec.probability <= 1.0,
+                  "fault spec: prob= must be in (0, 1] ('" + clause + "')");
+      if (spec.kind == FaultKind::DelayMessage) {
+        CASVM_CHECK(spec.seconds > 0.0,
+                    "fault spec: delay clause needs seconds= > 0 ('" +
+                        clause + "')");
+      }
+      break;
+    case FaultKind::SlowRank:
+      CASVM_CHECK(spec.rank >= 0,
+                  "fault spec: slow clause needs rank= ('" + clause + "')");
+      CASVM_CHECK(spec.factor >= 1.0,
+                  "fault spec: slow factor= must be >= 1 ('" + clause + "')");
+      break;
+  }
+  return spec;
+}
+
+}  // namespace
+
+std::string FaultSpec::describe() const {
+  std::ostringstream out;
+  switch (kind) {
+    case FaultKind::CrashAtOp:
+      out << "crash:rank=" << rank << ",op=" << op;
+      break;
+    case FaultKind::CrashAtPhase:
+      out << "crash:rank=" << rank << ",phase=" << phase;
+      break;
+    case FaultKind::DropMessage:
+    case FaultKind::DelayMessage:
+      out << (kind == FaultKind::DropMessage ? "drop:" : "delay:");
+      {
+        const char* sep = "";
+        if (src >= 0) { out << sep << "src=" << src; sep = ","; }
+        if (dst >= 0) { out << sep << "dst=" << dst; sep = ","; }
+        if (nth > 0) { out << sep << "nth=" << nth; sep = ","; }
+        if (probability < 1.0) { out << sep << "prob=" << probability; sep = ","; }
+        if (kind == FaultKind::DelayMessage) {
+          out << sep << "seconds=" << seconds;
+        }
+      }
+      break;
+    case FaultKind::SlowRank:
+      out << "slow:rank=" << rank << ",factor=" << factor;
+      break;
+  }
+  return out.str();
+}
+
+FaultPlan FaultPlan::parse(const std::string& text, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  for (const std::string& clause : splitOn(text, ';')) {
+    if (trim(clause).empty()) continue;
+    plan.faults.push_back(parseClause(clause));
+  }
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  std::string out;
+  for (const FaultSpec& spec : faults) {
+    if (!out.empty()) out += ";";
+    out += spec.describe();
+  }
+  return out;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, int worldSize)
+    : plan_(std::move(plan)), size_(worldSize) {
+  CASVM_CHECK(worldSize > 0, "fault injector needs a positive world size");
+  for (const FaultSpec& spec : plan_.faults) {
+    const bool ranked = spec.kind == FaultKind::CrashAtOp ||
+                        spec.kind == FaultKind::CrashAtPhase ||
+                        spec.kind == FaultKind::SlowRank;
+    if (ranked) {
+      CASVM_CHECK(spec.rank < size_,
+                  "fault spec targets rank " + std::to_string(spec.rank) +
+                      " outside the world of size " + std::to_string(size_) +
+                      " (" + spec.describe() + ")");
+    }
+    CASVM_CHECK(spec.src < size_ && spec.dst < size_,
+                "fault spec targets an edge outside the world of size " +
+                    std::to_string(size_) + " (" + spec.describe() + ")");
+  }
+  opCount_.assign(static_cast<std::size_t>(size_), 0);
+  matchCount_.assign(plan_.faults.size() * static_cast<std::size_t>(size_), 0);
+  senderRng_.reserve(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r) {
+    // Independent per-sender streams: each rank's drop/delay coin flips
+    // depend only on its own program order, never on thread scheduling.
+    senderRng_.emplace_back(plan_.seed ^
+                            (0x9e3779b97f4a7c15ULL * (std::uint64_t(r) + 1)));
+  }
+}
+
+void FaultInjector::countOp(int rank) {
+  const long long op = ++opCount_[static_cast<std::size_t>(rank)];
+  for (const FaultSpec& spec : plan_.faults) {
+    if (spec.kind == FaultKind::CrashAtOp && spec.rank == rank &&
+        spec.op == op) {
+      throw RankCrash(rank, "injected fault: rank " + std::to_string(rank) +
+                                " crashed at comm op " + std::to_string(op) +
+                                " (" + spec.describe() + ")");
+    }
+  }
+}
+
+FaultInjector::SendVerdict FaultInjector::onSend(int src, int dst) {
+  countOp(src);  // may throw RankCrash before the message exists
+  SendVerdict verdict;
+  for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
+    const FaultSpec& spec = plan_.faults[i];
+    if (spec.kind != FaultKind::DropMessage &&
+        spec.kind != FaultKind::DelayMessage) {
+      continue;
+    }
+    if (spec.src >= 0 && spec.src != src) continue;
+    if (spec.dst >= 0 && spec.dst != dst) continue;
+    const long long match =
+        ++matchCount_[i * static_cast<std::size_t>(size_) +
+                      static_cast<std::size_t>(src)];
+    if (spec.nth > 0 && match != spec.nth) continue;
+    if (spec.probability < 1.0 &&
+        !senderRng_[static_cast<std::size_t>(src)].bernoulli(
+            spec.probability)) {
+      continue;
+    }
+    if (spec.kind == FaultKind::DropMessage) {
+      verdict.drop = true;
+    } else {
+      verdict.delaySeconds += spec.seconds;
+    }
+  }
+  return verdict;
+}
+
+void FaultInjector::onRecv(int rank) { countOp(rank); }
+
+void FaultInjector::atPhase(int rank, const std::string& label) {
+  for (const FaultSpec& spec : plan_.faults) {
+    if (spec.kind == FaultKind::CrashAtPhase && spec.rank == rank &&
+        spec.phase == label) {
+      throw RankCrash(rank, "injected fault: rank " + std::to_string(rank) +
+                                " crashed at phase '" + label + "' (" +
+                                spec.describe() + ")");
+    }
+  }
+}
+
+double FaultInjector::computeScale(int rank) const {
+  double scale = 1.0;
+  for (const FaultSpec& spec : plan_.faults) {
+    if (spec.kind == FaultKind::SlowRank && spec.rank == rank) {
+      scale *= spec.factor;
+    }
+  }
+  return scale;
+}
+
+}  // namespace casvm::net

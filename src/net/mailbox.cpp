@@ -14,6 +14,7 @@ void Mailbox::put(int src, int tag, Message msg) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queues_[key(src, tag)].push_back(std::move(msg));
+    ops_.fetch_add(1, std::memory_order_relaxed);
   }
   cv_.notify_all();
 }
@@ -21,19 +22,30 @@ void Mailbox::put(int src, int tag, Message msg) {
 Message Mailbox::take(int src, int tag) {
   std::unique_lock<std::mutex> lock(mutex_);
   const Key k = key(src, tag);
+  wait_ = WaitState{true, src, tag};
   cv_.wait(lock, [&] {
-    if (aborted_) return true;
+    if (aborted_ || deadSources_.count(src) > 0) return true;
     auto it = queues_.find(k);
     return it != queues_.end() && !it->second.empty();
   });
+  wait_ = WaitState{};
   auto it = queues_.find(k);
   if (it == queues_.end() || it->second.empty()) {
+    // No message will ever arrive: prefer the per-rank root cause (a dead
+    // peer) over the generic whole-run abort.
+    auto dead = deadSources_.find(src);
+    if (dead != deadSources_.end()) {
+      throw Error("peer rank " + std::to_string(src) +
+                  " failed while this rank was waiting for its message: " +
+                  dead->second);
+    }
     CASVM_ASSERT(aborted_, "spurious wake without message");
     throw Error("casvm::net run aborted while waiting for a message");
   }
   Message msg = std::move(it->second.front());
   it->second.pop_front();
   if (it->second.empty()) queues_.erase(it);
+  ops_.fetch_add(1, std::memory_order_relaxed);
   return msg;
 }
 
@@ -43,6 +55,31 @@ void Mailbox::abort() {
     aborted_ = true;
   }
   cv_.notify_all();
+}
+
+void Mailbox::failSource(int src, std::string reason) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    deadSources_.emplace(src, std::move(reason));
+  }
+  cv_.notify_all();
+}
+
+Mailbox::WaitState Mailbox::waitState() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return wait_;
+}
+
+std::vector<Mailbox::QueueInfo> Mailbox::pendingQueues() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<QueueInfo> out;
+  out.reserve(queues_.size());
+  for (const auto& [k, q] : queues_) {
+    if (q.empty()) continue;
+    out.push_back({static_cast<int>(k >> 32),
+                   static_cast<int>(k & 0xffffffffULL), q.size()});
+  }
+  return out;
 }
 
 std::size_t Mailbox::pending() const {

@@ -1,0 +1,233 @@
+// Chaos tests for method-aware degradation: partitioned methods survive an
+// injected rank crash with P-1 sub-models and routed prediction; tree
+// methods and Dis-SMO fail fast with an error naming the fault.
+
+#include "casvm/core/train.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "casvm/data/registry.hpp"
+#include "casvm/support/error.hpp"
+
+namespace casvm::core {
+namespace {
+
+TrainConfig baseConfig(const data::NamedDataset& nd, Method method,
+                       int P = 8) {
+  TrainConfig cfg;
+  cfg.method = method;
+  cfg.processes = P;
+  cfg.solver.kernel = kernel::KernelParams::gaussian(nd.suggestedGamma);
+  cfg.solver.C = nd.suggestedC;
+  return cfg;
+}
+
+const data::NamedDataset& toy() {
+  static const data::NamedDataset nd = data::standin("toy");
+  return nd;
+}
+
+std::vector<Method> partitionedMethods() {
+  std::vector<Method> out;
+  for (Method m : allMethods()) {
+    if (isPartitionedMethod(m)) out.push_back(m);
+  }
+  return out;
+}
+
+std::vector<Method> failFastMethods() {
+  std::vector<Method> out;
+  for (Method m : allMethods()) {
+    if (!isPartitionedMethod(m)) out.push_back(m);
+  }
+  return out;
+}
+
+std::string paramName(const ::testing::TestParamInfo<Method>& info) {
+  std::string name = methodName(info.param);
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned methods degrade
+// ---------------------------------------------------------------------------
+
+class DegradedTrainTest : public ::testing::TestWithParam<Method> {};
+
+TEST_P(DegradedTrainTest, SurvivesOneRankCrashWithRoutedModel) {
+  // Kill rank 2 at the train-phase boundary: by then every partition is
+  // placed and training is purely local, so the other 7 sub-SVMs complete
+  // and prediction routes around the hole.
+  TrainConfig cfg = baseConfig(toy(), GetParam());
+  cfg.faults = net::FaultPlan::parse("crash:rank=2,phase=train");
+  const TrainResult res = train(toy().train, cfg);
+
+  EXPECT_TRUE(res.degraded);
+  ASSERT_EQ(res.failedRanks.size(), 1u);
+  EXPECT_EQ(res.failedRanks[0], 2);
+  EXPECT_TRUE(res.model.isRouted());
+  EXPECT_EQ(res.model.numModels(), 7u);  // P-1 survivors
+
+  // Coverage metadata: one entry per partition, rank 2 marked dead, the
+  // covered fraction consistent with the per-rank sample counts.
+  ASSERT_EQ(res.coverage.size(), 8u);
+  long long total = 0;
+  long long covered = 0;
+  for (const PartitionCoverage& pc : res.coverage) {
+    EXPECT_EQ(pc.rank, &pc - res.coverage.data());
+    EXPECT_EQ(pc.survived, pc.rank != 2);
+    total += pc.samples;
+    if (pc.survived) covered += pc.samples;
+  }
+  EXPECT_EQ(total, static_cast<long long>(toy().train.rows()));
+  EXPECT_GT(res.coveredFraction, 0.0);
+  EXPECT_LT(res.coveredFraction, 1.0);
+  EXPECT_DOUBLE_EQ(res.coveredFraction,
+                   static_cast<double>(covered) / static_cast<double>(total));
+
+  // The engine recorded the injected crash.
+  ASSERT_EQ(res.runStats.failures.size(), 1u);
+  EXPECT_EQ(res.runStats.failures[0].rank, 2);
+  EXPECT_NE(res.runStats.failures[0].reason.find("injected fault"),
+            std::string::npos);
+
+  // predict() works on the degraded model and the accuracy stays within a
+  // modest band of the fault-free run: one lost partition of eight.
+  TrainConfig clean = baseConfig(toy(), GetParam());
+  const TrainResult full = train(toy().train, clean);
+  const double degradedAcc = res.model.accuracy(toy().test);
+  const double fullAcc = full.model.accuracy(toy().test);
+  EXPECT_GT(degradedAcc, 0.5);
+  EXPECT_GE(degradedAcc, fullAcc - 0.15)
+      << methodName(GetParam()) << ": degraded " << degradedAcc << " vs full "
+      << fullAcc;
+}
+
+TEST_P(DegradedTrainTest, DegradedRunIsSeedReproducible) {
+  TrainConfig cfg = baseConfig(toy(), GetParam());
+  cfg.faults = net::FaultPlan::parse("crash:rank=2,phase=train", 11);
+  const TrainResult a = train(toy().train, cfg);
+  const TrainResult b = train(toy().train, cfg);
+  EXPECT_EQ(a.degraded, b.degraded);
+  EXPECT_EQ(a.failedRanks, b.failedRanks);
+  EXPECT_EQ(a.model.numModels(), b.model.numModels());
+  EXPECT_DOUBLE_EQ(a.coveredFraction, b.coveredFraction);
+  EXPECT_DOUBLE_EQ(a.model.accuracy(toy().test), b.model.accuracy(toy().test));
+}
+
+TEST_P(DegradedTrainTest, DeadRankContributesNoTrainTime) {
+  TrainConfig cfg = baseConfig(toy(), GetParam());
+  cfg.faults = net::FaultPlan::parse("crash:rank=2,phase=train");
+  const TrainResult res = train(toy().train, cfg);
+  ASSERT_EQ(res.trainSecondsPerRank.size(), 8u);
+  EXPECT_EQ(res.trainSecondsPerRank[2], 0.0);
+  EXPECT_GT(res.trainSeconds, 0.0);  // survivors still measured
+  for (double s : res.trainSecondsPerRank) EXPECT_GE(s, 0.0);
+}
+
+TEST_P(DegradedTrainTest, FaultFreePlanLeavesResultUndegraded) {
+  TrainConfig cfg = baseConfig(toy(), GetParam());
+  cfg.faults = net::FaultPlan::parse("");  // explicit empty plan
+  const TrainResult res = train(toy().train, cfg);
+  EXPECT_FALSE(res.degraded);
+  EXPECT_TRUE(res.failedRanks.empty());
+  EXPECT_EQ(res.model.numModels(), 8u);
+  EXPECT_DOUBLE_EQ(res.coveredFraction, 1.0);
+  for (const PartitionCoverage& pc : res.coverage) EXPECT_TRUE(pc.survived);
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitioned, DegradedTrainTest,
+                         ::testing::ValuesIn(partitionedMethods()), paramName);
+
+// ---------------------------------------------------------------------------
+// Tree methods and Dis-SMO fail fast
+// ---------------------------------------------------------------------------
+
+class FailFastTrainTest : public ::testing::TestWithParam<Method> {};
+
+TEST_P(FailFastTrainTest, CrashAbortsNamingTheInjectedFault) {
+  // Every rank's output feeds the global solve, so the run must abort —
+  // and the error must name the injected fault, not a cascade symptom.
+  TrainConfig cfg = baseConfig(toy(), GetParam());
+  cfg.faults = net::FaultPlan::parse("crash:rank=2,phase=train");
+  cfg.watchdogSeconds = 10.0;  // backstop: never hang the test suite
+  try {
+    (void)train(toy().train, cfg);
+    FAIL() << "expected throw for " << methodName(GetParam());
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("injected fault"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 2"), std::string::npos) << what;
+  }
+}
+
+TEST_P(FailFastTrainTest, FailFastIsReproducible) {
+  TrainConfig cfg = baseConfig(toy(), GetParam());
+  cfg.faults = net::FaultPlan::parse("crash:rank=1,phase=init", 5);
+  cfg.watchdogSeconds = 10.0;
+  std::vector<std::string> whats;
+  for (int round = 0; round < 2; ++round) {
+    try {
+      (void)train(toy().train, cfg);
+      FAIL() << "expected throw";
+    } catch (const Error& e) {
+      whats.emplace_back(e.what());
+    }
+  }
+  ASSERT_EQ(whats.size(), 2u);
+  EXPECT_EQ(whats[0], whats[1]);
+  EXPECT_NE(whats[0].find("injected fault"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(FailFast, FailFastTrainTest,
+                         ::testing::ValuesIn(failFastMethods()), paramName);
+
+// ---------------------------------------------------------------------------
+// Slow-rank and whole-run guards
+// ---------------------------------------------------------------------------
+
+TEST(DegradedTrainTest2, SlowRankShowsUpInPerRankTraining) {
+  // An 8x straggler must dominate the per-rank virtual training times.
+  TrainConfig cfg = baseConfig(toy(), Method::RaCa);
+  cfg.faults = net::FaultPlan::parse("slow:rank=3,factor=8");
+  const TrainResult res = train(toy().train, cfg);
+  EXPECT_FALSE(res.degraded);
+  double maxOther = 0.0;
+  for (int r = 0; r < 8; ++r) {
+    if (r != 3) maxOther = std::max(maxOther, res.trainSecondsPerRank[r]);
+  }
+  EXPECT_GT(res.trainSecondsPerRank[3], maxOther);
+}
+
+TEST(DegradedTrainTest2, AllRanksCrashedIsAnError) {
+  TrainConfig cfg = baseConfig(toy(), Method::RaCa, 2);
+  cfg.faults =
+      net::FaultPlan::parse("crash:rank=0,phase=train;crash:rank=1,phase=train");
+  try {
+    (void)train(toy().train, cfg);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("every rank crashed"),
+              std::string::npos);
+  }
+}
+
+TEST(DegradedTrainTest2, DegradedModelSurvivesSerialization) {
+  // The routed P-1 model must round-trip through pack/unpack like any
+  // other (prediction artifacts are the paper's MF/CT files).
+  TrainConfig cfg = baseConfig(toy(), Method::RaCa);
+  cfg.faults = net::FaultPlan::parse("crash:rank=5,phase=train");
+  const TrainResult res = train(toy().train, cfg);
+  ASSERT_EQ(res.model.numModels(), 7u);
+  const DistributedModel copy = DistributedModel::unpack(res.model.pack());
+  EXPECT_EQ(copy.numModels(), 7u);
+  EXPECT_DOUBLE_EQ(copy.accuracy(toy().test), res.model.accuracy(toy().test));
+}
+
+}  // namespace
+}  // namespace casvm::core

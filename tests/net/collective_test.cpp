@@ -276,5 +276,69 @@ TEST_P(CollectiveTest, AlltoallvWrongArityThrows) {
 INSTANTIATE_TEST_SUITE_P(RankCounts, CollectiveTest,
                          ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16));
 
+// ---------------------------------------------------------------------------
+// Failure unwinding: a rank that dies before entering a collective must not
+// leave its peers parked inside the collective forever — the abort wakes
+// every blocked internal receive and the run unwinds with the root cause.
+// ---------------------------------------------------------------------------
+
+TEST(CollectiveUnwindTest, RootFailureBeforeBcastUnblocksPeers) {
+  Engine engine(4);
+  try {
+    engine.run([](Comm& c) {
+      if (c.rank() == 0) throw Error("root died before bcast");
+      int v = 0;
+      c.bcast(v, 0);  // peers park on the binomial tree
+    });
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("root died before bcast"),
+              std::string::npos);
+  }
+}
+
+TEST(CollectiveUnwindTest, LeafFailureBeforeReduceUnblocksTree) {
+  // The last rank never contributes; everyone upstream of it in the
+  // binomial tree (ultimately the root) is blocked and must be woken.
+  Engine engine(8);
+  try {
+    engine.run([](Comm& c) {
+      if (c.rank() == c.size() - 1) throw Error("leaf died before reduce");
+      (void)c.reduce(c.rank(), [](int a, int b) { return a + b; }, 0);
+    });
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("leaf died before reduce"),
+              std::string::npos);
+  }
+}
+
+TEST(CollectiveUnwindTest, FailureBeforeAlltoallvUnblocksAllReceivers) {
+  // Alltoallv blocks every rank on a direct receive from every other; a
+  // missing participant therefore blocks all of them at once.
+  Engine engine(4);
+  try {
+    engine.run([](Comm& c) {
+      if (c.rank() == 0) throw Error("rank 0 died before alltoallv");
+      std::vector<std::vector<int>> parts(static_cast<std::size_t>(c.size()));
+      for (auto& p : parts) p = {c.rank()};
+      (void)c.alltoallv(std::move(parts));
+    });
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("rank 0 died before alltoallv"),
+              std::string::npos);
+  }
+}
+
+TEST(CollectiveUnwindTest, FailureBeforeBarrierUnblocksEveryRank) {
+  Engine engine(5);
+  EXPECT_THROW(engine.run([](Comm& c) {
+                 if (c.rank() == 2) throw Error("died before barrier");
+                 c.barrier();
+               }),
+               Error);
+}
+
 }  // namespace
 }  // namespace casvm::net

@@ -145,6 +145,49 @@ TEST(EngineStatsTest, VirtualSecondsIsMaxOverRanks) {
   EXPECT_GE(stats.totalComputeSeconds(), stats.maxComputeSeconds());
 }
 
+TEST(WorldTest, AbortedFlagWiredToAbortAll) {
+  // Regression: aborted() used to return false unconditionally, so nothing
+  // observing the world could tell a failed run from a healthy one.
+  World world(2, CostModel{});
+  EXPECT_FALSE(world.aborted());
+  world.abortAll();
+  EXPECT_TRUE(world.aborted());
+}
+
+TEST(WorldTest, AbortedVisibleDuringEngineFailure) {
+  // The flag must flip while surviving ranks are still running, not just
+  // after the join: rank 1 spins on it after rank 0 throws.
+  Engine engine(2);
+  std::atomic<bool> observed{false};
+  EXPECT_THROW(engine.run([&](Comm& c) {
+                 if (c.rank() == 0) {
+                   throw Error("deliberate failure");
+                 }
+                 // Rank 1 waits in a blocked recv; the abort wakes it with
+                 // an error, proving the failure propagated while running.
+                 try {
+                   (void)c.recv<int>(0);
+                 } catch (const Error&) {
+                   observed = true;
+                   throw;
+                 }
+               }),
+               Error);
+  EXPECT_TRUE(observed.load());
+}
+
+TEST(WorldTest, PerRankFailureStateTracksMarkFailed) {
+  World world(3, CostModel{});
+  EXPECT_FALSE(world.rankFailed(1));
+  EXPECT_TRUE(world.failedRanks().empty());
+  world.markFailed(1, "test reason");
+  EXPECT_TRUE(world.rankFailed(1));
+  EXPECT_FALSE(world.rankFailed(0));
+  EXPECT_EQ(world.failedRanks(), (std::vector<int>{1}));
+  // A rank failure is not a whole-run abort.
+  EXPECT_FALSE(world.aborted());
+}
+
 TEST(EngineStatsTest, WallClockPositive) {
   Engine engine(2);
   const RunStats stats = engine.run([](Comm&) {});

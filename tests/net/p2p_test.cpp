@@ -124,6 +124,57 @@ TEST(P2pTest, ReservedTagRejected) {
                Error);
 }
 
+TEST(P2pTest, TagContractSymmetricOnSendAndRecv) {
+  // Both halves of the kUserTagLimit contract: the exact boundary tag and
+  // negative tags are rejected on send AND on recv, with a diagnostic that
+  // names the offending tag.
+  const auto expectTagError = [](const std::function<void(Comm&)>& fn,
+                                 const std::string& needle) {
+    try {
+      run(2, fn);
+      FAIL() << "expected throw for " << needle;
+    } catch (const Error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("user tag"), std::string::npos) << what;
+      EXPECT_NE(what.find(needle), std::string::npos) << what;
+    }
+  };
+  expectTagError(
+      [](Comm& c) {
+        if (c.rank() == 0) {
+          const int x = 1;
+          c.sendBytes(1, Comm::kUserTagLimit, &x, sizeof(x));
+        }
+      },
+      std::to_string(Comm::kUserTagLimit));
+  expectTagError(
+      [](Comm& c) {
+        if (c.rank() == 1) (void)c.recvBytes(0, Comm::kUserTagLimit);
+      },
+      std::to_string(Comm::kUserTagLimit));
+  expectTagError(
+      [](Comm& c) {
+        if (c.rank() == 0) {
+          const int x = 1;
+          c.sendBytes(1, -1, &x, sizeof(x));
+        }
+      },
+      "-1");
+  expectTagError([](Comm& c) {
+    if (c.rank() == 1) (void)c.recvBytes(0, -3);
+  }, "-3");
+}
+
+TEST(P2pTest, LargestUserTagAccepted) {
+  run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 99, Comm::kUserTagLimit - 1);
+    } else {
+      EXPECT_EQ(c.recv<int>(0, Comm::kUserTagLimit - 1), 99);
+    }
+  });
+}
+
 TEST(P2pTest, SizeMismatchThrows) {
   EXPECT_THROW(run(2, [](Comm& c) {
                  if (c.rank() == 0) {

@@ -42,4 +42,34 @@ test "$ACC1" = "$ACC2"
   --standin toy > "$WORK/model_tool.log"
 grep -q "ra-ca" "$WORK/model_tool.log"
 
+# Fault injection: a partitioned method degrades around a crashed rank and
+# the surviving model still predicts.
+"$BIN/casvm-train" --data "$WORK/train.scaled" --method ra-ca \
+  --gamma 0.5 --procs 4 --fault-spec "crash:rank=2,phase=train" \
+  --fault-seed 7 --out "$WORK/degraded.bin" > "$WORK/degraded.log"
+grep -q "degraded run" "$WORK/degraded.log"
+grep -q "3 of 4 partitions survived" "$WORK/degraded.log"
+grep -q "model written" "$WORK/degraded.log"
+"$BIN/casvm-predict" --model "$WORK/degraded.bin" --data "$WORK/test.scaled" \
+  > "$WORK/degraded_predict.log"
+grep -q "accuracy" "$WORK/degraded_predict.log"
+
+# The same crash sinks a tree method fast, naming the injected fault.
+if "$BIN/casvm-train" --data "$WORK/train.scaled" --method cascade \
+  --gamma 0.5 --procs 4 --fault-spec "crash:rank=2,phase=train" \
+  > "$WORK/failfast.log" 2>&1; then
+  echo "expected cascade to fail under an injected crash" >&2
+  exit 1
+fi
+grep -q "injected fault" "$WORK/failfast.log"
+
+# A malformed fault spec is rejected up front.
+if "$BIN/casvm-train" --data "$WORK/train.scaled" --method ra-ca \
+  --gamma 0.5 --procs 4 --fault-spec "explode:rank=1" \
+  > "$WORK/badspec.log" 2>&1; then
+  echo "expected a malformed --fault-spec to be rejected" >&2
+  exit 1
+fi
+grep -q "unknown fault kind" "$WORK/badspec.log"
+
 echo "tools workflow OK"

@@ -35,6 +35,10 @@ constexpr const char* kUsage = R"(usage: casvm-train [options]
   --shrinking          enable shrinking in the sub-solver
   --cascade-passes <n> Cascade feedback passes (default 1)
   --seed <s>           RNG seed (default 42)
+  --fault-spec <s>     injected fault schedule, e.g.
+                       "crash:rank=2,phase=train;slow:rank=1,factor=4"
+                       (partitioned methods degrade, others fail fast)
+  --fault-seed <s>     seed for probabilistic fault clauses (default 0)
   --out <file>         model output path (default casvm.model)
 )";
 
@@ -68,6 +72,7 @@ int main(int argc, char** argv) {
     cfg.processes = static_cast<int>(args.getInt("procs", 8));
     cfg.seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
     cfg.cascadePasses = static_cast<int>(args.getInt("cascade-passes", 1));
+    cfg.faults = cli::faultPlanFromArgs(args);
 
     const std::string kernelName = args.get("kernel", "gaussian");
     const double gamma = args.getDouble("gamma", defaultGamma);
@@ -94,6 +99,18 @@ int main(int argc, char** argv) {
                 core::methodName(cfg.method).c_str(), cfg.processes);
     const core::TrainResult res = core::train(train, cfg);
 
+    if (res.degraded) {
+      std::string ranks;
+      for (int r : res.failedRanks) {
+        if (!ranks.empty()) ranks += ", ";
+        ranks += std::to_string(r);
+      }
+      std::printf(
+          "degraded run: rank(s) %s crashed; %zu of %d partitions survived "
+          "(%.1f%% of training data covered)\n",
+          ranks.c_str(), res.model.numModels(), cfg.processes,
+          100.0 * res.coveredFraction);
+    }
     std::printf("iterations: %lld (critical path %lld)\n",
                 res.totalIterations, res.criticalIterations);
     std::printf("time: init %.3fs + train %.3fs (virtual), wall %.3fs\n",

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "casvm/net/fault.hpp"
+
 namespace casvm::cli {
 
 /// Minimal "--flag value" / "--switch" parser with typed getters.
@@ -60,6 +62,15 @@ class Args {
 [[noreturn]] inline void usage(const char* text) {
   std::fputs(text, stderr);
   std::exit(2);
+}
+
+/// Build the fault schedule from the shared --fault-spec / --fault-seed
+/// flags (empty plan when --fault-spec is absent). Parse errors surface as
+/// casvm::Error with the offending clause.
+inline net::FaultPlan faultPlanFromArgs(const Args& args) {
+  return net::FaultPlan::parse(
+      args.get("fault-spec", ""),
+      static_cast<std::uint64_t>(args.getInt("fault-seed", 0)));
 }
 
 }  // namespace casvm::cli
