@@ -93,15 +93,19 @@ inline core::TrainConfig makeConfig(const data::NamedDataset& nd,
   return cfg;
 }
 
-/// Benches that exercise the tree methods (Cascade/DC-SVM/DC-Filter) need
-/// a power-of-two rank count; fail fast with a clear message.
+/// Tree methods handle ragged (non-power-of-two) rank counts, but the
+/// paper's tables are all reported at power-of-two P; warn when a bench
+/// meant to reproduce them runs off-grid.
 inline void requirePowerOfTwoProcs(const Options& opts) {
-  if (opts.procs < 1 || (opts.procs & (opts.procs - 1)) != 0) {
-    std::fprintf(stderr,
-                 "this bench runs tree methods: --procs must be a power of "
-                 "two (got %d)\n",
-                 opts.procs);
+  if (opts.procs < 1) {
+    std::fprintf(stderr, "--procs must be >= 1 (got %d)\n", opts.procs);
     std::exit(2);
+  }
+  if ((opts.procs & (opts.procs - 1)) != 0) {
+    std::fprintf(stderr,
+                 "note: --procs %d is not a power of two; the paper reports "
+                 "tree-method tables at power-of-two P\n",
+                 opts.procs);
   }
 }
 

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "casvm/data/dataset.hpp"
 
@@ -45,6 +46,33 @@ struct KernelParams {
 /// Human-readable kernel name ("gaussian", ...).
 std::string kernelName(KernelType type);
 
+/// Reusable scratch that accelerates repeated Kernel::row() fills over one
+/// dataset. For dense data it holds a blocked, column-interleaved (k-major,
+/// 16 rows per block) float copy of the sample matrix, built once on first
+/// bind: row fills then run unit-stride load / convert / multiply-add
+/// streams with no per-fill transposition. It also owns the conversion and
+/// scatter buffers the fill kernels need, so fills allocate nothing.
+///
+/// Bound to one dataset at a time; binding a different dataset rebuilds the
+/// blocked copy (one full row fill's worth of work). Not thread-safe — each
+/// RowCache owns its own workspace.
+class RowWorkspace {
+ public:
+  RowWorkspace() = default;
+
+  /// Prepare for fills over `ds`; a no-op when already bound to it.
+  void bind(const data::Dataset& ds);
+
+ private:
+  friend class Kernel;
+  const data::Dataset* bound_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> tiles_;    ///< dense: ceil(m/16) blocks of cols*16 floats
+  std::vector<double> xd_;      ///< dense: row i widened to double
+  std::vector<float> scatter_;  ///< sparse: dense copy of row i
+};
+
 /// Kernel evaluator bound to parameters (not to a dataset).
 class Kernel {
  public:
@@ -67,14 +95,54 @@ class Kernel {
   double evalVectors(std::span<const float> x, double xSelfDot,
                      std::span<const float> z, double zSelfDot) const;
 
-  /// Fill out[j] = K(xi, xj) for all j (one kernel row).
+  /// Fill out[j] = K(xi, xj) for all j (one kernel row). Uses blocked,
+  /// storage-aware dot-product kernels (8-row dense blocks; sparse rows via
+  /// a scattered dense copy of row i) and applies the kernel transform in a
+  /// single pass per row, so the KernelType switch runs once per row rather
+  /// than once per element. Bitwise-identical to calling eval per element.
   void row(const data::Dataset& ds, std::size_t i, std::span<double> out) const;
+
+  /// row() accelerated by a caller-owned workspace: dense fills run over
+  /// the workspace's blocked matrix copy through a runtime-dispatched
+  /// (AVX2 when available) micro-kernel, sparse fills reuse its scatter
+  /// buffer. Results are bitwise-identical to the workspace-free overload —
+  /// every row accumulates serially over ascending k into one double.
+  void row(const data::Dataset& ds, std::size_t i, std::span<double> out,
+           RowWorkspace& ws) const;
+
+  /// Fill out[j] = K(xi, xj) for j in `subset` only; entries of `out`
+  /// outside `subset` are left untouched. Lets the solver's row cache
+  /// refill evicted rows over the active set while shrinking instead of
+  /// paying a full-m row computation.
+  void row(const data::Dataset& ds, std::size_t i,
+           std::span<const std::size_t> subset, std::span<double> out) const;
+
+  /// Subset row() with a workspace (reuses its scatter buffer for sparse
+  /// data); bitwise-identical to the workspace-free subset overload.
+  void row(const data::Dataset& ds, std::size_t i,
+           std::span<const std::size_t> subset, std::span<double> out,
+           RowWorkspace& ws) const;
+
+  /// Fill out[j] = K(xj, xj) for all j from the dataset's cached squared
+  /// norms — no dot products. The SMO second-order working-set selection
+  /// reads the kernel diagonal for every candidate on every iteration;
+  /// computing it once here replaces an O(active * n) per-iteration cost
+  /// with an O(1) lookup. Bitwise-identical to eval(ds, j, j).
+  void diagonal(const data::Dataset& ds, std::span<double> out) const;
 
   /// Approximate flops for one kernel evaluation (used for modeling).
   double flopsPerEval(const data::Dataset& ds) const;
 
  private:
   double fromDot(double dot, double selfI, double selfJ) const;
+
+  /// Apply the kernel transform in place over a row of raw dot products
+  /// (one KernelType dispatch per row, not per element).
+  void transformRow(const data::Dataset& ds, std::size_t i,
+                    std::span<double> out) const;
+  void transformSubset(const data::Dataset& ds, std::size_t i,
+                       std::span<const std::size_t> subset,
+                       std::span<double> out) const;
 
   KernelParams params_;
 };

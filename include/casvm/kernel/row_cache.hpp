@@ -7,8 +7,24 @@
 /// samples); a small LRU over full rows captures the strong temporal reuse
 /// of frequently re-selected working-set members without materializing the
 /// m x m kernel matrix (LIBSVM uses the same strategy).
+///
+/// Pinning contract: the solver holds spans to at most two rows of one
+/// iteration simultaneously. It pins each row right after fetching it and
+/// unpins both before the next fetch; a pinned row is never evicted, so an
+/// eviction can never recycle a live span's backing vector. In debug builds
+/// every fill also bumps a per-slot generation counter, and checkLive()
+/// asserts that a captured (row, generation) pair is still the cached one —
+/// turning silent use-after-evict bugs into immediate failures.
+///
+/// While the solver is shrinking, rows can be fetched with the active index
+/// set: evicted-row refills then compute only the active entries (a partial
+/// fill), so shrunk runs stop paying full-m row computations. Partial fills
+/// are invalidated wholesale by invalidatePartial() when the active set
+/// grows back (unshrink), because a partial row is only valid for index
+/// sets that are subsets of the one it was filled with.
 
 #include <cstddef>
+#include <cstdint>
 #include <list>
 #include <span>
 #include <unordered_map>
@@ -25,33 +41,78 @@ class RowCache {
  public:
   /// `budgetBytes` bounds the cached data (each row is rows()*8 bytes);
   /// at least TWO row slots are always granted, because SMO holds spans to
-  /// the high and low rows of one iteration simultaneously — a single slot
-  /// would let the second fetch recycle the first span's storage.
+  /// the high and low rows of one iteration simultaneously.
   RowCache(const Kernel& kernel, const data::Dataset& ds,
            std::size_t budgetBytes);
 
   /// Kernel row i (length = dataset rows); computed on miss, LRU-evicted.
-  /// The span stays valid until its row is evicted: with a capacity of C
-  /// rows, the C most recently touched rows are live.
+  /// The span stays valid until its row is evicted; pinned rows are never
+  /// evicted. A cached partial fill of row i is upgraded to a full row
+  /// (counted as a miss).
   std::span<const double> row(std::size_t i);
+
+  /// Kernel row i for reads restricted to `active` (ascending solver
+  /// active-set indices). On a miss only the active entries are computed;
+  /// entries outside `active` are unspecified. Valid until eviction or
+  /// invalidatePartial(); `active` must be a subset of the index set the
+  /// row was last filled with (guaranteed while the solver only shrinks).
+  std::span<const double> row(std::size_t i,
+                              std::span<const std::size_t> active);
+
+  /// Pin row i (must be currently cached): excluded from eviction until
+  /// unpinned. Pins nest.
+  void pin(std::size_t i);
+  void unpin(std::size_t i);
+
+  /// Drop every partial fill (full rows stay). Call when the solver's
+  /// active set grows back to the full problem (unshrink); stale partial
+  /// rows from an earlier shrink phase would otherwise serve garbage for
+  /// indices they never computed.
+  void invalidatePartial();
+
+  /// Generation of the cached row i; bumped every time the slot holding i
+  /// is (re)filled. Returns 0 when i is not cached. Capture after row() and
+  /// pass to checkLive() to assert a span is still backed by live storage.
+  std::uint64_t generation(std::size_t i) const;
+
+  /// Debug-mode use-after-evict tripwire: asserts row i is still cached
+  /// with generation `gen`. Compiled out under CASVM_NO_ASSERT.
+  void checkLive(std::size_t i, std::uint64_t gen) const;
 
   std::size_t hits() const { return hits_; }
   std::size_t misses() const { return misses_; }
   std::size_t capacityRows() const { return capacityRows_; }
+  std::size_t pinnedRows() const { return pinned_; }
+  /// Misses served by a partial (active-set-only) fill.
+  std::size_t partialFills() const { return partialFills_; }
 
  private:
   struct Slot {
     std::size_t rowIndex;
     std::vector<double> values;
+    int pins = 0;
+    bool partial = false;
+    std::uint64_t generation = 0;
   };
+
+  /// Slot to (re)fill for a miss on row i: the least-recently-used unpinned
+  /// slot when at capacity, a fresh slot otherwise. The returned slot is
+  /// indexed under i and moved to the front of the LRU list.
+  Slot& claimSlot(std::size_t i);
 
   const Kernel& kernel_;
   const data::Dataset& ds_;
+  /// Fill accelerator (blocked matrix copy + scratch); lives as long as the
+  /// cache so its one-time build cost amortizes over every miss.
+  RowWorkspace workspace_;
   std::size_t capacityRows_;
   std::list<Slot> lru_;  // front = most recent
   std::unordered_map<std::size_t, std::list<Slot>::iterator> index_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+  std::size_t partialFills_ = 0;
+  std::size_t pinned_ = 0;
+  std::uint64_t nextGeneration_ = 1;
 };
 
 }  // namespace casvm::kernel

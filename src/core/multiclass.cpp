@@ -134,16 +134,11 @@ MulticlassModel MulticlassModel::load(const std::string& path) {
 namespace {
 
 /// Largest usable process count for a pairwise subproblem: no more ranks
-/// than samples (with a little headroom), and a power of two for tree
-/// methods.
+/// than samples (with a little headroom). Tree methods handle ragged
+/// (non-power-of-two) rank counts, so no further clamping is needed.
 int clampProcesses(const TrainConfig& config, std::size_t pairRows) {
-  int p = std::min<int>(config.processes,
-                        std::max<int>(1, static_cast<int>(pairRows / 4)));
-  if (isTreeMethod(config.method)) {
-    int pow2 = 1;
-    while (pow2 * 2 <= p) pow2 *= 2;
-    p = pow2;
-  }
+  const int p = std::min<int>(config.processes,
+                              std::max<int>(1, static_cast<int>(pairRows / 4)));
   return std::max(p, 1);
 }
 

@@ -10,8 +10,6 @@ namespace casvm::core {
 
 namespace {
 
-bool isPowerOfTwo(int p) { return p > 0 && (p & (p - 1)) == 0; }
-
 /// Initial per-rank data placement, modelling a dataset that lives
 /// distributed on a parallel filesystem (or, for RA-CA casvm1, staged on
 /// one node). This happens outside the engine and is not charged to any
@@ -77,11 +75,6 @@ TrainResult train(const data::Dataset& trainSet, const TrainConfig& config) {
   CASVM_CHECK(P >= 1, "need at least one process");
   CASVM_CHECK(trainSet.rows() >= static_cast<std::size_t>(P),
               "fewer samples than processes");
-  if (isTreeMethod(config.method)) {
-    CASVM_CHECK(isPowerOfTwo(P),
-                "tree methods (cascade/dc-svm/dc-filter) need a power-of-two "
-                "process count");
-  }
 
   const std::vector<data::Dataset> blocks = initialPlacement(trainSet, config);
   RankBoard board(P);

@@ -96,17 +96,23 @@ void runTree(net::Comm& comm, const MethodContext& ctx) {
       if (rank % step != 0) break;  // this rank went inactive this pass
 
       if (layer > 1) {
-        // Merge the partner's output with ours.
+        // Merge the partner's output with ours. With a non-power-of-two P
+        // the tree is ragged: a rank on the right edge may have no partner
+        // at this layer (e.g. P=6, layer 3: rank 4's partner would be rank
+        // 6). Such a rank skips the merge but stays active, re-entering the
+        // solve with its current data so its samples still reach the root.
         const int partner = rank + step / 2;
-        const data::Dataset partnerData =
-            data::Dataset::unpack(comm.recvBytes(partner, kTreeDataTag));
-        const std::vector<double> partnerAlpha =
-            comm.recvVec<double>(partner, kTreeAlphaTag);
-        CASVM_ASSERT(partnerData.rows() == partnerAlpha.size(),
-                     "tree merge: sample/alpha count mismatch");
-        current = data::Dataset::concat(current, partnerData);
-        currentAlpha.insert(currentAlpha.end(), partnerAlpha.begin(),
-                            partnerAlpha.end());
+        if (partner < P) {
+          const data::Dataset partnerData =
+              data::Dataset::unpack(comm.recvBytes(partner, kTreeDataTag));
+          const std::vector<double> partnerAlpha =
+              comm.recvVec<double>(partner, kTreeAlphaTag);
+          CASVM_ASSERT(partnerData.rows() == partnerAlpha.size(),
+                       "tree merge: sample/alpha count mismatch");
+          current = data::Dataset::concat(current, partnerData);
+          currentAlpha.insert(currentAlpha.end(), partnerAlpha.begin(),
+                              partnerAlpha.end());
+        }
       }
 
       const double t0 = virtualNow(comm);

@@ -1,6 +1,13 @@
 #include "casvm/kernel/kernel.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define CASVM_TILE_X86 1
+#include <immintrin.h>
+#endif
 
 #include "casvm/support/error.hpp"
 
@@ -83,10 +90,337 @@ double Kernel::evalVectors(std::span<const float> x, double xSelfDot,
   return fromDot(dot, xSelfDot, zSelfDot);
 }
 
+namespace {
+
+/// Rows per block of the dense row micro-kernel: xi[k] is loaded once and
+/// multiplied into eight contiguous row streams, which the compiler turns
+/// into wide FMA code without any per-element call or type dispatch.
+constexpr std::size_t kDenseBlock = 8;
+
+/// out[j] = xi . xj for j in [0, m), dense row-major storage.
+void denseDotRow(const data::Dataset& ds, std::size_t i,
+                 std::span<double> out) {
+  const std::span<const float> xi = ds.denseRow(i);
+  const std::size_t m = ds.rows();
+  const std::size_t n = ds.cols();
+  std::size_t j = 0;
+  for (; j + kDenseBlock <= m; j += kDenseBlock) {
+    const float* rows[kDenseBlock];
+    for (std::size_t b = 0; b < kDenseBlock; ++b) {
+      rows[b] = ds.denseRow(j + b).data();
+    }
+    double acc[kDenseBlock] = {};
+    for (std::size_t k = 0; k < n; ++k) {
+      const double x = double(xi[k]);
+      for (std::size_t b = 0; b < kDenseBlock; ++b) {
+        acc[b] += x * double(rows[b][k]);
+      }
+    }
+    for (std::size_t b = 0; b < kDenseBlock; ++b) out[j + b] = acc[b];
+  }
+  for (; j < m; ++j) {
+    const float* rj = ds.denseRow(j).data();
+    double acc = 0.0;
+    for (std::size_t k = 0; k < n; ++k) acc += double(xi[k]) * double(rj[k]);
+    out[j] = acc;
+  }
+}
+
+/// Scratch for the scattered dense copy of sparse row i; reused across row
+/// fills so the only per-fill cost is an O(n) clear.
+std::vector<float>& sparseScatterScratch() {
+  static thread_local std::vector<float> scratch;
+  return scratch;
+}
+
+/// Scatter sparse row i into the dense buffer `xd` (resized to cols()).
+void scatterSparseRow(const data::Dataset& ds, std::size_t i,
+                      std::vector<float>& xd) {
+  xd.assign(ds.cols(), 0.0f);
+  const auto idx = ds.sparseIndices(i);
+  const auto val = ds.sparseValues(i);
+  for (std::size_t p = 0; p < idx.size(); ++p) xd[idx[p]] = val[p];
+}
+
+/// out[j] = xi . xj for j in [0, m), CSR storage: row i is scattered into a
+/// dense buffer once, then each row j streams its nonzeros against it. The
+/// nonzero products accumulate in the same ascending-column order as the
+/// sparse-sparse merge join, so sums are bitwise-identical to Dataset::dot.
+void sparseDotRow(const data::Dataset& ds, std::size_t i,
+                  std::span<double> out, std::vector<float>& xd) {
+  scatterSparseRow(ds, i, xd);
+  const std::size_t m = ds.rows();
+  for (std::size_t j = 0; j < m; ++j) {
+    const auto ji = ds.sparseIndices(j);
+    const auto jv = ds.sparseValues(j);
+    double acc = 0.0;
+    for (std::size_t p = 0; p < ji.size(); ++p) {
+      acc += double(jv[p]) * double(xd[ji[p]]);
+    }
+    out[j] = acc;
+  }
+}
+
+// --- tiled dense fill -------------------------------------------------------
+//
+// The workspace keeps the dense matrix in 16-row blocks, k-major within a
+// block: tiles[block][k][0..15] holds column k of rows 16*block .. 16*block+15
+// (tail block zero-padded). One fill then needs no transposition at all —
+// per k it broadcasts xd[k] and streams 16 contiguous floats — and every
+// output row still accumulates serially over ascending k into a single
+// double, so the sums are bitwise-identical to Dataset::dot.
+
+constexpr std::size_t kTileRows = 16;
+
+void buildTiles(const data::Dataset& ds, std::vector<float>& tiles) {
+  const std::size_t m = ds.rows(), n = ds.cols();
+  const std::size_t blocks = (m + kTileRows - 1) / kTileRows;
+  tiles.assign(blocks * n * kTileRows, 0.0f);
+  for (std::size_t j = 0; j < m; ++j) {
+    const float* r = ds.denseRow(j).data();
+    float* base = tiles.data() + (j / kTileRows) * n * kTileRows + j % kTileRows;
+    for (std::size_t k = 0; k < n; ++k) base[k * kTileRows] = r[k];
+  }
+}
+
+using TileDotFn = void (*)(const float* tiles, const double* xd, std::size_t m,
+                           std::size_t n, double* out);
+
+void tileDotPortable(const float* tiles, const double* xd, std::size_t m,
+                     std::size_t n, double* out) {
+  const std::size_t blocks = (m + kTileRows - 1) / kTileRows;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const float* t = tiles + b * n * kTileRows;
+    double acc[kTileRows] = {};
+    for (std::size_t k = 0; k < n; ++k) {
+      const double x = xd[k];
+      for (std::size_t l = 0; l < kTileRows; ++l) {
+        acc[l] += x * double(t[k * kTileRows + l]);
+      }
+    }
+    const std::size_t base = b * kTileRows;
+    const std::size_t cnt = std::min(kTileRows, m - base);
+    std::memcpy(out + base, acc, cnt * sizeof(double));
+  }
+}
+
+#ifdef CASVM_TILE_X86
+// Multiplies must stay separate from adds (no FMA contraction) so lane
+// rounding matches the scalar path exactly.
+__attribute__((target("avx2")))
+void tileDotAvx2(const float* tiles, const double* xd, std::size_t m,
+                 std::size_t n, double* out) {
+  const std::size_t blocks = (m + kTileRows - 1) / kTileRows;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const float* t = tiles + b * n * kTileRows;
+    __m256d a0 = _mm256_setzero_pd(), a1 = _mm256_setzero_pd();
+    __m256d a2 = _mm256_setzero_pd(), a3 = _mm256_setzero_pd();
+    for (std::size_t k = 0; k < n; ++k) {
+      const __m256d x = _mm256_broadcast_sd(xd + k);
+      const float* tk = t + k * kTileRows;
+      a0 = _mm256_add_pd(a0, _mm256_mul_pd(x, _mm256_cvtps_pd(_mm_loadu_ps(tk))));
+      a1 = _mm256_add_pd(a1, _mm256_mul_pd(x, _mm256_cvtps_pd(_mm_loadu_ps(tk + 4))));
+      a2 = _mm256_add_pd(a2, _mm256_mul_pd(x, _mm256_cvtps_pd(_mm_loadu_ps(tk + 8))));
+      a3 = _mm256_add_pd(a3, _mm256_mul_pd(x, _mm256_cvtps_pd(_mm_loadu_ps(tk + 12))));
+    }
+    const std::size_t base = b * kTileRows;
+    if (m - base >= kTileRows) {
+      _mm256_storeu_pd(out + base, a0);
+      _mm256_storeu_pd(out + base + 4, a1);
+      _mm256_storeu_pd(out + base + 8, a2);
+      _mm256_storeu_pd(out + base + 12, a3);
+    } else {
+      double buf[kTileRows];
+      _mm256_storeu_pd(buf, a0);
+      _mm256_storeu_pd(buf + 4, a1);
+      _mm256_storeu_pd(buf + 8, a2);
+      _mm256_storeu_pd(buf + 12, a3);
+      std::memcpy(out + base, buf, (m - base) * sizeof(double));
+    }
+  }
+}
+#endif  // CASVM_TILE_X86
+
+TileDotFn tileDotFn() {
+#ifdef CASVM_TILE_X86
+  static const TileDotFn fn =
+      __builtin_cpu_supports("avx2") ? &tileDotAvx2 : &tileDotPortable;
+#else
+  static const TileDotFn fn = &tileDotPortable;
+#endif
+  return fn;
+}
+
+}  // namespace
+
+void RowWorkspace::bind(const data::Dataset& ds) {
+  if (bound_ == &ds && rows_ == ds.rows() && cols_ == ds.cols()) return;
+  bound_ = &ds;
+  rows_ = ds.rows();
+  cols_ = ds.cols();
+  if (ds.storage() == data::Storage::Dense) {
+    buildTiles(ds, tiles_);
+    xd_.resize(cols_);
+  } else {
+    tiles_.clear();
+    xd_.clear();
+  }
+}
+
+void Kernel::transformRow(const data::Dataset& ds, std::size_t i,
+                          std::span<double> out) const {
+  // Kernel transform over the whole row: one type dispatch per row.
+  const std::size_t m = ds.rows();
+  switch (params_.type) {
+    case KernelType::Linear:
+      break;
+    case KernelType::Polynomial:
+      for (std::size_t j = 0; j < m; ++j) {
+        out[j] = std::pow(params_.a * out[j] + params_.r, params_.degree);
+      }
+      break;
+    case KernelType::Gaussian: {
+      const double selfI = ds.selfDot(i);
+      for (std::size_t j = 0; j < m; ++j) {
+        const double d2 = selfI + ds.selfDot(j) - 2.0 * out[j];
+        out[j] = std::exp(-params_.gamma * (d2 > 0.0 ? d2 : 0.0));
+      }
+      break;
+    }
+    case KernelType::Sigmoid:
+      for (std::size_t j = 0; j < m; ++j) {
+        out[j] = std::tanh(params_.a * out[j] + params_.r);
+      }
+      break;
+  }
+}
+
 void Kernel::row(const data::Dataset& ds, std::size_t i,
                  std::span<double> out) const {
   CASVM_CHECK(out.size() == ds.rows(), "kernel row output has wrong length");
-  for (std::size_t j = 0; j < ds.rows(); ++j) out[j] = eval(ds, i, j);
+  if (ds.storage() == data::Storage::Dense) {
+    denseDotRow(ds, i, out);
+  } else {
+    sparseDotRow(ds, i, out, sparseScatterScratch());
+  }
+  transformRow(ds, i, out);
+}
+
+void Kernel::row(const data::Dataset& ds, std::size_t i, std::span<double> out,
+                 RowWorkspace& ws) const {
+  CASVM_CHECK(out.size() == ds.rows(), "kernel row output has wrong length");
+  ws.bind(ds);
+  if (ds.storage() == data::Storage::Dense) {
+    const std::span<const float> xi = ds.denseRow(i);
+    for (std::size_t k = 0; k < ws.cols_; ++k) ws.xd_[k] = double(xi[k]);
+    tileDotFn()(ws.tiles_.data(), ws.xd_.data(), ws.rows_, ws.cols_,
+                out.data());
+  } else {
+    sparseDotRow(ds, i, out, ws.scatter_);
+  }
+  transformRow(ds, i, out);
+}
+
+void Kernel::transformSubset(const data::Dataset& ds, std::size_t i,
+                             std::span<const std::size_t> subset,
+                             std::span<double> out) const {
+  switch (params_.type) {
+    case KernelType::Linear:
+      break;
+    case KernelType::Polynomial:
+      for (std::size_t j : subset) {
+        out[j] = std::pow(params_.a * out[j] + params_.r, params_.degree);
+      }
+      break;
+    case KernelType::Gaussian: {
+      const double selfI = ds.selfDot(i);
+      for (std::size_t j : subset) {
+        const double d2 = selfI + ds.selfDot(j) - 2.0 * out[j];
+        out[j] = std::exp(-params_.gamma * (d2 > 0.0 ? d2 : 0.0));
+      }
+      break;
+    }
+    case KernelType::Sigmoid:
+      for (std::size_t j : subset) {
+        out[j] = std::tanh(params_.a * out[j] + params_.r);
+      }
+      break;
+  }
+}
+
+namespace {
+
+/// Subset dot fills, shared by both subset row() overloads. `xd` is the
+/// sparse scatter scratch (unused for dense storage).
+void subsetDotRow(const data::Dataset& ds, std::size_t i,
+                  std::span<const std::size_t> subset, std::span<double> out,
+                  std::vector<float>& xd) {
+  if (ds.storage() == data::Storage::Dense) {
+    const std::span<const float> xi = ds.denseRow(i);
+    const std::size_t n = ds.cols();
+    for (std::size_t j : subset) {
+      const float* rj = ds.denseRow(j).data();
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k) acc += double(xi[k]) * double(rj[k]);
+      out[j] = acc;
+    }
+  } else {
+    scatterSparseRow(ds, i, xd);
+    for (std::size_t j : subset) {
+      const auto ji = ds.sparseIndices(j);
+      const auto jv = ds.sparseValues(j);
+      double acc = 0.0;
+      for (std::size_t p = 0; p < ji.size(); ++p) {
+        acc += double(jv[p]) * double(xd[ji[p]]);
+      }
+      out[j] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+void Kernel::row(const data::Dataset& ds, std::size_t i,
+                 std::span<const std::size_t> subset,
+                 std::span<double> out) const {
+  CASVM_CHECK(out.size() == ds.rows(), "kernel row output has wrong length");
+  subsetDotRow(ds, i, subset, out, sparseScatterScratch());
+  transformSubset(ds, i, subset, out);
+}
+
+void Kernel::row(const data::Dataset& ds, std::size_t i,
+                 std::span<const std::size_t> subset, std::span<double> out,
+                 RowWorkspace& ws) const {
+  CASVM_CHECK(out.size() == ds.rows(), "kernel row output has wrong length");
+  ws.bind(ds);
+  subsetDotRow(ds, i, subset, out, ws.scatter_);
+  transformSubset(ds, i, subset, out);
+}
+
+void Kernel::diagonal(const data::Dataset& ds, std::span<double> out) const {
+  CASVM_CHECK(out.size() == ds.rows(), "kernel diagonal output has wrong length");
+  const std::size_t m = ds.rows();
+  // selfDot accumulates in the same order as dot(j, j), so every branch
+  // below is bitwise-identical to eval(ds, j, j).
+  switch (params_.type) {
+    case KernelType::Linear:
+      for (std::size_t j = 0; j < m; ++j) out[j] = ds.selfDot(j);
+      break;
+    case KernelType::Polynomial:
+      for (std::size_t j = 0; j < m; ++j) {
+        out[j] = std::pow(params_.a * ds.selfDot(j) + params_.r, params_.degree);
+      }
+      break;
+    case KernelType::Gaussian:
+      // d2 = selfDot + selfDot - 2*dot(j, j) == 0 exactly.
+      for (std::size_t j = 0; j < m; ++j) out[j] = 1.0;
+      break;
+    case KernelType::Sigmoid:
+      for (std::size_t j = 0; j < m; ++j) {
+        out[j] = std::tanh(params_.a * ds.selfDot(j) + params_.r);
+      }
+      break;
+  }
 }
 
 double Kernel::flopsPerEval(const data::Dataset& ds) const {

@@ -61,6 +61,12 @@ SolverResult SmoSolver::solve(const data::Dataset& ds,
   const kernel::Kernel kern(options_.kernel);
   kernel::RowCache cache(kern, ds, options_.cacheBytes);
 
+  // Kernel diagonal, computed once from the cached squared norms. The
+  // second-order working-set selection reads K_jj for every candidate on
+  // every iteration; without this it costs a full dot product each time.
+  std::vector<double> diag(m);
+  kern.diagonal(ds, diag);
+
   auto boxOf = [&](std::size_t i) {
     return ds.label(i) == 1 ? cPos : cNeg;
   };
@@ -93,10 +99,22 @@ SolverResult SmoSolver::solve(const data::Dataset& ds,
   std::iota(active.begin(), active.end(), 0);
   bool everShrunk = false;
 
+  // Kernel row fetch for the current iteration: while shrunk, evicted-row
+  // refills only compute the active entries (the gradient update and the
+  // selection scans never read outside the active set).
+  auto fetchRow = [&](std::size_t i) {
+    return active.size() < m
+               ? cache.row(i, std::span<const std::size_t>(active))
+               : cache.row(i);
+  };
+
   // Rebuild f entries of shrunk-out samples from the nonzero alphas, then
   // reactivate everything. Called before convergence can be declared.
   auto unshrink = [&] {
     if (active.size() == m) return;
+    // The active set is about to grow back to the full problem: partial
+    // row fills from this shrink phase must not serve later full reads.
+    cache.invalidatePartial();
     std::vector<bool> isActive(m, false);
     for (std::size_t i : active) isActive[i] = true;
     for (std::size_t i = 0; i < m; ++i) {
@@ -150,18 +168,24 @@ SolverResult SmoSolver::solve(const data::Dataset& ds,
       break;
     }
 
-    const std::span<const double> rowHigh = cache.row(iHigh);
+    const std::span<const double> rowHigh = fetchRow(iHigh);
+    // Pin the rows backing the spans held across this iteration, so the
+    // second fetch (and any refill) can never recycle their storage.
+    cache.pin(iHigh);
+    const std::uint64_t genHigh = cache.generation(iHigh);
 
     if (options_.selection == Selection::SecondOrder) {
       // Re-pick iLow to maximize the guaranteed objective decrease
-      // (b_high - f_j)^2 / eta_j among violating candidates.
+      // (b_high - f_j)^2 / eta_j among violating candidates. K_jj comes
+      // from the precomputed diagonal (bitwise-identical to eval(ds,j,j)).
+      const double kHigh = diag[iHigh];
       double bestGain = -kInf;
       std::size_t bestJ = m;
       for (std::size_t j : active) {
         if (!inLowSet(ds.label(j), alpha[j], boxOf(j), boundEps)) continue;
         const double diff = f[j] - bHigh;
         if (diff <= 2.0 * tau) continue;
-        double eta = rowHigh[iHigh] + kern.eval(ds, j, j) - 2.0 * rowHigh[j];
+        double eta = kHigh + diag[j] - 2.0 * rowHigh[j];
         if (eta < kEtaFloor) eta = kEtaFloor;
         const double gain = diff * diff / eta;
         if (gain > bestGain) {
@@ -172,7 +196,9 @@ SolverResult SmoSolver::solve(const data::Dataset& ds,
       if (bestJ < m) iLow = bestJ;
     }
 
-    const std::span<const double> rowLow = cache.row(iLow);
+    const std::span<const double> rowLow = fetchRow(iLow);
+    cache.pin(iLow);
+    const std::uint64_t genLow = cache.generation(iLow);
 
     const std::int8_t yHigh = ds.label(iHigh);
     const std::int8_t yLow = ds.label(iLow);
@@ -205,6 +231,8 @@ SolverResult SmoSolver::solve(const data::Dataset& ds,
       // Degenerate step: the maximal violating pair is pinned at the box
       // and cannot move. With bound-slack set membership this should not
       // occur; bail out without claiming convergence.
+      cache.unpin(iHigh);
+      cache.unpin(iLow);
       break;
     }
     const double dHigh = -s * dLow;
@@ -219,47 +247,89 @@ SolverResult SmoSolver::solve(const data::Dataset& ds,
     alpha[iHigh] = aHighNew;
 
     // Gradient update with the two cached rows (eqn. 5), active rows only.
+    // The generation checks turn a span whose backing row was recycled — a
+    // pinning-contract violation — into an immediate assertion failure.
+    cache.checkLive(iHigh, genHigh);
+    cache.checkLive(iLow, genLow);
     const double coefHigh = dHigh * double(yHigh);
     const double coefLow = dLow * double(yLow);
     for (std::size_t k : active) {
       f[k] += coefHigh * rowHigh[k] + coefLow * rowLow[k];
     }
+    cache.unpin(iHigh);
+    cache.unpin(iLow);
 
     // Periodic shrink pass: drop bound-pinned samples whose gradient keeps
     // them out of contention for either threshold.
-    if (options_.shrinking && (iter + 1) % options_.shrinkInterval == 0 &&
-        bLow > bHigh + 2.0 * tau) {
+    if (options_.shrinking && (iter + 1) % options_.shrinkInterval == 0) {
+      // The pair update above just mutated f, so the selection-time
+      // bHigh/bLow are stale: filtering with them can shrink a sample the
+      // update made violating, stalling convergence until the unshrink
+      // rescue. Recompute the thresholds over the post-update gradient.
+      double sHigh = kInf, sLow = -kInf;
+      for (std::size_t k : active) {
+        const std::int8_t y = ds.label(k);
+        const double a = alpha[k];
+        const double ck = boxOf(k);
+        if (inHighSet(y, a, ck, boundEps)) sHigh = std::min(sHigh, f[k]);
+        if (inLowSet(y, a, ck, boundEps)) sLow = std::max(sLow, f[k]);
+      }
       const auto keep = [&](std::size_t i) {
         const std::int8_t y = ds.label(i);
         const double a = alpha[i];
         const double ci = boxOf(i);
         if (a <= boundEps) {
           // Lower bound: only ever a high candidate (y=+1) / low (y=-1).
-          if (y == 1 && f[i] > bLow + tau) return false;
-          if (y == -1 && f[i] < bHigh - tau) return false;
+          if (y == 1 && f[i] > sLow + tau) return false;
+          if (y == -1 && f[i] < sHigh - tau) return false;
         } else if (a >= ci - boundEps) {
           // Upper bound: only ever a low candidate (y=+1) / high (y=-1).
-          if (y == 1 && f[i] < bHigh - tau) return false;
-          if (y == -1 && f[i] > bLow + tau) return false;
+          if (y == 1 && f[i] < sHigh - tau) return false;
+          if (y == -1 && f[i] > sLow + tau) return false;
         }
         return true;
       };
-      std::vector<std::size_t> stillActive;
-      stillActive.reserve(active.size());
-      for (std::size_t i : active) {
-        if (keep(i)) stillActive.push_back(i);
-      }
-      // Never shrink below a workable core.
-      if (stillActive.size() >= 2 && stillActive.size() < active.size()) {
-        active = std::move(stillActive);
-        everShrunk = true;
+      if (sLow > sHigh + 2.0 * tau) {
+        std::vector<std::size_t> stillActive;
+        stillActive.reserve(active.size());
+        for (std::size_t i : active) {
+          if (keep(i)) stillActive.push_back(i);
+        }
+        // Never shrink below a workable core.
+        if (stillActive.size() >= 2 && stillActive.size() < active.size()) {
+          active = std::move(stillActive);
+          everShrunk = true;
+        }
       }
     }
   }
 
   if (!converged && everShrunk) unshrink();
 
-  // Bias from the two thresholds at the solution.
+  // Bias from the two thresholds at the solution. If a working-set scan
+  // found no high (or no low) candidate — possible when a warm start pins
+  // every alpha at a box bound — the corresponding threshold is still
+  // +-inf and the midpoint would be NaN/inf. Fall back to the KKT bounds:
+  // an empty high set means every sample only upper-bounds b (b <= -f_i
+  // over the low set), so the tightest bound -bLow is a valid bias; the
+  // empty-low case mirrors it. Free support vectors always sit in both
+  // sets, so whenever they exist both thresholds are finite.
+  if (!std::isfinite(bHigh) || !std::isfinite(bLow)) {
+    if (std::isfinite(bLow)) {
+      bHigh = bLow;
+    } else if (std::isfinite(bHigh)) {
+      bLow = bHigh;
+    } else {
+      // Both candidate sets empty (degenerate box, e.g. C below the bound
+      // slack): bracket b with the full gradient range.
+      bHigh = kInf;
+      bLow = -kInf;
+      for (std::size_t i = 0; i < m; ++i) {
+        bHigh = std::min(bHigh, f[i]);
+        bLow = std::max(bLow, f[i]);
+      }
+    }
+  }
   const double bias = -(bHigh + bLow) / 2.0;
 
   // Dual objective: F = sum a_i - 1/2 sum_i a_i y_i (f_i + y_i).

@@ -187,11 +187,30 @@ TEST(TrainTest, KmeansLoopsReportedForKmeansMethods) {
   }
 }
 
-TEST(TrainTest, TreeMethodsRequirePowerOfTwo) {
-  TrainConfig cfg = baseConfig(toy(), Method::Cascade, 6);
-  EXPECT_THROW((void)train(toy().train, cfg), Error);
-  cfg.method = Method::DcSvm;
-  EXPECT_THROW((void)train(toy().train, cfg), Error);
+TEST(TrainTest, TreeMethodsHandleNonPowerOfTwoProcesses) {
+  // Regression: the layer-L merge used to compute partner = rank + step/2
+  // without checking partner < P, so e.g. P=6, layer 3 had rank 4 receive
+  // from nonexistent rank 6 and crash. With a ragged tree, a partnerless
+  // rank skips the merge but stays active, so every sample still reaches
+  // the root and a usable model comes out.
+  for (Method m : {Method::Cascade, Method::DcSvm, Method::DcFilter}) {
+    for (int P : {3, 6}) {
+      const TrainResult res = train(toy().train, baseConfig(toy(), m, P));
+      EXPECT_FALSE(res.model.isRouted()) << methodName(m) << " P=" << P;
+      EXPECT_GT(res.model.totalSupportVectors(), 0u)
+          << methodName(m) << " P=" << P;
+      EXPECT_GT(res.model.accuracy(toy().test), 0.93)
+          << methodName(m) << " P=" << P;
+      // Top layer uses all P ranks; the root layer is always a single node.
+      ASSERT_FALSE(res.layers.empty()) << methodName(m) << " P=" << P;
+      EXPECT_EQ(res.layers.front().nodesUsed, P) << methodName(m);
+      EXPECT_EQ(res.layers.back().nodesUsed, 1) << methodName(m);
+      const long long total = std::accumulate(res.samplesPerRank.begin(),
+                                              res.samplesPerRank.end(), 0LL);
+      EXPECT_EQ(total, static_cast<long long>(toy().train.rows()))
+          << methodName(m) << " P=" << P;
+    }
+  }
 }
 
 TEST(TrainTest, NonPowerOfTwoFineForPartitioned) {

@@ -120,6 +120,125 @@ INSTANTIATE_TEST_SUITE_P(
       return kernelName(info.param.type);
     });
 
+/// The blocked row fills promise *bitwise* identity with per-element eval
+/// (the SMO overhaul relies on it to keep iteration counts unchanged), so
+/// these properties compare with EXPECT_EQ, not a tolerance.
+class KernelRowPropertyTest : public ::testing::TestWithParam<KernelParams> {
+ protected:
+  /// 45 rows: two full 16-row tile blocks plus a ragged 13-row tail.
+  data::Dataset dense_ = [] {
+    data::MixtureSpec spec;
+    spec.samples = 45;
+    spec.features = 9;
+    spec.clusters = 3;
+    spec.seed = 17;
+    return data::generateMixture(spec);
+  }();
+  /// Hand-built CSR with empty rows (0, 3 and the last).
+  data::Dataset sparse_ = [] {
+    const std::size_t cols = 6;
+    std::vector<std::size_t> rowPtr = {0, 0, 2, 5, 5, 7, 9, 9};
+    std::vector<std::uint32_t> colIdx = {1, 4, 0, 2, 5, 1, 3, 0, 5};
+    std::vector<float> values = {0.5f, -1.25f, 2.0f, 0.75f, -0.5f,
+                                 1.5f, -2.0f,  0.25f, 1.0f};
+    std::vector<std::int8_t> labels = {1, -1, 1, -1, 1, -1, 1};
+    return data::Dataset::fromSparse(cols, std::move(rowPtr),
+                                     std::move(colIdx), std::move(values),
+                                     std::move(labels));
+  }();
+};
+
+TEST_P(KernelRowPropertyTest, DenseRowBitwiseMatchesEval) {
+  const Kernel k(GetParam());
+  std::vector<double> row(dense_.rows());
+  RowWorkspace ws;
+  for (std::size_t i : {std::size_t{0}, std::size_t{16}, std::size_t{44}}) {
+    k.row(dense_, i, row);
+    for (std::size_t j = 0; j < dense_.rows(); ++j) {
+      EXPECT_EQ(row[j], k.eval(dense_, i, j)) << "i=" << i << " j=" << j;
+    }
+    k.row(dense_, i, row, ws);  // tiled micro-kernel path
+    for (std::size_t j = 0; j < dense_.rows(); ++j) {
+      EXPECT_EQ(row[j], k.eval(dense_, i, j)) << "ws i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST_P(KernelRowPropertyTest, SparseRowBitwiseMatchesEval) {
+  const Kernel k(GetParam());
+  std::vector<double> row(sparse_.rows());
+  RowWorkspace ws;
+  for (std::size_t i = 0; i < sparse_.rows(); ++i) {  // includes empty rows
+    k.row(sparse_, i, row);
+    for (std::size_t j = 0; j < sparse_.rows(); ++j) {
+      EXPECT_EQ(row[j], k.eval(sparse_, i, j)) << "i=" << i << " j=" << j;
+    }
+    k.row(sparse_, i, row, ws);
+    for (std::size_t j = 0; j < sparse_.rows(); ++j) {
+      EXPECT_EQ(row[j], k.eval(sparse_, i, j)) << "ws i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST_P(KernelRowPropertyTest, SubsetRowFillsOnlySubset) {
+  const Kernel k(GetParam());
+  const std::vector<std::size_t> subset = {1, 4, 17, 31, 40};
+  for (const data::Dataset* ds : {&dense_, &sparse_}) {
+    std::vector<std::size_t> sub;
+    for (std::size_t j : subset) {
+      if (j < ds->rows()) sub.push_back(j);
+    }
+    std::vector<double> row(ds->rows(), -7.5);
+    k.row(*ds, 2, sub, row);
+    std::size_t p = 0;
+    for (std::size_t j = 0; j < ds->rows(); ++j) {
+      if (p < sub.size() && sub[p] == j) {
+        EXPECT_EQ(row[j], k.eval(*ds, 2, j)) << "j=" << j;
+        ++p;
+      } else {
+        EXPECT_EQ(row[j], -7.5) << "entry outside subset touched, j=" << j;
+      }
+    }
+  }
+}
+
+TEST_P(KernelRowPropertyTest, DiagonalBitwiseMatchesEval) {
+  const Kernel k(GetParam());
+  for (const data::Dataset* ds : {&dense_, &sparse_}) {
+    std::vector<double> diag(ds->rows());
+    k.diagonal(*ds, diag);
+    for (std::size_t j = 0; j < ds->rows(); ++j) {
+      EXPECT_EQ(diag[j], k.eval(*ds, j, j)) << "j=" << j;
+    }
+  }
+}
+
+TEST_P(KernelRowPropertyTest, WorkspaceRebindsAcrossDatasets) {
+  const Kernel k(GetParam());
+  RowWorkspace ws;
+  std::vector<double> row(dense_.rows());
+  k.row(dense_, 3, row, ws);
+  data::MixtureSpec spec;
+  spec.samples = 21;
+  spec.features = 4;
+  spec.seed = 5;
+  const data::Dataset other = data::generateMixture(spec);
+  std::vector<double> otherRow(other.rows());
+  k.row(other, 2, otherRow, ws);  // must rebuild the blocked copy
+  for (std::size_t j = 0; j < other.rows(); ++j) {
+    EXPECT_EQ(otherRow[j], k.eval(other, 2, j)) << "j=" << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, KernelRowPropertyTest,
+    ::testing::Values(KernelParams::linear(), KernelParams::gaussian(0.3),
+                      KernelParams::polynomial(0.5, 1.0, 2),
+                      KernelParams::sigmoid(0.1, 0.0)),
+    [](const ::testing::TestParamInfo<KernelParams>& info) {
+      return kernelName(info.param.type);
+    });
+
 TEST(KernelGaussianTest, BoundedInUnitInterval) {
   data::MixtureSpec spec;
   spec.samples = 80;

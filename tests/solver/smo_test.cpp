@@ -315,6 +315,61 @@ TEST(SmoWeightedTest, InvalidWeightsThrow) {
   EXPECT_THROW(SmoSolver{opts}, Error);
 }
 
+TEST(SmoDegenerateTest, BoundPinnedWarmStartKeepsBiasFinite) {
+  // Regression: with every positive alpha at C and every negative at 0, the
+  // high set is empty on the very first scan, so bHigh stayed +inf and
+  // bias = -(bHigh + bLow)/2 came out NaN/inf. The solver must fall back to
+  // the one finite threshold (or bracket f) and produce a usable model.
+  const auto ds = data::generateTwoGaussians(40, 3, 6.0, 73);
+  SolverOptions opts = gaussianOptions(0.5, 1.0);
+  std::vector<double> pinned(ds.rows());
+  for (std::size_t i = 0; i < ds.rows(); ++i) {
+    pinned[i] = ds.label(i) == 1 ? opts.C : 0.0;
+  }
+  const SolverResult res = SmoSolver(opts).solve(ds, pinned);
+  EXPECT_TRUE(std::isfinite(res.model.bias()));
+  EXPECT_TRUE(std::isfinite(res.objective));
+  const std::vector<float> probe(ds.cols(), 0.0f);
+  EXPECT_TRUE(std::isfinite(res.model.decision(probe)));
+}
+
+TEST(SmoDegenerateTest, AllAlphasAtBoundBothWays) {
+  // Mirror case: positives at 0, negatives at C empties the low set too.
+  const auto ds = data::generateTwoGaussians(40, 3, 6.0, 79);
+  SolverOptions opts = gaussianOptions(0.5, 1.0);
+  std::vector<double> pinned(ds.rows());
+  for (std::size_t i = 0; i < ds.rows(); ++i) {
+    pinned[i] = ds.label(i) == 1 ? 0.0 : opts.C;
+  }
+  const SolverResult res = SmoSolver(opts).solve(ds, pinned);
+  EXPECT_TRUE(std::isfinite(res.model.bias()));
+  EXPECT_TRUE(std::isfinite(res.objective));
+}
+
+TEST(SmoShrinkingTest, ObjectiveMatchesShrinkingOff) {
+  // Regression for the stale-threshold shrink pass: the filter used to
+  // sample bLow/bHigh *before* the two-variable update mutated f, so it
+  // could shrink a sample the update had just made violating, and the
+  // shrunk solve drifted from the exact one. With post-update thresholds,
+  // shrinking + unshrink must land on the same objective as shrinking off
+  // (up to the convergence tolerance).
+  for (const char* name : {"ijcnn", "adult"}) {
+    const auto nd = data::standin(name, 0.4);
+    SolverOptions plain = gaussianOptions(nd.suggestedGamma, nd.suggestedC);
+    plain.selection = Selection::SecondOrder;
+    SolverOptions shrunk = plain;
+    shrunk.shrinking = true;
+    shrunk.shrinkInterval = 25;  // aggressive, to stress the filter
+    const SolverResult a = SmoSolver(plain).solve(nd.train);
+    const SolverResult b = SmoSolver(shrunk).solve(nd.train);
+    ASSERT_TRUE(a.converged) << name;
+    ASSERT_TRUE(b.converged) << name;
+    EXPECT_NEAR(a.objective, b.objective,
+                1e-3 * std::max(1.0, std::abs(a.objective)))
+        << name;
+  }
+}
+
 TEST(SmoShrinkingTest, SameSolutionQuality) {
   const auto nd = data::standin("ijcnn", 0.4);
   SolverOptions plain = gaussianOptions(nd.suggestedGamma, nd.suggestedC);
