@@ -1,0 +1,249 @@
+// Serving throughput benchmark — scalar predict vs. the compiled batch
+// path vs. the full engine (see DESIGN.md §7).
+//
+// For each stand-in (epsilon: dense wide, ijcnn: dense narrow, webspam:
+// sparse) this trains a model, then scores the test set three ways:
+//
+//   scalar    Model::decisionFor row by row (the pre-serve baseline)
+//   compiled  CompiledDistributedModel::decisionAll (tiled batch, 1 thread)
+//   engine    ServeEngine end to end with 1/2/4 workers (micro-batching,
+//             queueing and reply latency included)
+//
+// The compiled path must be bitwise-identical to scalar — the bench aborts
+// on the first mismatching decision, so a speedup here can never hide a
+// numerics change. Emits BENCH_SERVE_SPEEDUP.json.
+//
+// Options:
+//   --smoke      tiny sizes for CI
+//   --seed <s>   dataset RNG seed (default 42)
+//   --out <f>    output path (default BENCH_SERVE_SPEEDUP.json)
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "casvm/core/distributed_model.hpp"
+#include "casvm/data/registry.hpp"
+#include "casvm/serve/engine.hpp"
+#include "casvm/solver/smo.hpp"
+
+namespace {
+
+using namespace casvm;
+
+struct Options {
+  bool smoke = false;
+  std::uint64_t seed = 42;
+  std::string out = "BENCH_SERVE_SPEEDUP.json";
+};
+
+Options parseArgs(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      opts.smoke = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      opts.seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      opts.out = next("--out");
+    } else if (std::strcmp(argv[i], "--scale") == 0) {
+      (void)next("--scale");  // smoke-harness uniformity; sizes are fixed
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("options: --smoke --seed <s> --out <f>\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return opts;
+}
+
+double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Record {
+  std::string dataset;
+  std::size_t testRows = 0;
+  std::size_t svs = 0;
+  double scalarQps = 0.0;
+  double compiledQps = 0.0;
+  std::vector<std::pair<int, double>> engineQps;  // (workers, qps)
+
+  double speedup() const {
+    return scalarQps > 0.0 ? compiledQps / scalarQps : 0.0;
+  }
+};
+
+/// Rows/second for the end-to-end engine at a given worker count: every
+/// test row is submitted open-loop (capacity = all of them, so nothing
+/// sheds) and the clock stops when the last reply lands.
+double engineThroughput(const serve::CompiledDistributedModel& compiled,
+                        const std::vector<std::vector<float>>& queries,
+                        int workers, std::size_t reps) {
+  serve::ServeConfig config;
+  config.workers = workers;
+  config.batchSize = 64;
+  config.maxWaitUs = 100;
+  config.queueCapacity = queries.size() * reps;
+  serve::ServeEngine engine(compiled, config);
+
+  std::vector<std::future<serve::ServeReply>> inflight;
+  inflight.reserve(queries.size() * reps);
+  const double t0 = now();
+  for (std::size_t r = 0; r < reps; ++r) {
+    for (const auto& q : queries) inflight.push_back(engine.submit(q));
+  }
+  std::size_t ok = 0;
+  for (auto& f : inflight) ok += (f.get().code == serve::ServeCode::Ok);
+  const double seconds = now() - t0;
+  engine.drain();
+  if (ok != inflight.size()) {
+    std::fprintf(stderr, "engine dropped %zu of %zu requests\n",
+                 inflight.size() - ok, inflight.size());
+    std::exit(1);
+  }
+  return seconds > 0.0 ? double(ok) / seconds : 0.0;
+}
+
+void writeJson(const Options& opts, const std::vector<Record>& records) {
+  std::FILE* f = std::fopen(opts.out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", opts.out.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"serve_speedup\",\n");
+  std::fprintf(f, "  \"seed\": %" PRIu64 ",\n", opts.seed);
+  std::fprintf(f, "  \"smoke\": %s,\n", opts.smoke ? "true" : "false");
+  std::fprintf(f, "  \"configs\": [\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    std::fprintf(f, "    {\"dataset\": \"%s\", \"test_rows\": %zu, ",
+                 r.dataset.c_str(), r.testRows);
+    std::fprintf(f, "\"support_vectors\": %zu, ", r.svs);
+    std::fprintf(f, "\"scalar_qps\": %.1f, \"compiled_qps\": %.1f, ",
+                 r.scalarQps, r.compiledQps);
+    std::fprintf(f, "\"compiled_speedup\": %.2f, \"engine\": [", r.speedup());
+    for (std::size_t e = 0; e < r.engineQps.size(); ++e) {
+      std::fprintf(f, "{\"workers\": %d, \"qps\": %.1f}%s",
+                   r.engineQps[e].first, r.engineQps[e].second,
+                   e + 1 < r.engineQps.size() ? ", " : "");
+    }
+    std::fprintf(f, "]}%s\n", i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu configs)\n", opts.out.c_str(), records.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = parseArgs(argc, argv);
+
+  // Base stand-in sizes at scale 1.0 (see data/registry.cpp). webspam is
+  // the sparse-storage representative; the paper's serving-relevant sets
+  // (epsilon, ijcnn) are dense.
+  struct Spec {
+    const char* name;
+    std::size_t baseRows;
+    std::size_t trainRows;
+    std::size_t smokeRows;
+  };
+  const std::vector<Spec> specs = {{"epsilon", 4000, 2000, 256},
+                                   {"ijcnn", 5000, 2000, 256},
+                                   {"webspam", 4000, 1500, 256}};
+  const std::size_t reps = opts.smoke ? 2 : 4;
+
+  std::printf("%-8s %6s %5s %12s %12s %8s %s\n", "dataset", "rows", "svs",
+              "scalar q/s", "batch q/s", "speedup", "engine q/s (w1/w2/w4)");
+  std::vector<Record> records;
+  for (const Spec& spec : specs) {
+    const std::size_t rows = opts.smoke ? spec.smokeRows : spec.trainRows;
+    const double scale =
+        static_cast<double>(rows) / static_cast<double>(spec.baseRows);
+    const data::NamedDataset nd = data::standin(spec.name, scale, opts.seed);
+
+    solver::SolverOptions so;
+    so.kernel = kernel::KernelParams::gaussian(nd.suggestedGamma);
+    so.C = nd.suggestedC;
+    const solver::Model model = solver::SmoSolver(so).solve(nd.train).model;
+    const serve::CompiledDistributedModel compiled =
+        serve::CompiledDistributedModel::compile(
+            core::DistributedModel::single(model));
+
+    Record rec;
+    rec.dataset = spec.name;
+    rec.testRows = nd.test.rows();
+    rec.svs = model.numSupportVectors();
+
+    // Scalar baseline: the per-row kernel loop prediction used everywhere
+    // before the serve subsystem existed.
+    std::vector<double> scalarDecisions(nd.test.rows());
+    {
+      const double t0 = now();
+      for (std::size_t r = 0; r < reps; ++r) {
+        for (std::size_t i = 0; i < nd.test.rows(); ++i) {
+          scalarDecisions[i] = model.decisionFor(nd.test, i);
+        }
+      }
+      rec.scalarQps = double(nd.test.rows() * reps) / (now() - t0);
+    }
+
+    // Compiled batch path, single thread, identical math.
+    std::vector<double> batchDecisions(nd.test.rows());
+    {
+      serve::BatchScratch scratch;
+      const double t0 = now();
+      for (std::size_t r = 0; r < reps; ++r) {
+        compiled.decisionAll(nd.test, batchDecisions, scratch);
+      }
+      rec.compiledQps = double(nd.test.rows() * reps) / (now() - t0);
+    }
+    for (std::size_t i = 0; i < nd.test.rows(); ++i) {
+      if (std::memcmp(&scalarDecisions[i], &batchDecisions[i],
+                      sizeof(double)) != 0) {
+        std::fprintf(stderr,
+                     "%s: batch decision %zu not bitwise-identical to "
+                     "scalar (%.17g vs %.17g)\n",
+                     spec.name, i, batchDecisions[i], scalarDecisions[i]);
+        return 1;
+      }
+    }
+
+    std::vector<std::vector<float>> queries(nd.test.rows());
+    for (std::size_t i = 0; i < nd.test.rows(); ++i) {
+      queries[i].resize(nd.test.cols());
+      nd.test.copyRowDense(i, queries[i]);
+    }
+    for (int workers : {1, 2, 4}) {
+      rec.engineQps.emplace_back(
+          workers, engineThroughput(compiled, queries, workers, reps));
+    }
+
+    std::printf("%-8s %6zu %5zu %12.0f %12.0f %7.2fx %.0f / %.0f / %.0f\n",
+                rec.dataset.c_str(), rec.testRows, rec.svs, rec.scalarQps,
+                rec.compiledQps, rec.speedup(), rec.engineQps[0].second,
+                rec.engineQps[1].second, rec.engineQps[2].second);
+    std::fflush(stdout);
+    records.push_back(std::move(rec));
+  }
+
+  writeJson(opts, records);
+  return 0;
+}

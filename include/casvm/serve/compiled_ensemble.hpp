@@ -1,0 +1,133 @@
+#pragma once
+
+/// \file compiled_ensemble.hpp
+/// Compiled forms of the ensemble models: DistributedModel (batch
+/// nearest-center routing, paper Algorithm 6's prediction process) and
+/// MulticlassModel (one-vs-one vote over a shared, deduplicated SV pool so
+/// kernel evaluations are computed once per query instead of once per
+/// pair that references the same support vector).
+///
+/// Same bitwise contract as CompiledModel: decisions match
+/// DistributedModel::decisionFor, and multiclass predictions match
+/// MulticlassModel::predictFor, including routing and vote tie-breaks.
+
+#include "casvm/core/distributed_model.hpp"
+#include "casvm/core/multiclass.hpp"
+#include "casvm/serve/compiled_model.hpp"
+
+namespace casvm::serve {
+
+/// Compile a binary model (tiles/CSR + self-norms built once).
+CompiledModel compile(const solver::Model& model);
+
+/// A DistributedModel compiled for batch scoring: queries are routed to
+/// their nearest data center in a batch, grouped per sub-model, and each
+/// group is scored through that sub-model's compiled SV pack.
+class CompiledDistributedModel {
+ public:
+  CompiledDistributedModel() = default;
+
+  static CompiledDistributedModel compile(const core::DistributedModel& model);
+
+  bool isRouted() const { return !centers_.empty(); }
+  std::size_t numModels() const { return models_.size(); }
+  const CompiledModel& model(std::size_t i) const { return models_[i]; }
+  std::size_t totalSupportVectors() const;
+  /// Feature count of the first non-empty sub-model (0 if all empty).
+  std::size_t cols() const;
+  /// Memory held by all packed SV sets in bytes.
+  std::size_t packedBytes() const;
+
+  /// Sub-model index that scores row i (bitwise the same routing decision
+  /// as DistributedModel::route).
+  std::size_t route(const data::Dataset& ds, std::size_t i) const;
+
+  /// out[j] = decision value for row rows[j]; bitwise-identical to
+  /// DistributedModel::decisionFor(ds, rows[j]).
+  void decisionBatch(const data::Dataset& ds, std::span<const std::size_t> rows,
+                     std::span<double> out, BatchScratch& scratch) const;
+
+  /// out[i] = decision value for every row of `ds`.
+  void decisionAll(const data::Dataset& ds, std::span<double> out,
+                   BatchScratch& scratch) const;
+
+  /// Decision for a raw dense feature vector (engine path); equals
+  /// scoring a one-row dense Dataset holding `x`.
+  double decision(std::span<const float> x, BatchScratch& scratch) const;
+
+  /// Fraction of `testSet` classified correctly via the batch path.
+  double accuracy(const data::Dataset& testSet, BatchScratch& scratch) const;
+
+ private:
+  std::vector<CompiledModel> models_;
+  std::vector<std::vector<float>> centers_;  // empty for single models
+  std::vector<double> centerSelfDots_;
+};
+
+/// A MulticlassModel compiled for batch one-vs-one voting.
+///
+/// When every pair holds a single (non-routed) sub-model with identical
+/// kernel parameters, storage and feature count — the standard one-vs-one
+/// decomposition — the support vectors of all pairs are deduplicated into
+/// one shared pool: each query computes one kernel row over the pool and
+/// every pair reduces its decision from that row, so an SV shared by
+/// several pairs is evaluated once per query instead of once per pair.
+/// Otherwise scoring falls back to per-pair compiled models (still batched
+/// and tiled, just without cross-pair sharing).
+class CompiledMulticlassModel {
+ public:
+  CompiledMulticlassModel() = default;
+
+  static CompiledMulticlassModel compile(const core::MulticlassModel& model);
+
+  const std::vector<int>& classes() const { return classes_; }
+  std::size_t numPairs() const { return sharedPool_ ? pairRefs_.size()
+                                                    : fallback_.size(); }
+  /// True when the shared deduplicated SV pool is in use.
+  bool sharesPool() const { return sharedPool_; }
+  /// Unique SVs in the pool (0 on the fallback path).
+  std::size_t poolSize() const { return pool_.size(); }
+  /// Total SV references across all pairs (>= poolSize when shared).
+  std::size_t pairSvTotal() const;
+
+  /// out[j] = predicted class of row rows[j]; identical (vote and
+  /// tie-break included) to MulticlassModel::predictFor.
+  void predictBatch(const data::Dataset& ds, std::span<const std::size_t> rows,
+                    std::span<int> out, BatchScratch& scratch) const;
+
+  /// out[i] = predicted class for every row of `ds`.
+  void predictAll(const data::Dataset& ds, std::span<int> out,
+                  BatchScratch& scratch) const;
+
+  /// Fraction of rows whose predicted class matches `labels`.
+  double accuracy(const data::Dataset& ds, const std::vector<int>& labels,
+                  BatchScratch& scratch) const;
+
+ private:
+  int voteFrom(std::span<const double> pairDecisions) const;
+
+  std::vector<int> classes_;
+  bool sharedPool_ = false;
+
+  // Shared-pool path: one SV pool + per-pair references into it.
+  struct PairRef {
+    int positiveClass = 0;
+    int negativeClass = 0;
+    double bias = 0.0;
+    std::vector<std::uint32_t> poolIdx;  ///< pool slot per pair SV, in order
+    std::vector<double> alphaY;
+  };
+  kernel::KernelParams params_{};
+  CompiledSvSet pool_;
+  std::vector<PairRef> pairRefs_;
+
+  // Fallback path: per-pair compiled distributed models.
+  struct PairModel {
+    int positiveClass = 0;
+    int negativeClass = 0;
+    CompiledDistributedModel model;
+  };
+  std::vector<PairModel> fallback_;
+};
+
+}  // namespace casvm::serve

@@ -1,0 +1,125 @@
+#pragma once
+
+/// \file engine.hpp
+/// The serving runtime: a worker thread pool pulling from a bounded MPMC
+/// request queue with micro-batching and admission control.
+///
+/// Requests are single dense feature vectors. submit() either admits the
+/// request (future resolves once a worker scores it) or sheds it
+/// immediately with an explicit result code when the queue is at capacity
+/// — requests are never dropped silently. Workers collect micro-batches:
+/// a batch flushes when it reaches `batchSize` rows or `maxWaitUs`
+/// microseconds after its first request, whichever comes first, and the
+/// whole batch is scored in one pass through the compiled model (batch
+/// routing included). drain() performs a graceful shutdown: new submits
+/// are rejected with Stopped, everything already queued is scored, then
+/// the workers exit.
+///
+/// Scored decisions are bitwise-identical to the scalar predict path —
+/// the compiled model's contract (see compiled_model.hpp) carries through
+/// the engine unchanged.
+
+#include <cstdint>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "casvm/serve/compiled_ensemble.hpp"
+#include "casvm/serve/queue.hpp"
+#include "casvm/serve/stats.hpp"
+
+namespace casvm::serve {
+
+struct ServeConfig {
+  int workers = 2;                ///< scoring threads (>= 1)
+  std::size_t batchSize = 32;     ///< micro-batch flush threshold (>= 1)
+  long long maxWaitUs = 200;      ///< micro-batch linger after first request
+  std::size_t queueCapacity = 1024;  ///< admission-control bound (>= 1)
+  long long requestTimeoutUs = 0;    ///< per-request deadline; 0 = none
+  /// Fault-injection hook (tests/chaos only): stall each batch scoring
+  /// pass by this much to make queue pressure deterministic.
+  long long injectScoreDelayUs = 0;
+};
+
+enum class ServeCode : std::uint8_t {
+  Ok = 0,       ///< scored; decision/label are valid
+  Shed = 1,     ///< rejected at admission: queue at capacity
+  Timeout = 2,  ///< admitted but the per-request deadline passed
+  Stopped = 3,  ///< rejected: engine is draining or drained
+};
+
+const char* serveCodeName(ServeCode code);
+
+struct ServeReply {
+  ServeCode code = ServeCode::Stopped;
+  double decision = 0.0;       ///< valid when code == Ok
+  std::int8_t label = 0;       ///< sign of decision when code == Ok
+  double latencySeconds = 0.0; ///< submit-to-reply (0 for Shed/Stopped)
+  std::size_t batchRows = 0;   ///< rows in the micro-batch that scored it
+};
+
+class ServeEngine {
+ public:
+  /// Takes ownership of the compiled model; workers start immediately.
+  ServeEngine(CompiledDistributedModel model, ServeConfig config);
+
+  /// Drains (graceful) if the caller didn't.
+  ~ServeEngine();
+
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  const ServeConfig& config() const { return config_; }
+  const CompiledDistributedModel& model() const { return model_; }
+
+  /// Admit one request. The future always resolves: with Ok once scored,
+  /// immediately with Shed (queue full) or Stopped (draining). `features`
+  /// must have model().cols() entries.
+  std::future<ServeReply> submit(std::vector<float> features);
+
+  /// Convenience synchronous scoring: submit + wait.
+  ServeReply score(std::vector<float> features);
+
+  /// Graceful shutdown: reject new submits, score everything queued, join
+  /// the workers. Idempotent; safe to call from any thread.
+  void drain();
+
+  /// Consistent snapshot of counters, latency percentiles and the
+  /// batch-size distribution.
+  ServeStats stats() const;
+
+  /// stats().toJson() — the JSON export of the snapshot.
+  std::string statsJson() const { return stats().toJson(); }
+
+ private:
+  struct Request {
+    std::vector<float> features;
+    std::promise<ServeReply> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void workerLoop();
+  void scoreBatch(std::vector<Request>& batch, BatchScratch& scratch);
+
+  CompiledDistributedModel model_;
+  ServeConfig config_;
+  BoundedQueue<Request> queue_;
+  std::vector<std::thread> workers_;
+  std::chrono::steady_clock::time_point start_;
+
+  mutable std::mutex statsMutex_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t timedOut_ = 0;
+  std::uint64_t rejectedStopped_ = 0;
+  std::uint64_t batches_ = 0;
+  Log2Histogram latencyUs_;
+  Log2Histogram batchRows_;
+  double drainedElapsed_ = -1.0;  ///< elapsed seconds frozen at drain
+
+  std::mutex lifecycleMutex_;
+  bool drained_ = false;
+};
+
+}  // namespace casvm::serve

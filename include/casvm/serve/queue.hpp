@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file queue.hpp
+/// Bounded MPMC request queue for the serving runtime.
+///
+/// Admission control happens at push: a full queue rejects the push
+/// (the caller sheds the request with an explicit result code — nothing is
+/// ever dropped silently). close() starts a graceful drain: pushes are
+/// rejected with Closed, but pops keep returning queued items until the
+/// queue is empty, then report Closed so consumers can exit.
+///
+/// Mutex + condition variable; simple, fair enough at serving batch sizes,
+/// and clean under ThreadSanitizer.
+
+#include <condition_variable>
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace casvm::serve {
+
+enum class PushResult : std::uint8_t { Ok = 0, Full = 1, Closed = 2 };
+enum class PopResult : std::uint8_t { Item = 0, Timeout = 1, Closed = 2 };
+
+template <class T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Non-blocking admission: Full when at capacity, Closed after close().
+  PushResult tryPush(T&& value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return PushResult::Closed;
+      if (items_.size() >= capacity_) return PushResult::Full;
+      items_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+    return PushResult::Ok;
+  }
+
+  /// Pop one item. Blocks until an item arrives, `deadline` passes
+  /// (Timeout), or the queue is closed *and* empty (Closed). With no
+  /// deadline, blocks until Item or Closed.
+  PopResult waitPop(
+      T& out,
+      std::optional<std::chrono::steady_clock::time_point> deadline =
+          std::nullopt) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      if (!items_.empty()) {
+        out = std::move(items_.front());
+        items_.pop_front();
+        return PopResult::Item;
+      }
+      if (closed_) return PopResult::Closed;
+      if (deadline.has_value()) {
+        if (cv_.wait_until(lock, *deadline) == std::cv_status::timeout &&
+            items_.empty()) {
+          return closed_ ? PopResult::Closed : PopResult::Timeout;
+        }
+      } else {
+        cv_.wait(lock);
+      }
+    }
+  }
+
+  /// Non-blocking pop; false when empty.
+  bool tryPop(T& out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Reject new pushes; wake all waiters. Queued items remain poppable.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace casvm::serve

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file stats.hpp
+/// Built-in observability for the serving runtime: power-of-two bucketed
+/// histograms (latency percentiles, batch-size distribution) and the
+/// per-engine counter snapshot, exportable as a struct and as JSON.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace casvm::serve {
+
+/// Histogram over positive values with power-of-two buckets: bucket b
+/// holds values in [2^(b-1), 2^b) (bucket 0 holds values < 1). Quantiles
+/// come back as the geometric midpoint of the selected bucket, so they
+/// carry at most a 2x bucket-resolution error — plenty for p50/p95/p99
+/// reporting at a fixed 384 bytes per histogram.
+class Log2Histogram {
+ public:
+  static constexpr int kBuckets = 48;
+
+  void record(double value);
+
+  std::uint64_t count() const { return total_; }
+  double sum() const { return sum_; }
+  double mean() const { return total_ == 0 ? 0.0 : sum_ / double(total_); }
+  double max() const { return max_; }
+
+  /// Value at quantile q in [0, 1]; 0 when empty.
+  double quantile(double q) const;
+
+  void merge(const Log2Histogram& other);
+
+ private:
+  static int bucketOf(double value);
+
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Counter and latency snapshot of one ServeEngine. `latency*` fields are
+/// seconds measured from admission (submit) to reply.
+struct ServeStats {
+  std::uint64_t submitted = 0;     ///< accepted into the queue
+  std::uint64_t completed = 0;     ///< scored and replied Ok
+  std::uint64_t shed = 0;          ///< rejected at admission (queue full)
+  std::uint64_t timedOut = 0;      ///< deadline passed before scoring
+  std::uint64_t rejectedStopped = 0;  ///< submitted after drain started
+  std::uint64_t batches = 0;       ///< micro-batches scored
+  double elapsedSeconds = 0.0;     ///< engine start to now (or drain)
+  double qps = 0.0;                ///< completed / elapsedSeconds
+  double latencyP50 = 0.0;
+  double latencyP95 = 0.0;
+  double latencyP99 = 0.0;
+  double latencyMax = 0.0;
+  double meanBatchRows = 0.0;
+  double batchRowsP50 = 0.0;
+  double batchRowsMax = 0.0;
+
+  /// One-line JSON object with every field above.
+  std::string toJson() const;
+};
+
+}  // namespace casvm::serve

@@ -53,6 +53,7 @@ class Model {
 
  private:
   kernel::KernelParams params_;
+  kernel::Kernel kernel_{kernel::KernelParams{}};  ///< built once, not per call
   data::Dataset svs_;
   std::vector<double> alphaY_;
   double bias_ = 0.0;

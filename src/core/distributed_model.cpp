@@ -106,6 +106,10 @@ DistributedModel DistributedModel::unpack(std::span<const std::byte> bytes) {
   std::uint64_t count = 0, routedFlag = 0;
   read(&count, sizeof(count));
   read(&routedFlag, sizeof(routedFlag));
+  // Every sub-model needs at least its 8-byte length prefix, so a count
+  // larger than that bound is corrupt; check before reserving anything.
+  CASVM_CHECK(count <= bytes.size() / sizeof(std::uint64_t),
+              "distributed model unpack: sub-model count exceeds payload");
   std::vector<solver::Model> models;
   models.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
@@ -121,6 +125,8 @@ DistributedModel DistributedModel::unpack(std::span<const std::byte> bytes) {
   }
   std::uint64_t dim = 0;
   read(&dim, sizeof(dim));
+  CASVM_CHECK(dim <= bytes.size() / sizeof(float),
+              "distributed model unpack: center dimension exceeds payload");
   std::vector<std::vector<float>> centers(count, std::vector<float>(dim));
   for (auto& c : centers) read(c.data(), dim * sizeof(float));
   CASVM_CHECK(bytes.empty(), "distributed model unpack: trailing bytes");

@@ -90,10 +90,14 @@ MulticlassModel MulticlassModel::unpack(std::span<const std::byte> bytes) {
   };
   std::uint64_t numClasses = 0;
   read(&numClasses, sizeof(numClasses));
+  CASVM_CHECK(numClasses <= bytes.size() / sizeof(int),
+              "multiclass unpack: class count exceeds payload");
   std::vector<int> classes(numClasses);
   read(classes.data(), numClasses * sizeof(int));
   std::uint64_t numPairs = 0;
   read(&numPairs, sizeof(numPairs));
+  CASVM_CHECK(numPairs <= bytes.size() / sizeof(std::uint64_t),
+              "multiclass unpack: pair count exceeds payload");
   std::vector<Pair> pairs;
   pairs.reserve(numPairs);
   for (std::uint64_t p = 0; p < numPairs; ++p) {

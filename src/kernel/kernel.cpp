@@ -4,11 +4,7 @@
 #include <cmath>
 #include <cstring>
 
-#if defined(__x86_64__) && defined(__GNUC__)
-#define CASVM_TILE_X86 1
-#include <immintrin.h>
-#endif
-
+#include "casvm/kernel/tile_kernel.hpp"
 #include "casvm/support/error.hpp"
 
 namespace casvm::kernel {
@@ -161,97 +157,12 @@ void sparseDotRow(const data::Dataset& ds, std::size_t i,
   }
 }
 
-// --- tiled dense fill -------------------------------------------------------
-//
-// The workspace keeps the dense matrix in 16-row blocks, k-major within a
-// block: tiles[block][k][0..15] holds column k of rows 16*block .. 16*block+15
-// (tail block zero-padded). One fill then needs no transposition at all —
-// per k it broadcasts xd[k] and streams 16 contiguous floats — and every
-// output row still accumulates serially over ascending k into a single
-// double, so the sums are bitwise-identical to Dataset::dot.
-
-constexpr std::size_t kTileRows = 16;
-
-void buildTiles(const data::Dataset& ds, std::vector<float>& tiles) {
-  const std::size_t m = ds.rows(), n = ds.cols();
-  const std::size_t blocks = (m + kTileRows - 1) / kTileRows;
-  tiles.assign(blocks * n * kTileRows, 0.0f);
-  for (std::size_t j = 0; j < m; ++j) {
-    const float* r = ds.denseRow(j).data();
-    float* base = tiles.data() + (j / kTileRows) * n * kTileRows + j % kTileRows;
-    for (std::size_t k = 0; k < n; ++k) base[k * kTileRows] = r[k];
-  }
-}
-
-using TileDotFn = void (*)(const float* tiles, const double* xd, std::size_t m,
-                           std::size_t n, double* out);
-
-void tileDotPortable(const float* tiles, const double* xd, std::size_t m,
-                     std::size_t n, double* out) {
-  const std::size_t blocks = (m + kTileRows - 1) / kTileRows;
-  for (std::size_t b = 0; b < blocks; ++b) {
-    const float* t = tiles + b * n * kTileRows;
-    double acc[kTileRows] = {};
-    for (std::size_t k = 0; k < n; ++k) {
-      const double x = xd[k];
-      for (std::size_t l = 0; l < kTileRows; ++l) {
-        acc[l] += x * double(t[k * kTileRows + l]);
-      }
-    }
-    const std::size_t base = b * kTileRows;
-    const std::size_t cnt = std::min(kTileRows, m - base);
-    std::memcpy(out + base, acc, cnt * sizeof(double));
-  }
-}
-
-#ifdef CASVM_TILE_X86
-// Multiplies must stay separate from adds (no FMA contraction) so lane
-// rounding matches the scalar path exactly.
-__attribute__((target("avx2")))
-void tileDotAvx2(const float* tiles, const double* xd, std::size_t m,
-                 std::size_t n, double* out) {
-  const std::size_t blocks = (m + kTileRows - 1) / kTileRows;
-  for (std::size_t b = 0; b < blocks; ++b) {
-    const float* t = tiles + b * n * kTileRows;
-    __m256d a0 = _mm256_setzero_pd(), a1 = _mm256_setzero_pd();
-    __m256d a2 = _mm256_setzero_pd(), a3 = _mm256_setzero_pd();
-    for (std::size_t k = 0; k < n; ++k) {
-      const __m256d x = _mm256_broadcast_sd(xd + k);
-      const float* tk = t + k * kTileRows;
-      a0 = _mm256_add_pd(a0, _mm256_mul_pd(x, _mm256_cvtps_pd(_mm_loadu_ps(tk))));
-      a1 = _mm256_add_pd(a1, _mm256_mul_pd(x, _mm256_cvtps_pd(_mm_loadu_ps(tk + 4))));
-      a2 = _mm256_add_pd(a2, _mm256_mul_pd(x, _mm256_cvtps_pd(_mm_loadu_ps(tk + 8))));
-      a3 = _mm256_add_pd(a3, _mm256_mul_pd(x, _mm256_cvtps_pd(_mm_loadu_ps(tk + 12))));
-    }
-    const std::size_t base = b * kTileRows;
-    if (m - base >= kTileRows) {
-      _mm256_storeu_pd(out + base, a0);
-      _mm256_storeu_pd(out + base + 4, a1);
-      _mm256_storeu_pd(out + base + 8, a2);
-      _mm256_storeu_pd(out + base + 12, a3);
-    } else {
-      double buf[kTileRows];
-      _mm256_storeu_pd(buf, a0);
-      _mm256_storeu_pd(buf + 4, a1);
-      _mm256_storeu_pd(buf + 8, a2);
-      _mm256_storeu_pd(buf + 12, a3);
-      std::memcpy(out + base, buf, (m - base) * sizeof(double));
-    }
-  }
-}
-#endif  // CASVM_TILE_X86
-
-TileDotFn tileDotFn() {
-#ifdef CASVM_TILE_X86
-  static const TileDotFn fn =
-      __builtin_cpu_supports("avx2") ? &tileDotAvx2 : &tileDotPortable;
-#else
-  static const TileDotFn fn = &tileDotPortable;
-#endif
-  return fn;
-}
-
 }  // namespace
+
+// The workspace keeps the dense matrix in the blocked k-major tiling of
+// kernel::tile (see tile_kernel.hpp); fills run through tile::dotFn(), the
+// same runtime-dispatched micro-kernel the serve engine's compiled models
+// score with.
 
 void RowWorkspace::bind(const data::Dataset& ds) {
   if (bound_ == &ds && rows_ == ds.rows() && cols_ == ds.cols()) return;
@@ -259,7 +170,7 @@ void RowWorkspace::bind(const data::Dataset& ds) {
   rows_ = ds.rows();
   cols_ = ds.cols();
   if (ds.storage() == data::Storage::Dense) {
-    buildTiles(ds, tiles_);
+    tile::pack(ds, tiles_);
     xd_.resize(cols_);
   } else {
     tiles_.clear();
@@ -313,8 +224,8 @@ void Kernel::row(const data::Dataset& ds, std::size_t i, std::span<double> out,
   if (ds.storage() == data::Storage::Dense) {
     const std::span<const float> xi = ds.denseRow(i);
     for (std::size_t k = 0; k < ws.cols_; ++k) ws.xd_[k] = double(xi[k]);
-    tileDotFn()(ws.tiles_.data(), ws.xd_.data(), ws.rows_, ws.cols_,
-                out.data());
+    tile::dotFn()(ws.tiles_.data(), ws.xd_.data(), ws.rows_, ws.cols_,
+                  out.data());
   } else {
     sparseDotRow(ds, i, out, ws.scatter_);
   }

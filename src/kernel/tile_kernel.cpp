@@ -1,0 +1,93 @@
+#include "casvm/kernel/tile_kernel.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define CASVM_TILE_X86 1
+#include <immintrin.h>
+#endif
+
+namespace casvm::kernel::tile {
+
+void pack(const data::Dataset& ds, std::vector<float>& tiles) {
+  const std::size_t m = ds.rows(), n = ds.cols();
+  const std::size_t blocks = blockCount(m);
+  tiles.assign(blocks * n * kRows, 0.0f);
+  for (std::size_t j = 0; j < m; ++j) {
+    const float* r = ds.denseRow(j).data();
+    float* base = tiles.data() + (j / kRows) * n * kRows + j % kRows;
+    for (std::size_t k = 0; k < n; ++k) base[k * kRows] = r[k];
+  }
+}
+
+namespace {
+
+void dotPortable(const float* tiles, const double* xd, std::size_t m,
+                 std::size_t n, double* out) {
+  const std::size_t blocks = blockCount(m);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const float* t = tiles + b * n * kRows;
+    double acc[kRows] = {};
+    for (std::size_t k = 0; k < n; ++k) {
+      const double x = xd[k];
+      for (std::size_t l = 0; l < kRows; ++l) {
+        acc[l] += x * double(t[k * kRows + l]);
+      }
+    }
+    const std::size_t base = b * kRows;
+    const std::size_t cnt = std::min(kRows, m - base);
+    std::memcpy(out + base, acc, cnt * sizeof(double));
+  }
+}
+
+#ifdef CASVM_TILE_X86
+// Multiplies must stay separate from adds (no FMA contraction) so lane
+// rounding matches the scalar path exactly.
+__attribute__((target("avx2")))
+void dotAvx2(const float* tiles, const double* xd, std::size_t m,
+             std::size_t n, double* out) {
+  const std::size_t blocks = blockCount(m);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const float* t = tiles + b * n * kRows;
+    __m256d a0 = _mm256_setzero_pd(), a1 = _mm256_setzero_pd();
+    __m256d a2 = _mm256_setzero_pd(), a3 = _mm256_setzero_pd();
+    for (std::size_t k = 0; k < n; ++k) {
+      const __m256d x = _mm256_broadcast_sd(xd + k);
+      const float* tk = t + k * kRows;
+      a0 = _mm256_add_pd(a0, _mm256_mul_pd(x, _mm256_cvtps_pd(_mm_loadu_ps(tk))));
+      a1 = _mm256_add_pd(a1, _mm256_mul_pd(x, _mm256_cvtps_pd(_mm_loadu_ps(tk + 4))));
+      a2 = _mm256_add_pd(a2, _mm256_mul_pd(x, _mm256_cvtps_pd(_mm_loadu_ps(tk + 8))));
+      a3 = _mm256_add_pd(a3, _mm256_mul_pd(x, _mm256_cvtps_pd(_mm_loadu_ps(tk + 12))));
+    }
+    const std::size_t base = b * kRows;
+    if (m - base >= kRows) {
+      _mm256_storeu_pd(out + base, a0);
+      _mm256_storeu_pd(out + base + 4, a1);
+      _mm256_storeu_pd(out + base + 8, a2);
+      _mm256_storeu_pd(out + base + 12, a3);
+    } else {
+      double buf[kRows];
+      _mm256_storeu_pd(buf, a0);
+      _mm256_storeu_pd(buf + 4, a1);
+      _mm256_storeu_pd(buf + 8, a2);
+      _mm256_storeu_pd(buf + 12, a3);
+      std::memcpy(out + base, buf, (m - base) * sizeof(double));
+    }
+  }
+}
+#endif  // CASVM_TILE_X86
+
+}  // namespace
+
+DotFn dotFn() {
+#ifdef CASVM_TILE_X86
+  static const DotFn fn =
+      __builtin_cpu_supports("avx2") ? &dotAvx2 : &dotPortable;
+#else
+  static const DotFn fn = &dotPortable;
+#endif
+  return fn;
+}
+
+}  // namespace casvm::kernel::tile

@@ -1,0 +1,226 @@
+#include "casvm/serve/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "casvm/support/error.hpp"
+
+namespace casvm::serve {
+
+namespace {
+
+double secondsBetween(std::chrono::steady_clock::time_point from,
+                      std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+const char* serveCodeName(ServeCode code) {
+  switch (code) {
+    case ServeCode::Ok: return "ok";
+    case ServeCode::Shed: return "shed";
+    case ServeCode::Timeout: return "timeout";
+    case ServeCode::Stopped: return "stopped";
+  }
+  return "unknown";
+}
+
+ServeEngine::ServeEngine(CompiledDistributedModel model, ServeConfig config)
+    : model_(std::move(model)),
+      config_(config),
+      queue_(std::max<std::size_t>(1, config.queueCapacity)),
+      start_(std::chrono::steady_clock::now()) {
+  config_.workers = std::max(1, config_.workers);
+  config_.batchSize = std::max<std::size_t>(1, config_.batchSize);
+  config_.maxWaitUs = std::max<long long>(0, config_.maxWaitUs);
+  config_.queueCapacity = queue_.capacity();
+  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ServeEngine::~ServeEngine() { drain(); }
+
+std::future<ServeReply> ServeEngine::submit(std::vector<float> features) {
+  const std::size_t cols = model_.cols();
+  CASVM_CHECK(cols == 0 || features.size() == cols,
+              "serve: request feature width does not match the model");
+
+  Request req;
+  req.features = std::move(features);
+  req.enqueued = std::chrono::steady_clock::now();
+  std::future<ServeReply> fut = req.promise.get_future();
+
+  // tryPush only consumes the request when it actually enqueues it, so on
+  // Full/Closed the promise is still ours to fulfil with the reject code.
+  switch (queue_.tryPush(std::move(req))) {
+    case PushResult::Ok: {
+      std::lock_guard<std::mutex> lock(statsMutex_);
+      ++submitted_;
+      break;
+    }
+    case PushResult::Full: {
+      ServeReply reply;
+      reply.code = ServeCode::Shed;
+      req.promise.set_value(reply);
+      std::lock_guard<std::mutex> lock(statsMutex_);
+      ++shed_;
+      break;
+    }
+    case PushResult::Closed: {
+      ServeReply reply;
+      reply.code = ServeCode::Stopped;
+      req.promise.set_value(reply);
+      std::lock_guard<std::mutex> lock(statsMutex_);
+      ++rejectedStopped_;
+      break;
+    }
+  }
+  return fut;
+}
+
+ServeReply ServeEngine::score(std::vector<float> features) {
+  return submit(std::move(features)).get();
+}
+
+void ServeEngine::workerLoop() {
+  BatchScratch scratch;
+  std::vector<Request> batch;
+  for (;;) {
+    Request first;
+    if (queue_.waitPop(first) == PopResult::Closed) return;
+    batch.clear();
+    batch.push_back(std::move(first));
+
+    // Linger for up to maxWaitUs after the first request, flushing early
+    // once the batch is full. Closed still returns queued items, so a
+    // drain never strands admitted requests.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(config_.maxWaitUs);
+    while (batch.size() < config_.batchSize) {
+      Request next;
+      if (queue_.waitPop(next, deadline) != PopResult::Item) break;
+      batch.push_back(std::move(next));
+    }
+    scoreBatch(batch, scratch);
+  }
+}
+
+void ServeEngine::scoreBatch(std::vector<Request>& batch,
+                             BatchScratch& scratch) {
+  if (config_.injectScoreDelayUs > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(config_.injectScoreDelayUs));
+  }
+
+  const auto scoreStart = std::chrono::steady_clock::now();
+  std::vector<Request*> live;
+  live.reserve(batch.size());
+  std::uint64_t expired = 0;
+  for (auto& r : batch) {
+    if (config_.requestTimeoutUs > 0 &&
+        scoreStart - r.enqueued >
+            std::chrono::microseconds(config_.requestTimeoutUs)) {
+      ServeReply reply;
+      reply.code = ServeCode::Timeout;
+      reply.latencySeconds = secondsBetween(r.enqueued, scoreStart);
+      r.promise.set_value(reply);
+      ++expired;
+    } else {
+      live.push_back(&r);
+    }
+  }
+
+  std::vector<double> decisions(live.size(), 0.0);
+  const std::size_t cols = model_.cols();
+  if (!live.empty()) {
+    if (cols == 0) {
+      // Degenerate model with no support vectors anywhere: every decision
+      // is a bias; no batch dataset to build.
+      for (std::size_t j = 0; j < live.size(); ++j) {
+        decisions[j] = model_.decision(live[j]->features, scratch);
+      }
+    } else {
+      std::vector<float> flat(live.size() * cols);
+      for (std::size_t j = 0; j < live.size(); ++j) {
+        std::copy(live[j]->features.begin(), live[j]->features.end(),
+                  flat.begin() + static_cast<std::ptrdiff_t>(j * cols));
+      }
+      const data::Dataset ds = data::Dataset::fromDense(
+          cols, std::move(flat),
+          std::vector<std::int8_t>(live.size(), std::int8_t{1}));
+      model_.decisionAll(ds, decisions, scratch);
+    }
+  }
+
+  const auto done = std::chrono::steady_clock::now();
+  std::vector<double> latencies(live.size(), 0.0);
+  for (std::size_t j = 0; j < live.size(); ++j) {
+    latencies[j] = secondsBetween(live[j]->enqueued, done);
+  }
+
+  // Record before fulfilling the promises: once a caller sees its reply,
+  // a stats() snapshot must already account for it.
+  {
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    timedOut_ += expired;
+    completed_ += live.size();
+    if (!live.empty()) {
+      ++batches_;
+      batchRows_.record(static_cast<double>(live.size()));
+      for (double lat : latencies) latencyUs_.record(lat * 1e6);
+    }
+  }
+
+  for (std::size_t j = 0; j < live.size(); ++j) {
+    ServeReply reply;
+    reply.code = ServeCode::Ok;
+    reply.decision = decisions[j];
+    reply.label = decisions[j] >= 0.0 ? std::int8_t{1} : std::int8_t{-1};
+    reply.latencySeconds = latencies[j];
+    reply.batchRows = live.size();
+    live[j]->promise.set_value(reply);
+  }
+}
+
+void ServeEngine::drain() {
+  std::lock_guard<std::mutex> lifecycle(lifecycleMutex_);
+  if (drained_) return;
+  queue_.close();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  drained_ = true;
+  std::lock_guard<std::mutex> lock(statsMutex_);
+  drainedElapsed_ = secondsBetween(start_, std::chrono::steady_clock::now());
+}
+
+ServeStats ServeEngine::stats() const {
+  std::lock_guard<std::mutex> lock(statsMutex_);
+  ServeStats s;
+  s.submitted = submitted_;
+  s.completed = completed_;
+  s.shed = shed_;
+  s.timedOut = timedOut_;
+  s.rejectedStopped = rejectedStopped_;
+  s.batches = batches_;
+  s.elapsedSeconds =
+      drainedElapsed_ >= 0.0
+          ? drainedElapsed_
+          : secondsBetween(start_, std::chrono::steady_clock::now());
+  s.qps = s.elapsedSeconds > 0.0
+              ? static_cast<double>(completed_) / s.elapsedSeconds
+              : 0.0;
+  s.latencyP50 = latencyUs_.quantile(0.50) / 1e6;
+  s.latencyP95 = latencyUs_.quantile(0.95) / 1e6;
+  s.latencyP99 = latencyUs_.quantile(0.99) / 1e6;
+  s.latencyMax = latencyUs_.max() / 1e6;
+  s.meanBatchRows = batchRows_.mean();
+  s.batchRowsP50 = batchRows_.quantile(0.50);
+  s.batchRowsMax = batchRows_.max();
+  return s;
+}
+
+}  // namespace casvm::serve

@@ -1,0 +1,68 @@
+#include "casvm/serve/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace casvm::serve {
+
+int Log2Histogram::bucketOf(double value) {
+  if (!(value >= 1.0)) return 0;
+  const auto v = static_cast<std::uint64_t>(value);
+  const int b = std::bit_width(v);  // v in [2^(b-1), 2^b)
+  return std::min(b, kBuckets - 1);
+}
+
+void Log2Histogram::record(double value) {
+  ++counts_[bucketOf(value)];
+  ++total_;
+  sum_ += value;
+  max_ = std::max(max_, value);
+}
+
+double Log2Histogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  const double rank = q * double(total_);
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += counts_[b];
+    if (double(seen) >= rank) {
+      if (b == 0) return 0.5;
+      const double lo = std::ldexp(1.0, b - 1);
+      return lo * std::sqrt(2.0);  // geometric midpoint of [2^(b-1), 2^b)
+    }
+  }
+  return max_;
+}
+
+void Log2Histogram::merge(const Log2Histogram& other) {
+  for (int b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
+  total_ += other.total_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+std::string ServeStats::toJson() const {
+  char buf[768];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"submitted\": %llu, \"completed\": %llu, \"shed\": %llu, "
+      "\"timed_out\": %llu, \"rejected_stopped\": %llu, \"batches\": %llu, "
+      "\"elapsed_seconds\": %.6f, \"qps\": %.1f, "
+      "\"latency_p50_us\": %.1f, \"latency_p95_us\": %.1f, "
+      "\"latency_p99_us\": %.1f, \"latency_max_us\": %.1f, "
+      "\"mean_batch_rows\": %.2f, \"batch_rows_p50\": %.1f, "
+      "\"batch_rows_max\": %.0f}",
+      static_cast<unsigned long long>(submitted),
+      static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(timedOut),
+      static_cast<unsigned long long>(rejectedStopped),
+      static_cast<unsigned long long>(batches), elapsedSeconds, qps,
+      latencyP50 * 1e6, latencyP95 * 1e6, latencyP99 * 1e6, latencyMax * 1e6,
+      meanBatchRows, batchRowsP50, batchRowsMax);
+  return buf;
+}
+
+}  // namespace casvm::serve

@@ -3,43 +3,49 @@
 #include <cstring>
 #include <fstream>
 
+#include "casvm/serve/compiled_model.hpp"
 #include "casvm/support/error.hpp"
 
 namespace casvm::solver {
 
 Model::Model(kernel::KernelParams params, data::Dataset supportVectors,
              std::vector<double> alphaY, double bias)
-    : params_(params), svs_(std::move(supportVectors)),
+    : params_(params), kernel_(params), svs_(std::move(supportVectors)),
       alphaY_(std::move(alphaY)), bias_(bias) {
   CASVM_CHECK(svs_.rows() == alphaY_.size(),
               "one coefficient per support vector required");
 }
 
 double Model::decision(std::span<const float> x) const {
-  const kernel::Kernel k(params_);
   double xSelf = 0.0;
   for (float v : x) xSelf += double(v) * double(v);
   double acc = bias_;
   for (std::size_t i = 0; i < svs_.rows(); ++i) {
-    acc += alphaY_[i] * k.evalWith(svs_, i, x, xSelf);
+    acc += alphaY_[i] * kernel_.evalWith(svs_, i, x, xSelf);
   }
   return acc;
 }
 
 double Model::decisionFor(const data::Dataset& ds, std::size_t i) const {
-  const kernel::Kernel k(params_);
   double acc = bias_;
   for (std::size_t s = 0; s < svs_.rows(); ++s) {
-    acc += alphaY_[s] * k.evalCross(svs_, s, ds, i);
+    acc += alphaY_[s] * kernel_.evalCross(svs_, s, ds, i);
   }
   return acc;
 }
 
 double Model::accuracy(const data::Dataset& testSet) const {
   CASVM_CHECK(testSet.rows() > 0, "empty test set");
+  // Batch path: one compiled SV pack scores the whole test set through the
+  // tiled micro-kernel; decisions are bitwise-identical to decisionFor.
+  const serve::CompiledModel compiled(params_, svs_, alphaY_, bias_);
+  serve::BatchScratch scratch;
+  std::vector<double> decisions(testSet.rows(), 0.0);
+  compiled.decisionAll(testSet, decisions, scratch);
   std::size_t correct = 0;
   for (std::size_t i = 0; i < testSet.rows(); ++i) {
-    correct += (predictFor(testSet, i) == testSet.label(i));
+    const std::int8_t label = decisions[i] >= 0.0 ? 1 : -1;
+    correct += (label == testSet.label(i));
   }
   return static_cast<double>(correct) / static_cast<double>(testSet.rows());
 }
@@ -74,8 +80,15 @@ Model Model::unpack(std::span<const std::byte> bytes) {
   read(&m.bias_, sizeof(m.bias_));
   std::uint64_t count = 0;
   read(&count, sizeof(count));
+  // A corrupt header can claim an absurd coefficient count; validate it
+  // against the remaining payload before sizing any allocation. Dividing
+  // (instead of multiplying count by sizeof(double)) avoids the overflow a
+  // hostile count could use to sneak past the check.
+  CASVM_CHECK(count <= bytes.size() / sizeof(double),
+              "model unpack: coefficient count exceeds payload");
   m.alphaY_.resize(count);
   read(m.alphaY_.data(), count * sizeof(double));
+  m.kernel_ = kernel::Kernel(m.params_);
   m.svs_ = data::Dataset::unpack(bytes);
   CASVM_CHECK(m.svs_.rows() == m.alphaY_.size(),
               "model unpack: SV/coefficient count mismatch");

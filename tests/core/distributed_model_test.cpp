@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdint>
 
 #include "casvm/data/synth.hpp"
 #include "casvm/solver/smo.hpp"
@@ -115,6 +116,17 @@ TEST(DistributedModelTest, TruncatedUnpackThrows) {
   const DistributedModel dm = DistributedModel::single(constantModel(1.0));
   auto bytes = dm.pack();
   bytes.resize(bytes.size() - 3);
+  EXPECT_THROW((void)DistributedModel::unpack(bytes), Error);
+}
+
+TEST(DistributedModelTest, HostileSubModelCountThrows) {
+  const DistributedModel dm = DistributedModel::single(constantModel(1.0));
+  auto bytes = dm.pack();
+  // The sub-model count is the first u64; a corrupt value claiming 2^64-1
+  // models must be rejected before any allocation is sized from it.
+  for (std::size_t b = 0; b < sizeof(std::uint64_t); ++b) {
+    bytes[b] = std::byte{0xFF};
+  }
   EXPECT_THROW((void)DistributedModel::unpack(bytes), Error);
 }
 

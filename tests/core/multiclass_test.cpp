@@ -90,6 +90,19 @@ TEST(MulticlassTest, PackUnpackRoundTrip) {
   }
 }
 
+TEST(MulticlassTest, HostileClassCountThrows) {
+  const auto mc = fourClasses(200, 11);
+  const MulticlassResult res =
+      trainMulticlass(mc.features, mc.labels, config());
+  auto bytes = res.model.pack();
+  // The class count is the first u64; an absurd value must be rejected
+  // before sizing the classes vector from it.
+  for (std::size_t b = 0; b < sizeof(std::uint64_t); ++b) {
+    bytes[b] = std::byte{0xFF};
+  }
+  EXPECT_THROW((void)MulticlassModel::unpack(bytes), Error);
+}
+
 TEST(MulticlassTest, SaveLoadRoundTrip) {
   const auto mc = fourClasses(200, 13);
   const MulticlassResult res =

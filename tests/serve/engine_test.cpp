@@ -1,0 +1,212 @@
+// Serving runtime tests: admission control (deterministic shedding),
+// per-request timeouts, graceful drain, and a multi-producer stress run
+// that the TSan CI job executes for data-race coverage.
+
+#include "casvm/serve/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "casvm/core/distributed_model.hpp"
+#include "casvm/data/synth.hpp"
+#include "casvm/solver/smo.hpp"
+
+namespace casvm::serve {
+namespace {
+
+CompiledDistributedModel smallModel(std::uint64_t seed = 5) {
+  const auto train = data::generateTwoGaussians(120, 6, 4.0, seed);
+  solver::SolverOptions opts;
+  opts.kernel = kernel::KernelParams::gaussian(0.4);
+  return CompiledDistributedModel::compile(core::DistributedModel::single(
+      solver::SmoSolver(opts).solve(train).model));
+}
+
+std::vector<std::vector<float>> queriesFrom(const data::Dataset& ds) {
+  std::vector<std::vector<float>> q(ds.rows());
+  for (std::size_t i = 0; i < ds.rows(); ++i) {
+    q[i].resize(ds.cols());
+    ds.copyRowDense(i, q[i]);
+  }
+  return q;
+}
+
+TEST(ServeEngineTest, RepliesBitwiseMatchScalarDecisions) {
+  const auto train = data::generateTwoGaussians(120, 6, 4.0, 5);
+  solver::SolverOptions opts;
+  opts.kernel = kernel::KernelParams::gaussian(0.4);
+  const solver::Model model = solver::SmoSolver(opts).solve(train).model;
+  const auto testSet = data::generateTwoGaussians(40, 6, 4.0, 9);
+  const auto queries = queriesFrom(testSet);
+
+  ServeConfig config;
+  config.workers = 2;
+  ServeEngine engine(
+      CompiledDistributedModel::compile(core::DistributedModel::single(model)),
+      config);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const ServeReply reply = engine.score(queries[i]);
+    ASSERT_EQ(reply.code, ServeCode::Ok);
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(reply.decision),
+              std::bit_cast<std::uint64_t>(model.decisionFor(testSet, i)))
+        << i;
+    EXPECT_EQ(reply.label, reply.decision >= 0.0 ? 1 : -1);
+    EXPECT_GT(reply.latencySeconds, 0.0);
+    EXPECT_GE(reply.batchRows, 1u);
+  }
+  engine.drain();
+  const ServeStats stats = engine.stats();
+  EXPECT_EQ(stats.completed, queries.size());
+  EXPECT_EQ(stats.shed, 0u);
+}
+
+// Admission control must shed deterministically when the queue is full: a
+// single slow worker (injected 50ms per batch) and a 2-slot queue can
+// accept at most 1 in-flight + 2 queued of 10 instant submissions; every
+// other request gets an explicit Shed reply, never a silent drop.
+TEST(ServeEngineTest, ShedsExplicitlyWhenQueueIsFull) {
+  ServeConfig config;
+  config.workers = 1;
+  config.batchSize = 1;
+  config.maxWaitUs = 0;
+  config.queueCapacity = 2;
+  config.injectScoreDelayUs = 50000;
+  ServeEngine engine(smallModel(), config);
+  const auto queries = queriesFrom(data::generateTwoGaussians(10, 6, 4.0, 13));
+
+  std::vector<std::future<ServeReply>> inflight;
+  for (const auto& q : queries) inflight.push_back(engine.submit(q));
+  std::size_t ok = 0, shed = 0;
+  for (auto& f : inflight) {
+    const ServeCode code = f.get().code;
+    ASSERT_TRUE(code == ServeCode::Ok || code == ServeCode::Shed);
+    (code == ServeCode::Ok ? ok : shed)++;
+  }
+  EXPECT_GT(shed, 0u);
+  EXPECT_GT(ok, 0u);
+  EXPECT_EQ(ok + shed, queries.size());
+  engine.drain();
+  const ServeStats stats = engine.stats();
+  EXPECT_EQ(stats.shed, shed);
+  EXPECT_EQ(stats.completed, ok);
+  EXPECT_EQ(stats.submitted, ok);  // submitted counts admitted requests only
+}
+
+TEST(ServeEngineTest, PerRequestDeadlineYieldsTimeoutCode) {
+  ServeConfig config;
+  config.workers = 1;
+  config.batchSize = 1;
+  config.maxWaitUs = 0;
+  config.requestTimeoutUs = 1;        // expires immediately...
+  config.injectScoreDelayUs = 20000;  // ...because scoring stalls 20ms
+  ServeEngine engine(smallModel(), config);
+  const auto queries = queriesFrom(data::generateTwoGaussians(4, 6, 4.0, 17));
+
+  std::vector<std::future<ServeReply>> inflight;
+  for (const auto& q : queries) inflight.push_back(engine.submit(q));
+  std::size_t timedOut = 0;
+  for (auto& f : inflight) {
+    const ServeReply reply = f.get();
+    if (reply.code == ServeCode::Timeout) {
+      ++timedOut;
+      EXPECT_GT(reply.latencySeconds, 0.0);
+    }
+  }
+  EXPECT_GT(timedOut, 0u);
+  engine.drain();
+  EXPECT_EQ(engine.stats().timedOut, timedOut);
+}
+
+// Graceful drain: everything admitted before drain() must still be scored
+// (Ok), and everything submitted after must be rejected with Stopped.
+TEST(ServeEngineTest, DrainScoresQueuedThenRejectsNewSubmits) {
+  ServeConfig config;
+  config.workers = 1;
+  config.batchSize = 2;
+  config.maxWaitUs = 100;
+  config.queueCapacity = 64;
+  config.injectScoreDelayUs = 2000;
+  ServeEngine engine(smallModel(), config);
+  const auto queries = queriesFrom(data::generateTwoGaussians(8, 6, 4.0, 19));
+
+  std::vector<std::future<ServeReply>> inflight;
+  for (const auto& q : queries) inflight.push_back(engine.submit(q));
+  engine.drain();
+  for (auto& f : inflight) EXPECT_EQ(f.get().code, ServeCode::Ok);
+
+  const ServeReply after = engine.score(queries.front());
+  EXPECT_EQ(after.code, ServeCode::Stopped);
+  const ServeStats stats = engine.stats();
+  EXPECT_EQ(stats.completed, queries.size());
+  EXPECT_EQ(stats.rejectedStopped, 1u);
+  EXPECT_EQ(stats.timedOut, 0u);
+
+  engine.drain();  // idempotent
+}
+
+TEST(ServeEngineTest, StatsJsonContainsCounters) {
+  ServeConfig config;
+  ServeEngine engine(smallModel(), config);
+  (void)engine.score(
+      queriesFrom(data::generateTwoGaussians(1, 6, 4.0, 23)).front());
+  engine.drain();
+  const std::string json = engine.statsJson();
+  for (const char* key : {"\"submitted\"", "\"completed\"", "\"shed\"",
+                          "\"qps\"", "\"latency_p99_us\"",
+                          "\"mean_batch_rows\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
+}
+
+// Multi-producer stress (runs under TSan in CI): N producers hammer a
+// small queue concurrently with drain racing the last submissions. The
+// invariant is full accounting — every future resolves with one of the
+// four codes and the engine's counters agree with the client tallies.
+TEST(ServeEngineTest, ThreadedStressKeepsFullAccounting) {
+  ServeConfig config;
+  config.workers = 3;
+  config.batchSize = 8;
+  config.maxWaitUs = 50;
+  config.queueCapacity = 16;
+  ServeEngine engine(smallModel(), config);
+  const auto queries = queriesFrom(data::generateTwoGaussians(32, 6, 4.0, 29));
+
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kPerProducer = 250;
+  std::atomic<std::uint64_t> ok{0}, shed{0}, timedOut{0}, stopped{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        switch (engine.score(queries[(p * kPerProducer + i) % queries.size()])
+                    .code) {
+          case ServeCode::Ok: ++ok; break;
+          case ServeCode::Shed: ++shed; break;
+          case ServeCode::Timeout: ++timedOut; break;
+          case ServeCode::Stopped: ++stopped; break;
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  engine.drain();
+
+  EXPECT_EQ(ok + shed + timedOut + stopped, kProducers * kPerProducer);
+  EXPECT_GT(ok.load(), 0u);
+  const ServeStats stats = engine.stats();
+  EXPECT_EQ(stats.completed, ok.load());
+  EXPECT_EQ(stats.shed, shed.load());
+  EXPECT_EQ(stats.timedOut, timedOut.load());
+  EXPECT_EQ(stats.submitted, ok.load() + timedOut.load());
+  EXPECT_GT(stats.batches, 0u);
+  EXPECT_GE(stats.batchRowsMax, 1.0);
+}
+
+}  // namespace
+}  // namespace casvm::serve

@@ -1,0 +1,83 @@
+#include "casvm/serve/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace casvm::serve {
+namespace {
+
+TEST(Log2HistogramTest, EmptyHistogramIsZero) {
+  const Log2Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.quantile(0.99), 0.0);
+}
+
+TEST(Log2HistogramTest, QuantileWithinBucketResolution) {
+  Log2Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(1000.0);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 1000.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  // 1000 lands in bucket [512, 1024); the reported quantile is that
+  // bucket's geometric midpoint, so it is within 2x of the true value.
+  for (double q : {0.5, 0.95, 0.99}) {
+    EXPECT_GE(h.quantile(q), 500.0);
+    EXPECT_LE(h.quantile(q), 2000.0);
+  }
+}
+
+TEST(Log2HistogramTest, QuantilesAreMonotonic) {
+  Log2Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(double(i));
+  double prev = 0.0;
+  for (double q : {0.1, 0.5, 0.9, 0.99, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+  EXPECT_LE(h.quantile(0.5), h.max());
+}
+
+TEST(Log2HistogramTest, SubUnitValuesLandInBucketZero) {
+  Log2Histogram h;
+  h.record(0.25);
+  h.record(0.0);
+  h.record(-3.0);  // negative values clamp into bucket 0, never UB
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.quantile(0.5), 0.5);  // bucket 0 reports its midpoint
+}
+
+TEST(Log2HistogramTest, MergeAccumulates) {
+  Log2Histogram a, b;
+  for (int i = 0; i < 10; ++i) a.record(100.0);
+  for (int i = 0; i < 30; ++i) b.record(100000.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 40u);
+  EXPECT_DOUBLE_EQ(a.max(), 100000.0);
+  // 3/4 of the mass is at 1e5, so the median comes from b's bucket.
+  EXPECT_GT(a.quantile(0.5), 10000.0);
+}
+
+TEST(ServeStatsTest, JsonHasEveryField) {
+  ServeStats s;
+  s.submitted = 10;
+  s.completed = 8;
+  s.shed = 2;
+  s.elapsedSeconds = 0.5;
+  s.qps = 16.0;
+  s.latencyP50 = 0.000123;
+  const std::string json = s.toJson();
+  for (const char* key :
+       {"\"submitted\": 10", "\"completed\": 8", "\"shed\": 2",
+        "\"timed_out\"", "\"rejected_stopped\"", "\"batches\"",
+        "\"elapsed_seconds\"", "\"qps\": 16.0", "\"latency_p50_us\": 123.0",
+        "\"latency_p95_us\"", "\"latency_p99_us\"", "\"latency_max_us\"",
+        "\"mean_batch_rows\"", "\"batch_rows_p50\"", "\"batch_rows_max\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
+}
+
+}  // namespace
+}  // namespace casvm::serve

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
+#include <span>
 
 #include "casvm/data/synth.hpp"
 #include "casvm/solver/smo.hpp"
@@ -94,6 +96,49 @@ TEST(ModelTest, TruncatedPackThrows) {
   const Model m = trainedModel();
   auto bytes = m.pack();
   bytes.resize(bytes.size() / 2);
+  EXPECT_THROW((void)Model::unpack(bytes), Error);
+}
+
+TEST(ModelTest, TruncationAtEveryPrefixThrowsNotCrashes) {
+  const Model m = trainedModel();
+  const auto bytes = m.pack();
+  // Every strict prefix must be rejected with Error — in particular cuts
+  // inside the header, inside the coefficient array and inside the SV
+  // payload must never reach an allocation sized from garbage.
+  for (std::size_t cut : {std::size_t{0}, std::size_t{4}, std::size_t{39},
+                          std::size_t{47}, std::size_t{55}, std::size_t{56},
+                          bytes.size() - 1}) {
+    if (cut >= bytes.size()) continue;
+    EXPECT_THROW((void)Model::unpack(std::span(bytes).first(cut)), Error)
+        << "cut=" << cut;
+  }
+}
+
+TEST(ModelTest, HostileCoefficientCountThrows) {
+  const Model m = trainedModel();
+  auto bytes = m.pack();
+  // The alphaY count lives right after the kernel params and the bias.
+  // Claiming 2^64-1 coefficients must throw (count validated against the
+  // remaining payload, with no overflow in the size computation) instead
+  // of attempting an absurd allocation.
+  const std::size_t countOffset = sizeof(kernel::KernelParams) + sizeof(double);
+  ASSERT_LT(countOffset + sizeof(std::uint64_t), bytes.size());
+  for (std::size_t b = 0; b < sizeof(std::uint64_t); ++b) {
+    bytes[countOffset + b] = std::byte{0xFF};
+  }
+  EXPECT_THROW((void)Model::unpack(bytes), Error);
+}
+
+TEST(ModelTest, CorruptCountJustPastPayloadThrows) {
+  const Model m = trainedModel();
+  auto bytes = m.pack();
+  const std::size_t countOffset = sizeof(kernel::KernelParams) + sizeof(double);
+  // One more coefficient than the payload can hold: the count/payload
+  // cross-check must reject it even though the multiply would not overflow.
+  const std::size_t remaining =
+      bytes.size() - countOffset - sizeof(std::uint64_t);
+  const std::uint64_t count = remaining / sizeof(double) + 1;
+  std::memcpy(bytes.data() + countOffset, &count, sizeof(count));
   EXPECT_THROW((void)Model::unpack(bytes), Error);
 }
 

@@ -37,6 +37,18 @@ grep -q "distributed prediction" "$WORK/predict_dist.log"
 ACC1=$(grep -o 'accuracy: [0-9.]*' "$WORK/predict.log" | head -1)
 ACC2=$(grep -o 'accuracy: [0-9.]*' "$WORK/predict_dist.log" | head -1)
 test "$ACC1" = "$ACC2"
+# The local path serves through the compiled-batch engine and reports it.
+grep -q "throughput" "$WORK/predict.log"
+grep -q "latency" "$WORK/predict.log"
+
+# Serving load generator over the same saved model: closed loop, every
+# request must get an explicit result code (the tool exits nonzero on any
+# lost reply).
+"$BIN/casvm-serve" --model "$WORK/model.bin" --data "$WORK/test.scaled" \
+  --mode closed --requests 2000 --out "$WORK/serve.json" > "$WORK/serve.log"
+grep -q '"bench": "serve"' "$WORK/serve.json"
+grep -q '"shed"' "$WORK/serve.json"
+grep -q "qps" "$WORK/serve.log"
 
 "$BIN/casvm-model" --mode strong --m 16000 --procs 8,32,128 \
   --standin toy > "$WORK/model_tool.log"

@@ -1,0 +1,293 @@
+// casvm-serve: load generator for the batched inference engine.
+//
+//   casvm-serve --model casvm.model --data test.libsvm [options]
+//   casvm-serve --smoke
+//
+// Compiles the saved model (SV sets packed into the tiled layout once at
+// load), starts a ServeEngine and drives it either closed-loop (a fixed
+// number of synchronous clients, each waiting for its reply before sending
+// the next request) or open-loop (requests dispatched at a fixed target
+// rate regardless of completions, the honest way to observe shedding).
+// Emits BENCH_SERVE.json with client-side throughput, per-code tallies and
+// the engine's own stats snapshot.
+//
+// --smoke is fully self-contained for CI: it trains a tiny model on the
+// `toy` stand-in in-process, runs one closed-loop and one open-loop pass,
+// and fails loudly if any request went unaccounted for.
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "casvm/core/distributed_model.hpp"
+#include "casvm/data/io.hpp"
+#include "casvm/data/registry.hpp"
+#include "casvm/serve/engine.hpp"
+#include "casvm/solver/smo.hpp"
+#include "cli_common.hpp"
+
+namespace {
+
+using namespace casvm;
+
+constexpr const char* kUsage = R"(usage: casvm-serve [options]
+  --model <file>      model produced by casvm-train (required unless --smoke)
+  --data <file>       LIBSVM file to draw queries from (required unless --smoke)
+  --mode <m>          closed | open (default closed)
+  --requests <n>      total requests to send (default 20000)
+  --concurrency <c>   closed-loop client threads (default 4)
+  --rate <r>          open-loop dispatch rate, requests/s (default 50000)
+  --workers <w>       engine scoring threads (default 2)
+  --batch-size <b>    micro-batch flush threshold (default 32)
+  --max-wait-us <u>   micro-batch linger after first request (default 200)
+  --queue-cap <q>     admission-control queue bound (default 1024)
+  --timeout-us <t>    per-request deadline, 0 = none (default 0)
+  --out <file>        JSON output path (default BENCH_SERVE.json)
+  --smoke             self-contained CI run on the toy stand-in
+)";
+
+std::vector<std::vector<float>> buildQueries(const data::Dataset& ds) {
+  std::vector<std::vector<float>> queries(ds.rows());
+  for (std::size_t i = 0; i < ds.rows(); ++i) {
+    queries[i].resize(ds.cols());
+    ds.copyRowDense(i, queries[i]);
+  }
+  return queries;
+}
+
+struct RunResult {
+  std::string mode;
+  std::size_t requests = 0;
+  std::size_t concurrency = 0;  // closed loop only
+  double rate = 0.0;            // open loop only
+  std::uint64_t ok = 0;
+  std::uint64_t shedded = 0;
+  std::uint64_t timedOut = 0;
+  std::uint64_t stopped = 0;
+  double clientSeconds = 0.0;
+  serve::ServeStats engine;
+
+  double clientQps() const {
+    return clientSeconds > 0.0 ? double(ok) / clientSeconds : 0.0;
+  }
+  bool accounted() const {
+    return ok + shedded + timedOut + stopped == requests;
+  }
+};
+
+void tally(RunResult& r, serve::ServeCode code) {
+  switch (code) {
+    case serve::ServeCode::Ok: ++r.ok; break;
+    case serve::ServeCode::Shed: ++r.shedded; break;
+    case serve::ServeCode::Timeout: ++r.timedOut; break;
+    case serve::ServeCode::Stopped: ++r.stopped; break;
+  }
+}
+
+/// Closed loop: each client submits, waits for the reply, repeats. Offered
+/// load self-limits to the engine's service rate.
+RunResult runClosed(serve::ServeEngine& engine,
+                    const std::vector<std::vector<float>>& queries,
+                    std::size_t concurrency, std::size_t totalRequests) {
+  RunResult result;
+  result.mode = "closed";
+  result.requests = totalRequests;
+  result.concurrency = concurrency;
+
+  std::atomic<std::size_t> next{0};
+  std::mutex tallyMutex;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(concurrency);
+  for (std::size_t c = 0; c < concurrency; ++c) {
+    clients.emplace_back([&] {
+      RunResult local;
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= totalRequests) break;
+        const serve::ServeReply reply =
+            engine.score(queries[i % queries.size()]);
+        tally(local, reply.code);
+      }
+      std::lock_guard<std::mutex> lock(tallyMutex);
+      result.ok += local.ok;
+      result.shedded += local.shedded;
+      result.timedOut += local.timedOut;
+      result.stopped += local.stopped;
+    });
+  }
+  for (auto& c : clients) c.join();
+  result.clientSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  result.engine = engine.stats();
+  return result;
+}
+
+/// Open loop: dispatch at the target rate without waiting for replies, so
+/// an overloaded engine sheds instead of silently slowing the generator.
+RunResult runOpen(serve::ServeEngine& engine,
+                  const std::vector<std::vector<float>>& queries, double rate,
+                  std::size_t totalRequests) {
+  RunResult result;
+  result.mode = "open";
+  result.requests = totalRequests;
+  result.rate = rate;
+
+  const auto period = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(std::chrono::duration<double>(
+      rate > 0.0 ? 1.0 / rate : 0.0));
+  std::vector<std::future<serve::ServeReply>> inflight;
+  inflight.reserve(totalRequests);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < totalRequests; ++i) {
+    std::this_thread::sleep_until(t0 + period * static_cast<long long>(i));
+    inflight.push_back(engine.submit(queries[i % queries.size()]));
+  }
+  for (auto& f : inflight) tally(result, f.get().code);
+  result.clientSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  result.engine = engine.stats();
+  return result;
+}
+
+void printRun(const RunResult& r) {
+  std::printf(
+      "%-6s  requests %zu  ok %" PRIu64 "  shed %" PRIu64 "  timeout %" PRIu64
+      "  stopped %" PRIu64 "  %.3fs  %.0f qps\n",
+      r.mode.c_str(), r.requests, r.ok, r.shedded, r.timedOut, r.stopped,
+      r.clientSeconds, r.clientQps());
+  std::printf("        engine %s\n", r.engine.toJson().c_str());
+}
+
+void writeJson(const std::string& path, bool smoke,
+               const serve::CompiledDistributedModel& model,
+               const std::vector<RunResult>& runs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) throw Error("cannot open " + path + " for writing");
+  std::fprintf(f, "{\n  \"bench\": \"serve\",\n  \"smoke\": %s,\n",
+               smoke ? "true" : "false");
+  std::fprintf(f,
+               "  \"model\": {\"sub_models\": %zu, \"support_vectors\": %zu, "
+               "\"cols\": %zu, \"packed_bytes\": %zu},\n",
+               model.numModels(), model.totalSupportVectors(), model.cols(),
+               model.packedBytes());
+  std::fprintf(f, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    std::fprintf(f, "    {\"mode\": \"%s\", \"requests\": %zu, ",
+                 r.mode.c_str(), r.requests);
+    if (r.mode == "closed") {
+      std::fprintf(f, "\"concurrency\": %zu, ", r.concurrency);
+    } else {
+      std::fprintf(f, "\"rate\": %.0f, ", r.rate);
+    }
+    std::fprintf(f,
+                 "\"ok\": %" PRIu64 ", \"shed\": %" PRIu64
+                 ", \"timeout\": %" PRIu64 ", \"stopped\": %" PRIu64 ", ",
+                 r.ok, r.shedded, r.timedOut, r.stopped);
+    std::fprintf(f, "\"client_seconds\": %.6f, \"client_qps\": %.1f,\n",
+                 r.clientSeconds, r.clientQps());
+    std::fprintf(f, "     \"engine\": %s}%s\n", r.engine.toJson().c_str(),
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu runs)\n", path.c_str(), runs.size());
+}
+
+/// Train a small model on the toy stand-in so --smoke needs no files.
+core::DistributedModel smokeModel(const data::Dataset& train) {
+  solver::SolverOptions so;
+  so.kernel = kernel::KernelParams::gaussian(0.5);
+  so.C = 1.0;
+  return core::DistributedModel::single(
+      solver::SmoSolver(so).solve(train).model);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace casvm;
+  const cli::Args args(argc, argv, {"smoke", "help"});
+  const bool smoke = args.has("smoke");
+  if (args.has("help") || (!smoke && (!args.has("model") || !args.has("data")))) {
+    cli::usage(kUsage);
+  }
+
+  try {
+    serve::CompiledDistributedModel compiled;
+    std::vector<std::vector<float>> queries;
+    if (smoke) {
+      const data::NamedDataset toy = data::standin("toy", 0.25, 7);
+      compiled = serve::CompiledDistributedModel::compile(smokeModel(toy.train));
+      queries = buildQueries(toy.test);
+    } else {
+      const core::DistributedModel model =
+          core::DistributedModel::load(args.get("model", ""));
+      compiled = serve::CompiledDistributedModel::compile(model);
+      queries = buildQueries(
+          data::readLibsvmFile(args.get("data", ""), compiled.cols()));
+    }
+    if (queries.empty()) throw Error("no query rows");
+    std::printf("model: %zu sub-model(s), %zu SVs, %zu features, %zu KiB packed\n",
+                compiled.numModels(), compiled.totalSupportVectors(),
+                compiled.cols(), compiled.packedBytes() / 1024);
+
+    serve::ServeConfig config;
+    config.workers = static_cast<int>(args.getInt("workers", 2));
+    config.batchSize =
+        static_cast<std::size_t>(args.getInt("batch-size", 32));
+    config.maxWaitUs = args.getInt("max-wait-us", 200);
+    config.queueCapacity =
+        static_cast<std::size_t>(args.getInt("queue-cap", 1024));
+    config.requestTimeoutUs = args.getInt("timeout-us", 0);
+
+    const std::size_t requests = static_cast<std::size_t>(
+        args.getInt("requests", smoke ? 2000 : 20000));
+    const std::string mode = args.get("mode", "closed");
+
+    std::vector<RunResult> runs;
+    if (smoke || mode == "closed") {
+      serve::ServeEngine engine(compiled, config);
+      runs.push_back(runClosed(
+          engine, queries,
+          static_cast<std::size_t>(args.getInt("concurrency", 4)), requests));
+      engine.drain();
+      printRun(runs.back());
+    }
+    if (smoke || mode == "open") {
+      serve::ServeEngine engine(compiled, config);
+      runs.push_back(runOpen(engine, queries,
+                             args.getDouble("rate", smoke ? 20000.0 : 50000.0),
+                             requests));
+      engine.drain();
+      printRun(runs.back());
+    }
+
+    writeJson(args.get("out", "BENCH_SERVE.json"), smoke, compiled, runs);
+
+    // Admission control promises every request an explicit outcome; a
+    // mismatch here means a reply was dropped on the floor.
+    for (const RunResult& r : runs) {
+      if (!r.accounted()) {
+        std::fprintf(stderr, "casvm-serve: %s run lost replies\n",
+                     r.mode.c_str());
+        return 1;
+      }
+      if (smoke && r.ok == 0) {
+        std::fprintf(stderr, "casvm-serve: %s smoke run scored nothing\n",
+                     r.mode.c_str());
+        return 1;
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "casvm-serve: %s\n", e.what());
+    return 1;
+  }
+}
