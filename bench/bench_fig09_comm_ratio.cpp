@@ -4,6 +4,10 @@
 // (data born distributed: zero communication). Times are virtual seconds:
 // per-rank CPU plus alpha-beta-modeled transfer time, maxed over ranks.
 
+#include <cmath>
+#include <cstdio>
+
+#include "casvm/obs/trace.hpp"
 #include "bench_common.hpp"
 
 using namespace casvm;
@@ -32,16 +36,37 @@ int main(int argc, char** argv) {
   const data::NamedDataset nd = bench::loadDataset("toy", opts);
 
   TablePrinter table({"method", "compute (s)", "comm (s)", "comm share",
-                      "comm bytes"});
+                      "trace share", "comm bytes"});
+  // Cross-check: each run also records a full trace, and the comm share
+  // derived from the trace spans must agree with the virtual-clock share.
+  // Trace spans include a sliver of in-span compute (packing/memcpy), so
+  // they overestimate slightly; 5 percentage points bounds that slack.
+  constexpr double kShareTolerance = 0.05;
+  double worstGap = 0.0;
+  std::string worstLabel;
   for (const Row& row : rows) {
     core::TrainConfig cfg = bench::makeConfig(nd, row.method, opts);
     cfg.raInitialDataOnRoot = row.rootData;
+    obs::TraceRecorder recorder;
+    cfg.trace = &recorder;
     const core::TrainResult res = core::train(nd.train, cfg);
     const double compute = res.runStats.maxComputeSeconds();
     const double comm = res.runStats.maxCommSeconds();
+    double traceComm = 0.0;
+    for (int r = 0; r < res.runStats.size; ++r) {
+      traceComm = std::max(traceComm, recorder.commSeconds(r));
+    }
+    const double clockShare = comm / (comm + compute);
+    const double traceShare = traceComm / (traceComm + compute);
+    const double gap = std::abs(traceShare - clockShare);
+    if (gap > worstGap) {
+      worstGap = gap;
+      worstLabel = row.label;
+    }
     table.addRow({row.label, TablePrinter::fmt(compute, 4),
                   TablePrinter::fmt(comm, 4),
-                  TablePrinter::fmtPercent(comm / (comm + compute)),
+                  TablePrinter::fmtPercent(clockShare),
+                  TablePrinter::fmtPercent(traceShare),
                   TablePrinter::fmtBytes(static_cast<double>(
                       res.runStats.traffic.totalBytes()))});
   }
@@ -50,5 +75,12 @@ int main(int argc, char** argv) {
       "paper: Dis-SMO spends the majority of its time communicating; "
       "casvm1's only communication is the initial scatter; casvm2 "
       "communicates nothing.");
+  if (worstGap > kShareTolerance) {
+    std::fprintf(stderr,
+                 "FAIL: trace-derived comm share disagrees with the "
+                 "virtual-clock share by %.3f (> %.2f) for %s\n",
+                 worstGap, kShareTolerance, worstLabel.c_str());
+    return 1;
+  }
   return 0;
 }

@@ -85,4 +85,23 @@ struct RankBoard {
 /// Current virtual time of this rank (samples the CPU clock first).
 double virtualNow(net::Comm& comm);
 
+/// RAII phase span on the comm's trace lane: records a Cat::Phase span
+/// from construction to destruction on the rank's virtual timeline. No-op
+/// (two pointer tests) when the comm has no lane. `name` must be a string
+/// literal (the recorder stores the pointer); `detail` is a free-form
+/// integer rendered into the span args (tree methods pass the layer).
+class PhaseSpan {
+ public:
+  PhaseSpan(net::Comm& comm, const char* name, long long detail = -1);
+  ~PhaseSpan();
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+
+ private:
+  net::Comm& comm_;
+  const char* name_;
+  long long detail_;
+  double start_ = 0.0;
+};
+
 }  // namespace casvm::core

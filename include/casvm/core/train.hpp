@@ -18,6 +18,10 @@
 #include "casvm/net/comm.hpp"
 #include "casvm/solver/smo.hpp"
 
+namespace casvm::obs {
+class TraceRecorder;
+}
+
 namespace casvm::core {
 
 struct TrainConfig {
@@ -54,6 +58,10 @@ struct TrainConfig {
   net::FaultPlan faults;
   /// Engine deadlock watchdog timeout in wall seconds (<= 0 disables).
   double watchdogSeconds = 30.0;
+  /// Optional trace recorder: when set, the engine opens one lane per rank
+  /// and the run emits comm-op spans, phase spans and solver progress
+  /// events into it (see casvm/obs/trace.hpp). Must outlive train().
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// Per-layer profile of a tree method run (the paper's Table V).

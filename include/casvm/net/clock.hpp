@@ -46,6 +46,10 @@ class VirtualClock {
   double computeSeconds() const { return computeSeconds_; }
   double commSeconds() const { return commSeconds_ + skew_; }
 
+  /// The wait component of commSeconds(): time spent blocked on peers
+  /// whose messages arrived later than this rank's local virtual now.
+  double waitSeconds() const { return skew_; }
+
  private:
   double computeSeconds_ = 0.0;
   double commSeconds_ = 0.0;

@@ -35,6 +35,11 @@
 #include "casvm/net/traffic.hpp"
 #include "casvm/support/error.hpp"
 
+namespace casvm::obs {
+class Lane;
+class TraceRecorder;
+}  // namespace casvm::obs
+
 namespace casvm::net {
 
 /// State shared by all ranks of one Engine::run invocation.
@@ -80,6 +85,36 @@ class World {
 template <class T>
 concept Wire = std::is_trivially_copyable_v<T>;
 
+class Comm;
+
+namespace detail {
+
+/// RAII trace span around one communication op. With no lane attached the
+/// constructor and destructor each cost a single branch. With a lane, the
+/// outermost scope on this rank records a Cat::Comm span covering the op's
+/// full virtual-time extent (transfer + wait) and the bytes the rank moved;
+/// nested scopes — the point-to-point messages a collective is built from —
+/// record nothing, so summing a lane's comm spans never double-counts.
+class CommOpScope {
+ public:
+  CommOpScope(Comm& comm, const char* name, int peer = -1);
+  ~CommOpScope();
+
+  CommOpScope(const CommOpScope&) = delete;
+  CommOpScope& operator=(const CommOpScope&) = delete;
+
+ private:
+  Comm& comm_;
+  const char* name_;
+  int peer_;
+  bool active_ = false;
+  double start_ = 0.0;
+  double commStart_ = 0.0;
+  std::size_t bytesStart_ = 0;
+};
+
+}  // namespace detail
+
 /// Per-rank communicator. Cheap to copy around within the owning rank;
 /// must only be used from the thread the Engine created it on.
 class Comm {
@@ -105,6 +140,13 @@ class Comm {
 
   /// Snapshot of all traffic recorded so far in this run (all ranks).
   TrafficSnapshot trafficSnapshot() const { return world_->traffic().snapshot(); }
+
+  /// Attach (or detach, with nullptr) this rank's trace lane. Wired by the
+  /// Engine when a TraceRecorder is installed; child communicators from
+  /// split() inherit the parent's lane. With no lane every record site in
+  /// the comm layer costs exactly one branch.
+  void setTraceLane(obs::Lane* lane) { lane_ = lane; }
+  obs::Lane* traceLane() const { return lane_; }
 
   // --- point-to-point ----------------------------------------------------
 
@@ -180,6 +222,7 @@ class Comm {
   /// Broadcast a scalar from root to everyone.
   template <Wire T>
   void bcast(T& value, int root = 0) {
+    detail::CommOpScope scope(*this, "bcast", root);
     bcastBytes(&value, sizeof(T), root, tagBcast);
   }
 
@@ -199,6 +242,7 @@ class Comm {
   /// Allreduce = reduce to rank 0 + broadcast.
   template <Wire T, class Op>
   T allreduce(T value, Op op) {
+    detail::CommOpScope scope(*this, "allreduce");
     T r = reduce(value, op, 0);
     bcast(r, 0);
     return r;
@@ -207,6 +251,7 @@ class Comm {
   /// Elementwise vector allreduce.
   template <Wire T, class Op>
   std::vector<T> allreduce(std::vector<T> v, Op op) {
+    detail::CommOpScope scope(*this, "allreduce");
     std::vector<T> r = reduce(std::move(v), op, 0);
     bcast(r, 0);
     return r;
@@ -273,6 +318,8 @@ class Comm {
   static constexpr int kUserTagLimit = 1 << 20;
 
  private:
+  friend class detail::CommOpScope;
+
   static constexpr int tagBarrier = kUserTagLimit + 0;
   static constexpr int tagBcast = kUserTagLimit + 1;
   static constexpr int tagReduce = kUserTagLimit + 2;
@@ -341,12 +388,20 @@ class Comm {
   /// Contexts handed to children of this communicator (deterministic
   /// because split() is called in the same program order on every rank).
   int childContexts_ = 0;
+  /// Trace lane of the owning rank (nullptr = tracing off).
+  obs::Lane* lane_ = nullptr;
+  /// Comm-op nesting depth; only depth-0 scopes record spans.
+  int traceDepth_ = 0;
+  /// Bytes sent + received by this rank so far (only counted while a lane
+  /// is attached); scopes report the per-op delta.
+  std::size_t traceBytes_ = 0;
 };
 
 // --- template implementations ----------------------------------------------
 
 template <Wire T>
 void Comm::bcast(std::vector<T>& v, int root) {
+  detail::CommOpScope scope(*this, "bcast", root);
   // Length first so non-roots can size their buffers, then the payload.
   // Both legs ride the same binomial tree.
   std::size_t len = v.size();
@@ -357,6 +412,7 @@ void Comm::bcast(std::vector<T>& v, int root) {
 
 template <Wire T, class Op>
 T Comm::reduce(T value, Op op, int root) {
+  detail::CommOpScope scope(*this, "reduce", root);
   const int size = this->size();
   const int vrank = (rank_ - root + size) % size;
   for (int mask = 1; mask < size; mask <<= 1) {
@@ -377,6 +433,7 @@ T Comm::reduce(T value, Op op, int root) {
 
 template <Wire T, class Op>
 std::vector<T> Comm::reduce(std::vector<T> v, Op op, int root) {
+  detail::CommOpScope scope(*this, "reduce", root);
   const int size = this->size();
   const int vrank = (rank_ - root + size) % size;
   for (int mask = 1; mask < size; mask <<= 1) {
@@ -400,6 +457,7 @@ std::vector<T> Comm::reduce(std::vector<T> v, Op op, int root) {
 
 template <Wire T>
 std::vector<T> Comm::gather(const T& value, int root) {
+  detail::CommOpScope scope(*this, "gather", root);
   const int size = this->size();
   if (rank_ == root) {
     std::vector<T> all(static_cast<std::size_t>(size));
@@ -415,6 +473,7 @@ std::vector<T> Comm::gather(const T& value, int root) {
 
 template <Wire T>
 std::vector<std::vector<T>> Comm::gatherv(const std::vector<T>& v, int root) {
+  detail::CommOpScope scope(*this, "gatherv", root);
   const int size = this->size();
   if (rank_ == root) {
     std::vector<std::vector<T>> all(static_cast<std::size_t>(size));
@@ -431,6 +490,7 @@ std::vector<std::vector<T>> Comm::gatherv(const std::vector<T>& v, int root) {
 template <Wire T>
 std::vector<T> Comm::scatterv(const std::vector<std::vector<T>>& parts,
                               int root) {
+  detail::CommOpScope scope(*this, "scatterv", root);
   const int size = this->size();
   if (rank_ == root) {
     CASVM_CHECK(parts.size() == static_cast<std::size_t>(size),
@@ -445,6 +505,7 @@ std::vector<T> Comm::scatterv(const std::vector<std::vector<T>>& parts,
 
 template <Wire T>
 std::vector<T> Comm::allgather(const T& value) {
+  detail::CommOpScope scope(*this, "allgather");
   std::vector<T> all = gather(value, 0);
   bcast(all, 0);
   return all;
@@ -452,6 +513,7 @@ std::vector<T> Comm::allgather(const T& value) {
 
 template <Wire T>
 std::vector<T> Comm::allgatherv(const std::vector<T>& v) {
+  detail::CommOpScope scope(*this, "allgatherv");
   std::vector<std::vector<T>> parts = gatherv(v, 0);
   std::vector<T> flat;
   if (rank_ == 0) {
@@ -464,6 +526,7 @@ std::vector<T> Comm::allgatherv(const std::vector<T>& v) {
 template <Wire T>
 std::vector<std::vector<T>> Comm::alltoallv(
     std::vector<std::vector<T>> sendParts) {
+  detail::CommOpScope scope(*this, "alltoallv");
   const int size = this->size();
   CASVM_CHECK(sendParts.size() == static_cast<std::size_t>(size),
               "alltoallv: one part per rank required");
@@ -496,6 +559,9 @@ struct RunStats {
   double wallSeconds = 0.0;            ///< real elapsed time of the run
   std::vector<double> computeSeconds;  ///< per-rank virtual compute time
   std::vector<double> commSeconds;     ///< per-rank virtual comm (+wait) time
+  /// Per-rank wait component of commSeconds (time advanced over while
+  /// blocked on a slower peer's message).
+  std::vector<double> waitSeconds;
   TrafficSnapshot traffic;             ///< all traffic of the run
   /// Injected crashes survived under rank-failure tolerance (rank order).
   std::vector<RankFailure> failures;
@@ -544,6 +610,13 @@ class Engine {
   void setWatchdogSeconds(double seconds) { watchdogSeconds_ = seconds; }
   double watchdogSeconds() const { return watchdogSeconds_; }
 
+  /// Attach a trace recorder for subsequent run() calls (nullptr detaches).
+  /// Each run adds one lane per rank (pid = rank) and every comm op, phase
+  /// and solver-progress producer on that rank records into it. Without a
+  /// recorder the instrumentation costs a single branch per record site.
+  void setTraceRecorder(obs::TraceRecorder* recorder) { trace_ = recorder; }
+  obs::TraceRecorder* traceRecorder() const { return trace_; }
+
   /// Execute `fn` on every rank; returns when all ranks finish.
   /// If any rank throws, the run is aborted (blocked receives wake with an
   /// error) and the first root-cause exception is rethrown as casvm::Error.
@@ -555,6 +628,7 @@ class Engine {
   FaultPlan faultPlan_;
   bool tolerateRankFailures_ = false;
   double watchdogSeconds_ = 30.0;
+  obs::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace casvm::net

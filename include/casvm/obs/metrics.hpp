@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Compact end-of-run metrics report: the per-rank compute/comm/wait
+/// breakdown plus per-phase traffic deltas, exportable as JSON.
+///
+/// The report holds plain numbers only, so casvm::obs stays independent of
+/// casvm::net — the caller (casvm-train, benches) assembles it from
+/// RunStats, TrafficSnapshot::since deltas and the TraceRecorder it owns.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace casvm::obs {
+
+/// One rank's time breakdown. `commSeconds` is the virtual-clock value
+/// (modeled transfer + wait); `waitSeconds` is the wait component alone;
+/// `traceCommSeconds` is the same quantity re-derived from the rank's
+/// top-level comm spans — the cross-check casvm-train and bench_fig09 use.
+struct RankMetrics {
+  int rank = 0;
+  double computeSeconds = 0.0;
+  double commSeconds = 0.0;
+  double waitSeconds = 0.0;
+  double traceCommSeconds = 0.0;
+  std::uint64_t commSpans = 0;
+};
+
+/// Traffic attributed to one algorithm phase (from TrafficSnapshot::since).
+struct PhaseTraffic {
+  std::string phase;
+  std::uint64_t bytes = 0;
+  std::uint64_t ops = 0;
+};
+
+struct MetricsReport {
+  int ranks = 0;
+  double wallSeconds = 0.0;
+  std::vector<RankMetrics> perRank;
+  std::vector<PhaseTraffic> phases;
+  std::uint64_t traceEvents = 0;
+
+  /// Pretty-printed JSON object with every field above.
+  std::string toJson() const;
+
+  /// toJson() written to `path`; throws casvm::Error on IO failure.
+  void writeFile(const std::string& path) const;
+};
+
+}  // namespace casvm::obs

@@ -28,6 +28,11 @@
 #include "casvm/serve/queue.hpp"
 #include "casvm/serve/stats.hpp"
 
+namespace casvm::obs {
+class Lane;
+class TraceRecorder;
+}
+
 namespace casvm::serve {
 
 struct ServeConfig {
@@ -39,7 +44,15 @@ struct ServeConfig {
   /// Fault-injection hook (tests/chaos only): stall each batch scoring
   /// pass by this much to make queue pressure deterministic.
   long long injectScoreDelayUs = 0;
+  /// Optional trace recorder: each worker gets a lane (pid kTracePid) and
+  /// emits one Cat::Serve span per scored batch, timed relative to engine
+  /// construction. Must outlive the engine.
+  obs::TraceRecorder* trace = nullptr;
 };
+
+/// Lane pid of serve workers in a Chrome trace: keeps the serving timeline
+/// visually separate from training ranks (which use their rank as pid).
+inline constexpr int kServeTracePid = 1000;
 
 enum class ServeCode : std::uint8_t {
   Ok = 0,       ///< scored; decision/label are valid
@@ -98,8 +111,9 @@ class ServeEngine {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  void workerLoop();
-  void scoreBatch(std::vector<Request>& batch, BatchScratch& scratch);
+  void workerLoop(obs::Lane* lane);
+  void scoreBatch(std::vector<Request>& batch, BatchScratch& scratch,
+                  obs::Lane* lane);
 
   CompiledDistributedModel model_;
   ServeConfig config_;

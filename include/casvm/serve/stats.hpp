@@ -27,7 +27,8 @@ class Log2Histogram {
   double mean() const { return total_ == 0 ? 0.0 : sum_ / double(total_); }
   double max() const { return max_; }
 
-  /// Value at quantile q in [0, 1]; 0 when empty.
+  /// Value at quantile q in [0, 1]; 0 when empty. Bucket midpoints are
+  /// clamped to max(), so a quantile never exceeds a recorded value.
   double quantile(double q) const;
 
   void merge(const Log2Histogram& other);

@@ -20,6 +20,10 @@
 #include "casvm/kernel/kernel.hpp"
 #include "casvm/solver/model.hpp"
 
+namespace casvm::obs {
+class Lane;
+}
+
 namespace casvm::solver {
 
 /// Working-set selection strategy.
@@ -54,6 +58,17 @@ struct SolverOptions {
   bool shrinking = false;
   /// Iterations between shrink passes (when shrinking is on).
   std::size_t shrinkInterval = 1000;
+  /// Optional trace lane: when set, the solver emits a periodic progress
+  /// instant (iteration, active-set size, duality gap, cache hit rate)
+  /// every `traceInterval` iterations. Costs one branch per iteration when
+  /// unset. The lane must outlive the solve.
+  obs::Lane* trace = nullptr;
+  /// Added to the solver's CPU-relative timestamps so progress events line
+  /// up with the caller's (virtual) timeline — SPMD drivers pass the
+  /// rank's virtual now at solve start.
+  double traceTimeOffset = 0.0;
+  /// Iterations between progress events (must be > 0 when tracing).
+  std::size_t traceInterval = 512;
 };
 
 struct SolverResult {

@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file strings.hpp
+/// Small string-building helpers shared by the JSON/report writers.
+
+#include <string>
+
+namespace casvm {
+
+/// printf into a freshly sized std::string: measures with a first
+/// vsnprintf pass, then formats into a buffer guaranteed to fit, so the
+/// output is never silently truncated (the failure mode of fixed-size
+/// snprintf buffers). Throws casvm::Error on an encoding error.
+[[gnu::format(printf, 1, 2)]]
+std::string formatString(const char* fmt, ...);
+
+/// formatString appended to `out` (avoids a temporary per call site when
+/// building large documents piecewise).
+[[gnu::format(printf, 2, 3)]]
+void appendFormat(std::string& out, const char* fmt, ...);
+
+}  // namespace casvm

@@ -167,7 +167,13 @@ Partition fcfsPartitionDistributed(net::Comm& comm, const data::Dataset& local,
                      std::vector<float>(n, 0.0f));
   if (options.recomputeCenters) {
     for (std::size_t c = 0; c < static_cast<std::size_t>(parts); ++c) {
-      if (counts[c] == 0) continue;
+      if (counts[c] == 0) {
+        // Globally empty cluster: a mean does not exist, and an all-zeros
+        // center would silently attract prediction-time routing toward the
+        // origin. Keep the seed center — a real data point.
+        out.centers[c] = centers[c];
+        continue;
+      }
       for (std::size_t f = 0; f < n; ++f) {
         out.centers[c][f] =
             static_cast<float>(sums[c * n + f] / double(counts[c]));

@@ -12,9 +12,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 
 #include "methods.hpp"
 #include "casvm/kernel/kernel.hpp"
+#include "casvm/obs/trace.hpp"
 #include "casvm/support/error.hpp"
 
 namespace casvm::core::detail {
@@ -80,6 +82,11 @@ void runDisSmo(net::Comm& comm, const MethodContext& ctx) {
   double bHigh = 0.0, bLow = 0.0;
   long long iters = 0;
 
+  obs::Lane* lane = comm.traceLane();
+  constexpr std::size_t kProgressInterval = 512;
+  std::optional<PhaseSpan> solvePhase;
+  solvePhase.emplace(comm, "solve");
+
   for (std::size_t it = 0; it < maxIters; ++it) {
     // 1. Local scan for the maximal violating pair over owned rows.
     double localHigh = kInf, localLow = -kInf;
@@ -103,6 +110,13 @@ void runDisSmo(net::Comm& comm, const MethodContext& ctx) {
     bHigh = high.value;
     bLow = low.value;
     if (bLow <= bHigh + 2.0 * tau) break;
+
+    // Both thresholds are finite past the convergence check (an empty
+    // candidate set leaves one at +-inf, which takes the break above).
+    if (lane != nullptr && it % kProgressInterval == 0) {
+      lane->progress(virtualNow(comm), static_cast<std::int64_t>(it),
+                     static_cast<std::int64_t>(mLocal), bLow - bHigh, 0.0);
+    }
 
     const int ownerHigh = static_cast<int>(high.index / kRankStride);
     const int ownerLow = static_cast<int>(low.index / kRankStride);
@@ -174,6 +188,7 @@ void runDisSmo(net::Comm& comm, const MethodContext& ctx) {
     }
     ++iters;
   }
+  solvePhase.reset();  // end the "solve" span before train-end bookkeeping
 
   markTrainEnd(comm, ctx);
 

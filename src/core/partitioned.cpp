@@ -51,40 +51,58 @@ void runPartitioned(net::Comm& comm, const MethodContext& ctx) {
 
   switch (method) {
     case Method::CpSvm: {
-      cluster::KMeansOptions km;
-      km.clusters = P;
-      km.maxLoops = ctx.config.kmeansMaxLoops;
-      km.changeThreshold = ctx.config.kmeansChangeThreshold;
-      km.seed = ctx.config.seed;
-      const cluster::KMeansResult result =
-          cluster::kmeansDistributed(comm, initial, km);
+      cluster::KMeansResult result;
+      {
+        PhaseSpan span(comm, "partition");
+        cluster::KMeansOptions km;
+        km.clusters = P;
+        km.maxLoops = ctx.config.kmeansMaxLoops;
+        km.changeThreshold = ctx.config.kmeansChangeThreshold;
+        km.seed = ctx.config.seed;
+        result = cluster::kmeansDistributed(comm, initial, km);
+      }
       board.kmeansLoops[urank] = result.loops;
-      mine = exchangeToOwners(comm, initial, result.partition.assign);
+      {
+        PhaseSpan span(comm, "scatter");
+        mine = exchangeToOwners(comm, initial, result.partition.assign);
+      }
       myCenter = result.partition.centers[urank];
       break;
     }
     case Method::BkmCa: {
-      cluster::BalancedKMeansOptions bkm;
-      bkm.parts = P;
-      bkm.ratioBalanced = ctx.config.ratioBalance;
-      bkm.maxKmeansLoops = ctx.config.kmeansMaxLoops;
-      bkm.kmeansChangeThreshold = ctx.config.kmeansChangeThreshold;
-      bkm.seed = ctx.config.seed;
-      const cluster::BalancedKMeansResult result =
-          cluster::balancedKmeansDistributed(comm, initial, bkm);
+      cluster::BalancedKMeansResult result;
+      {
+        PhaseSpan span(comm, "partition");
+        cluster::BalancedKMeansOptions bkm;
+        bkm.parts = P;
+        bkm.ratioBalanced = ctx.config.ratioBalance;
+        bkm.maxKmeansLoops = ctx.config.kmeansMaxLoops;
+        bkm.kmeansChangeThreshold = ctx.config.kmeansChangeThreshold;
+        bkm.seed = ctx.config.seed;
+        result = cluster::balancedKmeansDistributed(comm, initial, bkm);
+      }
       board.kmeansLoops[urank] = result.kmeansLoops;
-      mine = exchangeToOwners(comm, initial, result.partition.assign);
+      {
+        PhaseSpan span(comm, "scatter");
+        mine = exchangeToOwners(comm, initial, result.partition.assign);
+      }
       myCenter = result.partition.centers[urank];
       break;
     }
     case Method::FcfsCa: {
-      cluster::FcfsOptions fcfs;
-      fcfs.parts = P;
-      fcfs.ratioBalanced = ctx.config.ratioBalance;
-      fcfs.seed = ctx.config.seed;
-      const cluster::Partition partition =
-          cluster::fcfsPartitionDistributed(comm, initial, fcfs);
-      mine = exchangeToOwners(comm, initial, partition.assign);
+      cluster::Partition partition;
+      {
+        PhaseSpan span(comm, "partition");
+        cluster::FcfsOptions fcfs;
+        fcfs.parts = P;
+        fcfs.ratioBalanced = ctx.config.ratioBalance;
+        fcfs.seed = ctx.config.seed;
+        partition = cluster::fcfsPartitionDistributed(comm, initial, fcfs);
+      }
+      {
+        PhaseSpan span(comm, "scatter");
+        mine = exchangeToOwners(comm, initial, partition.assign);
+      }
       myCenter = partition.centers[urank];
       break;
     }
@@ -93,6 +111,7 @@ void runPartitioned(net::Comm& comm, const MethodContext& ctx) {
         // casvm1: the whole dataset starts on rank 0, which deals random
         // even parts to everyone — this distribution is RA-CA's only
         // communication, shown in the paper's Fig. 9 as casvm1.
+        PhaseSpan span(comm, "scatter");
         if (rank == 0) {
           const cluster::Partition part = cluster::randomPartition(
               initial, P, ctx.config.seed);
@@ -108,6 +127,7 @@ void runPartitioned(net::Comm& comm, const MethodContext& ctx) {
         }
       } else {
         // casvm2: data is born distributed; no communication at all.
+        PhaseSpan span(comm, "partition");
         mine = initial;
       }
       myCenter = localMeanCenter(mine);
@@ -122,7 +142,16 @@ void runPartitioned(net::Comm& comm, const MethodContext& ctx) {
   markInitEnd(comm, ctx);
 
   // --- training phase: one fully independent sub-SVM ----------------------
-  const LocalSolve solve = trainLocalSvm(mine, ctx.config.solver);
+  solver::SolverOptions sopts = ctx.config.solver;
+  if (comm.traceLane() != nullptr) {
+    sopts.trace = comm.traceLane();
+    sopts.traceTimeOffset = virtualNow(comm);
+  }
+  LocalSolve solve;
+  {
+    PhaseSpan span(comm, "solve");
+    solve = trainLocalSvm(mine, sopts);
+  }
   markTrainEnd(comm, ctx);
 
   board.models[urank] = solve.model;

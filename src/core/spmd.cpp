@@ -1,5 +1,6 @@
 #include "casvm/core/spmd.hpp"
 
+#include "casvm/obs/trace.hpp"
 #include "casvm/support/error.hpp"
 
 namespace casvm::core {
@@ -70,6 +71,19 @@ data::Dataset exchangeToOwners(net::Comm& comm, const data::Dataset& local,
 double virtualNow(net::Comm& comm) {
   comm.clock().sampleCompute();
   return comm.clock().now();
+}
+
+PhaseSpan::PhaseSpan(net::Comm& comm, const char* name, long long detail)
+    : comm_(comm), name_(name), detail_(detail) {
+  if (comm_.traceLane() == nullptr) return;
+  start_ = virtualNow(comm_);
+}
+
+PhaseSpan::~PhaseSpan() {
+  obs::Lane* lane = comm_.traceLane();
+  if (lane == nullptr) return;
+  lane->span(name_, obs::Cat::Phase, start_, virtualNow(comm_), -1, -1,
+             detail_);
 }
 
 }  // namespace casvm::core

@@ -83,6 +83,7 @@ TrainResult train(const data::Dataset& trainSet, const TrainConfig& config) {
   net::Engine engine(P, config.cost);
   engine.setFaultPlan(config.faults);
   engine.setWatchdogSeconds(config.watchdogSeconds);
+  engine.setTraceRecorder(config.trace);
   // Partitioned methods train P fully independent sub-SVMs, so a crashed
   // rank only costs its own partition; tree methods and Dis-SMO need every
   // rank and must fail fast instead.

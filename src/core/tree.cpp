@@ -50,18 +50,23 @@ void runTree(net::Comm& comm, const MethodContext& ctx) {
   // --- init phase: place the data ----------------------------------------
   data::Dataset current;
   if (method == Method::Cascade) {
+    PhaseSpan span(comm, "partition");
     current = ctx.initialBlocks[urank];  // even blocks, no communication
   } else {
     // DC-SVM / DC-Filter: distributed K-means over the initial blocks, then
     // an all-to-all moving each sample to its cluster's owner rank.
-    cluster::KMeansOptions km;
-    km.clusters = P;
-    km.maxLoops = ctx.config.kmeansMaxLoops;
-    km.changeThreshold = ctx.config.kmeansChangeThreshold;
-    km.seed = ctx.config.seed;
-    const cluster::KMeansResult result =
-        cluster::kmeansDistributed(comm, ctx.initialBlocks[urank], km);
+    cluster::KMeansResult result;
+    {
+      PhaseSpan span(comm, "partition");
+      cluster::KMeansOptions km;
+      km.clusters = P;
+      km.maxLoops = ctx.config.kmeansMaxLoops;
+      km.changeThreshold = ctx.config.kmeansChangeThreshold;
+      km.seed = ctx.config.seed;
+      result = cluster::kmeansDistributed(comm, ctx.initialBlocks[urank], km);
+    }
     board.kmeansLoops[urank] = result.loops;
+    PhaseSpan span(comm, "scatter");
     current = exchangeToOwners(comm, ctx.initialBlocks[urank],
                                result.partition.assign);
   }
@@ -103,6 +108,7 @@ void runTree(net::Comm& comm, const MethodContext& ctx) {
         // solve with its current data so its samples still reach the root.
         const int partner = rank + step / 2;
         if (partner < P) {
+          PhaseSpan span(comm, "merge", (pass - 1) * layers + layer);
           const data::Dataset partnerData =
               data::Dataset::unpack(comm.recvBytes(partner, kTreeDataTag));
           const std::vector<double> partnerAlpha =
@@ -115,11 +121,20 @@ void runTree(net::Comm& comm, const MethodContext& ctx) {
         }
       }
 
+      solver::SolverOptions sopts = ctx.config.solver;
+      if (comm.traceLane() != nullptr) {
+        sopts.trace = comm.traceLane();
+        sopts.traceTimeOffset = virtualNow(comm);
+      }
       const double t0 = virtualNow(comm);
-      const LocalSolve solve = trainLocalSvm(
-          current, ctx.config.solver,
-          ctx.config.treeWarmStart ? std::span<const double>(currentAlpha)
-                                   : std::span<const double>());
+      LocalSolve solve;
+      {
+        PhaseSpan span(comm, "solve", (pass - 1) * layers + layer);
+        solve = trainLocalSvm(
+            current, sopts,
+            ctx.config.treeWarmStart ? std::span<const double>(currentAlpha)
+                                     : std::span<const double>());
+      }
       const double t1 = virtualNow(comm);
 
       // Layers keep counting across passes so per-layer stats stay unique.

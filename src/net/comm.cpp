@@ -2,7 +2,38 @@
 
 #include <algorithm>
 
+#include "casvm/obs/trace.hpp"
+
 namespace casvm::net {
+
+namespace detail {
+
+CommOpScope::CommOpScope(Comm& comm, const char* name, int peer)
+    : comm_(comm), name_(name), peer_(peer) {
+  if (comm_.lane_ == nullptr) return;
+  if (comm_.traceDepth_++ > 0) return;  // nested op: the outer span covers it
+  active_ = true;
+  comm_.clock_->sampleCompute();
+  start_ = comm_.clock_->now();
+  commStart_ = comm_.clock_->commSeconds();
+  bytesStart_ = comm_.traceBytes_;
+}
+
+CommOpScope::~CommOpScope() {
+  if (comm_.lane_ == nullptr) return;
+  --comm_.traceDepth_;
+  if (!active_) return;
+  // The span's duration is the op's comm (+wait) clock charge alone, not
+  // the full virtual-time delta: real CPU slivers spent inside the op
+  // (packing, memcpy) are compute, and counting them here would make the
+  // summed comm spans drift above the clock's commSeconds().
+  comm_.lane_->span(
+      name_, obs::Cat::Comm, start_,
+      start_ + (comm_.clock_->commSeconds() - commStart_), peer_,
+      static_cast<std::int64_t>(comm_.traceBytes_ - bytesStart_));
+}
+
+}  // namespace detail
 
 namespace {
 
@@ -63,6 +94,8 @@ void Comm::sendRaw(int dst, int tag, const void* data, std::size_t bytes) {
   CASVM_CHECK(dst != rank_, "send: self-messaging is not allowed");
   const int worldDst = toWorld(dst);
   const int worldSrc = worldRank();
+  detail::CommOpScope scope(*this, "send", worldDst);
+  if (lane_ != nullptr) traceBytes_ += bytes;
 
   // Fold the compute since the last comm call into the clock, then ask the
   // fault plan for its verdict (which may kill this rank right here),
@@ -90,12 +123,14 @@ void Comm::sendRaw(int dst, int tag, const void* data, std::size_t bytes) {
 Message Comm::recvRaw(int src, int tag) {
   CASVM_CHECK(src >= 0 && src < size(), "recv: bad source rank");
   CASVM_CHECK(src != rank_, "recv: self-messaging is not allowed");
+  detail::CommOpScope scope(*this, "recv", toWorld(src));
   clock_->sampleCompute();
   if (FaultInjector* injector = world_->injector()) {
     injector->onRecv(worldRank());  // may throw RankCrash
   }
   Message msg =
       world_->mailbox(worldRank()).take(toWorld(src), contextTag(tag));
+  if (lane_ != nullptr) traceBytes_ += msg.payload.size();
   // If the sender finished later than our local virtual now, we were
   // waiting: advance to the arrival time (the wait shows up as comm time).
   clock_->advanceTo(msg.arrivalVirtualTime);
@@ -119,6 +154,7 @@ void Comm::faultCheckpoint(const std::string& label) {
 }
 
 void Comm::barrier() {
+  detail::CommOpScope scope(*this, "barrier");
   // Reduce a token to rank 0, then broadcast it back: 2 log P rounds whose
   // timestamps drag every rank up to the global maximum virtual time.
   unsigned char token = 0;
@@ -185,7 +221,11 @@ Comm Comm::split(int color, int key) {
   CASVM_CHECK(childContext <= kMaxContext,
               "communicator nesting too deep (context budget exhausted)");
 
-  return Comm(world_, myLocal, clock_, std::move(group), childContext);
+  Comm child(world_, myLocal, clock_, std::move(group), childContext);
+  // The child shares this rank's trace lane: its ops belong to the same
+  // physical rank's timeline.
+  child.lane_ = lane_;
+  return child;
 }
 
 void Comm::bcastBytes(void* data, std::size_t bytes, int root, int tag) {
@@ -217,6 +257,7 @@ void Comm::bcastBytes(void* data, std::size_t bytes, int root, int tag) {
 
 std::vector<std::vector<std::byte>> Comm::alltoallvBytes(
     std::vector<std::vector<std::byte>> sendParts) {
+  detail::CommOpScope scope(*this, "alltoallv");
   const int size = this->size();
   CASVM_CHECK(sendParts.size() == static_cast<std::size_t>(size),
               "alltoallv: one part per rank required");

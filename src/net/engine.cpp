@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "casvm/net/comm.hpp"
+#include "casvm/obs/trace.hpp"
 #include "casvm/support/log.hpp"
 #include "casvm/support/timer.hpp"
 
@@ -136,6 +137,16 @@ RunStats Engine::run(const std::function<void(Comm&)>& fn) {
     });
   }
 
+  // Lanes are created up front on the engine thread so rank threads never
+  // contend on the recorder's mutex inside the run.
+  std::vector<obs::Lane*> lanes(static_cast<std::size_t>(size_), nullptr);
+  if (trace_ != nullptr) {
+    for (int r = 0; r < size_; ++r) {
+      lanes[static_cast<std::size_t>(r)] =
+          &trace_->addLane(r, 0, "rank " + std::to_string(r));
+    }
+  }
+
   WallTimer wall;
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(size_));
@@ -145,6 +156,7 @@ RunStats Engine::run(const std::function<void(Comm&)>& fn) {
       if (injector) clock.setComputeScale(injector->computeScale(r));
       clock.start();
       Comm comm(&world, r, &clock);
+      comm.setTraceLane(lanes[static_cast<std::size_t>(r)]);
       try {
         fn(comm);
         clock.sampleCompute();
@@ -171,6 +183,9 @@ RunStats Engine::run(const std::function<void(Comm&)>& fn) {
     });
   }
   for (auto& t : threads) t.join();
+  // Read the wall timer before waiting on the watchdog: its up-to-20ms
+  // shutdown tick is engine overhead, not part of the run being measured.
+  const double wallSeconds = wall.seconds();
 
   if (watchdog.joinable()) {
     {
@@ -219,12 +234,14 @@ RunStats Engine::run(const std::function<void(Comm&)>& fn) {
 
   RunStats stats;
   stats.size = size_;
-  stats.wallSeconds = wall.seconds();
+  stats.wallSeconds = wallSeconds;
   stats.computeSeconds.reserve(static_cast<std::size_t>(size_));
   stats.commSeconds.reserve(static_cast<std::size_t>(size_));
+  stats.waitSeconds.reserve(static_cast<std::size_t>(size_));
   for (const auto& clock : clocks) {
     stats.computeSeconds.push_back(clock.computeSeconds());
     stats.commSeconds.push_back(clock.commSeconds());
+    stats.waitSeconds.push_back(clock.waitSeconds());
   }
   stats.traffic = world.traffic().snapshot();
   for (const auto& crash : crashes) {

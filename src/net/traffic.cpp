@@ -67,8 +67,9 @@ TrafficSnapshot TrafficSnapshot::since(const TrafficSnapshot& earlier) const {
   out.bytes.resize(bytes.size());
   out.ops.resize(ops.size());
   for (std::size_t i = 0; i < bytes.size(); ++i) {
-    CASVM_ASSERT(bytes[i] >= earlier.bytes[i] && ops[i] >= earlier.ops[i],
-                 "snapshot is not later than `earlier`");
+    CASVM_CHECK(bytes[i] >= earlier.bytes[i] && ops[i] >= earlier.ops[i],
+                "TrafficSnapshot::since: `earlier` has larger counters than "
+                "this snapshot — was the matrix reset() between the two?");
     out.bytes[i] = bytes[i] - earlier.bytes[i];
     out.ops[i] = ops[i] - earlier.ops[i];
   }

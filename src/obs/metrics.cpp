@@ -1,0 +1,51 @@
+#include "casvm/obs/metrics.hpp"
+
+#include <cstdio>
+
+#include "casvm/support/error.hpp"
+#include "casvm/support/strings.hpp"
+
+namespace casvm::obs {
+
+std::string MetricsReport::toJson() const {
+  std::string out;
+  appendFormat(out,
+               "{\n  \"ranks\": %d,\n  \"wall_seconds\": %.6f,\n"
+               "  \"trace_events\": %llu,\n  \"per_rank\": [",
+               ranks, wallSeconds,
+               static_cast<unsigned long long>(traceEvents));
+  for (std::size_t i = 0; i < perRank.size(); ++i) {
+    const RankMetrics& r = perRank[i];
+    appendFormat(out,
+                 "%s\n    {\"rank\": %d, \"compute_seconds\": %.6f, "
+                 "\"comm_seconds\": %.6f, \"wait_seconds\": %.6f, "
+                 "\"trace_comm_seconds\": %.6f, \"comm_spans\": %llu}",
+                 i == 0 ? "" : ",", r.rank, r.computeSeconds, r.commSeconds,
+                 r.waitSeconds, r.traceCommSeconds,
+                 static_cast<unsigned long long>(r.commSpans));
+  }
+  out += "\n  ],\n  \"phases\": [";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const PhaseTraffic& p = phases[i];
+    appendFormat(out,
+                 "%s\n    {\"phase\": \"%s\", \"bytes\": %llu, "
+                 "\"ops\": %llu}",
+                 i == 0 ? "" : ",", p.phase.c_str(),
+                 static_cast<unsigned long long>(p.bytes),
+                 static_cast<unsigned long long>(p.ops));
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+void MetricsReport::writeFile(const std::string& path) const {
+  const std::string json = toJson();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  CASVM_CHECK(f != nullptr, "cannot open metrics output file: " + path);
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int closed = std::fclose(f);
+  CASVM_CHECK(written == json.size() && closed == 0,
+              "failed to write metrics output file: " + path);
+}
+
+}  // namespace casvm::obs

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 
+#include "casvm/obs/trace.hpp"
 #include "casvm/support/error.hpp"
 
 namespace casvm::serve {
@@ -37,7 +39,12 @@ ServeEngine::ServeEngine(CompiledDistributedModel model, ServeConfig config)
   config_.queueCapacity = queue_.capacity();
   workers_.reserve(static_cast<std::size_t>(config_.workers));
   for (int i = 0; i < config_.workers; ++i) {
-    workers_.emplace_back([this] { workerLoop(); });
+    obs::Lane* lane =
+        config_.trace != nullptr
+            ? &config_.trace->addLane(kServeTracePid, i,
+                                      "serve worker " + std::to_string(i))
+            : nullptr;
+    workers_.emplace_back([this, lane] { workerLoop(lane); });
   }
 }
 
@@ -85,7 +92,7 @@ ServeReply ServeEngine::score(std::vector<float> features) {
   return submit(std::move(features)).get();
 }
 
-void ServeEngine::workerLoop() {
+void ServeEngine::workerLoop(obs::Lane* lane) {
   BatchScratch scratch;
   std::vector<Request> batch;
   for (;;) {
@@ -104,12 +111,12 @@ void ServeEngine::workerLoop() {
       if (queue_.waitPop(next, deadline) != PopResult::Item) break;
       batch.push_back(std::move(next));
     }
-    scoreBatch(batch, scratch);
+    scoreBatch(batch, scratch, lane);
   }
 }
 
 void ServeEngine::scoreBatch(std::vector<Request>& batch,
-                             BatchScratch& scratch) {
+                             BatchScratch& scratch, obs::Lane* lane) {
   if (config_.injectScoreDelayUs > 0) {
     std::this_thread::sleep_for(
         std::chrono::microseconds(config_.injectScoreDelayUs));
@@ -156,6 +163,12 @@ void ServeEngine::scoreBatch(std::vector<Request>& batch,
   }
 
   const auto done = std::chrono::steady_clock::now();
+  if (lane != nullptr && !live.empty()) {
+    lane->span("batch", obs::Cat::Serve, secondsBetween(start_, scoreStart),
+               secondsBetween(start_, done), -1,
+               static_cast<std::int64_t>(live.size() * cols * sizeof(float)),
+               static_cast<std::int64_t>(live.size()));
+  }
   std::vector<double> latencies(live.size(), 0.0);
   for (std::size_t j = 0; j < live.size(); ++j) {
     latencies[j] = secondsBetween(live[j]->enqueued, done);

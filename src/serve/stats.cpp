@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
-#include <cstdio>
+
+#include "casvm/support/strings.hpp"
 
 namespace casvm::serve {
 
@@ -28,9 +29,13 @@ double Log2Histogram::quantile(double q) const {
   for (int b = 0; b < kBuckets; ++b) {
     seen += counts_[b];
     if (double(seen) >= rank) {
-      if (b == 0) return 0.5;
+      // The bucket midpoint can overshoot the largest value actually
+      // recorded (e.g. a single sample at the low edge of its bucket), so
+      // clamp: no quantile may exceed the observed maximum.
+      if (b == 0) return std::min(0.5, max_);
       const double lo = std::ldexp(1.0, b - 1);
-      return lo * std::sqrt(2.0);  // geometric midpoint of [2^(b-1), 2^b)
+      // geometric midpoint of [2^(b-1), 2^b)
+      return std::min(lo * std::sqrt(2.0), max_);
     }
   }
   return max_;
@@ -44,9 +49,9 @@ void Log2Histogram::merge(const Log2Histogram& other) {
 }
 
 std::string ServeStats::toJson() const {
-  char buf[768];
-  std::snprintf(
-      buf, sizeof(buf),
+  // formatString sizes the buffer to the formatted length, so extreme
+  // counter or latency values can never truncate the object.
+  return formatString(
       "{\"submitted\": %llu, \"completed\": %llu, \"shed\": %llu, "
       "\"timed_out\": %llu, \"rejected_stopped\": %llu, \"batches\": %llu, "
       "\"elapsed_seconds\": %.6f, \"qps\": %.1f, "
@@ -62,7 +67,6 @@ std::string ServeStats::toJson() const {
       static_cast<unsigned long long>(batches), elapsedSeconds, qps,
       latencyP50 * 1e6, latencyP95 * 1e6, latencyP99 * 1e6, latencyMax * 1e6,
       meanBatchRows, batchRowsP50, batchRowsMax);
-  return buf;
 }
 
 }  // namespace casvm::serve

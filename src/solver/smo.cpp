@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "casvm/kernel/row_cache.hpp"
+#include "casvm/obs/trace.hpp"
 #include "casvm/support/error.hpp"
 #include "casvm/support/timer.hpp"
 
@@ -40,6 +41,8 @@ SmoSolver::SmoSolver(SolverOptions options) : options_(options) {
   CASVM_CHECK(options_.positiveWeight > 0.0 && options_.negativeWeight > 0.0,
               "class weights must be positive");
   CASVM_CHECK(options_.shrinkInterval > 0, "shrink interval must be positive");
+  CASVM_CHECK(options_.trace == nullptr || options_.traceInterval > 0,
+              "trace interval must be positive");
 }
 
 SolverResult SmoSolver::solve(const data::Dataset& ds,
@@ -54,6 +57,10 @@ SolverResult SmoSolver::solve(const data::Dataset& ds,
               "SMO needs samples of both classes");
 
   WallTimer timer;
+  // CPU-clock origin for trace progress timestamps: relative CPU time maps
+  // onto the caller's timeline via traceTimeOffset (see SolverOptions).
+  const double traceCpuStart =
+      options_.trace != nullptr ? threadCpuSeconds() : 0.0;
   const double cPos = options_.C * options_.positiveWeight;
   const double cNeg = options_.C * options_.negativeWeight;
   const double boundEps = kBoundSlack * std::max(cPos, cNeg);
@@ -166,6 +173,19 @@ SolverResult SmoSolver::solve(const data::Dataset& ds,
       }
       converged = true;
       break;
+    }
+
+    // Progress instant: the scan just refreshed bHigh/bLow and the
+    // convergence check above guarantees both are finite here. The null
+    // test short-circuits first — the untraced path pays one branch.
+    if (options_.trace != nullptr && iter % options_.traceInterval == 0) {
+      const double hits = static_cast<double>(cache.hits());
+      const double lookups = hits + static_cast<double>(cache.misses());
+      options_.trace->progress(
+          options_.traceTimeOffset + (threadCpuSeconds() - traceCpuStart),
+          static_cast<std::int64_t>(iter),
+          static_cast<std::int64_t>(active.size()), bLow - bHigh,
+          lookups > 0.0 ? hits / lookups : 0.0);
     }
 
     const std::span<const double> rowHigh = fetchRow(iHigh);

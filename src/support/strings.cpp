@@ -1,0 +1,42 @@
+#include "casvm/support/strings.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "casvm/support/error.hpp"
+
+namespace casvm {
+
+namespace {
+
+std::string vformat(const char* fmt, va_list args) {
+  va_list measure;
+  va_copy(measure, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, measure);
+  va_end(measure);
+  CASVM_CHECK(needed >= 0, "formatString: encoding error");
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  // +1: vsnprintf writes the terminator into the byte past size(), which
+  // std::string guarantees to exist and hold '\0' anyway.
+  std::vsnprintf(out.data(), static_cast<std::size_t>(needed) + 1, fmt, args);
+  return out;
+}
+
+}  // namespace
+
+std::string formatString(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::string out = vformat(fmt, args);
+  va_end(args);
+  return out;
+}
+
+void appendFormat(std::string& out, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  out += vformat(fmt, args);
+  va_end(args);
+}
+
+}  // namespace casvm

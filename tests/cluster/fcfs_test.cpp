@@ -174,5 +174,52 @@ TEST_P(ParallelFcfsTest, LocalQuotasHold) {
 INSTANTIATE_TEST_SUITE_P(RankCounts, ParallelFcfsTest,
                          ::testing::Values(2, 4, 8));
 
+TEST(ParallelFcfsTest, EmptyClusterKeepsSeedCenterWhenRecomputing) {
+  // Force a globally empty cluster: every sample sits at the same point
+  // (2, 2), so all seed centers coincide there and FCFS fills parts in
+  // index order — with 4 rows per rank, 2 ranks and 3 parts (per-rank
+  // quota ceil(4/3) = 2), part 2 receives nothing anywhere. Recomputing
+  // its center used to leave the all-zeros initialization, silently
+  // pulling prediction-time routing toward the origin; it must keep the
+  // seed center (a real data point) instead.
+  constexpr int P = 2;
+  constexpr std::size_t kRowsPerRank = 4;
+  auto makeBlock = [] {
+    return data::Dataset::fromDense(
+        2, std::vector<float>{2.0f, 2.0f, 2.0f, 2.0f, 2.0f, 2.0f, 2.0f, 2.0f},
+        std::vector<std::int8_t>{1, -1, 1, -1});
+  };
+
+  FcfsOptions opts;
+  opts.parts = 3;
+  opts.ratioBalanced = false;
+  opts.recomputeCenters = true;
+
+  std::vector<Partition> result(P);
+  net::Engine engine(P);
+  engine.run([&](net::Comm& comm) {
+    result[static_cast<std::size_t>(comm.rank())] =
+        fcfsPartitionDistributed(comm, makeBlock(), opts);
+  });
+
+  // Find the globally empty part.
+  std::vector<std::size_t> counts(3, 0);
+  for (const Partition& p : result) {
+    for (int a : p.assign) ++counts[static_cast<std::size_t>(a)];
+  }
+  EXPECT_EQ(counts[0] + counts[1] + counts[2], P * kRowsPerRank);
+  bool sawEmpty = false;
+  for (std::size_t c = 0; c < 3; ++c) {
+    if (counts[c] != 0) continue;
+    sawEmpty = true;
+    for (const Partition& p : result) {
+      // The seed centers are all (2, 2) — the only data point.
+      EXPECT_NEAR(p.centers[c][0], 2.0f, 1e-6f);
+      EXPECT_NEAR(p.centers[c][1], 2.0f, 1e-6f);
+    }
+  }
+  EXPECT_TRUE(sawEmpty) << "setup no longer produces an empty cluster";
+}
+
 }  // namespace
 }  // namespace casvm::cluster

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 
 #include "casvm/net/comm.hpp"
 
@@ -193,6 +195,37 @@ TEST(EngineStatsTest, WallClockPositive) {
   const RunStats stats = engine.run([](Comm&) {});
   EXPECT_GT(stats.wallSeconds, 0.0);
   EXPECT_EQ(stats.size, 2);
+}
+
+TEST(EngineStatsTest, WallClockTracksRankWork) {
+  // wallSeconds is captured the moment the rank threads join; the watchdog
+  // shutdown (up to one full poll tick) must not inflate it. An instant
+  // workload therefore reads as roughly the 50ms sleep below, not
+  // sleep + watchdog tick + thread teardown slop.
+  Engine engine(2);
+  const RunStats stats = engine.run(
+      [](Comm&) { std::this_thread::sleep_for(std::chrono::milliseconds(50)); });
+  EXPECT_GE(stats.wallSeconds, 0.045);
+  // Generous ceiling for slow CI machines; the pre-fix code added the
+  // watchdog's full shutdown tick on top of scheduling noise.
+  EXPECT_LE(stats.wallSeconds, 1.0);
+}
+
+TEST(EngineStatsTest, WaitSecondsReportedPerRank) {
+  // Rank 1 blocks on a message rank 0 sends only after heavy compute, so
+  // rank 1 accrues skew (wait) while rank 0 accrues none of note.
+  Engine engine(2);
+  const RunStats stats = engine.run([](Comm& c) {
+    if (c.rank() == 0) {
+      (void)spin(2000000);
+      c.send(1, 1);
+    } else {
+      (void)c.recv<int>(0);
+    }
+  });
+  ASSERT_EQ(stats.waitSeconds.size(), 2u);
+  EXPECT_GE(stats.waitSeconds[1], 0.0);
+  EXPECT_GT(stats.waitSeconds[1], stats.waitSeconds[0]);
 }
 
 }  // namespace

@@ -62,6 +62,19 @@ TEST(TrafficSnapshotTest, SinceSizeMismatchThrows) {
   EXPECT_THROW((void)b.snapshot().since(a.snapshot()), Error);
 }
 
+TEST(TrafficSnapshotTest, SinceAfterResetThrows) {
+  // A reset() between the two snapshots makes the later one smaller; the
+  // subtraction would underflow into garbage counters, so it must throw
+  // in every build, not only under debug assertions.
+  TrafficMatrix tm(2);
+  tm.record(0, 1, 100);
+  const TrafficSnapshot before = tm.snapshot();
+  tm.reset();
+  tm.record(0, 1, 10);
+  const TrafficSnapshot after = tm.snapshot();
+  EXPECT_THROW((void)after.since(before), Error);
+}
+
 TEST(TrafficSnapshotTest, HeatmapMentionsEveryRank) {
   TrafficMatrix tm(4);
   tm.record(1, 2, 1024);

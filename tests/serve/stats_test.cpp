@@ -1,5 +1,8 @@
 #include "casvm/serve/stats.hpp"
 
+#include <cstdint>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 namespace casvm::serve {
@@ -46,7 +49,27 @@ TEST(Log2HistogramTest, SubUnitValuesLandInBucketZero) {
   h.record(0.0);
   h.record(-3.0);  // negative values clamp into bucket 0, never UB
   EXPECT_EQ(h.count(), 3u);
-  EXPECT_EQ(h.quantile(0.5), 0.5);  // bucket 0 reports its midpoint
+  // Bucket 0's midpoint (0.5) exceeds the recorded max, so the quantile
+  // clamps to max() instead.
+  EXPECT_EQ(h.quantile(0.5), 0.25);
+}
+
+TEST(Log2HistogramTest, QuantileNeverExceedsMax) {
+  // A single sample near the low edge of its bucket: the geometric
+  // midpoint of [512, 1024) is ~724, well above the only recorded value.
+  Log2Histogram single;
+  single.record(520.0);
+  for (double q : {0.5, 0.99, 1.0}) {
+    EXPECT_LE(single.quantile(q), single.max()) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(single.quantile(1.0), 520.0);
+
+  // Many samples spread across buckets: still bounded by the max.
+  Log2Histogram spread;
+  for (int i = 1; i <= 257; ++i) spread.record(double(i));
+  for (double q : {0.5, 0.99, 1.0}) {
+    EXPECT_LE(spread.quantile(q), spread.max()) << "q=" << q;
+  }
 }
 
 TEST(Log2HistogramTest, MergeAccumulates) {
@@ -77,6 +100,41 @@ TEST(ServeStatsTest, JsonHasEveryField) {
         "\"mean_batch_rows\"", "\"batch_rows_p50\"", "\"batch_rows_max\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
   }
+}
+
+TEST(ServeStatsTest, JsonSurvivesExtremeValues) {
+  // The old fixed 768-byte snprintf buffer silently truncated once the
+  // formatted values got long enough; the JSON must stay complete for any
+  // counter magnitude.
+  ServeStats s;
+  s.submitted = std::numeric_limits<std::uint64_t>::max();
+  s.completed = std::numeric_limits<std::uint64_t>::max();
+  s.shed = std::numeric_limits<std::uint64_t>::max();
+  s.timedOut = std::numeric_limits<std::uint64_t>::max();
+  s.rejectedStopped = std::numeric_limits<std::uint64_t>::max();
+  s.batches = std::numeric_limits<std::uint64_t>::max();
+  s.elapsedSeconds = 1e300;
+  s.qps = 1e300;
+  s.latencyP50 = 1e300;
+  s.latencyP95 = 1e300;
+  s.latencyP99 = 1e300;
+  s.latencyMax = 1e300;
+  s.meanBatchRows = 1e300;
+  s.batchRowsP50 = 1e300;
+  s.batchRowsMax = 1e300;
+  const std::string json = s.toJson();
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  for (const char* key :
+       {"\"submitted\"", "\"completed\"", "\"shed\"", "\"timed_out\"",
+        "\"rejected_stopped\"", "\"batches\"", "\"elapsed_seconds\"",
+        "\"qps\"", "\"latency_p50_us\"", "\"latency_p95_us\"",
+        "\"latency_p99_us\"", "\"latency_max_us\"", "\"mean_batch_rows\"",
+        "\"batch_rows_p50\"", "\"batch_rows_max\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_GT(json.size(), 768u);  // would have been cut off before
 }
 
 }  // namespace

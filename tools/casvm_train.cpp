@@ -8,10 +8,13 @@
 // DistributedModel serialization readable by casvm-predict.
 
 #include <cstdio>
+#include <optional>
 
 #include "casvm/core/train.hpp"
 #include "casvm/data/io.hpp"
 #include "casvm/data/registry.hpp"
+#include "casvm/obs/metrics.hpp"
+#include "casvm/obs/trace.hpp"
 #include "casvm/support/table.hpp"
 #include "cli_common.hpp"
 
@@ -39,8 +42,39 @@ constexpr const char* kUsage = R"(usage: casvm-train [options]
                        "crash:rank=2,phase=train;slow:rank=1,factor=4"
                        (partitioned methods degrade, others fail fast)
   --fault-seed <s>     seed for probabilistic fault clauses (default 0)
+  --trace <file>       write a Chrome trace (chrome://tracing) of the run
+  --metrics-json <file> write per-rank/per-phase metrics as JSON
   --out <file>         model output path (default casvm.model)
 )";
+
+/// Per-rank and per-phase rollup combining the engine's virtual clocks
+/// with the trace recorder's span data and the phase traffic deltas.
+casvm::obs::MetricsReport buildMetrics(const casvm::core::TrainResult& res,
+                                       const casvm::obs::TraceRecorder& rec) {
+  using namespace casvm;
+  obs::MetricsReport report;
+  report.ranks = res.runStats.size;
+  report.wallSeconds = res.wallSeconds;
+  report.traceEvents = rec.eventCount();
+  for (int r = 0; r < res.runStats.size; ++r) {
+    const auto ur = static_cast<std::size_t>(r);
+    obs::RankMetrics rm;
+    rm.rank = r;
+    rm.computeSeconds = res.runStats.computeSeconds[ur];
+    rm.commSeconds = res.runStats.commSeconds[ur];
+    rm.waitSeconds =
+        ur < res.runStats.waitSeconds.size() ? res.runStats.waitSeconds[ur]
+                                             : 0.0;
+    rm.traceCommSeconds = rec.commSeconds(r);
+    rm.commSpans = rec.spanCount(r, obs::Cat::Comm);
+    report.perRank.push_back(rm);
+  }
+  report.phases.push_back(obs::PhaseTraffic{
+      "init", res.initTraffic.totalBytes(), res.initTraffic.totalOps()});
+  report.phases.push_back(obs::PhaseTraffic{
+      "train", res.trainTraffic.totalBytes(), res.trainTraffic.totalOps()});
+  return report;
+}
 
 }  // namespace
 
@@ -94,6 +128,12 @@ int main(int argc, char** argv) {
     cfg.solver.tolerance = args.getDouble("tolerance", 1e-3);
     cfg.solver.shrinking = args.has("shrinking");
 
+    std::optional<obs::TraceRecorder> recorder;
+    if (args.has("trace") || args.has("metrics-json")) {
+      recorder.emplace();
+      cfg.trace = &*recorder;
+    }
+
     std::printf("training: %zu samples x %zu features, method %s, P=%d\n",
                 train.rows(), train.cols(),
                 core::methodName(cfg.method).c_str(), cfg.processes);
@@ -127,6 +167,21 @@ int main(int argc, char** argv) {
     if (!test.empty()) {
       std::printf("held-out accuracy: %.2f%%\n",
                   100.0 * res.model.accuracy(test));
+    }
+
+    if (recorder) {
+      if (args.has("trace")) {
+        const std::string path = args.get("trace", "trace.json");
+        recorder->writeChromeTrace(path);
+        std::printf("trace written to %s (%zu events; open in "
+                    "chrome://tracing)\n",
+                    path.c_str(), recorder->eventCount());
+      }
+      if (args.has("metrics-json")) {
+        const std::string path = args.get("metrics-json", "metrics.json");
+        buildMetrics(res, *recorder).writeFile(path);
+        std::printf("metrics written to %s\n", path.c_str());
+      }
     }
 
     const std::string out = args.get("out", "casvm.model");
