@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file checkpoint.hpp
+/// The versioned, CRC32-guarded checkpoint frame (casvm::ckpt).
+///
+/// Layout (little-endian, fixed offsets):
+///   bytes 0..7    magic "CASVMCKP"
+///   bytes 8..11   format version (u32)
+///   bytes 12..15  payload kind (u32, see Kind)
+///   bytes 16..23  payload size (u64)
+///   bytes 24..27  CRC32 of the payload (u32)
+///   bytes 28..    payload
+///
+/// decodeFrame() trusts nothing: wrong magic, unknown version, a size that
+/// disagrees with the file length, or a CRC mismatch all yield nullopt —
+/// never a partially decoded frame. Combined with the atomic-rename write
+/// path (casvm::support::writeFileAtomic) this makes a checkpoint either
+/// whole and verified or worthless-and-detected; see DESIGN.md §9.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace casvm::ckpt {
+
+/// What a checkpoint payload contains. Stored in the frame so a reader can
+/// never misinterpret (say) a partition snapshot as solver state.
+enum class Kind : std::uint32_t {
+  Meta = 1,         ///< run fingerprint (config + dataset identity)
+  Partition = 2,    ///< a rank's partitioned data + routing center
+  SolverState = 3,  ///< mid-solve SMO snapshot
+  SubModel = 4,     ///< a completed per-rank sub-model (partitioned methods)
+  TreeLayer = 5,    ///< a completed tree layer's merged/filtered output
+};
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Frame `payload` for durable storage.
+std::vector<std::byte> encodeFrame(Kind kind, std::span<const std::byte> payload);
+
+struct Frame {
+  Kind kind{};
+  std::vector<std::byte> payload;
+};
+
+/// Parse and verify a frame; nullopt on any corruption or truncation.
+std::optional<Frame> decodeFrame(std::span<const std::byte> bytes);
+
+}  // namespace casvm::ckpt

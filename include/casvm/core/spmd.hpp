@@ -55,7 +55,10 @@ struct RankBoard {
         initEndVirtual(static_cast<std::size_t>(size), 0.0),
         trainEndVirtual(static_cast<std::size_t>(size), 0.0),
         kmeansLoops(static_cast<std::size_t>(size), 0),
-        layerRecords(static_cast<std::size_t>(size)) {}
+        layerRecords(static_cast<std::size_t>(size)),
+        retries(static_cast<std::size_t>(size), 0),
+        recovered(static_cast<std::size_t>(size), 0),
+        checkpointsLoaded(static_cast<std::size_t>(size), 0) {}
 
   std::vector<solver::Model> models;
   std::vector<std::vector<double>> alphas;
@@ -77,6 +80,12 @@ struct RankBoard {
     double seconds = 0.0;
   };
   std::vector<std::vector<LayerRecord>> layerRecords;
+
+  /// Recovery bookkeeping (casvm::ckpt): retry attempts consumed, whether
+  /// the rank crashed-then-recovered in-run, and checkpoints restored.
+  std::vector<int> retries;
+  std::vector<char> recovered;
+  std::vector<long long> checkpointsLoaded;
 
   /// Traffic snapshot at the init/train boundary, written by rank 0.
   net::TrafficSnapshot initSnapshot;

@@ -22,6 +22,10 @@ namespace casvm::obs {
 class TraceRecorder;
 }
 
+namespace casvm::ckpt {
+class CheckpointStore;
+}
+
 namespace casvm::core {
 
 struct TrainConfig {
@@ -62,6 +66,29 @@ struct TrainConfig {
   /// and the run emits comm-op spans, phase spans and solver progress
   /// events into it (see casvm/obs/trace.hpp). Must outlive train().
   obs::TraceRecorder* trace = nullptr;
+
+  // --- checkpoint / recovery (casvm::ckpt) --------------------------------
+  /// Optional checkpoint store. When set, the run persists durable state:
+  /// the partition assignment + routing centers, mid-solve SMO snapshots
+  /// every `checkpointEvery` iterations, completed per-rank sub-models
+  /// (partitioned methods) and per-layer outputs (tree methods). Must
+  /// outlive train().
+  ckpt::CheckpointStore* checkpoints = nullptr;
+  /// Solver snapshot cadence in SMO iterations (used when `checkpoints`
+  /// is set; must be > 0 then).
+  std::size_t checkpointEvery = 4096;
+  /// Restore from `checkpoints` instead of starting fresh: completed
+  /// sub-problems are skipped and an interrupted solve re-enters
+  /// mid-stream from its newest consistent snapshot. The resumed model is
+  /// bitwise-identical to the uninterrupted run's.
+  bool resume = false;
+  /// In-run rank retry budget (partitioned methods, needs `checkpoints`):
+  /// a rank killed by an injected fault during its local training restarts
+  /// its own work from the last checkpoint up to this many times before
+  /// the run falls back to the degraded P-1 path.
+  int rankRetries = 0;
+  /// Virtual-clock backoff charged before retry attempt k (k * this).
+  double retryBackoffSeconds = 0.05;
 };
 
 /// Per-layer profile of a tree method run (the paper's Table V).
@@ -101,6 +128,18 @@ struct TrainResult {
   /// Fraction of training samples covered by surviving partitions (1.0 for
   /// a fault-free run).
   double coveredFraction = 1.0;
+
+  // --- recovery (casvm::ckpt) ----------------------------------------------
+  /// Ranks that crashed mid-training but were recovered by in-run retry:
+  /// their partitions ARE covered (they never appear in failedRanks), so a
+  /// fully recovered run has degraded == false with P sub-models.
+  std::vector<int> recoveredRanks;
+  /// Retry attempts consumed per rank (size P; all zero without retries).
+  std::vector<int> retriesPerRank;
+  /// True when this run restored state from a checkpoint directory.
+  bool resumed = false;
+  /// Checkpoint artifacts restored across all ranks (resume + retry).
+  std::size_t checkpointsLoaded = 0;
 
   // --- timing (virtual seconds: per-rank CPU + modeled communication) ----
   double initSeconds = 0.0;   ///< partitioning/distribution phase

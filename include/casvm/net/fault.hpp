@@ -63,7 +63,16 @@ struct FaultSpec {
   std::string phase;        ///< CrashAtPhase: checkpoint label
   int src = -1;             ///< drop/delay: sender (-1 = any)
   int dst = -1;             ///< drop/delay: receiver (-1 = any)
-  long long nth = 0;        ///< drop/delay: only the Nth match (0 = every)
+  /// drop/delay: only the Nth match (0 = every).
+  /// CrashAtPhase: first matching checkpoint entry to fire at (0 or 1 =
+  /// the first). Lets a test crash the Kth mid-solve checkpoint.
+  long long nth = 0;
+  /// CrashAtPhase: number of consecutive matching entries to fire on,
+  /// starting at `nth` (0 = every entry from `nth` on). The default of 1
+  /// kills the rank once; a retried rank re-entering the same checkpoint
+  /// then survives. times=N crashes N attempts in a row — the knob the
+  /// retry-exhaustion tests use.
+  long long times = 1;
   double probability = 1.0; ///< drop/delay: chance per match (seeded)
   double seconds = 0.0;     ///< DelayMessage: extra virtual latency
   double factor = 1.0;      ///< SlowRank: compute multiplier (>= 1)
@@ -82,11 +91,16 @@ struct FaultPlan {
   /// Parse a semicolon-separated clause list, e.g.
   ///   "crash:rank=1,op=5"            rank 1 dies at its 5th comm op
   ///   "crash:rank=2,phase=train"     rank 2 dies entering the train phase
+  ///   "crash:rank=2,phase=solve,nth=3"   ...at its 3rd solve checkpoint
+  ///   "crash:rank=2,phase=train,times=2" ...twice (kills one retry too)
   ///   "drop:src=0,dst=1,nth=1"       first message 0->1 is lost
   ///   "drop:src=0,prob=0.25"         a quarter of rank 0's sends are lost
   ///   "delay:src=1,dst=0,seconds=1e-3"  +1ms virtual latency on 1->0
   ///   "slow:rank=3,factor=4"         rank 3 computes 4x slower
-  /// Unknown clauses or keys throw casvm::Error.
+  /// Malformed input throws casvm::Error naming the offending token and
+  /// listing the valid kinds/keys. Phase labels are free-form (any
+  /// faultCheckpoint() label matches); the training driver defines
+  /// "init", "train" and "solve".
   static FaultPlan parse(const std::string& text, std::uint64_t seed = 0);
 
   /// Round-trippable textual form ("" for an empty plan).
@@ -116,7 +130,10 @@ class FaultInjector {
 
   /// Named phase checkpoint (CrashAtPhase clauses). Does not count as a
   /// comm operation, so zero-communication methods (RA-CA casvm2) still
-  /// have deterministic crash points.
+  /// have deterministic crash points. Each (clause, rank) pair counts its
+  /// matching entries: the clause fires on entries [nth, nth+times), so a
+  /// retried rank re-entering the checkpoint survives once the configured
+  /// crash budget is spent.
   void atPhase(int rank, const std::string& label);
 
   /// Compute-clock multiplier for `rank` (product of SlowRank clauses).

@@ -34,12 +34,26 @@ struct PhaseTraffic {
   std::uint64_t ops = 0;
 };
 
+/// Fault and recovery summary of a run (filled from TrainResult's
+/// casvm::ckpt bookkeeping). `recoveredRanks` lists ranks that crashed but
+/// were brought back by in-run retry — they are covered and never appear in
+/// `failedRanks`.
+struct RecoveryMetrics {
+  bool degraded = false;
+  bool resumed = false;
+  std::uint64_t checkpointsLoaded = 0;
+  std::vector<int> failedRanks;
+  std::vector<int> recoveredRanks;
+  std::vector<int> retriesPerRank;
+};
+
 struct MetricsReport {
   int ranks = 0;
   double wallSeconds = 0.0;
   std::vector<RankMetrics> perRank;
   std::vector<PhaseTraffic> phases;
   std::uint64_t traceEvents = 0;
+  RecoveryMetrics recovery;
 
   /// Pretty-printed JSON object with every field above.
   std::string toJson() const;

@@ -13,6 +13,7 @@
 /// b_low <= b_high + 2*tolerance.
 
 #include <cstddef>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -34,6 +35,19 @@ enum class Selection : std::uint8_t {
   /// iterations at slightly more work per iteration. Provided as the
   /// optional refinement the paper cites as related work [21].
   SecondOrder = 1,
+};
+
+/// Complete mid-solve state at the top of one SMO iteration. Restoring a
+/// snapshot and continuing reproduces the uninterrupted run bitwise: the
+/// gradient f is carried verbatim (reconstructing it from alpha would give
+/// a different floating-point rounding), and the active/shrunk bookkeeping
+/// is preserved so working-set scans visit samples in the same order.
+struct SolverSnapshot {
+  std::size_t iteration = 0;
+  bool everShrunk = false;
+  std::vector<double> alpha;          ///< by training row
+  std::vector<double> f;              ///< optimality gradient, by row
+  std::vector<std::size_t> active;    ///< active working set, in scan order
 };
 
 struct SolverOptions {
@@ -69,6 +83,19 @@ struct SolverOptions {
   double traceTimeOffset = 0.0;
   /// Iterations between progress events (must be > 0 when tracing).
   std::size_t traceInterval = 512;
+  /// Checkpoint cadence: when `snapshotSink` is set, the solver hands a
+  /// SolverSnapshot to it every `snapshotInterval` iterations (at the top
+  /// of the iteration, before any state of that iteration mutates). The
+  /// sink may throw — the solver does not catch; a sink that persists the
+  /// snapshot and then aborts leaves a resumable state on disk.
+  std::size_t snapshotInterval = 0;  ///< 0 = no snapshots
+  std::function<void(const SolverSnapshot&)> snapshotSink;
+  /// Resume a previously snapshotted solve mid-stream. When set, `solve()`
+  /// restores alpha/f/active/everShrunk/iteration verbatim and continues;
+  /// `initialAlpha` is ignored. The snapshot must come from a solve over
+  /// the same dataset and options, or the result is meaningless. The
+  /// pointee must outlive the call.
+  const SolverSnapshot* resumeFrom = nullptr;
 };
 
 struct SolverResult {

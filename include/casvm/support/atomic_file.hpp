@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file atomic_file.hpp
+/// Crash-consistent file writes: write to a temporary sibling, fsync, then
+/// rename over the destination. A reader (or a process restarted after a
+/// SIGKILL) therefore observes either the previous complete file or the new
+/// complete file — never a truncated in-between. Model artifacts and every
+/// checkpoint generation go through this helper; see DESIGN.md §9.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace casvm::support {
+
+/// Atomically replace `path` with `bytes`. The data is staged in a
+/// temporary file in the same directory (same filesystem, so the final
+/// rename is atomic), flushed to disk, and renamed into place. On any
+/// failure the temporary is removed, the previous `path` content (if any)
+/// is left untouched, and casvm::Error is thrown.
+void writeFileAtomic(const std::string& path, std::span<const std::byte> bytes);
+
+/// Text overload of writeFileAtomic.
+void writeFileAtomic(const std::string& path, const std::string& text);
+
+/// Whole-file read; throws casvm::Error if the file cannot be opened or a
+/// short read occurs.
+std::vector<std::byte> readFileBytes(const std::string& path);
+
+}  // namespace casvm::support

@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file checksum.hpp
+/// CRC32 (IEEE 802.3, polynomial 0xEDB88320) over byte spans. Used by the
+/// checkpoint file format to detect truncated or corrupted artifacts before
+/// any payload byte is trusted. This is an integrity check against torn
+/// writes and bit rot, not an authenticity check — it does not defend
+/// against a hostile writer.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace casvm::support {
+
+/// CRC32 of `bytes`, optionally continuing from a previous partial value
+/// (pass the previous return as `seed` to checksum a stream in chunks).
+std::uint32_t crc32(std::span<const std::byte> bytes, std::uint32_t seed = 0);
+
+}  // namespace casvm::support

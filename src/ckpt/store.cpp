@@ -1,0 +1,123 @@
+#include "casvm/ckpt/store.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+
+#include "casvm/support/atomic_file.hpp"
+#include "casvm/support/error.hpp"
+#include "casvm/support/log.hpp"
+
+namespace fs = std::filesystem;
+
+namespace casvm::ckpt {
+
+namespace {
+
+constexpr const char* kSuffix = ".ckpt";
+
+/// Parse "<name>.g<N>.ckpt" → N, or nullopt if `filename` is not a
+/// generation file of `name`.
+std::optional<std::uint64_t> generationOf(const std::string& filename,
+                                          const std::string& name) {
+  const std::string prefix = name + ".g";
+  if (filename.size() <= prefix.size() + std::string(kSuffix).size()) {
+    return std::nullopt;
+  }
+  if (filename.compare(0, prefix.size(), prefix) != 0) return std::nullopt;
+  if (filename.compare(filename.size() - 5, 5, kSuffix) != 0) {
+    return std::nullopt;
+  }
+  const std::string digits =
+      filename.substr(prefix.size(), filename.size() - prefix.size() - 5);
+  if (digits.empty()) return std::nullopt;
+  std::uint64_t gen = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    gen = gen * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return gen;
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(std::string dir) : dir_(std::move(dir)) {
+  CASVM_CHECK(!dir_.empty(), "checkpoint store needs a directory");
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  CASVM_CHECK(!ec && fs::is_directory(dir_),
+              "cannot create checkpoint directory: " + dir_);
+}
+
+std::vector<std::pair<std::uint64_t, std::string>>
+CheckpointStore::generationsOf(const std::string& name) const {
+  std::vector<std::pair<std::uint64_t, std::string>> gens;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string filename = entry.path().filename().string();
+    if (const auto gen = generationOf(filename, name)) {
+      gens.emplace_back(*gen, entry.path().string());
+    }
+  }
+  std::sort(gens.begin(), gens.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  return gens;
+}
+
+void CheckpointStore::save(const std::string& name, Kind kind,
+                           std::span<const std::byte> payload) {
+  CASVM_CHECK(name.find('/') == std::string::npos,
+              "checkpoint name must not contain '/': " + name);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto gens = generationsOf(name);
+  const std::uint64_t next = gens.empty() ? 1 : gens.front().first + 1;
+  const std::string path =
+      dir_ + "/" + name + ".g" + std::to_string(next) + kSuffix;
+  support::writeFileAtomic(path, encodeFrame(kind, payload));
+  // Prune: the new generation plus kKeepGenerations-1 predecessors stay, so
+  // a corrupt newest file always has a complete fallback.
+  for (std::size_t i = kKeepGenerations - 1; i < gens.size(); ++i) {
+    std::error_code ec;
+    fs::remove(gens[i].second, ec);  // best effort; stale files are harmless
+  }
+}
+
+std::optional<std::vector<std::byte>> CheckpointStore::load(
+    const std::string& name, Kind kind) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [gen, path] : generationsOf(name)) {
+    std::optional<Frame> frame;
+    try {
+      frame = decodeFrame(support::readFileBytes(path));
+    } catch (const Error&) {
+      frame = std::nullopt;  // unreadable file == corrupt generation
+    }
+    if (frame && frame->kind == kind) return std::move(frame->payload);
+    ++corruptSkipped_;
+    CASVM_WARN("checkpoint: ignoring corrupt or mismatched generation "
+               << path << (frame ? " (wrong kind)" : " (failed integrity check)")
+               << "; falling back to the previous generation");
+  }
+  return std::nullopt;
+}
+
+bool CheckpointStore::contains(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return !generationsOf(name).empty();
+}
+
+void CheckpointStore::remove(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [gen, path] : generationsOf(name)) {
+    std::error_code ec;
+    fs::remove(path, ec);
+  }
+}
+
+std::size_t CheckpointStore::corruptSkipped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return corruptSkipped_;
+}
+
+}  // namespace casvm::ckpt

@@ -58,6 +58,7 @@ void runDisSmo(net::Comm& comm, const MethodContext& ctx) {
 
   // Init phase: blocks are pre-placed; nothing to distribute.
   markInitEnd(comm, ctx);
+  comm.faultCheckpoint("train");
 
   const solver::SolverOptions& opts = ctx.config.solver;
   const double C = opts.C;

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <limits>
 
+#include "casvm/support/atomic_file.hpp"
 #include "casvm/support/error.hpp"
 
 namespace casvm::core {
@@ -134,12 +135,9 @@ DistributedModel DistributedModel::unpack(std::span<const std::byte> bytes) {
 }
 
 void DistributedModel::save(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  CASVM_CHECK(out.good(), "cannot open model file for writing: " + path);
-  const std::vector<std::byte> bytes = pack();
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  CASVM_CHECK(out.good(), "model write failed: " + path);
+  // Atomic temp-file + rename: a crash mid-save leaves either the previous
+  // model or none — never a truncated file a later load would trip over.
+  support::writeFileAtomic(path, std::span<const std::byte>(pack()));
 }
 
 DistributedModel DistributedModel::load(const std::string& path) {

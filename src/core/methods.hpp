@@ -19,6 +19,13 @@ struct MethodContext {
 /// Mark the end of the init phase: records this rank's virtual time and
 /// lets rank 0 take a consistent traffic snapshot (via an unrecorded
 /// instrumentation fence, so the measurement never shows up as traffic).
+/// Callers must place their own comm.faultCheckpoint("train") after this
+/// — placed AFTER the fence a rank that dies there has met every
+/// communication obligation of the init phase; for the partitioned
+/// methods the rest of training is purely local, which is what makes a
+/// phase=train crash survivable (and retryable, when the checkpoint sits
+/// inside the retry loop). It also gives zero-communication runs (RA-CA
+/// casvm2) a deterministic crash point crash-at-op-N can never provide.
 void markInitEnd(net::Comm& comm, const MethodContext& ctx);
 
 /// Mark the end of the training phase for this rank.

@@ -10,6 +10,12 @@
 // communication during the entire training process, which is the paper's
 // headline communication-avoiding property.
 
+#include <algorithm>
+#include <optional>
+
+#include "casvm/ckpt/state.hpp"
+#include "casvm/ckpt/store.hpp"
+#include "casvm/net/fault.hpp"
 #include "casvm/cluster/balanced_kmeans.hpp"
 #include "casvm/cluster/fcfs.hpp"
 #include "casvm/cluster/kmeans.hpp"
@@ -45,11 +51,46 @@ void runPartitioned(net::Comm& comm, const MethodContext& ctx) {
   RankBoard& board = ctx.board;
   const data::Dataset& initial = ctx.initialBlocks[urank];
 
+  ckpt::CheckpointStore* store = ctx.config.checkpoints;
+  const std::string rankTag = ".r" + std::to_string(rank);
+  const std::string partName = "part" + rankTag;
+  const std::string solverName = "solver" + rankTag;
+  const std::string modelName = "model" + rankTag;
+
   // --- init phase: build the partition and place the parts ---------------
   data::Dataset mine;
   std::vector<float> myCenter;
 
-  switch (method) {
+  // Cross-process resume of the partition. The partition phase is
+  // collective (K-means rounds, the all-to-all exchange, the casvm1
+  // scatter), so it can only be skipped if EVERY rank restored its part —
+  // the agreement is an allreduce-AND. RA-CA casvm2 partitions with zero
+  // communication, so each rank decides locally and the method's headline
+  // property is preserved on resume.
+  bool restoredPartition = false;
+  if (store != nullptr && ctx.config.resume) {
+    std::optional<ckpt::PartitionState> part;
+    if (const auto payload = store->load(partName, ckpt::Kind::Partition)) {
+      part = ckpt::decodePartition(*payload);
+    }
+    int canSkip = part.has_value() ? 1 : 0;
+    const bool localOnlyInit =
+        method == Method::RaCa && !ctx.config.raInitialDataOnRoot;
+    if (!localOnlyInit) {
+      canSkip = comm.allreduce(
+          canSkip, [](int a, int b) { return a < b ? a : b; });
+    }
+    if (canSkip != 0) {
+      mine = std::move(part->local);
+      myCenter = std::move(part->center);
+      board.kmeansLoops[urank] = part->kmeansLoops;
+      ++board.checkpointsLoaded[urank];
+      restoredPartition = true;
+    }
+  }
+
+  if (!restoredPartition) {
+    switch (method) {
     case Method::CpSvm: {
       cluster::KMeansResult result;
       {
@@ -135,29 +176,114 @@ void runPartitioned(net::Comm& comm, const MethodContext& ctx) {
     }
     default:
       throw Error("runPartitioned called with a non-partitioned method");
+    }
+
+    if (store != nullptr) {
+      ckpt::PartitionState part;
+      part.local = mine;
+      part.center = myCenter;
+      part.kmeansLoops = board.kmeansLoops[urank];
+      store->save(partName, ckpt::Kind::Partition,
+                  ckpt::encodePartition(part));
+    }
   }
 
   board.samples[urank] = static_cast<long long>(mine.rows());
   board.positives[urank] = static_cast<long long>(mine.positives());
   markInitEnd(comm, ctx);
 
-  // --- training phase: one fully independent sub-SVM ----------------------
-  solver::SolverOptions sopts = ctx.config.solver;
-  if (comm.traceLane() != nullptr) {
-    sopts.trace = comm.traceLane();
-    sopts.traceTimeOffset = virtualNow(comm);
+  // Completed sub-model from a previous process: the whole training phase
+  // of this rank is done, deposit it and return. Purely local.
+  if (store != nullptr && ctx.config.resume) {
+    if (const auto payload = store->load(modelName, ckpt::Kind::SubModel)) {
+      ckpt::SubModelState sub = ckpt::decodeSubModel(*payload);
+      ++board.checkpointsLoaded[urank];
+      markTrainEnd(comm, ctx);
+      board.models[urank] = std::move(sub.model);
+      board.centers[urank] = std::move(myCenter);
+      // Iteration counters report solver work done in THIS run; a restored
+      // sub-model cost zero iterations here.
+      board.iterations[urank] = 0;
+      board.svs[urank] = sub.svs;
+      return;
+    }
   }
-  LocalSolve solve;
-  {
-    PhaseSpan span(comm, "solve");
-    solve = trainLocalSvm(mine, sopts);
-  }
-  markTrainEnd(comm, ctx);
 
-  board.models[urank] = solve.model;
-  board.centers[urank] = std::move(myCenter);
-  board.iterations[urank] = solve.iterations;
-  board.svs[urank] = solve.svs;
+  // --- training phase: one fully independent sub-SVM ----------------------
+  // From here to the board deposits this rank performs no communication
+  // (that is the point of the partitioned methods), so an injected crash
+  // can be retried locally: no peer is waiting on a collective we would
+  // re-enter. Each attempt resumes from the newest solver snapshot.
+  const int maxAttempts = 1 + std::max(0, ctx.config.rankRetries);
+  for (int attempt = 0; attempt < maxAttempts; ++attempt) {
+    try {
+      // The phase=train crash point, inside the retry window (see
+      // markInitEnd). A clause with times=N kills the first N attempts.
+      comm.faultCheckpoint("train");
+
+      solver::SolverOptions sopts = ctx.config.solver;
+      if (comm.traceLane() != nullptr) {
+        sopts.trace = comm.traceLane();
+        sopts.traceTimeOffset = virtualNow(comm);
+      }
+      std::optional<solver::SolverSnapshot> resumeSnap;
+      if (store != nullptr) {
+        if (ctx.config.resume || attempt > 0) {
+          if (const auto payload =
+                  store->load(solverName, ckpt::Kind::SolverState)) {
+            resumeSnap = ckpt::decodeSolverState(*payload);
+            if (resumeSnap->alpha.size() == mine.rows()) {
+              ++board.checkpointsLoaded[urank];
+            } else {
+              resumeSnap.reset();  // stale snapshot of a different part
+            }
+          }
+        }
+        if (resumeSnap.has_value()) sopts.resumeFrom = &*resumeSnap;
+        sopts.snapshotInterval = ctx.config.checkpointEvery;
+        sopts.snapshotSink = [&](const solver::SolverSnapshot& snap) {
+          store->save(solverName, ckpt::Kind::SolverState,
+                      ckpt::encodeSolverState(snap));
+          // Durable-first ordering: when a crash fires at this solve
+          // checkpoint, the snapshot it would resume from is already on
+          // disk — mid-solve interrupts are exactly resumable.
+          comm.faultCheckpoint("solve");
+        };
+      }
+
+      LocalSolve solve;
+      {
+        PhaseSpan span(comm, "solve");
+        solve = trainLocalSvm(mine, sopts);
+      }
+
+      if (store != nullptr) {
+        ckpt::SubModelState sub;
+        sub.model = solve.model;
+        sub.iterations = solve.iterations;
+        sub.svs = solve.svs;
+        store->save(modelName, ckpt::Kind::SubModel,
+                    ckpt::encodeSubModel(sub));
+        store->remove(solverName);  // mid-solve state is now obsolete
+      }
+      markTrainEnd(comm, ctx);
+
+      board.models[urank] = solve.model;
+      board.centers[urank] = std::move(myCenter);
+      board.iterations[urank] = solve.iterations;
+      board.svs[urank] = solve.svs;
+      board.retries[urank] = attempt;
+      if (attempt > 0) board.recovered[urank] = 1;
+      return;
+    } catch (const net::RankCrash&) {
+      board.retries[urank] = attempt;
+      if (attempt + 1 >= maxAttempts) throw;  // budget spent: degraded path
+      // Bounded linear backoff, charged to the virtual clock like any
+      // local work (a real system would sleep before respawning).
+      comm.clock().addCompute(ctx.config.retryBackoffSeconds *
+                              static_cast<double>(attempt + 1));
+    }
+  }
 }
 
 }  // namespace casvm::core::detail

@@ -11,13 +11,11 @@ void markInitEnd(net::Comm& comm, const MethodContext& ctx) {
   comm.instrumentationFence([&] {
     ctx.board.initSnapshot = comm.trafficSnapshot();
   });
-  // Crash point at the init/train boundary. Placed AFTER the fence so a
-  // rank that dies here has met every communication obligation of the init
-  // phase — for the partitioned methods the rest of training is purely
-  // local, which is what makes a phase=train crash survivable. It also
-  // gives zero-communication runs (RA-CA casvm2) a deterministic crash
-  // point that crash-at-op-N can never provide.
-  comm.faultCheckpoint("train");
+  // The phase=train crash point is NOT injected here: each method body
+  // places its own comm.faultCheckpoint("train") right after this call —
+  // the partitioned methods inside their retry loop, so a crashed rank
+  // can re-enter the checkpoint (and survive it once the clause's crash
+  // budget is spent) without repeating the instrumentation fence above.
 }
 
 void markTrainEnd(net::Comm& comm, const MethodContext& ctx) {

@@ -1,8 +1,12 @@
 #include "casvm/core/train.hpp"
 
 #include <algorithm>
+#include <cstring>
 
+#include "casvm/ckpt/state.hpp"
+#include "casvm/ckpt/store.hpp"
 #include "casvm/cluster/partition.hpp"
+#include "casvm/support/checksum.hpp"
 #include "casvm/support/error.hpp"
 #include "methods.hpp"
 
@@ -42,6 +46,51 @@ std::vector<data::Dataset> initialPlacement(const data::Dataset& trainSet,
   return blocks;
 }
 
+template <typename T>
+void appendScalar(std::vector<std::byte>& out, T v) {
+  std::byte raw[sizeof(T)];
+  std::memcpy(raw, &v, sizeof(T));
+  out.insert(out.end(), raw, raw + sizeof(T));
+}
+
+/// Identity hash of (config, dataset) for checkpoint-directory validation.
+/// Fields are appended individually (never whole structs, whose padding
+/// bytes are indeterminate) so the fingerprint is deterministic.
+std::uint64_t runFingerprint(const data::Dataset& trainSet,
+                             const TrainConfig& config) {
+  std::vector<std::byte> bytes;
+  appendScalar(bytes, static_cast<std::uint32_t>(config.method));
+  appendScalar(bytes, static_cast<std::int64_t>(config.processes));
+  appendScalar(bytes, config.seed);
+  appendScalar(bytes, static_cast<std::uint64_t>(config.kmeansMaxLoops));
+  appendScalar(bytes, config.kmeansChangeThreshold);
+  appendScalar(bytes, static_cast<std::uint8_t>(config.raInitialDataOnRoot));
+  appendScalar(bytes, static_cast<std::int64_t>(config.cascadePasses));
+  appendScalar(bytes, static_cast<std::uint8_t>(config.treeWarmStart));
+  appendScalar(bytes, static_cast<std::uint8_t>(config.ratioBalance));
+  const solver::SolverOptions& s = config.solver;
+  appendScalar(bytes, static_cast<std::uint8_t>(s.kernel.type));
+  appendScalar(bytes, s.kernel.gamma);
+  appendScalar(bytes, s.kernel.a);
+  appendScalar(bytes, s.kernel.r);
+  appendScalar(bytes, static_cast<std::int64_t>(s.kernel.degree));
+  appendScalar(bytes, s.C);
+  appendScalar(bytes, s.tolerance);
+  appendScalar(bytes, static_cast<std::uint64_t>(s.maxIterations));
+  appendScalar(bytes, static_cast<std::uint8_t>(s.selection));
+  appendScalar(bytes, s.positiveWeight);
+  appendScalar(bytes, s.negativeWeight);
+  appendScalar(bytes, static_cast<std::uint8_t>(s.shrinking));
+  appendScalar(bytes, static_cast<std::uint64_t>(s.shrinkInterval));
+  appendScalar(bytes, static_cast<std::uint64_t>(config.checkpointEvery));
+  appendScalar(bytes, static_cast<std::uint64_t>(trainSet.rows()));
+  appendScalar(bytes, static_cast<std::uint64_t>(trainSet.cols()));
+  appendScalar(bytes, static_cast<std::uint64_t>(trainSet.positives()));
+  const std::uint32_t lo = support::crc32(bytes);
+  const std::uint32_t hi = support::crc32(bytes, lo);
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
 long long LayerStatsMaxOf(const std::vector<long long>& v) {
   long long best = 0;
   for (long long x : v) best = std::max(best, x);
@@ -75,6 +124,37 @@ TrainResult train(const data::Dataset& trainSet, const TrainConfig& config) {
   CASVM_CHECK(P >= 1, "need at least one process");
   CASVM_CHECK(trainSet.rows() >= static_cast<std::size_t>(P),
               "fewer samples than processes");
+
+  // Checkpoint-directory identity: a fresh run stamps the directory with
+  // the run's fingerprint; a resume refuses to blend state from a different
+  // config or dataset into nonsense.
+  if (config.checkpoints != nullptr) {
+    CASVM_CHECK(config.checkpointEvery > 0,
+                "checkpointEvery must be > 0 when checkpointing is enabled");
+    ckpt::RunMeta meta;
+    meta.fingerprint = runFingerprint(trainSet, config);
+    meta.method = static_cast<std::uint32_t>(config.method);
+    meta.processes = static_cast<std::uint32_t>(P);
+    meta.rows = trainSet.rows();
+    meta.cols = trainSet.cols();
+    if (config.resume) {
+      if (const auto payload =
+              config.checkpoints->load("meta", ckpt::Kind::Meta)) {
+        const ckpt::RunMeta prev = ckpt::decodeMeta(*payload);
+        CASVM_CHECK(prev.fingerprint == meta.fingerprint &&
+                        prev.method == meta.method &&
+                        prev.processes == meta.processes &&
+                        prev.rows == meta.rows && prev.cols == meta.cols,
+                    "resume refused: the checkpoint directory was written "
+                    "by a different run (config/dataset fingerprint "
+                    "mismatch)");
+      }
+    }
+    config.checkpoints->save("meta", ckpt::Kind::Meta, ckpt::encodeMeta(meta));
+  } else {
+    CASVM_CHECK(!config.resume,
+                "resume requested without a checkpoint store");
+  }
 
   const std::vector<data::Dataset> blocks = initialPlacement(trainSet, config);
   RankBoard board(P);
@@ -133,6 +213,19 @@ TrainResult assembleFromBoard(const TrainConfig& config, RankBoard& board,
   }
   std::sort(out.failedRanks.begin(), out.failedRanks.end());
   out.degraded = !failures.empty();
+
+  // --- recovery bookkeeping -------------------------------------------------
+  // Ranks that crashed but were brought back by in-run retry are NOT
+  // failures: their partitions are covered and the run is not degraded on
+  // their account.
+  out.retriesPerRank.assign(board.retries.begin(), board.retries.end());
+  out.resumed = config.resume;
+  for (int r = 0; r < P; ++r) {
+    const auto ur = static_cast<std::size_t>(r);
+    if (board.recovered[ur] != 0) out.recoveredRanks.push_back(r);
+    out.checkpointsLoaded +=
+        static_cast<std::size_t>(board.checkpointsLoaded[ur]);
+  }
 
   // --- model assembly ------------------------------------------------------
   if (config.method == Method::DisSmo) {

@@ -11,7 +11,11 @@
 // this structure.
 
 #include <algorithm>
+#include <optional>
+#include <string>
 
+#include "casvm/ckpt/state.hpp"
+#include "casvm/ckpt/store.hpp"
 #include "casvm/cluster/kmeans.hpp"
 #include "methods.hpp"
 #include "casvm/support/error.hpp"
@@ -47,32 +51,72 @@ void runTree(net::Comm& comm, const MethodContext& ctx) {
   const Method method = ctx.config.method;
   RankBoard& board = ctx.board;
 
+  ckpt::CheckpointStore* store = ctx.config.checkpoints;
+  const std::string rankTag = ".r" + std::to_string(rank);
+  const std::string partName = "part" + rankTag;
+
   // --- init phase: place the data ----------------------------------------
   data::Dataset current;
-  if (method == Method::Cascade) {
-    PhaseSpan span(comm, "partition");
-    current = ctx.initialBlocks[urank];  // even blocks, no communication
-  } else {
-    // DC-SVM / DC-Filter: distributed K-means over the initial blocks, then
-    // an all-to-all moving each sample to its cluster's owner rank.
-    cluster::KMeansResult result;
-    {
-      PhaseSpan span(comm, "partition");
-      cluster::KMeansOptions km;
-      km.clusters = P;
-      km.maxLoops = ctx.config.kmeansMaxLoops;
-      km.changeThreshold = ctx.config.kmeansChangeThreshold;
-      km.seed = ctx.config.seed;
-      result = cluster::kmeansDistributed(comm, ctx.initialBlocks[urank], km);
+
+  // Cross-process resume of the partition. For DC-SVM / DC-Filter the
+  // partition phase is collective (K-means + all-to-all), so skipping it
+  // needs agreement from every rank: an allreduce-AND. Cascade's even-block
+  // placement is purely local, so each rank decides on its own.
+  bool restoredPartition = false;
+  if (store != nullptr && ctx.config.resume) {
+    std::optional<ckpt::PartitionState> part;
+    if (const auto payload = store->load(partName, ckpt::Kind::Partition)) {
+      part = ckpt::decodePartition(*payload);
     }
-    board.kmeansLoops[urank] = result.loops;
-    PhaseSpan span(comm, "scatter");
-    current = exchangeToOwners(comm, ctx.initialBlocks[urank],
-                               result.partition.assign);
+    int canSkip = part.has_value() ? 1 : 0;
+    if (method != Method::Cascade) {
+      canSkip =
+          comm.allreduce(canSkip, [](int a, int b) { return a < b ? a : b; });
+    }
+    if (canSkip != 0) {
+      current = std::move(part->local);
+      board.kmeansLoops[urank] = part->kmeansLoops;
+      ++board.checkpointsLoaded[urank];
+      restoredPartition = true;
+    }
   }
+
+  if (!restoredPartition) {
+    if (method == Method::Cascade) {
+      PhaseSpan span(comm, "partition");
+      current = ctx.initialBlocks[urank];  // even blocks, no communication
+    } else {
+      // DC-SVM / DC-Filter: distributed K-means over the initial blocks,
+      // then an all-to-all moving each sample to its cluster's owner rank.
+      cluster::KMeansResult result;
+      {
+        PhaseSpan span(comm, "partition");
+        cluster::KMeansOptions km;
+        km.clusters = P;
+        km.maxLoops = ctx.config.kmeansMaxLoops;
+        km.changeThreshold = ctx.config.kmeansChangeThreshold;
+        km.seed = ctx.config.seed;
+        result = cluster::kmeansDistributed(comm, ctx.initialBlocks[urank], km);
+      }
+      board.kmeansLoops[urank] = result.loops;
+      PhaseSpan span(comm, "scatter");
+      current = exchangeToOwners(comm, ctx.initialBlocks[urank],
+                                 result.partition.assign);
+    }
+
+    if (store != nullptr) {
+      ckpt::PartitionState part;
+      part.local = current;
+      part.kmeansLoops = board.kmeansLoops[urank];
+      store->save(partName, ckpt::Kind::Partition,
+                  ckpt::encodePartition(part));
+    }
+  }
+
   board.samples[urank] = static_cast<long long>(current.rows());
   board.positives[urank] = static_cast<long long>(current.positives());
   markInitEnd(comm, ctx);
+  comm.faultCheckpoint("train");
 
   // --- training phase: the reduction tree ---------------------------------
   const int layers = log2int(P) + 1;
@@ -121,57 +165,133 @@ void runTree(net::Comm& comm, const MethodContext& ctx) {
         }
       }
 
-      solver::SolverOptions sopts = ctx.config.solver;
-      if (comm.traceLane() != nullptr) {
-        sopts.trace = comm.traceLane();
-        sopts.traceTimeOffset = virtualNow(comm);
-      }
-      const double t0 = virtualNow(comm);
-      LocalSolve solve;
-      {
-        PhaseSpan span(comm, "solve", (pass - 1) * layers + layer);
-        solve = trainLocalSvm(
-            current, sopts,
-            ctx.config.treeWarmStart ? std::span<const double>(currentAlpha)
-                                     : std::span<const double>());
-      }
-      const double t1 = virtualNow(comm);
+      // Layers keep counting across passes so per-layer checkpoint names
+      // and stats stay unique.
+      const int globalLayer = (pass - 1) * layers + layer;
+      const std::string layerName =
+          "tree" + rankTag + ".l" + std::to_string(globalLayer);
+      const std::string solverName =
+          "solver" + rankTag + ".l" + std::to_string(globalLayer);
 
-      // Layers keep counting across passes so per-layer stats stay unique.
-      board.layerRecords[urank].push_back(
-          {(pass - 1) * layers + layer,
-           static_cast<long long>(current.rows()), solve.iterations,
-           solve.svs, t1 - t0});
-
-      // Prepare this layer's output: everything for DC-SVM, only the
-      // support vectors (with their alphas, the warm start for the next
-      // layer) for Cascade and DC-Filter.
-      if (method == Method::DcSvm) {
-        currentAlpha = solve.alpha;
-      } else {
-        const std::vector<std::size_t> svIdx = supportIndices(solve.alpha);
-        if (svIdx.empty() && !current.empty()) {
-          // Degenerate subproblem (typically a single-class K-means part
-          // under DC-Filter): there is no margin yet, so *every* sample is
-          // a potential support vector once the other class joins at the
-          // next layer. Filtering to the empty SV set would silently
-          // delete this part's information from the cascade.
-          currentAlpha.assign(current.rows(), 0.0);
-        } else {
-          std::vector<double> svAlpha;
-          svAlpha.reserve(svIdx.size());
-          for (std::size_t i : svIdx) svAlpha.push_back(solve.alpha[i]);
-          current = current.subset(svIdx);
-          currentAlpha = std::move(svAlpha);
+      // Cross-process resume of a completed layer: restore its post-filter
+      // output instead of re-solving. The merge above still ran — on resume
+      // every rank replays its sends from restored (hence bitwise-identical)
+      // state, so the communication pattern is exactly that of the original
+      // run and the restored state matches what the partner just sent.
+      std::optional<ckpt::TreeLayerState> done;
+      if (store != nullptr && ctx.config.resume) {
+        if (const auto payload = store->load(layerName, ckpt::Kind::TreeLayer)) {
+          done = ckpt::decodeTreeLayer(*payload);
         }
       }
 
-      if (layer == layers) {
-        // Bottom of the tree: rank 0 holds the final model.
-        CASVM_ASSERT(rank == 0, "final layer must run on rank 0");
-        board.models[0] = solve.model;
-        board.svs[0] = solve.svs;
-      } else if (rank % (step * 2) != 0) {
+      if (done.has_value()) {
+        ++board.checkpointsLoaded[urank];
+        current = std::move(done->current);
+        currentAlpha = std::move(done->currentAlpha);
+        // Iteration/second counters report work done in THIS run; restoring
+        // a finished layer cost neither (the checkpoint still records the
+        // original figures for inspection).
+        board.layerRecords[urank].push_back(
+            {globalLayer, done->samples, 0, done->svs, 0.0});
+        if (layer == layers) {
+          CASVM_ASSERT(rank == 0, "final layer must run on rank 0");
+          CASVM_CHECK(done->model.has_value(),
+                      "final-layer checkpoint is missing its model");
+          board.models[0] = std::move(*done->model);
+          board.svs[0] = done->svs;
+        }
+      } else {
+        solver::SolverOptions sopts = ctx.config.solver;
+        if (comm.traceLane() != nullptr) {
+          sopts.trace = comm.traceLane();
+          sopts.traceTimeOffset = virtualNow(comm);
+        }
+        std::optional<solver::SolverSnapshot> resumeSnap;
+        if (store != nullptr) {
+          if (ctx.config.resume) {
+            if (const auto payload =
+                    store->load(solverName, ckpt::Kind::SolverState)) {
+              resumeSnap = ckpt::decodeSolverState(*payload);
+              if (resumeSnap->alpha.size() == current.rows()) {
+                ++board.checkpointsLoaded[urank];
+              } else {
+                resumeSnap.reset();  // snapshot of a different merge state
+              }
+            }
+          }
+          if (resumeSnap.has_value()) sopts.resumeFrom = &*resumeSnap;
+          sopts.snapshotInterval = ctx.config.checkpointEvery;
+          sopts.snapshotSink = [&](const solver::SolverSnapshot& snap) {
+            store->save(solverName, ckpt::Kind::SolverState,
+                        ckpt::encodeSolverState(snap));
+            // Durable-first: a crash at this checkpoint always has its
+            // resume snapshot already on disk.
+            comm.faultCheckpoint("solve");
+          };
+        }
+        const double t0 = virtualNow(comm);
+        LocalSolve solve;
+        {
+          PhaseSpan span(comm, "solve", globalLayer);
+          solve = trainLocalSvm(
+              current, sopts,
+              ctx.config.treeWarmStart ? std::span<const double>(currentAlpha)
+                                       : std::span<const double>());
+        }
+        const double t1 = virtualNow(comm);
+
+        const auto layerSamples = static_cast<long long>(current.rows());
+        board.layerRecords[urank].push_back(
+            {globalLayer, layerSamples, solve.iterations, solve.svs, t1 - t0});
+
+        // Prepare this layer's output: everything for DC-SVM, only the
+        // support vectors (with their alphas, the warm start for the next
+        // layer) for Cascade and DC-Filter.
+        if (method == Method::DcSvm) {
+          currentAlpha = solve.alpha;
+        } else {
+          const std::vector<std::size_t> svIdx = supportIndices(solve.alpha);
+          if (svIdx.empty() && !current.empty()) {
+            // Degenerate subproblem (typically a single-class K-means part
+            // under DC-Filter): there is no margin yet, so *every* sample is
+            // a potential support vector once the other class joins at the
+            // next layer. Filtering to the empty SV set would silently
+            // delete this part's information from the cascade.
+            currentAlpha.assign(current.rows(), 0.0);
+          } else {
+            std::vector<double> svAlpha;
+            svAlpha.reserve(svIdx.size());
+            for (std::size_t i : svIdx) svAlpha.push_back(solve.alpha[i]);
+            current = current.subset(svIdx);
+            currentAlpha = std::move(svAlpha);
+          }
+        }
+
+        if (store != nullptr) {
+          ckpt::TreeLayerState state;
+          state.layer = globalLayer;
+          state.current = current;  // post-filter: the next layer's input
+          state.currentAlpha = currentAlpha;
+          state.samples = layerSamples;
+          state.iterations = solve.iterations;
+          state.svs = solve.svs;
+          state.seconds = t1 - t0;
+          if (layer == layers) state.model = solve.model;
+          store->save(layerName, ckpt::Kind::TreeLayer,
+                      ckpt::encodeTreeLayer(state));
+          store->remove(solverName);  // mid-solve state is now obsolete
+        }
+
+        if (layer == layers) {
+          // Bottom of the tree: rank 0 holds the final model.
+          CASVM_ASSERT(rank == 0, "final layer must run on rank 0");
+          board.models[0] = solve.model;
+          board.svs[0] = solve.svs;
+        }
+      }
+
+      if (layer != layers && rank % (step * 2) != 0) {
         // This rank is the sending half of the next layer's pairs.
         const int dst = rank - step;
         const std::vector<std::byte> packed = current.packAll();

@@ -48,12 +48,42 @@ double parseDouble(const std::string& clause, const std::string& value) {
   return v;
 }
 
+/// Keys each clause kind accepts — quoted verbatim in parse errors so a
+/// typo names the offending token AND what would have been valid.
+const char* validKeysFor(const std::string& kind) {
+  if (kind == "crash") return "rank, op, phase, nth, times";
+  if (kind == "drop") return "src, dst, nth, prob";
+  if (kind == "delay") return "src, dst, nth, prob, seconds";
+  if (kind == "slow") return "rank, factor";
+  return "";
+}
+
+bool keyValidFor(const std::string& kind, const std::string& key) {
+  const std::string valid = validKeysFor(kind);
+  // Exact-token membership in the comma-separated list.
+  std::size_t pos = 0;
+  while (pos < valid.size()) {
+    std::size_t end = valid.find(',', pos);
+    if (end == std::string::npos) end = valid.size();
+    std::string token = valid.substr(pos, end - pos);
+    if (!token.empty() && token.front() == ' ') token.erase(0, 1);
+    if (token == key) return true;
+    pos = end + 1;
+  }
+  return false;
+}
+
+constexpr const char* kValidKinds = "crash, drop, delay, slow";
+constexpr const char* kDriverPhases =
+    "the training driver defines phases 'init', 'train' and 'solve'";
+
 FaultSpec parseClause(const std::string& raw) {
   const std::string clause = trim(raw);
   const std::size_t colon = clause.find(':');
   CASVM_CHECK(colon != std::string::npos,
               "fault spec: clause '" + clause +
-                  "' needs the form kind:key=value,...");
+                  "' needs the form kind:key=value,... (valid kinds: " +
+                  kValidKinds + ")");
   const std::string kind = trim(clause.substr(0, colon));
 
   FaultSpec spec;
@@ -69,7 +99,7 @@ FaultSpec parseClause(const std::string& raw) {
     spec.kind = FaultKind::SlowRank;
   } else {
     throw Error("fault spec: unknown fault kind '" + kind + "' in clause '" +
-                clause + "' (expected crash|drop|delay|slow)");
+                clause + "' (valid kinds: " + kValidKinds + ")");
   }
 
   for (const std::string& rawPair : splitOn(clause.substr(colon + 1), ',')) {
@@ -78,9 +108,15 @@ FaultSpec parseClause(const std::string& raw) {
     const std::size_t eq = pair.find('=');
     CASVM_CHECK(eq != std::string::npos,
                 "fault spec: expected key=value, got '" + pair +
-                    "' in clause '" + clause + "'");
+                    "' in clause '" + clause + "' (valid keys for " + kind +
+                    ": " + validKeysFor(kind) + ")");
     const std::string key = trim(pair.substr(0, eq));
     const std::string value = trim(pair.substr(eq + 1));
+    if (!keyValidFor(kind, key)) {
+      throw Error("fault spec: key '" + key + "' is not valid for '" + kind +
+                  "' in clause '" + clause + "' (valid keys for " + kind +
+                  ": " + validKeysFor(kind) + ")");
+    }
     if (key == "rank") {
       spec.rank = static_cast<int>(parseInt(clause, value));
     } else if (key == "op") {
@@ -95,15 +131,14 @@ FaultSpec parseClause(const std::string& raw) {
       spec.dst = static_cast<int>(parseInt(clause, value));
     } else if (key == "nth") {
       spec.nth = parseInt(clause, value);
+    } else if (key == "times") {
+      spec.times = parseInt(clause, value);
     } else if (key == "prob") {
       spec.probability = parseDouble(clause, value);
     } else if (key == "seconds") {
       spec.seconds = parseDouble(clause, value);
     } else if (key == "factor") {
       spec.factor = parseDouble(clause, value);
-    } else {
-      throw Error("fault spec: unknown key '" + key + "' in clause '" +
-                  clause + "'");
     }
   }
 
@@ -114,13 +149,26 @@ FaultSpec parseClause(const std::string& raw) {
       CASVM_CHECK(spec.rank >= 0,
                   "fault spec: crash clause needs rank= ('" + clause + "')");
       CASVM_CHECK(haveOp != havePhase,
-                  "fault spec: crash clause needs exactly one of op=/phase= "
-                  "('" + clause + "')");
+                  "fault spec: crash clause needs exactly one of op= "
+                  "(1-based comm-op index) or phase= (checkpoint label; " +
+                  std::string(kDriverPhases) + ") ('" + clause + "')");
       if (havePhase) {
         spec.kind = FaultKind::CrashAtPhase;
+        CASVM_CHECK(!spec.phase.empty(),
+                    "fault spec: phase= needs a label (" +
+                        std::string(kDriverPhases) + ") ('" + clause + "')");
+        CASVM_CHECK(spec.nth >= 0,
+                    "fault spec: nth= must be >= 1 (first matching entry) "
+                    "('" + clause + "')");
+        CASVM_CHECK(spec.times >= 0,
+                    "fault spec: times= must be >= 1 (0 = every entry) ('" +
+                        clause + "')");
       } else {
         CASVM_CHECK(spec.op >= 1,
                     "fault spec: crash op= is 1-based ('" + clause + "')");
+        CASVM_CHECK(spec.nth == 0 && spec.times == 1,
+                    "fault spec: nth=/times= apply to phase crashes only "
+                    "('" + clause + "')");
       }
       break;
     case FaultKind::DropMessage:
@@ -159,6 +207,8 @@ std::string FaultSpec::describe() const {
       break;
     case FaultKind::CrashAtPhase:
       out << "crash:rank=" << rank << ",phase=" << phase;
+      if (nth > 1) out << ",nth=" << nth;
+      if (times != 1) out << ",times=" << times;
       break;
     case FaultKind::DropMessage:
     case FaultKind::DelayMessage:
@@ -272,13 +322,23 @@ FaultInjector::SendVerdict FaultInjector::onSend(int src, int dst) {
 void FaultInjector::onRecv(int rank) { countOp(rank); }
 
 void FaultInjector::atPhase(int rank, const std::string& label) {
-  for (const FaultSpec& spec : plan_.faults) {
-    if (spec.kind == FaultKind::CrashAtPhase && spec.rank == rank &&
-        spec.phase == label) {
-      throw RankCrash(rank, "injected fault: rank " + std::to_string(rank) +
-                                " crashed at phase '" + label + "' (" +
-                                spec.describe() + ")");
+  for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
+    const FaultSpec& spec = plan_.faults[i];
+    if (spec.kind != FaultKind::CrashAtPhase || spec.rank != rank ||
+        spec.phase != label) {
+      continue;
     }
+    // Entry counter for this (clause, rank); the matchCount_ stripe is
+    // free here because only drop/delay clauses use it on the send path.
+    const long long entry =
+        ++matchCount_[i * static_cast<std::size_t>(size_) +
+                      static_cast<std::size_t>(rank)];
+    const long long first = spec.nth > 0 ? spec.nth : 1;
+    if (entry < first) continue;
+    if (spec.times > 0 && entry >= first + spec.times) continue;
+    throw RankCrash(rank, "injected fault: rank " + std::to_string(rank) +
+                              " crashed at phase '" + label + "' (" +
+                              spec.describe() + ")");
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "casvm/support/atomic_file.hpp"
 #include "casvm/support/error.hpp"
 #include "casvm/support/strings.hpp"
 
@@ -34,18 +35,32 @@ std::string MetricsReport::toJson() const {
                  static_cast<unsigned long long>(p.bytes),
                  static_cast<unsigned long long>(p.ops));
   }
-  out += "\n  ]\n}\n";
+  out += "\n  ],\n  \"recovery\": {";
+  appendFormat(out,
+               "\n    \"degraded\": %s,\n    \"resumed\": %s,\n"
+               "    \"checkpoints_loaded\": %llu,",
+               recovery.degraded ? "true" : "false",
+               recovery.resumed ? "true" : "false",
+               static_cast<unsigned long long>(recovery.checkpointsLoaded));
+  const auto intList = [&out](const char* key, const std::vector<int>& v,
+                              const char* trailer) {
+    appendFormat(out, "\n    \"%s\": [", key);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      appendFormat(out, "%s%d", i == 0 ? "" : ", ", v[i]);
+    }
+    appendFormat(out, "]%s", trailer);
+  };
+  intList("failed_ranks", recovery.failedRanks, ",");
+  intList("recovered_ranks", recovery.recoveredRanks, ",");
+  intList("retries_per_rank", recovery.retriesPerRank, "");
+  out += "\n  }\n}\n";
   return out;
 }
 
 void MetricsReport::writeFile(const std::string& path) const {
-  const std::string json = toJson();
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  CASVM_CHECK(f != nullptr, "cannot open metrics output file: " + path);
-  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
-  const int closed = std::fclose(f);
-  CASVM_CHECK(written == json.size() && closed == 0,
-              "failed to write metrics output file: " + path);
+  // Atomic temp-file + rename: a consumer polling the path (the CI chaos
+  // smoke does) never observes a partially written report.
+  support::writeFileAtomic(path, toJson());
 }
 
 }  // namespace casvm::obs

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "casvm/serve/compiled_model.hpp"
+#include "casvm/support/atomic_file.hpp"
 #include "casvm/support/error.hpp"
 
 namespace casvm::solver {
@@ -60,7 +61,17 @@ std::vector<std::byte> Model::pack() const {
     out.resize(off + bytes);
     std::memcpy(out.data() + off, data, bytes);
   };
-  append(&params_, sizeof(params_));
+  // KernelParams has internal padding whose bytes are indeterminate; pack a
+  // zeroed copy written member by member so identical models always pack to
+  // identical bytes (checkpoint resume compares raw pack() output bitwise).
+  kernel::KernelParams cleanParams;
+  std::memset(&cleanParams, 0, sizeof(cleanParams));
+  cleanParams.type = params_.type;
+  cleanParams.gamma = params_.gamma;
+  cleanParams.a = params_.a;
+  cleanParams.r = params_.r;
+  cleanParams.degree = params_.degree;
+  append(&cleanParams, sizeof(cleanParams));
   append(&bias_, sizeof(bias_));
   const std::uint64_t count = alphaY_.size();
   append(&count, sizeof(count));
@@ -96,12 +107,9 @@ Model Model::unpack(std::span<const std::byte> bytes) {
 }
 
 void Model::save(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  CASVM_CHECK(out.good(), "cannot open model file for writing: " + path);
-  const std::vector<std::byte> bytes = pack();
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  CASVM_CHECK(out.good(), "model write failed: " + path);
+  // Atomic temp-file + rename: a crash mid-save leaves either the previous
+  // model or none — never a truncated file a later load would trip over.
+  support::writeFileAtomic(path, std::span<const std::byte>(pack()));
 }
 
 Model Model::load(const std::string& path) {

@@ -43,6 +43,8 @@ SmoSolver::SmoSolver(SolverOptions options) : options_(options) {
   CASVM_CHECK(options_.shrinkInterval > 0, "shrink interval must be positive");
   CASVM_CHECK(options_.trace == nullptr || options_.traceInterval > 0,
               "trace interval must be positive");
+  CASVM_CHECK(!options_.snapshotSink || options_.snapshotInterval > 0,
+              "snapshot interval must be positive when a sink is set");
 }
 
 SolverResult SmoSolver::solve(const data::Dataset& ds,
@@ -81,7 +83,23 @@ SolverResult SmoSolver::solve(const data::Dataset& ds,
   std::vector<double> alpha(m, 0.0);
   std::vector<double> f(m);
 
-  if (initialAlpha.empty()) {
+  if (options_.resumeFrom != nullptr) {
+    // Mid-stream resume: every piece of iteration state is restored
+    // verbatim. In particular f is NOT reconstructed from alpha — the
+    // reconstruction sums kernel rows in a different order than the
+    // incremental updates that produced the snapshot, so its rounding
+    // would diverge bitwise from the uninterrupted run.
+    const SolverSnapshot& snap = *options_.resumeFrom;
+    CASVM_CHECK(snap.alpha.size() == m && snap.f.size() == m,
+                "solver resume: snapshot row count does not match dataset");
+    CASVM_CHECK(!snap.active.empty() && snap.active.size() <= m,
+                "solver resume: invalid active set");
+    for (std::size_t i : snap.active) {
+      CASVM_CHECK(i < m, "solver resume: active index out of range");
+    }
+    alpha = snap.alpha;
+    f = snap.f;
+  } else if (initialAlpha.empty()) {
     // f_i = -y_i when alpha == 0 (eqn. 4).
     for (std::size_t i = 0; i < m; ++i) f[i] = -double(ds.label(i));
   } else {
@@ -105,6 +123,12 @@ SolverResult SmoSolver::solve(const data::Dataset& ds,
   std::vector<std::size_t> active(m);
   std::iota(active.begin(), active.end(), 0);
   bool everShrunk = false;
+  std::size_t startIter = 0;
+  if (options_.resumeFrom != nullptr) {
+    active = options_.resumeFrom->active;
+    everShrunk = options_.resumeFrom->everShrunk;
+    startIter = options_.resumeFrom->iteration;
+  }
 
   // Kernel row fetch for the current iteration: while shrunk, evicted-row
   // refills only compute the active entries (the gradient update and the
@@ -139,11 +163,27 @@ SolverResult SmoSolver::solve(const data::Dataset& ds,
     std::iota(active.begin(), active.end(), 0);
   };
 
-  std::size_t iter = 0;
+  std::size_t iter = startIter;
   bool converged = false;
   double bHigh = 0.0, bLow = 0.0;
 
   for (; iter < maxIters; ++iter) {
+    // Snapshot hand-off, at the top of the iteration before any of its
+    // state mutates — restoring here and continuing replays the run
+    // bitwise. Skipped at the resume iteration itself (that snapshot is
+    // already durable) and at iteration 0 (nothing to save yet).
+    if (options_.snapshotSink && options_.snapshotInterval > 0 &&
+        iter != 0 && iter != startIter &&
+        iter % options_.snapshotInterval == 0) {
+      SolverSnapshot snap;
+      snap.iteration = iter;
+      snap.everShrunk = everShrunk;
+      snap.alpha = alpha;
+      snap.f = f;
+      snap.active = active;
+      options_.snapshotSink(snap);
+    }
+
     // Working-set selection: the maximal violating pair over the active set.
     std::size_t iHigh = m, iLow = m;
     bHigh = kInf;

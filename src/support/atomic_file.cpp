@@ -1,0 +1,82 @@
+#include "casvm/support/atomic_file.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "casvm/support/error.hpp"
+
+namespace casvm::support {
+
+namespace {
+
+std::string errnoText() { return std::strerror(errno); }
+
+}  // namespace
+
+void writeFileAtomic(const std::string& path,
+                     std::span<const std::byte> bytes) {
+  // Stage in the destination directory so the final rename never crosses a
+  // filesystem boundary (rename(2) is only atomic within one filesystem).
+  // The pid suffix keeps concurrent writers of *different* paths from
+  // colliding; concurrent writers of the same path are the caller's bug.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  CASVM_CHECK(fd >= 0,
+              "atomic write: cannot create temp file " + tmp + ": " +
+                  errnoText());
+
+  auto fail = [&](const std::string& what) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw Error("atomic write: " + what + " (" + tmp + "): " + errnoText());
+  };
+
+  const char* data = reinterpret_cast<const char*>(bytes.data());
+  std::size_t remaining = bytes.size();
+  while (remaining > 0) {
+    const ::ssize_t n = ::write(fd, data, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("write failed");
+    }
+    data += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  // Durability: the payload must reach the disk before the rename makes it
+  // visible, or a crash could expose a complete-looking but empty file.
+  if (::fsync(fd) != 0) fail("fsync failed");
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    throw Error("atomic write: close failed (" + tmp + "): " + errnoText());
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string what = errnoText();
+    ::unlink(tmp.c_str());
+    throw Error("atomic write: rename to " + path + " failed: " + what);
+  }
+}
+
+void writeFileAtomic(const std::string& path, const std::string& text) {
+  writeFileAtomic(path,
+                  std::span<const std::byte>(
+                      reinterpret_cast<const std::byte*>(text.data()),
+                      text.size()));
+}
+
+std::vector<std::byte> readFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  CASVM_CHECK(in.good(), "cannot open file: " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  CASVM_CHECK(in.good(), "short read: " + path);
+  return bytes;
+}
+
+}  // namespace casvm::support

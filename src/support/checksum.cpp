@@ -1,0 +1,34 @@
+#include "casvm/support/checksum.hpp"
+
+#include <array>
+
+namespace casvm::support {
+
+namespace {
+
+/// The usual 256-entry table for the reflected 0xEDB88320 polynomial,
+/// generated once at static-init time.
+std::array<std::uint32_t, 256> makeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::byte> bytes, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = makeCrcTable();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::byte b : bytes) {
+    c = table[(c ^ static_cast<std::uint32_t>(b)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace casvm::support

@@ -1,0 +1,90 @@
+// The checkpoint frame format: versioned, CRC-guarded, and paranoid —
+// decodeFrame() must reject every way a file can be damaged (wrong magic,
+// unknown version/kind, truncation, trailing garbage, payload bit flips)
+// rather than hand back a partially trusted payload.
+
+#include "casvm/ckpt/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace casvm::ckpt {
+namespace {
+
+std::vector<std::byte> toBytes(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+TEST(CheckpointFrameTest, RoundTripPreservesKindAndPayload) {
+  const auto payload = toBytes("solver state bytes");
+  const auto framed = encodeFrame(Kind::SolverState, payload);
+  const auto frame = decodeFrame(framed);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->kind, Kind::SolverState);
+  EXPECT_EQ(frame->payload, payload);
+}
+
+TEST(CheckpointFrameTest, EmptyPayloadRoundTrips) {
+  const auto framed = encodeFrame(Kind::Meta, {});
+  const auto frame = decodeFrame(framed);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->kind, Kind::Meta);
+  EXPECT_TRUE(frame->payload.empty());
+}
+
+TEST(CheckpointFrameTest, EveryTruncationIsRejected) {
+  const auto framed = encodeFrame(Kind::Partition, toBytes("0123456789"));
+  for (std::size_t cut = 0; cut < framed.size(); ++cut) {
+    EXPECT_FALSE(
+        decodeFrame(std::span(framed).first(cut)).has_value())
+        << "cut=" << cut;
+  }
+}
+
+TEST(CheckpointFrameTest, TrailingGarbageIsRejected) {
+  // The header's size field must agree with the actual byte count: a frame
+  // with extra bytes appended (e.g. two writes interleaved by a crash) is
+  // not a valid checkpoint even though the CRC of the claimed payload
+  // would pass.
+  auto framed = encodeFrame(Kind::SubModel, toBytes("payload"));
+  framed.push_back(std::byte{0xAB});
+  EXPECT_FALSE(decodeFrame(framed).has_value());
+}
+
+TEST(CheckpointFrameTest, BadMagicIsRejected) {
+  auto framed = encodeFrame(Kind::SubModel, toBytes("payload"));
+  framed[0] = std::byte{'X'};
+  EXPECT_FALSE(decodeFrame(framed).has_value());
+}
+
+TEST(CheckpointFrameTest, UnknownVersionIsRejected) {
+  auto framed = encodeFrame(Kind::SubModel, toBytes("payload"));
+  framed[8] = std::byte{0x7F};  // version lives at bytes 8..11
+  EXPECT_FALSE(decodeFrame(framed).has_value());
+}
+
+TEST(CheckpointFrameTest, UnknownKindIsRejected) {
+  auto framed = encodeFrame(Kind::SubModel, toBytes("payload"));
+  framed[12] = std::byte{0x63};  // kind lives at bytes 12..15
+  EXPECT_FALSE(decodeFrame(framed).has_value());
+}
+
+TEST(CheckpointFrameTest, PayloadBitFlipIsRejected) {
+  auto framed = encodeFrame(Kind::TreeLayer, toBytes("some payload data"));
+  framed[framed.size() - 3] ^= std::byte{0x10};
+  EXPECT_FALSE(decodeFrame(framed).has_value());
+}
+
+TEST(CheckpointFrameTest, CrcFieldBitFlipIsRejected) {
+  auto framed = encodeFrame(Kind::TreeLayer, toBytes("some payload data"));
+  framed[24] ^= std::byte{0x01};  // CRC lives at bytes 24..27
+  EXPECT_FALSE(decodeFrame(framed).has_value());
+}
+
+}  // namespace
+}  // namespace casvm::ckpt

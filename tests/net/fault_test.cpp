@@ -55,6 +55,71 @@ TEST(FaultPlanTest, MalformedClausesThrow) {
   EXPECT_THROW(FaultPlan::parse("slow:factor=2"), Error);
 }
 
+TEST(FaultPlanTest, PhaseCrashTimesAndNthParseAndRoundTrip) {
+  const FaultPlan plan = FaultPlan::parse(
+      "crash:rank=2,phase=solve,nth=3;crash:rank=1,phase=train,times=2;"
+      "crash:rank=0,phase=solve,times=0");
+  ASSERT_EQ(plan.faults.size(), 3u);
+  EXPECT_EQ(plan.faults[0].kind, FaultKind::CrashAtPhase);
+  EXPECT_EQ(plan.faults[0].nth, 3);
+  EXPECT_EQ(plan.faults[0].times, 1);  // default: fire once
+  EXPECT_EQ(plan.faults[1].times, 2);
+  EXPECT_EQ(plan.faults[2].times, 0);  // 0 = every entry
+  const FaultPlan again = FaultPlan::parse(plan.describe());
+  EXPECT_EQ(again.describe(), plan.describe());
+}
+
+/// Parse `text`, which must fail, and return the error message.
+std::string parseErrorOf(const std::string& text) {
+  try {
+    (void)FaultPlan::parse(text);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected parse of '" << text << "' to throw";
+  return "";
+}
+
+TEST(FaultPlanTest, UnknownKindErrorNamesTokenAndListsValidKinds) {
+  const std::string what = parseErrorOf("fizzle:rank=1");
+  EXPECT_NE(what.find("fizzle"), std::string::npos);
+  EXPECT_NE(what.find("crash, drop, delay, slow"), std::string::npos);
+}
+
+TEST(FaultPlanTest, UnknownKeyErrorNamesTokenAndListsValidKeys) {
+  const std::string what = parseErrorOf("crash:rank=1,bogus=2,op=5");
+  EXPECT_NE(what.find("bogus"), std::string::npos);
+  EXPECT_NE(what.find("rank, op, phase, nth, times"), std::string::npos);
+  // A key that exists for another kind is still invalid here, and the
+  // error lists the keys of the kind that was actually written.
+  const std::string crossed = parseErrorOf("slow:rank=1,seconds=3");
+  EXPECT_NE(crossed.find("seconds"), std::string::npos);
+  EXPECT_NE(crossed.find("rank, factor"), std::string::npos);
+}
+
+TEST(FaultPlanTest, BadValueErrorQuotesTheValueAndClause) {
+  const std::string what = parseErrorOf("crash:rank=two,op=1");
+  EXPECT_NE(what.find("'two'"), std::string::npos);
+  EXPECT_NE(what.find("crash:rank=two,op=1"), std::string::npos);
+}
+
+TEST(FaultPlanTest, CrashClauseErrorsExplainPhaseVocabulary) {
+  // A crash clause missing op=/phase= must point at the driver's phase
+  // labels so the user knows what to write.
+  const std::string what = parseErrorOf("crash:rank=1");
+  EXPECT_NE(what.find("'init', 'train' and 'solve'"), std::string::npos);
+}
+
+TEST(FaultPlanTest, TimesAndNthRejectedOutsidePhaseCrashes) {
+  EXPECT_THROW(FaultPlan::parse("crash:rank=1,op=2,nth=3"), Error);
+  EXPECT_THROW(FaultPlan::parse("crash:rank=1,op=2,times=2"), Error);
+  const std::string what = parseErrorOf("crash:rank=1,op=2,times=2");
+  EXPECT_NE(what.find("phase crashes only"), std::string::npos);
+  // Negative windows are nonsense at parse time, not mid-run.
+  EXPECT_THROW(FaultPlan::parse("crash:rank=1,phase=solve,nth=-1"), Error);
+  EXPECT_THROW(FaultPlan::parse("crash:rank=1,phase=solve,times=-2"), Error);
+}
+
 TEST(FaultPlanTest, TargetsOutsideWorldRejectedAtInjectorConstruction) {
   EXPECT_THROW(FaultInjector(FaultPlan::parse("crash:rank=4,op=1"), 4), Error);
   EXPECT_THROW(FaultInjector(FaultPlan::parse("drop:src=9,dst=0"), 4), Error);
@@ -138,6 +203,27 @@ TEST(FaultInjectionTest, CrashAtPhaseFiresAtNamedCheckpointOnly) {
     const std::string what = e.what();
     EXPECT_NE(what.find("injected fault"), std::string::npos);
     EXPECT_NE(what.find("phase 'shutdown'"), std::string::npos);
+  }
+}
+
+TEST(FaultInjectionTest, PhaseCrashWindowFiresOnNthThroughNthPlusTimes) {
+  // nth=2,times=2 → entries 2 and 3 crash; entries 1, 4, 5 pass. This is
+  // the budget the rank-retry path consumes: a retried rank re-enters the
+  // phase and survives once the window is spent.
+  FaultInjector injector(
+      FaultPlan::parse("crash:rank=0,phase=solve,nth=2,times=2"), 1);
+  EXPECT_NO_THROW(injector.atPhase(0, "solve"));  // entry 1
+  EXPECT_THROW(injector.atPhase(0, "solve"), RankCrash);  // entry 2
+  EXPECT_THROW(injector.atPhase(0, "solve"), RankCrash);  // entry 3
+  EXPECT_NO_THROW(injector.atPhase(0, "solve"));  // entry 4: budget spent
+  EXPECT_NO_THROW(injector.atPhase(0, "solve"));  // entry 5
+}
+
+TEST(FaultInjectionTest, PhaseCrashTimesZeroFiresOnEveryEntry) {
+  FaultInjector injector(
+      FaultPlan::parse("crash:rank=0,phase=train,times=0"), 1);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_THROW(injector.atPhase(0, "train"), RankCrash) << "entry " << i;
   }
 }
 

@@ -4,6 +4,8 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <span>
 
 #include "casvm/data/synth.hpp"
@@ -90,6 +92,51 @@ TEST(ModelTest, SaveLoadRoundTrip) {
 
 TEST(ModelTest, LoadMissingFileThrows) {
   EXPECT_THROW((void)Model::load("/nonexistent/model.bin"), Error);
+}
+
+TEST(ModelTest, LoadTruncatedFileThrows) {
+  // A file cut short (crash mid-copy, partial download) must be rejected
+  // with Error, never turned into a half-initialized model.
+  const Model m = trainedModel();
+  const std::string path = ::testing::TempDir() + "/casvm_model_trunc.bin";
+  m.save(path);
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) / 2);
+  EXPECT_THROW((void)Model::load(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(ModelTest, LoadGarbageFileThrows) {
+  const std::string path = ::testing::TempDir() + "/casvm_model_garbage.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a model, it is a text file full of nonsense bytes";
+  }
+  EXPECT_THROW((void)Model::load(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(ModelTest, SaveOverwritesAtomicallyLeavingNoTemp) {
+  // Model::save goes through the atomic temp-file + rename helper: a second
+  // save fully replaces the first (no stale tail bytes) and the directory
+  // holds exactly the final file, no .tmp.* stragglers.
+  const std::string dir = ::testing::TempDir() + "/casvm_model_atomic";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/model.bin";
+  const Model a = trainedModel(61);
+  const Model b = trainedModel(67);
+  a.save(path);
+  b.save(path);
+  const Model back = Model::load(path);
+  EXPECT_EQ(back.pack(), b.pack());
+  std::size_t entries = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    (void)e;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(ModelTest, TruncatedPackThrows) {

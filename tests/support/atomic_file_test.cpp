@@ -1,0 +1,125 @@
+// Crash-consistent file writes and the CRC32 they pair with: the two
+// support-layer primitives every durable artifact (models, checkpoints,
+// metrics) is built on.
+
+#include "casvm/support/atomic_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "casvm/support/checksum.hpp"
+#include "casvm/support/error.hpp"
+
+namespace fs = std::filesystem;
+
+namespace casvm::support {
+namespace {
+
+std::vector<std::byte> toBytes(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+std::string freshDir(const std::string& leaf) {
+  const std::string dir = ::testing::TempDir() + "/" + leaf;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+TEST(Crc32Test, MatchesTheStandardCheckVector) {
+  // The canonical IEEE 802.3 check value: CRC32("123456789") = 0xCBF43926.
+  EXPECT_EQ(crc32(toBytes("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32({}), 0u);
+}
+
+TEST(Crc32Test, StreamingInChunksEqualsOneShot) {
+  const auto bytes = toBytes("the quick brown fox jumps over the lazy dog");
+  const std::uint32_t oneShot = crc32(bytes);
+  std::uint32_t streamed = 0;
+  const std::span<const std::byte> span(bytes);
+  streamed = crc32(span.first(7), streamed);
+  streamed = crc32(span.subspan(7, 20), streamed);
+  streamed = crc32(span.subspan(27), streamed);
+  EXPECT_EQ(streamed, oneShot);
+}
+
+TEST(Crc32Test, SingleBitFlipChangesTheChecksum) {
+  auto bytes = toBytes("checkpoint payload");
+  const std::uint32_t before = crc32(bytes);
+  bytes[5] ^= std::byte{0x01};
+  EXPECT_NE(crc32(bytes), before);
+}
+
+TEST(AtomicFileTest, WriteReadRoundTrip) {
+  const std::string dir = freshDir("atomic_roundtrip");
+  const std::string path = dir + "/data.bin";
+  const auto payload = toBytes("hello, durable world");
+  writeFileAtomic(path, std::span<const std::byte>(payload));
+  EXPECT_EQ(readFileBytes(path), payload);
+}
+
+TEST(AtomicFileTest, TextOverloadRoundTrip) {
+  const std::string dir = freshDir("atomic_text");
+  const std::string path = dir + "/note.txt";
+  writeFileAtomic(path, std::string("line one\nline two\n"));
+  const auto back = readFileBytes(path);
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(back.data()),
+                        back.size()),
+            "line one\nline two\n");
+}
+
+TEST(AtomicFileTest, OverwriteReplacesWholeContent) {
+  const std::string dir = freshDir("atomic_overwrite");
+  const std::string path = dir + "/data.bin";
+  const auto longer = toBytes("a much longer first version of the file");
+  const auto shorter = toBytes("v2");
+  writeFileAtomic(path, std::span<const std::byte>(longer));
+  writeFileAtomic(path, std::span<const std::byte>(shorter));
+  // A non-atomic in-place write of a shorter payload would leave a tail of
+  // the first version behind.
+  EXPECT_EQ(readFileBytes(path), shorter);
+}
+
+TEST(AtomicFileTest, NoTemporaryLeftBehind) {
+  const std::string dir = freshDir("atomic_clean");
+  const auto payload = toBytes("x");
+  writeFileAtomic(dir + "/a.bin", std::span<const std::byte>(payload));
+  writeFileAtomic(dir + "/a.bin", std::span<const std::byte>(payload));
+  std::size_t entries = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    (void)e;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);  // just a.bin — no .tmp.* stragglers
+}
+
+TEST(AtomicFileTest, FailedWriteLeavesPreviousContentAndNoTemp) {
+  const std::string dir = freshDir("atomic_fail");
+  // Writing to a path whose parent does not exist must throw and create
+  // nothing.
+  const auto payload = toBytes("doomed");
+  EXPECT_THROW(writeFileAtomic(dir + "/no/such/dir/f.bin",
+                               std::span<const std::byte>(payload)),
+               Error);
+  EXPECT_FALSE(fs::exists(dir + "/no"));
+}
+
+TEST(AtomicFileTest, ReadMissingFileThrows) {
+  EXPECT_THROW((void)readFileBytes("/nonexistent/casvm/file.bin"), Error);
+}
+
+TEST(AtomicFileTest, ReadEmptyFileYieldsEmptyVector) {
+  const std::string dir = freshDir("atomic_empty");
+  const std::string path = dir + "/empty.bin";
+  writeFileAtomic(path, std::span<const std::byte>());
+  EXPECT_TRUE(readFileBytes(path).empty());
+}
+
+}  // namespace
+}  // namespace casvm::support

@@ -84,4 +84,50 @@ if "$BIN/casvm-train" --data "$WORK/train.scaled" --method ra-ca \
 fi
 grep -q "unknown fault kind" "$WORK/badspec.log"
 
+# An aborting traced run still flushes its partial trace before teardown.
+if "$BIN/casvm-train" --data "$WORK/train.scaled" --method cascade \
+  --gamma 0.5 --procs 4 --fault-spec "crash:rank=2,phase=train" \
+  --trace "$WORK/partial_trace.json" > "$WORK/traceabort.log" 2>&1; then
+  echo "expected the traced cascade run to fail" >&2
+  exit 1
+fi
+grep -q "partial trace flushed" "$WORK/traceabort.log"
+test -s "$WORK/partial_trace.json"
+
+# Checkpoint/resume: a run killed mid-solve restarts from its checkpoint
+# directory and still writes a model.
+if "$BIN/casvm-train" --data "$WORK/train.scaled" --method cascade \
+  --gamma 0.5 --procs 4 --fault-spec "crash:rank=0,phase=solve,nth=2" \
+  --checkpoint-dir "$WORK/ckpt" --checkpoint-every 8 \
+  > "$WORK/ckpt_crash.log" 2>&1; then
+  echo "expected the checkpointed cascade run to crash" >&2
+  exit 1
+fi
+"$BIN/casvm-train" --data "$WORK/train.scaled" --method cascade \
+  --gamma 0.5 --procs 4 --checkpoint-dir "$WORK/ckpt" --checkpoint-every 8 \
+  --resume --out "$WORK/resumed.bin" > "$WORK/resume.log"
+grep -q "resumed:" "$WORK/resume.log"
+grep -q "model written" "$WORK/resume.log"
+
+# --resume without --checkpoint-dir is rejected up front.
+if "$BIN/casvm-train" --data "$WORK/train.scaled" --method ra-ca \
+  --gamma 0.5 --procs 4 --resume > "$WORK/noresume.log" 2>&1; then
+  echo "expected --resume without --checkpoint-dir to be rejected" >&2
+  exit 1
+fi
+grep -q -- "--resume needs --checkpoint-dir" "$WORK/noresume.log"
+
+# Rank retry: the crashed rank respawns and full coverage is restored —
+# the run is recovered, not degraded.
+"$BIN/casvm-train" --data "$WORK/train.scaled" --method ra-ca \
+  --gamma 0.5 --procs 4 --fault-spec "crash:rank=2,phase=train" \
+  --rank-retries 1 --checkpoint-dir "$WORK/ckpt_retry" \
+  --out "$WORK/retried.bin" > "$WORK/retry.log"
+grep -q "recovered: rank(s) 2" "$WORK/retry.log"
+grep -q "model written" "$WORK/retry.log"
+if grep -q "degraded run" "$WORK/retry.log"; then
+  echo "a recovered run must not be reported degraded" >&2
+  exit 1
+fi
+
 echo "tools workflow OK"

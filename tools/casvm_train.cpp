@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <optional>
 
+#include "casvm/ckpt/store.hpp"
 #include "casvm/core/train.hpp"
 #include "casvm/data/io.hpp"
 #include "casvm/data/registry.hpp"
@@ -42,7 +43,15 @@ constexpr const char* kUsage = R"(usage: casvm-train [options]
                        "crash:rank=2,phase=train;slow:rank=1,factor=4"
                        (partitioned methods degrade, others fail fast)
   --fault-seed <s>     seed for probabilistic fault clauses (default 0)
+  --checkpoint-dir <d> persist training state into <d> (crash-consistent,
+                       CRC-guarded); enables --resume and --rank-retries
+  --checkpoint-every <n> solver snapshot cadence in iterations (default 4096)
+  --resume             restart from the newest consistent checkpoints in
+                       --checkpoint-dir (bitwise-identical final model)
+  --rank-retries <n>   in-run retry budget per crashed rank before the
+                       degraded path (partitioned methods; default 0)
   --trace <file>       write a Chrome trace (chrome://tracing) of the run
+                       (flushed even when the run aborts)
   --metrics-json <file> write per-rank/per-phase metrics as JSON
   --out <file>         model output path (default casvm.model)
 )";
@@ -73,14 +82,37 @@ casvm::obs::MetricsReport buildMetrics(const casvm::core::TrainResult& res,
       "init", res.initTraffic.totalBytes(), res.initTraffic.totalOps()});
   report.phases.push_back(obs::PhaseTraffic{
       "train", res.trainTraffic.totalBytes(), res.trainTraffic.totalOps()});
+  report.recovery.degraded = res.degraded;
+  report.recovery.resumed = res.resumed;
+  report.recovery.checkpointsLoaded = res.checkpointsLoaded;
+  report.recovery.failedRanks = res.failedRanks;
+  report.recovery.recoveredRanks = res.recoveredRanks;
+  report.recovery.retriesPerRank = res.retriesPerRank;
   return report;
+}
+
+/// Flush the partial trace to disk before the process unwinds: a watchdog
+/// abort or an unwound collective must still leave the evidence of what
+/// every rank was doing on disk, or the trace is useless exactly when it
+/// is most needed.
+void flushTraceOnFailure(const casvm::obs::TraceRecorder* recorder,
+                         const casvm::cli::Args& args) {
+  if (recorder == nullptr || !args.has("trace")) return;
+  const std::string path = args.get("trace", "trace.json");
+  try {
+    recorder->writeChromeTrace(path);
+    std::fprintf(stderr, "casvm-train: partial trace flushed to %s\n",
+                 path.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "casvm-train: trace flush failed: %s\n", e.what());
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace casvm;
-  const cli::Args args(argc, argv, {"shrinking", "help"});
+  const cli::Args args(argc, argv, {"shrinking", "help", "resume"});
   if (args.has("help") || argc == 1) cli::usage(kUsage);
 
   try {
@@ -128,6 +160,21 @@ int main(int argc, char** argv) {
     cfg.solver.tolerance = args.getDouble("tolerance", 1e-3);
     cfg.solver.shrinking = args.has("shrinking");
 
+    std::optional<ckpt::CheckpointStore> store;
+    if (args.has("checkpoint-dir")) {
+      store.emplace(args.get("checkpoint-dir", "casvm-ckpt"));
+      cfg.checkpoints = &*store;
+      cfg.checkpointEvery =
+          static_cast<std::size_t>(args.getInt("checkpoint-every", 4096));
+      cfg.resume = args.has("resume");
+    } else if (args.has("resume")) {
+      std::fprintf(stderr, "casvm-train: --resume needs --checkpoint-dir\n");
+      return 1;
+    }
+    // Retries work without a store too — each attempt just re-solves from
+    // scratch instead of resuming from a snapshot.
+    cfg.rankRetries = static_cast<int>(args.getInt("rank-retries", 0));
+
     std::optional<obs::TraceRecorder> recorder;
     if (args.has("trace") || args.has("metrics-json")) {
       recorder.emplace();
@@ -137,8 +184,32 @@ int main(int argc, char** argv) {
     std::printf("training: %zu samples x %zu features, method %s, P=%d\n",
                 train.rows(), train.cols(),
                 core::methodName(cfg.method).c_str(), cfg.processes);
-    const core::TrainResult res = core::train(train, cfg);
+    std::optional<core::TrainResult> trained;
+    try {
+      trained = core::train(train, cfg);
+    } catch (...) {
+      // The run is unwinding (watchdog abort, unwound collective, injected
+      // crash past tolerance): flush the partial trace before teardown.
+      flushTraceOnFailure(recorder ? &*recorder : nullptr, args);
+      throw;
+    }
+    const core::TrainResult& res = *trained;
 
+    if (res.resumed && res.checkpointsLoaded > 0) {
+      std::printf("resumed: %zu checkpoint artifact(s) restored from %s\n",
+                  res.checkpointsLoaded,
+                  args.get("checkpoint-dir", "casvm-ckpt").c_str());
+    }
+    if (!res.recoveredRanks.empty()) {
+      std::string ranks;
+      for (int r : res.recoveredRanks) {
+        if (!ranks.empty()) ranks += ", ";
+        ranks += std::to_string(r);
+      }
+      std::printf("recovered: rank(s) %s crashed and were retried back to "
+                  "full coverage\n",
+                  ranks.c_str());
+    }
     if (res.degraded) {
       std::string ranks;
       for (int r : res.failedRanks) {
