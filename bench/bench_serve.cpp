@@ -1,5 +1,6 @@
 // Serving throughput benchmark — scalar predict vs. the compiled batch
-// path vs. the full engine (see DESIGN.md §7).
+// path vs. the full engine (see DESIGN.md §7), plus the serving-tier
+// robustness scenarios (§10).
 //
 // For each stand-in (epsilon: dense wide, ijcnn: dense narrow, webspam:
 // sparse) this trains a model, then scores the test set three ways:
@@ -11,20 +12,37 @@
 //
 // The compiled path must be bitwise-identical to scalar — the bench aborts
 // on the first mismatching decision, so a speedup here can never hide a
-// numerics change. Emits BENCH_SERVE_SPEEDUP.json.
+// numerics change.
+//
+// Two robustness scenarios then gate the hot-swap and overload machinery:
+//
+//   swap      20 consecutive publish() calls under sustained load. Every
+//             future must resolve, and every Ok reply is bitwise-compared
+//             to the scalar decisionFor of the exact generation that
+//             scored it (each generation carries a distinct bias, so a
+//             stale pack cannot masquerade as a fresh one).
+//   overload  open-loop burst into a tiny queue with stalled scoring:
+//             brownout must engage and the circuit breaker must trip to
+//             Degraded; a gentle closed-loop phase must then recover it
+//             (hysteresis exercised both ways). Asserted from ServeStats.
+//
+// Emits BENCH_SERVE_SPEEDUP.json.
 //
 // Options:
 //   --smoke      tiny sizes for CI
 //   --seed <s>   dataset RNG seed (default 42)
 //   --out <f>    output path (default BENCH_SERVE_SPEEDUP.json)
 
+#include <atomic>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <chrono>
 #include <future>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "casvm/core/distributed_model.hpp"
@@ -121,7 +139,191 @@ double engineThroughput(const serve::CompiledDistributedModel& compiled,
   return seconds > 0.0 ? double(ok) / seconds : 0.0;
 }
 
-void writeJson(const Options& opts, const std::vector<Record>& records) {
+std::vector<std::vector<float>> buildQueries(const data::Dataset& ds) {
+  std::vector<std::vector<float>> queries(ds.rows());
+  for (std::size_t i = 0; i < ds.rows(); ++i) {
+    queries[i].resize(ds.cols());
+    ds.copyRowDense(i, queries[i]);
+  }
+  return queries;
+}
+
+struct SwapResult {
+  std::size_t swaps = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t rejected = 0;  // shed/timeout/stopped (all explicit codes)
+  std::uint64_t generationsSeen = 0;
+  std::uint64_t mismatches = 0;
+  bool passed = false;
+};
+
+/// Hot-swap property gate: 20 consecutive publishes while a background
+/// thread keeps the engine under load. Each generation g gets a distinct
+/// bias (base + g/1000), so every Ok reply can be bitwise-verified against
+/// the scalar decisionFor of exactly the generation that reported scoring
+/// it — a request scored by a pack retired before its batch began would
+/// surface as a mismatch.
+SwapResult runSwapScenario(const data::NamedDataset& nd,
+                           const solver::Model& base) {
+  constexpr std::size_t kSwaps = 20;
+  std::vector<solver::Model> gens;
+  gens.reserve(kSwaps + 1);
+  gens.push_back(base);
+  for (std::size_t g = 1; g <= kSwaps; ++g) {
+    gens.emplace_back(base.kernelParams(), base.supportVectors(),
+                      base.alphaY(), base.bias() + 1e-3 * double(g));
+  }
+  const std::size_t rows = nd.test.rows();
+  std::vector<std::vector<double>> ref(gens.size(), std::vector<double>(rows));
+  for (std::size_t g = 0; g < gens.size(); ++g) {
+    for (std::size_t i = 0; i < rows; ++i) {
+      ref[g][i] = gens[g].decisionFor(nd.test, i);
+    }
+  }
+  const auto queries = buildQueries(nd.test);
+
+  serve::ServeConfig config;
+  config.workers = 2;
+  config.batchSize = 16;
+  config.maxWaitUs = 100;
+  config.queueCapacity = 4096;
+  serve::ServeEngine engine(serve::CompiledDistributedModel::compile(
+                                core::DistributedModel::single(gens[0])),
+                            config);
+
+  std::atomic<bool> stop{false};
+  std::mutex inflightMutex;
+  std::vector<std::pair<std::size_t, std::future<serve::ServeReply>>> inflight;
+  std::thread loadThread([&] {
+    std::size_t i = 0;
+    while (!stop.load()) {
+      const std::size_t q = i++ % queries.size();
+      auto fut = engine.submit(queries[q]);
+      {
+        std::lock_guard<std::mutex> lock(inflightMutex);
+        inflight.emplace_back(q, std::move(fut));
+      }
+      if (i % 64 == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+  });
+
+  SwapResult result;
+  result.swaps = kSwaps;
+  for (std::size_t g = 1; g <= kSwaps; ++g) {
+    const std::uint64_t gen =
+        engine.publish(serve::CompiledDistributedModel::compile(
+            core::DistributedModel::single(gens[g])));
+    // Probe until the new generation is observably serving before the
+    // next publish — "consecutive" swaps, not one racing batch of them.
+    while (engine.score(queries[0]).modelGeneration < gen) {
+    }
+  }
+  stop.store(true);
+  loadThread.join();
+
+  std::vector<bool> seen(kSwaps + 2, false);
+  for (auto& [q, fut] : inflight) {
+    const serve::ServeReply reply = fut.get();
+    if (reply.code != serve::ServeCode::Ok) {
+      ++result.rejected;
+      continue;
+    }
+    ++result.ok;
+    const std::uint64_t g = reply.modelGeneration;
+    if (g < 1 || g > kSwaps + 1) {
+      ++result.mismatches;
+      continue;
+    }
+    seen[g] = true;
+    if (std::memcmp(&reply.decision, &ref[g - 1][q], sizeof(double)) != 0) {
+      if (result.mismatches == 0) {
+        std::fprintf(stderr,
+                     "swap: decision for query %zu under generation %" PRIu64
+                     " not bitwise-identical to that generation's scalar "
+                     "decisionFor (%.17g vs %.17g)\n",
+                     q, g, reply.decision, ref[g - 1][q]);
+      }
+      ++result.mismatches;
+    }
+  }
+  engine.drain();
+  const serve::ServeStats stats = engine.stats();
+  for (std::size_t g = 1; g < seen.size(); ++g) {
+    result.generationsSeen += seen[g] ? 1 : 0;
+  }
+  result.passed = result.mismatches == 0 && result.ok > 0 &&
+                  stats.modelSwaps == kSwaps &&
+                  stats.modelGeneration == kSwaps + 1 &&
+                  stats.health == "drained";
+  return result;
+}
+
+struct OverloadResult {
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t brownoutEngaged = 0;
+  std::uint64_t brownoutBatches = 0;
+  std::uint64_t breakerTrips = 0;
+  std::uint64_t breakerRecoveries = 0;
+  std::size_t recoverScores = 0;
+  bool passed = false;
+};
+
+/// Overload-protection gate: a burst into a tiny queue with stalled
+/// scoring must engage brownout and trip the breaker to Degraded; a
+/// gentle closed-loop phase must then recover it (hysteresis both ways).
+OverloadResult runOverloadScenario(const solver::Model& base,
+                                   const std::vector<std::vector<float>>& queries) {
+  serve::ServeConfig config;
+  config.workers = 1;
+  config.batchSize = 8;
+  config.maxWaitUs = 200;
+  config.queueCapacity = 64;
+  config.injectScoreDelayUs = 2000;
+  config.breaker.windowRequests = 64;
+  config.breaker.maxShedRate = 0.3;
+  config.breaker.tripWindows = 2;
+  config.breaker.recoverWindows = 2;
+  serve::ServeEngine engine(serve::CompiledDistributedModel::compile(
+                                core::DistributedModel::single(base)),
+                            config);
+
+  OverloadResult result;
+  std::vector<std::future<serve::ServeReply>> inflight;
+  inflight.reserve(2000);
+  for (std::size_t i = 0; i < 2000; ++i) {
+    inflight.push_back(engine.submit(queries[i % queries.size()]));
+  }
+  for (auto& f : inflight) {
+    const serve::ServeCode code = f.get().code;
+    result.ok += code == serve::ServeCode::Ok;
+    result.shed += code == serve::ServeCode::Shed;
+  }
+
+  // Recovery phase: sequential synchronous scores are always admitted
+  // (empty queue), so windows go healthy and the breaker must close.
+  while (engine.health() != serve::Health::Ready &&
+         result.recoverScores < 1000) {
+    (void)engine.score(queries[result.recoverScores % queries.size()]);
+    ++result.recoverScores;
+  }
+  const bool recovered = engine.health() == serve::Health::Ready;
+  engine.drain();
+  const serve::ServeStats stats = engine.stats();
+  result.brownoutEngaged = stats.brownoutEngaged;
+  result.brownoutBatches = stats.brownoutBatches;
+  result.breakerTrips = stats.breakerTrips;
+  result.breakerRecoveries = stats.breakerRecoveries;
+  result.passed = recovered && stats.brownoutEngaged >= 1 &&
+                  stats.breakerTrips >= 1 && stats.breakerRecoveries >= 1 &&
+                  stats.health == "drained";
+  return result;
+}
+
+void writeJson(const Options& opts, const std::vector<Record>& records,
+               const SwapResult& swap, const OverloadResult& overload) {
   std::FILE* f = std::fopen(opts.out.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", opts.out.c_str());
@@ -146,9 +348,27 @@ void writeJson(const Options& opts, const std::vector<Record>& records) {
     }
     std::fprintf(f, "]}%s\n", i + 1 < records.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n  \"scenarios\": {\n");
+  std::fprintf(f,
+               "    \"swap_under_load\": {\"swaps\": %zu, \"ok\": %" PRIu64
+               ", \"rejected\": %" PRIu64 ", \"generations_seen\": %" PRIu64
+               ", \"mismatches\": %" PRIu64 ", \"passed\": %s},\n",
+               swap.swaps, swap.ok, swap.rejected, swap.generationsSeen,
+               swap.mismatches, swap.passed ? "true" : "false");
+  std::fprintf(f,
+               "    \"overload\": {\"ok\": %" PRIu64 ", \"shed\": %" PRIu64
+               ", \"brownout_engaged\": %" PRIu64
+               ", \"brownout_batches\": %" PRIu64 ", \"breaker_trips\": %" PRIu64
+               ", \"breaker_recoveries\": %" PRIu64
+               ", \"recover_scores\": %zu, \"passed\": %s}\n",
+               overload.ok, overload.shed, overload.brownoutEngaged,
+               overload.brownoutBatches, overload.breakerTrips,
+               overload.breakerRecoveries, overload.recoverScores,
+               overload.passed ? "true" : "false");
+  std::fprintf(f, "  }\n}\n");
   std::fclose(f);
-  std::printf("wrote %s (%zu configs)\n", opts.out.c_str(), records.size());
+  std::printf("wrote %s (%zu configs + 2 scenarios)\n", opts.out.c_str(),
+              records.size());
 }
 
 }  // namespace
@@ -244,6 +464,35 @@ int main(int argc, char** argv) {
     records.push_back(std::move(rec));
   }
 
-  writeJson(opts, records);
+  // Robustness scenarios run on the toy stand-in: small enough to be fast
+  // at smoke sizes, big enough to keep the engine busy across 20 swaps.
+  const data::NamedDataset toy = data::standin("toy", 0.5, opts.seed);
+  solver::SolverOptions so;
+  so.kernel = kernel::KernelParams::gaussian(toy.suggestedGamma);
+  so.C = toy.suggestedC;
+  const solver::Model toyModel = solver::SmoSolver(so).solve(toy.train).model;
+
+  const SwapResult swap = runSwapScenario(toy, toyModel);
+  std::printf(
+      "swap      %zu publishes  ok %" PRIu64 "  rejected %" PRIu64
+      "  generations %" PRIu64 "  mismatches %" PRIu64 "  %s\n",
+      swap.swaps, swap.ok, swap.rejected, swap.generationsSeen,
+      swap.mismatches, swap.passed ? "PASS" : "FAIL");
+
+  const OverloadResult overload =
+      runOverloadScenario(toyModel, buildQueries(toy.test));
+  std::printf(
+      "overload  ok %" PRIu64 "  shed %" PRIu64 "  brownout %" PRIu64
+      " (%" PRIu64 " batches)  trips %" PRIu64 "  recoveries %" PRIu64
+      "  %s\n",
+      overload.ok, overload.shed, overload.brownoutEngaged,
+      overload.brownoutBatches, overload.breakerTrips,
+      overload.breakerRecoveries, overload.passed ? "PASS" : "FAIL");
+
+  writeJson(opts, records, swap, overload);
+  if (!swap.passed || !overload.passed) {
+    std::fprintf(stderr, "bench_serve: robustness scenario failed\n");
+    return 1;
+  }
   return 0;
 }

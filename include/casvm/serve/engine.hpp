@@ -2,29 +2,43 @@
 
 /// \file engine.hpp
 /// The serving runtime: a worker thread pool pulling from a bounded MPMC
-/// request queue with micro-batching and admission control.
+/// request queue with micro-batching, admission control, zero-downtime
+/// model hot-swap and overload protection.
 ///
 /// Requests are single dense feature vectors. submit() either admits the
-/// request (future resolves once a worker scores it) or sheds it
-/// immediately with an explicit result code when the queue is at capacity
-/// — requests are never dropped silently. Workers collect micro-batches:
-/// a batch flushes when it reaches `batchSize` rows or `maxWaitUs`
-/// microseconds after its first request, whichever comes first, and the
-/// whole batch is scored in one pass through the compiled model (batch
-/// routing included). drain() performs a graceful shutdown: new submits
-/// are rejected with Stopped, everything already queued is scored, then
-/// the workers exit.
+/// request (future resolves once a worker scores it) or rejects it
+/// immediately with an explicit result code — requests are never dropped
+/// silently. Admission checks, in order: feature width (BadRequest),
+/// deadline already expired (Timeout, without touching the queue),
+/// priority shed (Shed — low-priority requests only see a fraction of the
+/// queue, and are shed outright while the engine is Degraded), queue
+/// capacity (Shed) and drain state (Stopped).
 ///
-/// Scored decisions are bitwise-identical to the scalar predict path —
-/// the compiled model's contract (see compiled_model.hpp) carries through
-/// the engine unchanged.
+/// Workers collect micro-batches: a batch flushes when it reaches
+/// `batchSize` rows or `maxWaitUs` microseconds after its first request,
+/// whichever comes first. Requests whose deadline passed while queued are
+/// resolved Timeout at pop, before they occupy a batch slot or burn
+/// scoring FLOPs. Each batch pins the current ModelPack once at scoring
+/// start and finishes on it even if publish() installs a new model
+/// mid-batch; see model_slot.hpp for the hot-swap protocol and health.hpp
+/// for the brownout/circuit-breaker state machines.
+///
+/// Scored decisions are bitwise-identical to the scalar predict path of
+/// whichever model generation scored the batch — the compiled model's
+/// contract (see compiled_model.hpp) carries through the engine
+/// unchanged, and every reply reports its generation.
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <future>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "casvm/serve/compiled_ensemble.hpp"
+#include "casvm/serve/health.hpp"
+#include "casvm/serve/model_slot.hpp"
 #include "casvm/serve/queue.hpp"
 #include "casvm/serve/stats.hpp"
 
@@ -41,12 +55,19 @@ struct ServeConfig {
   long long maxWaitUs = 200;      ///< micro-batch linger after first request
   std::size_t queueCapacity = 1024;  ///< admission-control bound (>= 1)
   long long requestTimeoutUs = 0;    ///< per-request deadline; 0 = none
+  /// Fraction of queueCapacity visible to low-priority submits: the
+  /// shed-low-first watermark. High-priority requests always see the full
+  /// capacity.
+  double lowPriorityAdmitFraction = 0.5;
+  BrownoutConfig brownout;  ///< queue-depth linger shedding (see health.hpp)
+  BreakerConfig breaker;    ///< Degraded-state circuit breaker
   /// Fault-injection hook (tests/chaos only): stall each batch scoring
   /// pass by this much to make queue pressure deterministic.
   long long injectScoreDelayUs = 0;
   /// Optional trace recorder: each worker gets a lane (pid kTracePid) and
   /// emits one Cat::Serve span per scored batch, timed relative to engine
-  /// construction. Must outlive the engine.
+  /// construction; a final `serve health` lane carries one span per
+  /// health state. Must outlive the engine.
   obs::TraceRecorder* trace = nullptr;
 };
 
@@ -56,12 +77,30 @@ inline constexpr int kServeTracePid = 1000;
 
 enum class ServeCode : std::uint8_t {
   Ok = 0,       ///< scored; decision/label are valid
-  Shed = 1,     ///< rejected at admission: queue at capacity
-  Timeout = 2,  ///< admitted but the per-request deadline passed
+  Shed = 1,     ///< rejected at admission: queue at capacity / overload
+  Timeout = 2,  ///< deadline passed before scoring (at submit or in queue)
   Stopped = 3,  ///< rejected: engine is draining or drained
+  BadRequest = 4,  ///< rejected: feature width does not match the model
 };
 
 const char* serveCodeName(ServeCode code);
+
+/// Request priority class. Low-priority requests are shed first under
+/// load: they only see `lowPriorityAdmitFraction` of the queue and are
+/// rejected outright while the circuit breaker holds the engine Degraded.
+enum class Priority : std::uint8_t { High = 0, Low = 1 };
+
+/// Per-submit knobs; default-constructed it matches the old submit().
+struct SubmitOptions {
+  Priority priority = Priority::High;
+  /// Relative deadline in microseconds from submit; -1 uses the engine's
+  /// `requestTimeoutUs`, 0 means no deadline.
+  long long deadlineUs = -1;
+  /// Absolute deadline (overrides deadlineUs when set). A deadline
+  /// already in the past is rejected at admission with Timeout before the
+  /// request touches the queue.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+};
 
 struct ServeReply {
   ServeCode code = ServeCode::Stopped;
@@ -69,6 +108,7 @@ struct ServeReply {
   std::int8_t label = 0;       ///< sign of decision when code == Ok
   double latencySeconds = 0.0; ///< submit-to-reply (0 for Shed/Stopped)
   std::size_t batchRows = 0;   ///< rows in the micro-batch that scored it
+  std::uint64_t modelGeneration = 0;  ///< model that scored it (Ok only)
 };
 
 class ServeEngine {
@@ -83,22 +123,46 @@ class ServeEngine {
   ServeEngine& operator=(const ServeEngine&) = delete;
 
   const ServeConfig& config() const { return config_; }
-  const CompiledDistributedModel& model() const { return model_; }
 
-  /// Admit one request. The future always resolves: with Ok once scored,
-  /// immediately with Shed (queue full) or Stopped (draining). `features`
-  /// must have model().cols() entries.
-  std::future<ServeReply> submit(std::vector<float> features);
+  /// Pin of the model generation currently serving. Holding the returned
+  /// pack keeps it alive across publishes; the reference returned by
+  /// `pack->model` is valid for the pin's lifetime only.
+  std::shared_ptr<const ModelPack> currentModel() const {
+    return slot_.acquire();
+  }
+  std::uint64_t modelGeneration() const { return slot_.generation(); }
+
+  /// Zero-downtime hot-swap: install `model` as the new serving pack and
+  /// return its generation. Takes effect between micro-batches —
+  /// in-flight batches finish on the pack they started with, and the
+  /// retired pack is destroyed once its last batch drains. The feature
+  /// width must match the engine's (see ModelSlot::publish); no request
+  /// is ever dropped by a swap.
+  std::uint64_t publish(CompiledDistributedModel model);
+
+  /// Admit one request. The future always resolves with exactly one
+  /// explicit code: Ok once scored, or immediately with BadRequest (wrong
+  /// feature width), Timeout (deadline already expired), Shed (queue full
+  /// or priority shed) or Stopped (draining).
+  std::future<ServeReply> submit(std::vector<float> features,
+                                 SubmitOptions options = {});
 
   /// Convenience synchronous scoring: submit + wait.
-  ServeReply score(std::vector<float> features);
+  ServeReply score(std::vector<float> features, SubmitOptions options = {});
 
   /// Graceful shutdown: reject new submits, score everything queued, join
-  /// the workers. Idempotent; safe to call from any thread.
+  /// the workers. Idempotent; safe to call from any thread. Transitions
+  /// health Draining -> Drained.
   void drain();
 
-  /// Consistent snapshot of counters, latency percentiles and the
-  /// batch-size distribution.
+  /// Current health state (see health.hpp for the lattice).
+  Health health() const;
+
+  /// Every health transition so far, timed in seconds since start.
+  std::vector<HealthTransition> healthTransitions() const;
+
+  /// Consistent snapshot of counters, latency percentiles, batch-size
+  /// distribution, hot-swap generation and health.
   ServeStats stats() const;
 
   /// stats().toJson() — the JSON export of the snapshot.
@@ -109,17 +173,37 @@ class ServeEngine {
     std::vector<float> features;
     std::promise<ServeReply> promise;
     std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point deadline;  ///< max() = none
+    Priority priority = Priority::High;
   };
 
   void workerLoop(obs::Lane* lane);
   void scoreBatch(std::vector<Request>& batch, BatchScratch& scratch,
-                  obs::Lane* lane);
+                  obs::Lane* lane, bool brownout);
+  /// Resolve a request that expired before scoring; counted as
+  /// expired-in-queue.
+  void expireRequest(Request& req, std::chrono::steady_clock::time_point now);
+  /// Feed one admission/completion outcome to the breaker and apply the
+  /// resulting health flip, if any.
+  void feedBreaker(bool shedOutcome, double latencyUs);
+  /// Re-evaluate brownout from the current queue depth; returns whether
+  /// brownout is engaged for the batch about to be collected.
+  bool updateBrownout();
+  /// Record a health transition (no-op once Draining/Drained, except the
+  /// Draining -> Drained step itself).
+  void transitionHealth(Health to);
+  /// Write the health timeline as spans into the trace lane (post-join).
+  void flushHealthLane();
 
-  CompiledDistributedModel model_;
+  ModelSlot slot_;
   ServeConfig config_;
   BoundedQueue<Request> queue_;
+  std::size_t lowPriorityCap_ = 0;
+  std::size_t brownoutEngageDepth_ = 0;
+  std::size_t brownoutRecoverDepth_ = 0;
   std::vector<std::thread> workers_;
   std::chrono::steady_clock::time_point start_;
+  obs::Lane* healthLane_ = nullptr;
 
   mutable std::mutex statsMutex_;
   std::uint64_t submitted_ = 0;
@@ -127,10 +211,26 @@ class ServeEngine {
   std::uint64_t shed_ = 0;
   std::uint64_t timedOut_ = 0;
   std::uint64_t rejectedStopped_ = 0;
+  std::uint64_t badRequests_ = 0;
+  std::uint64_t expiredAtAdmission_ = 0;
+  std::uint64_t expiredInQueue_ = 0;
+  std::uint64_t shedLow_ = 0;
+  std::uint64_t brownoutEngaged_ = 0;
+  std::uint64_t brownoutBatches_ = 0;
   std::uint64_t batches_ = 0;
   Log2Histogram latencyUs_;
   Log2Histogram batchRows_;
+  CircuitBreaker breaker_;
   double drainedElapsed_ = -1.0;  ///< elapsed seconds frozen at drain
+
+  std::atomic<bool> brownout_{false};
+  std::atomic<bool> degraded_{false};  ///< mirrors breaker_.open()
+
+  // Lock order: statsMutex_ before healthMutex_ (stats() nests them);
+  // never the reverse.
+  mutable std::mutex healthMutex_;
+  Health health_ = Health::Starting;
+  std::vector<HealthTransition> transitions_;
 
   std::mutex lifecycleMutex_;
   bool drained_ = false;

@@ -1,0 +1,109 @@
+#pragma once
+
+/// \file health.hpp
+/// Serving-tier health lifecycle and overload protection policies.
+///
+/// The engine's externally visible health walks a one-way-ish lattice:
+///
+///   Starting -> Ready <-> Degraded -> Draining -> Drained
+///
+/// Ready/Degraded flips are driven by the circuit breaker; once drain()
+/// begins, the Draining/Drained tail is final — a breaker recovery can
+/// never resurrect a draining engine. Every transition is timestamped and
+/// exported both through ServeStats and, when tracing is attached, as a
+/// `serve health` lane of state spans in the Chrome trace.
+///
+/// Two policies live here because they are pure state machines with no
+/// engine dependencies, unit-testable without threads:
+///
+///  - CircuitBreaker: sliding request-count windows over admission sheds
+///    and completion latencies. `tripWindows` consecutive breaching
+///    windows (shed rate or p99 latency over threshold) open the breaker
+///    (engine goes Degraded and sheds all low-priority work);
+///    `recoverWindows` consecutive healthy windows close it again — the
+///    asymmetric streaks are the hysteresis that keeps the state from
+///    flapping at the threshold.
+///  - BrownoutConfig: the queue-depth watermarks (with the same
+///    engage-high / recover-low hysteresis shape) at which workers stop
+///    lingering for full micro-batches and flush what they have.
+
+#include <cstdint>
+
+#include "casvm/serve/stats.hpp"
+
+namespace casvm::serve {
+
+enum class Health : std::uint8_t {
+  Starting = 0,  ///< constructor running, workers not yet accepting
+  Ready = 1,     ///< serving normally
+  Degraded = 2,  ///< circuit breaker open: low-priority work is shed
+  Draining = 3,  ///< drain() started: rejecting submits, scoring backlog
+  Drained = 4,   ///< workers joined; terminal
+};
+
+const char* healthName(Health health);
+
+/// One recorded health-state change, timed in seconds since engine start.
+struct HealthTransition {
+  Health from = Health::Starting;
+  Health to = Health::Starting;
+  double atSeconds = 0.0;
+};
+
+/// Brownout watermarks, as fractions of the queue capacity. When the
+/// depth a worker observes at batch start reaches `engageFraction *
+/// capacity`, workers switch to the brownout linger/batch knobs (flush
+/// immediately by default) until the depth falls back to
+/// `recoverFraction * capacity`. Set engageFraction > 1 to disable.
+struct BrownoutConfig {
+  double engageFraction = 0.75;
+  double recoverFraction = 0.25;
+  long long maxWaitUs = 0;    ///< micro-batch linger while browned out
+  std::size_t batchSize = 0;  ///< flush threshold while browned out; 0 = keep
+};
+
+/// Circuit-breaker thresholds. A window closes after `windowRequests`
+/// outcomes (admission sheds + scored completions); it breaches when the
+/// window's shed fraction exceeds `maxShedRate` or its p99 latency
+/// exceeds `maxP99Us` (0 disables the latency trigger). Set
+/// windowRequests = 0 to disable the breaker entirely.
+struct BreakerConfig {
+  std::uint64_t windowRequests = 256;
+  double maxShedRate = 0.5;
+  double maxP99Us = 0.0;
+  int tripWindows = 2;
+  int recoverWindows = 4;
+};
+
+/// Deterministic sliding-window breaker; not thread-safe (the engine
+/// feeds it under its stats mutex).
+class CircuitBreaker {
+ public:
+  enum class Action : std::uint8_t { None = 0, Trip = 1, Recover = 2 };
+
+  explicit CircuitBreaker(BreakerConfig config);
+
+  /// Record one request outcome: an admission shed (latency ignored) or a
+  /// scored completion with its latency in microseconds. Returns Trip or
+  /// Recover on the outcome that flips the breaker, None otherwise.
+  Action onOutcome(bool shed, double latencyUs);
+
+  bool open() const { return open_; }
+  std::uint64_t trips() const { return trips_; }
+  std::uint64_t recoveries() const { return recoveries_; }
+
+ private:
+  Action evaluateWindow();
+
+  BreakerConfig config_;
+  bool open_ = false;
+  std::uint64_t trips_ = 0;
+  std::uint64_t recoveries_ = 0;
+  int breachStreak_ = 0;
+  int healthyStreak_ = 0;
+  std::uint64_t windowTotal_ = 0;
+  std::uint64_t windowShed_ = 0;
+  Log2Histogram windowLatencyUs_;
+};
+
+}  // namespace casvm::serve

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file model_slot.hpp
+/// RCU-style holder for the serving engine's compiled model, enabling
+/// zero-downtime hot-swap.
+///
+/// The slot owns the current ModelPack behind a shared_ptr. publish()
+/// installs a new pack atomically (one mutex-guarded pointer swap — the
+/// mutex is never held across scoring); workers acquire() a pin on the
+/// current pack once per micro-batch and score the whole batch through
+/// it, so a batch always finishes on the pack it started with. A retired
+/// generation is destroyed by the last pin going out of scope — i.e. only
+/// after the final in-flight batch that started on it has drained; no
+/// epoch bookkeeping beyond the shared_ptr refcount is needed.
+///
+/// Generations are numbered from 1 (the pack the slot was constructed
+/// with); every published pack carries its generation so replies can
+/// report exactly which model scored them.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "casvm/serve/compiled_ensemble.hpp"
+
+namespace casvm::serve {
+
+/// One published model generation, pinned per micro-batch via shared_ptr.
+struct ModelPack {
+  CompiledDistributedModel model;
+  std::uint64_t generation = 0;
+};
+
+class ModelSlot {
+ public:
+  explicit ModelSlot(CompiledDistributedModel initial);
+
+  ModelSlot(const ModelSlot&) = delete;
+  ModelSlot& operator=(const ModelSlot&) = delete;
+
+  /// Install `model` as the new current pack and return its generation.
+  /// The feature width must match the slot's (a width-0 pack — no support
+  /// vectors anywhere — is compatible with anything), so admission-time
+  /// width validation stays race-free across swaps. Throws casvm::Error
+  /// on a width mismatch; the current pack is left untouched.
+  std::uint64_t publish(CompiledDistributedModel model);
+
+  /// Pin the current pack. The returned pointer (never null) stays valid
+  /// for as long as the caller holds it, regardless of later publishes.
+  std::shared_ptr<const ModelPack> acquire() const;
+
+  /// Generation of the current pack (1 = the construction-time pack).
+  std::uint64_t generation() const;
+
+  /// publish() calls since construction.
+  std::uint64_t swaps() const;
+
+  /// Stable feature width used for admission validation: the width of the
+  /// first non-empty pack ever installed (0 until one exists).
+  std::size_t cols() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<const ModelPack> current_;
+  std::uint64_t swaps_ = 0;
+  std::size_t cols_ = 0;
+};
+
+}  // namespace casvm::serve

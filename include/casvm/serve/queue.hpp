@@ -12,8 +12,10 @@
 /// Mutex + condition variable; simple, fair enough at serving batch sizes,
 /// and clean under ThreadSanitizer.
 
+#include <algorithm>
 #include <condition_variable>
 #include <chrono>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -29,11 +31,15 @@ class BoundedQueue {
   explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
 
   /// Non-blocking admission: Full when at capacity, Closed after close().
-  PushResult tryPush(T&& value) {
+  /// `value` is consumed only on Ok. `capLimit` caps the depth this push
+  /// may fill to below the queue's capacity — how low-priority requests
+  /// get shed first while high-priority ones still see the full queue.
+  PushResult tryPush(T&& value, std::size_t capLimit = SIZE_MAX) {
+    const std::size_t cap = std::min(capacity_, capLimit);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (closed_) return PushResult::Closed;
-      if (items_.size() >= capacity_) return PushResult::Full;
+      if (items_.size() >= cap) return PushResult::Full;
       items_.push_back(std::move(value));
     }
     cv_.notify_one();

@@ -50,7 +50,21 @@ struct ServeStats {
   std::uint64_t shed = 0;          ///< rejected at admission (queue full)
   std::uint64_t timedOut = 0;      ///< deadline passed before scoring
   std::uint64_t rejectedStopped = 0;  ///< submitted after drain started
+  std::uint64_t badRequests = 0;   ///< rejected: feature width mismatch
   std::uint64_t batches = 0;       ///< micro-batches scored
+  // Deadline breakdown: timedOut == expiredAtAdmission + expiredInQueue.
+  std::uint64_t expiredAtAdmission = 0;  ///< deadline already past at submit
+  std::uint64_t expiredInQueue = 0;  ///< expired while queued; never scored
+  // Overload protection:
+  std::uint64_t shedLow = 0;  ///< low-priority sheds (subset of `shed`)
+  std::uint64_t brownoutEngaged = 0;  ///< times brownout mode engaged
+  std::uint64_t brownoutBatches = 0;  ///< batches flushed while browned out
+  std::uint64_t breakerTrips = 0;       ///< Ready -> Degraded flips
+  std::uint64_t breakerRecoveries = 0;  ///< Degraded -> Ready flips
+  // Hot-swap:
+  std::uint64_t modelGeneration = 0;  ///< generation currently serving
+  std::uint64_t modelSwaps = 0;       ///< publish() calls so far
+  std::string health = "starting";    ///< healthName() of the engine state
   double elapsedSeconds = 0.0;     ///< engine start to now (or drain)
   double qps = 0.0;                ///< completed / elapsedSeconds
   double latencyP50 = 0.0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <string>
 
 #include "casvm/obs/trace.hpp"
@@ -16,6 +17,8 @@ double secondsBetween(std::chrono::steady_clock::time_point from,
   return std::chrono::duration<double>(to - from).count();
 }
 
+constexpr auto kNoDeadline = std::chrono::steady_clock::time_point::max();
+
 }  // namespace
 
 const char* serveCodeName(ServeCode code) {
@@ -24,19 +27,45 @@ const char* serveCodeName(ServeCode code) {
     case ServeCode::Shed: return "shed";
     case ServeCode::Timeout: return "timeout";
     case ServeCode::Stopped: return "stopped";
+    case ServeCode::BadRequest: return "bad_request";
   }
   return "unknown";
 }
 
 ServeEngine::ServeEngine(CompiledDistributedModel model, ServeConfig config)
-    : model_(std::move(model)),
+    : slot_(std::move(model)),
       config_(config),
       queue_(std::max<std::size_t>(1, config.queueCapacity)),
-      start_(std::chrono::steady_clock::now()) {
+      start_(std::chrono::steady_clock::now()),
+      breaker_(config.breaker) {
   config_.workers = std::max(1, config_.workers);
   config_.batchSize = std::max<std::size_t>(1, config_.batchSize);
   config_.maxWaitUs = std::max<long long>(0, config_.maxWaitUs);
   config_.queueCapacity = queue_.capacity();
+
+  const double lowFrac =
+      std::clamp(config_.lowPriorityAdmitFraction, 0.0, 1.0);
+  config_.lowPriorityAdmitFraction = lowFrac;
+  lowPriorityCap_ = static_cast<std::size_t>(
+      std::floor(lowFrac * static_cast<double>(config_.queueCapacity)));
+
+  const BrownoutConfig& bo = config_.brownout;
+  if (bo.engageFraction > 0.0 && bo.engageFraction <= 1.0) {
+    brownoutEngageDepth_ = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(
+               bo.engageFraction * double(config_.queueCapacity))));
+    brownoutRecoverDepth_ = static_cast<std::size_t>(std::floor(
+        std::clamp(bo.recoverFraction, 0.0, bo.engageFraction) *
+        double(config_.queueCapacity)));
+  } else {
+    brownoutEngageDepth_ = SIZE_MAX;  // disabled
+    brownoutRecoverDepth_ = 0;
+  }
+
+  if (config_.trace != nullptr) {
+    healthLane_ = &config_.trace->addLane(kServeTracePid, config_.workers,
+                                          "serve health");
+  }
   workers_.reserve(static_cast<std::size_t>(config_.workers));
   for (int i = 0; i < config_.workers; ++i) {
     obs::Lane* lane =
@@ -46,23 +75,78 @@ ServeEngine::ServeEngine(CompiledDistributedModel model, ServeConfig config)
             : nullptr;
     workers_.emplace_back([this, lane] { workerLoop(lane); });
   }
+  transitionHealth(Health::Ready);
 }
 
 ServeEngine::~ServeEngine() { drain(); }
 
-std::future<ServeReply> ServeEngine::submit(std::vector<float> features) {
-  const std::size_t cols = model_.cols();
-  CASVM_CHECK(cols == 0 || features.size() == cols,
-              "serve: request feature width does not match the model");
+std::uint64_t ServeEngine::publish(CompiledDistributedModel model) {
+  return slot_.publish(std::move(model));
+}
 
+std::future<ServeReply> ServeEngine::submit(std::vector<float> features,
+                                            SubmitOptions options) {
   Request req;
   req.features = std::move(features);
   req.enqueued = std::chrono::steady_clock::now();
+  req.priority = options.priority;
   std::future<ServeReply> fut = req.promise.get_future();
 
-  // tryPush only consumes the request when it actually enqueues it, so on
-  // Full/Closed the promise is still ours to fulfil with the reject code.
-  switch (queue_.tryPush(std::move(req))) {
+  // 1. Validate the feature width (a width-0 engine — no support vectors
+  //    anywhere — scores any width as a pure bias). Scoring a wrong-width
+  //    vector would read garbage, so this is a hard reject, not a shed.
+  const std::size_t cols = slot_.cols();
+  if (cols != 0 && req.features.size() != cols) {
+    ServeReply reply;
+    reply.code = ServeCode::BadRequest;
+    req.promise.set_value(reply);
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    ++badRequests_;
+    return fut;
+  }
+
+  // 2. Resolve the deadline and reject already-expired submits before
+  //    they consume a queue slot.
+  if (options.deadline.has_value()) {
+    req.deadline = *options.deadline;
+  } else {
+    const long long budgetUs =
+        options.deadlineUs >= 0 ? options.deadlineUs : config_.requestTimeoutUs;
+    req.deadline = budgetUs > 0
+                       ? req.enqueued + std::chrono::microseconds(budgetUs)
+                       : kNoDeadline;
+  }
+  if (req.deadline <= req.enqueued) {
+    ServeReply reply;
+    reply.code = ServeCode::Timeout;
+    req.promise.set_value(reply);
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    ++expiredAtAdmission_;
+    ++timedOut_;
+    return fut;
+  }
+
+  // 3. While the breaker holds the engine Degraded, low-priority work is
+  //    shed outright (a policy shed: it is not fed back into the breaker,
+  //    or the breaker could never observe recovery).
+  if (req.priority == Priority::Low &&
+      degraded_.load(std::memory_order_relaxed)) {
+    ServeReply reply;
+    reply.code = ServeCode::Shed;
+    req.promise.set_value(reply);
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    ++shed_;
+    ++shedLow_;
+    return fut;
+  }
+
+  // 4. Queue admission. Low priority only sees lowPriorityCap_ slots, so
+  //    under pressure low requests shed first while high ones still fit.
+  //    tryPush only consumes the request when it actually enqueues it, so
+  //    on Full/Closed the promise is still ours to fulfil.
+  const std::size_t cap =
+      req.priority == Priority::Low ? lowPriorityCap_ : SIZE_MAX;
+  switch (queue_.tryPush(std::move(req), cap)) {
     case PushResult::Ok: {
       std::lock_guard<std::mutex> lock(statsMutex_);
       ++submitted_;
@@ -72,8 +156,12 @@ std::future<ServeReply> ServeEngine::submit(std::vector<float> features) {
       ServeReply reply;
       reply.code = ServeCode::Shed;
       req.promise.set_value(reply);
-      std::lock_guard<std::mutex> lock(statsMutex_);
-      ++shed_;
+      {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++shed_;
+        if (req.priority == Priority::Low) ++shedLow_;
+      }
+      feedBreaker(true, 0.0);
       break;
     }
     case PushResult::Closed: {
@@ -88,8 +176,39 @@ std::future<ServeReply> ServeEngine::submit(std::vector<float> features) {
   return fut;
 }
 
-ServeReply ServeEngine::score(std::vector<float> features) {
-  return submit(std::move(features)).get();
+ServeReply ServeEngine::score(std::vector<float> features,
+                              SubmitOptions options) {
+  return submit(std::move(features), options).get();
+}
+
+void ServeEngine::expireRequest(Request& req,
+                                std::chrono::steady_clock::time_point now) {
+  ServeReply reply;
+  reply.code = ServeCode::Timeout;
+  reply.latencySeconds = secondsBetween(req.enqueued, now);
+  {
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    ++expiredInQueue_;
+    ++timedOut_;
+  }
+  req.promise.set_value(reply);
+}
+
+bool ServeEngine::updateBrownout() {
+  const std::size_t depth = queue_.size();
+  const bool engaged = brownout_.load(std::memory_order_relaxed);
+  if (!engaged && depth >= brownoutEngageDepth_) {
+    if (!brownout_.exchange(true, std::memory_order_relaxed)) {
+      std::lock_guard<std::mutex> lock(statsMutex_);
+      ++brownoutEngaged_;
+    }
+    return true;
+  }
+  if (engaged && depth <= brownoutRecoverDepth_) {
+    brownout_.store(false, std::memory_order_relaxed);
+    return false;
+  }
+  return engaged;
 }
 
 void ServeEngine::workerLoop(obs::Lane* lane) {
@@ -98,38 +217,68 @@ void ServeEngine::workerLoop(obs::Lane* lane) {
   for (;;) {
     Request first;
     if (queue_.waitPop(first) == PopResult::Closed) return;
+    // In-queue expiry at pop: an expired request neither occupies a batch
+    // slot nor delays the linger of live ones.
+    if (first.deadline <= std::chrono::steady_clock::now()) {
+      expireRequest(first, std::chrono::steady_clock::now());
+      continue;
+    }
     batch.clear();
     batch.push_back(std::move(first));
 
-    // Linger for up to maxWaitUs after the first request, flushing early
+    // Brownout shrinks the linger (and optionally the flush threshold):
+    // when the queue is deep, waiting for stragglers only adds latency —
+    // flush what is already there.
+    const bool brownout = updateBrownout();
+    const long long lingerUs =
+        brownout ? std::max<long long>(0, config_.brownout.maxWaitUs)
+                 : config_.maxWaitUs;
+    const std::size_t flushSize =
+        brownout && config_.brownout.batchSize > 0
+            ? std::min(config_.batchSize, config_.brownout.batchSize)
+            : config_.batchSize;
+
+    // Linger for up to lingerUs after the first request, flushing early
     // once the batch is full. Closed still returns queued items, so a
     // drain never strands admitted requests.
     const auto deadline = std::chrono::steady_clock::now() +
-                          std::chrono::microseconds(config_.maxWaitUs);
-    while (batch.size() < config_.batchSize) {
+                          std::chrono::microseconds(lingerUs);
+    while (batch.size() < flushSize) {
       Request next;
       if (queue_.waitPop(next, deadline) != PopResult::Item) break;
+      if (next.deadline <= std::chrono::steady_clock::now()) {
+        expireRequest(next, std::chrono::steady_clock::now());
+        continue;
+      }
       batch.push_back(std::move(next));
     }
-    scoreBatch(batch, scratch, lane);
+    scoreBatch(batch, scratch, lane, brownout);
   }
 }
 
 void ServeEngine::scoreBatch(std::vector<Request>& batch,
-                             BatchScratch& scratch, obs::Lane* lane) {
+                             BatchScratch& scratch, obs::Lane* lane,
+                             bool brownout) {
   if (config_.injectScoreDelayUs > 0) {
     std::this_thread::sleep_for(
         std::chrono::microseconds(config_.injectScoreDelayUs));
   }
+
+  // Pin the current model generation for the whole batch: a publish()
+  // racing this batch takes effect at the next batch, and the retired
+  // pack stays alive until the last pin drops.
+  const std::shared_ptr<const ModelPack> pack = slot_.acquire();
+  const CompiledDistributedModel& model = pack->model;
 
   const auto scoreStart = std::chrono::steady_clock::now();
   std::vector<Request*> live;
   live.reserve(batch.size());
   std::uint64_t expired = 0;
   for (auto& r : batch) {
-    if (config_.requestTimeoutUs > 0 &&
-        scoreStart - r.enqueued >
-            std::chrono::microseconds(config_.requestTimeoutUs)) {
+    // Deadlines are rechecked at scoring start: the injected delay and
+    // the linger both run after the pop-time check. Expired rows are
+    // skipped before they burn scoring FLOPs or inflate batch stats.
+    if (r.deadline <= scoreStart) {
       ServeReply reply;
       reply.code = ServeCode::Timeout;
       reply.latencySeconds = secondsBetween(r.enqueued, scoreStart);
@@ -141,13 +290,13 @@ void ServeEngine::scoreBatch(std::vector<Request>& batch,
   }
 
   std::vector<double> decisions(live.size(), 0.0);
-  const std::size_t cols = model_.cols();
+  const std::size_t cols = model.cols();
   if (!live.empty()) {
     if (cols == 0) {
       // Degenerate model with no support vectors anywhere: every decision
       // is a bias; no batch dataset to build.
       for (std::size_t j = 0; j < live.size(); ++j) {
-        decisions[j] = model_.decision(live[j]->features, scratch);
+        decisions[j] = model.decision(live[j]->features, scratch);
       }
     } else {
       std::vector<float> flat(live.size() * cols);
@@ -158,7 +307,7 @@ void ServeEngine::scoreBatch(std::vector<Request>& batch,
       const data::Dataset ds = data::Dataset::fromDense(
           cols, std::move(flat),
           std::vector<std::int8_t>(live.size(), std::int8_t{1}));
-      model_.decisionAll(ds, decisions, scratch);
+      model.decisionAll(ds, decisions, scratch);
     }
   }
 
@@ -178,10 +327,12 @@ void ServeEngine::scoreBatch(std::vector<Request>& batch,
   // a stats() snapshot must already account for it.
   {
     std::lock_guard<std::mutex> lock(statsMutex_);
+    expiredInQueue_ += expired;
     timedOut_ += expired;
     completed_ += live.size();
     if (!live.empty()) {
       ++batches_;
+      if (brownout) ++brownoutBatches_;
       batchRows_.record(static_cast<double>(live.size()));
       for (double lat : latencies) latencyUs_.record(lat * 1e6);
     }
@@ -194,18 +345,80 @@ void ServeEngine::scoreBatch(std::vector<Request>& batch,
     reply.label = decisions[j] >= 0.0 ? std::int8_t{1} : std::int8_t{-1};
     reply.latencySeconds = latencies[j];
     reply.batchRows = live.size();
+    reply.modelGeneration = pack->generation;
     live[j]->promise.set_value(reply);
   }
+  for (double lat : latencies) feedBreaker(false, lat * 1e6);
+}
+
+void ServeEngine::feedBreaker(bool shedOutcome, double latencyUs) {
+  CircuitBreaker::Action action;
+  {
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    action = breaker_.onOutcome(shedOutcome, latencyUs);
+  }
+  if (action == CircuitBreaker::Action::Trip) {
+    degraded_.store(true, std::memory_order_relaxed);
+    transitionHealth(Health::Degraded);
+  } else if (action == CircuitBreaker::Action::Recover) {
+    degraded_.store(false, std::memory_order_relaxed);
+    transitionHealth(Health::Ready);
+  }
+}
+
+void ServeEngine::transitionHealth(Health to) {
+  std::lock_guard<std::mutex> lock(healthMutex_);
+  if (health_ == to) return;
+  // The drain tail is final: a late breaker recovery (or trip) must not
+  // pull a Draining/Drained engine back into service states.
+  if (health_ >= Health::Draining && to < Health::Draining) return;
+  HealthTransition t;
+  t.from = health_;
+  t.to = to;
+  t.atSeconds = secondsBetween(start_, std::chrono::steady_clock::now());
+  transitions_.push_back(t);
+  health_ = to;
+}
+
+Health ServeEngine::health() const {
+  std::lock_guard<std::mutex> lock(healthMutex_);
+  return health_;
+}
+
+std::vector<HealthTransition> ServeEngine::healthTransitions() const {
+  std::lock_guard<std::mutex> lock(healthMutex_);
+  return transitions_;
+}
+
+void ServeEngine::flushHealthLane() {
+  if (healthLane_ == nullptr) return;
+  // Called after the workers joined and health reached Drained, so the
+  // timeline is final and the lane has a single writer.
+  std::vector<HealthTransition> timeline = healthTransitions();
+  double at = 0.0;
+  Health state = Health::Starting;
+  for (const HealthTransition& t : timeline) {
+    healthLane_->span(healthName(state), obs::Cat::Serve, at, t.atSeconds, -1,
+                      -1, static_cast<std::int64_t>(state));
+    at = t.atSeconds;
+    state = t.to;
+  }
+  healthLane_->span(healthName(state), obs::Cat::Serve, at,
+                    secondsBetween(start_, std::chrono::steady_clock::now()),
+                    -1, -1, static_cast<std::int64_t>(state));
 }
 
 void ServeEngine::drain() {
   std::lock_guard<std::mutex> lifecycle(lifecycleMutex_);
   if (drained_) return;
+  transitionHealth(Health::Draining);
   queue_.close();
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
   drained_ = true;
+  transitionHealth(Health::Drained);
+  flushHealthLane();
   std::lock_guard<std::mutex> lock(statsMutex_);
   drainedElapsed_ = secondsBetween(start_, std::chrono::steady_clock::now());
 }
@@ -218,7 +431,21 @@ ServeStats ServeEngine::stats() const {
   s.shed = shed_;
   s.timedOut = timedOut_;
   s.rejectedStopped = rejectedStopped_;
+  s.badRequests = badRequests_;
+  s.expiredAtAdmission = expiredAtAdmission_;
+  s.expiredInQueue = expiredInQueue_;
+  s.shedLow = shedLow_;
+  s.brownoutEngaged = brownoutEngaged_;
+  s.brownoutBatches = brownoutBatches_;
+  s.breakerTrips = breaker_.trips();
+  s.breakerRecoveries = breaker_.recoveries();
+  s.modelGeneration = slot_.generation();
+  s.modelSwaps = slot_.swaps();
   s.batches = batches_;
+  {
+    std::lock_guard<std::mutex> healthLock(healthMutex_);
+    s.health = healthName(health_);
+  }
   s.elapsedSeconds =
       drainedElapsed_ >= 0.0
           ? drainedElapsed_

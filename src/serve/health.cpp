@@ -1,0 +1,68 @@
+#include "casvm/serve/health.hpp"
+
+#include <algorithm>
+
+namespace casvm::serve {
+
+const char* healthName(Health health) {
+  switch (health) {
+    case Health::Starting: return "starting";
+    case Health::Ready: return "ready";
+    case Health::Degraded: return "degraded";
+    case Health::Draining: return "draining";
+    case Health::Drained: return "drained";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(BreakerConfig config) : config_(config) {
+  config_.tripWindows = std::max(1, config_.tripWindows);
+  config_.recoverWindows = std::max(1, config_.recoverWindows);
+}
+
+CircuitBreaker::Action CircuitBreaker::onOutcome(bool shed, double latencyUs) {
+  if (config_.windowRequests == 0) return Action::None;
+  ++windowTotal_;
+  if (shed) {
+    ++windowShed_;
+  } else {
+    windowLatencyUs_.record(latencyUs);
+  }
+  if (windowTotal_ < config_.windowRequests) return Action::None;
+  return evaluateWindow();
+}
+
+CircuitBreaker::Action CircuitBreaker::evaluateWindow() {
+  const double shedRate =
+      static_cast<double>(windowShed_) / static_cast<double>(windowTotal_);
+  const double p99Us = windowLatencyUs_.quantile(0.99);
+  const bool breach = shedRate > config_.maxShedRate ||
+                      (config_.maxP99Us > 0.0 && p99Us > config_.maxP99Us);
+  windowTotal_ = 0;
+  windowShed_ = 0;
+  windowLatencyUs_ = Log2Histogram{};
+
+  Action action = Action::None;
+  if (!open_) {
+    breachStreak_ = breach ? breachStreak_ + 1 : 0;
+    if (breachStreak_ >= config_.tripWindows) {
+      open_ = true;
+      ++trips_;
+      breachStreak_ = 0;
+      healthyStreak_ = 0;
+      action = Action::Trip;
+    }
+  } else {
+    healthyStreak_ = breach ? 0 : healthyStreak_ + 1;
+    if (healthyStreak_ >= config_.recoverWindows) {
+      open_ = false;
+      ++recoveries_;
+      breachStreak_ = 0;
+      healthyStreak_ = 0;
+      action = Action::Recover;
+    }
+  }
+  return action;
+}
+
+}  // namespace casvm::serve

@@ -1,0 +1,50 @@
+#include "casvm/serve/model_slot.hpp"
+
+#include "casvm/support/error.hpp"
+
+namespace casvm::serve {
+
+ModelSlot::ModelSlot(CompiledDistributedModel initial) {
+  auto pack = std::make_shared<ModelPack>();
+  pack->model = std::move(initial);
+  pack->generation = 1;
+  cols_ = pack->model.cols();
+  current_ = std::move(pack);
+}
+
+std::uint64_t ModelSlot::publish(CompiledDistributedModel model) {
+  const std::size_t newCols = model.cols();
+  std::lock_guard<std::mutex> lock(mutex_);
+  CASVM_CHECK(newCols == 0 || cols_ == 0 || newCols == cols_,
+              "serve: published model feature width does not match the "
+              "width this engine was created with");
+  auto pack = std::make_shared<ModelPack>();
+  pack->model = std::move(model);
+  pack->generation = current_->generation + 1;
+  if (cols_ == 0) cols_ = newCols;
+  current_ = std::move(pack);
+  ++swaps_;
+  return current_->generation;
+}
+
+std::shared_ptr<const ModelPack> ModelSlot::acquire() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+std::uint64_t ModelSlot::generation() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_->generation;
+}
+
+std::uint64_t ModelSlot::swaps() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return swaps_;
+}
+
+std::size_t ModelSlot::cols() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cols_;
+}
+
+}  // namespace casvm::serve

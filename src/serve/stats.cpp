@@ -53,7 +53,13 @@ std::string ServeStats::toJson() const {
   // counter or latency values can never truncate the object.
   return formatString(
       "{\"submitted\": %llu, \"completed\": %llu, \"shed\": %llu, "
-      "\"timed_out\": %llu, \"rejected_stopped\": %llu, \"batches\": %llu, "
+      "\"timed_out\": %llu, \"rejected_stopped\": %llu, "
+      "\"bad_requests\": %llu, \"batches\": %llu, "
+      "\"expired_at_admission\": %llu, \"expired_in_queue\": %llu, "
+      "\"shed_low\": %llu, \"brownout_engaged\": %llu, "
+      "\"brownout_batches\": %llu, \"breaker_trips\": %llu, "
+      "\"breaker_recoveries\": %llu, \"model_generation\": %llu, "
+      "\"model_swaps\": %llu, \"health\": \"%s\", "
       "\"elapsed_seconds\": %.6f, \"qps\": %.1f, "
       "\"latency_p50_us\": %.1f, \"latency_p95_us\": %.1f, "
       "\"latency_p99_us\": %.1f, \"latency_max_us\": %.1f, "
@@ -64,9 +70,20 @@ std::string ServeStats::toJson() const {
       static_cast<unsigned long long>(shed),
       static_cast<unsigned long long>(timedOut),
       static_cast<unsigned long long>(rejectedStopped),
-      static_cast<unsigned long long>(batches), elapsedSeconds, qps,
-      latencyP50 * 1e6, latencyP95 * 1e6, latencyP99 * 1e6, latencyMax * 1e6,
-      meanBatchRows, batchRowsP50, batchRowsMax);
+      static_cast<unsigned long long>(badRequests),
+      static_cast<unsigned long long>(batches),
+      static_cast<unsigned long long>(expiredAtAdmission),
+      static_cast<unsigned long long>(expiredInQueue),
+      static_cast<unsigned long long>(shedLow),
+      static_cast<unsigned long long>(brownoutEngaged),
+      static_cast<unsigned long long>(brownoutBatches),
+      static_cast<unsigned long long>(breakerTrips),
+      static_cast<unsigned long long>(breakerRecoveries),
+      static_cast<unsigned long long>(modelGeneration),
+      static_cast<unsigned long long>(modelSwaps), health.c_str(),
+      elapsedSeconds, qps, latencyP50 * 1e6, latencyP95 * 1e6,
+      latencyP99 * 1e6, latencyMax * 1e6, meanBatchRows, batchRowsP50,
+      batchRowsMax);
 }
 
 }  // namespace casvm::serve

@@ -161,19 +161,25 @@ TEST(TraceIntegrationTest, ServeEngineRecordsBatchSpans) {
   engine.drain();
 
   // Worker lanes live under the dedicated serve pid and record one span
-  // per scored micro-batch, tagged with the batch row count.
+  // per scored micro-batch, tagged with the batch row count; the `serve
+  // health` lane shares the pid with one span per health state.
   EXPECT_GE(rec.spanCount(serve::kServeTracePid, Cat::Serve), 1u);
   bool sawBatch = false;
+  bool sawHealth = false;
   for (std::size_t i = 0; i < rec.laneCount(); ++i) {
+    const bool healthLane = rec.lane(i).name() == "serve health";
+    sawHealth |= healthLane;
     for (const Event& e : rec.lane(i).events()) {
       if (e.cat != Cat::Serve) continue;
+      EXPECT_GE(e.durationSeconds(), 0.0);
+      if (healthLane) continue;  // covered by ServeEngineTest's lane test
       EXPECT_STREQ(e.name, "batch");
       EXPECT_GE(e.detail, 1);  // rows scored
-      EXPECT_GE(e.durationSeconds(), 0.0);
       sawBatch = true;
     }
   }
   EXPECT_TRUE(sawBatch);
+  EXPECT_TRUE(sawHealth);
 }
 
 }  // namespace

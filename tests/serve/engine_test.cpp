@@ -14,6 +14,7 @@
 
 #include "casvm/core/distributed_model.hpp"
 #include "casvm/data/synth.hpp"
+#include "casvm/obs/trace.hpp"
 #include "casvm/solver/smo.hpp"
 
 namespace casvm::serve {
@@ -156,11 +157,308 @@ TEST(ServeEngineTest, StatsJsonContainsCounters) {
       queriesFrom(data::generateTwoGaussians(1, 6, 4.0, 23)).front());
   engine.drain();
   const std::string json = engine.statsJson();
-  for (const char* key : {"\"submitted\"", "\"completed\"", "\"shed\"",
-                          "\"qps\"", "\"latency_p99_us\"",
-                          "\"mean_batch_rows\""}) {
+  for (const char* key :
+       {"\"submitted\"", "\"completed\"", "\"shed\"", "\"qps\"",
+        "\"latency_p99_us\"", "\"mean_batch_rows\"", "\"bad_requests\"",
+        "\"expired_at_admission\"", "\"expired_in_queue\"", "\"shed_low\"",
+        "\"brownout_engaged\"", "\"breaker_trips\"", "\"model_generation\"",
+        "\"model_swaps\"", "\"health\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
   }
+}
+
+// Admission must reject malformed feature vectors (wrong width) with an
+// explicit BadRequest before they reach the queue — a short vector that
+// slipped into a batch would read out of bounds in the tiled scorer.
+TEST(ServeEngineTest, RejectsWrongFeatureWidthAsBadRequest) {
+  ServeConfig config;
+  config.workers = 1;
+  ServeEngine engine(smallModel(), config);
+  const auto queries = queriesFrom(data::generateTwoGaussians(2, 6, 4.0, 23));
+
+  std::vector<float> shortVec = queries[0];
+  shortVec.pop_back();
+  std::vector<float> longVec = queries[0];
+  longVec.push_back(0.0F);
+  for (const auto& bad :
+       {shortVec, longVec, std::vector<float>{} /* empty */}) {
+    const ServeReply reply = engine.score(bad);
+    EXPECT_EQ(reply.code, ServeCode::BadRequest);
+    EXPECT_EQ(reply.latencySeconds, 0.0);
+    EXPECT_EQ(reply.modelGeneration, 0u);
+  }
+  // A well-formed request still scores on the same engine.
+  EXPECT_EQ(engine.score(queries[1]).code, ServeCode::Ok);
+  engine.drain();
+  const ServeStats stats = engine.stats();
+  EXPECT_EQ(stats.badRequests, 3u);
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+// A deadline already in the past is resolved Timeout at admission: it
+// never touches the queue, and is counted separately from in-queue expiry.
+TEST(ServeEngineTest, ExpiredDeadlineIsRejectedAtAdmission) {
+  ServeConfig config;
+  config.workers = 1;
+  ServeEngine engine(smallModel(), config);
+  const auto queries = queriesFrom(data::generateTwoGaussians(2, 6, 4.0, 23));
+
+  SubmitOptions past;
+  past.deadline = std::chrono::steady_clock::now() -
+                  std::chrono::milliseconds(5);
+  const ServeReply reply = engine.score(queries[0], past);
+  EXPECT_EQ(reply.code, ServeCode::Timeout);
+  engine.drain();
+  const ServeStats stats = engine.stats();
+  EXPECT_EQ(stats.expiredAtAdmission, 1u);
+  EXPECT_EQ(stats.expiredInQueue, 0u);
+  EXPECT_EQ(stats.timedOut, 1u);
+  EXPECT_EQ(stats.submitted, 0u);  // never admitted to the queue
+}
+
+// Requests whose deadline passes while queued are resolved Timeout at pop
+// and never occupy a batch slot: completed/batch-row stats must count only
+// the one request that actually scored.
+TEST(ServeEngineTest, InQueueExpirySkipsScoringAndBatchSlots) {
+  ServeConfig config;
+  config.workers = 1;
+  config.batchSize = 8;
+  config.maxWaitUs = 0;
+  config.queueCapacity = 64;
+  config.injectScoreDelayUs = 30000;  // first batch stalls 30ms
+  ServeEngine engine(smallModel(), config);
+  const auto queries = queriesFrom(data::generateTwoGaussians(6, 6, 4.0, 23));
+
+  // The first submit occupies the worker for 30ms; the rest carry a 5ms
+  // deadline and are guaranteed to expire while queued behind it.
+  std::vector<std::future<ServeReply>> inflight;
+  inflight.push_back(engine.submit(queries[0]));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  SubmitOptions tight;
+  tight.deadlineUs = 5000;
+  for (std::size_t i = 1; i < queries.size(); ++i) {
+    inflight.push_back(engine.submit(queries[i], tight));
+  }
+  EXPECT_EQ(inflight[0].get().code, ServeCode::Ok);
+  for (std::size_t i = 1; i < inflight.size(); ++i) {
+    const ServeReply reply = inflight[i].get();
+    EXPECT_EQ(reply.code, ServeCode::Timeout);
+    EXPECT_GT(reply.latencySeconds, 0.0);
+    EXPECT_EQ(reply.batchRows, 0u);  // expired before taking a batch slot
+  }
+  engine.drain();
+  const ServeStats stats = engine.stats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.expiredInQueue, queries.size() - 1);
+  EXPECT_EQ(stats.expiredAtAdmission, 0u);
+  EXPECT_EQ(stats.timedOut, queries.size() - 1);
+  EXPECT_LE(stats.batchRowsMax, 1.0);  // expired rows never inflated a batch
+}
+
+// Shed-low-first: low-priority submits only see lowPriorityAdmitFraction
+// of the queue, so under pressure the low class sheds while high-priority
+// requests still land.
+TEST(ServeEngineTest, LowPriorityShedsBeforeHighPriority) {
+  ServeConfig config;
+  config.workers = 1;
+  config.batchSize = 1;
+  config.maxWaitUs = 0;
+  config.queueCapacity = 4;
+  config.lowPriorityAdmitFraction = 0.5;  // low sees only 2 of 4 slots
+  config.injectScoreDelayUs = 50000;
+  ServeEngine engine(smallModel(), config);
+  const auto queries = queriesFrom(data::generateTwoGaussians(8, 6, 4.0, 23));
+
+  // Park the worker on one in-flight request so queue depth is ours.
+  auto parked = engine.submit(queries[0]);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+
+  SubmitOptions low;
+  low.priority = Priority::Low;
+  std::vector<std::future<ServeReply>> admitted;
+  admitted.push_back(engine.submit(queries[1], low));  // depth 1
+  admitted.push_back(engine.submit(queries[2], low));  // depth 2 = low cap
+  const ServeReply lowShed = engine.score(queries[3], low);
+  EXPECT_EQ(lowShed.code, ServeCode::Shed);  // low class is over its cap...
+  admitted.push_back(engine.submit(queries[4]));  // ...high still admits
+  admitted.push_back(engine.submit(queries[5]));  // depth 4 = capacity
+  const ServeReply highShed = engine.score(queries[6]);
+  EXPECT_EQ(highShed.code, ServeCode::Shed);  // full queue sheds everyone
+
+  EXPECT_EQ(parked.get().code, ServeCode::Ok);
+  for (auto& f : admitted) EXPECT_EQ(f.get().code, ServeCode::Ok);
+  engine.drain();
+  const ServeStats stats = engine.stats();
+  EXPECT_EQ(stats.shed, 2u);
+  EXPECT_EQ(stats.shedLow, 1u);
+  EXPECT_EQ(stats.completed, 5u);
+}
+
+// Brownout: when the queue depth a worker sees at batch start crosses the
+// engage watermark, it shrinks the micro-batch flush threshold and stops
+// lingering. Without brownout this workload would stall: partial batches
+// only flush after the 500ms linger, but the browned-out engine clears
+// everything in a few small batches.
+TEST(ServeEngineTest, BrownoutFlushesInsteadOfLingering) {
+  ServeConfig config;
+  config.workers = 1;
+  config.batchSize = 16;
+  config.maxWaitUs = 500000;  // without brownout a partial batch waits 500ms
+  config.queueCapacity = 64;
+  config.brownout.engageFraction = 0.1;  // engage at depth >= 7
+  config.brownout.recoverFraction = 0.0;
+  config.brownout.maxWaitUs = 0;   // browned out: no linger...
+  config.brownout.batchSize = 4;   // ...and 4-row flushes
+  config.injectScoreDelayUs = 20000;  // park the worker inside each batch
+  ServeEngine engine(smallModel(), config);
+  const auto queries = queriesFrom(data::generateTwoGaussians(24, 6, 4.0, 23));
+
+  // Wave 1: exactly one full micro-batch, so the worker flushes by size
+  // (never by linger) and parks in the injected scoring delay...
+  std::vector<std::future<ServeReply>> inflight;
+  for (std::size_t i = 0; i < 16; ++i) {
+    inflight.push_back(engine.submit(queries[i]));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // ...wave 2: eight more pile up behind the parked worker, so its next
+  // batch starts at depth >= 7 and engages brownout. A non-brownout
+  // engine would linger 500ms on the 8-row partial batch; browned out it
+  // flushes 4-row batches immediately.
+  for (std::size_t i = 16; i < queries.size(); ++i) {
+    inflight.push_back(engine.submit(queries[i]));
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(450);
+  for (auto& f : inflight) {
+    ASSERT_EQ(f.wait_until(deadline), std::future_status::ready);
+    EXPECT_EQ(f.get().code, ServeCode::Ok);
+  }
+  engine.drain();
+  const ServeStats stats = engine.stats();
+  EXPECT_GE(stats.brownoutEngaged, 1u);
+  EXPECT_GE(stats.brownoutBatches, 2u);
+  EXPECT_EQ(stats.completed, queries.size());
+  EXPECT_EQ(stats.shed, 0u);
+}
+
+// Circuit breaker: sustained admission sheds trip the engine into
+// Degraded (where the low priority class is rejected outright); draining
+// the pressure recovers it to Ready. Both edges must appear in the
+// recorded health transitions.
+TEST(ServeEngineTest, BreakerTripsToDegradedAndRecovers) {
+  ServeConfig config;
+  config.workers = 1;
+  config.batchSize = 8;
+  config.maxWaitUs = 0;
+  config.queueCapacity = 2;
+  config.injectScoreDelayUs = 5000;
+  config.breaker.windowRequests = 16;
+  config.breaker.maxShedRate = 0.4;
+  config.breaker.tripWindows = 1;
+  config.breaker.recoverWindows = 1;
+  ServeEngine engine(smallModel(), config);
+  const auto queries = queriesFrom(data::generateTwoGaussians(4, 6, 4.0, 23));
+
+  // Burst far past the 2-slot queue: almost everything sheds, so the
+  // first full breaker window breaches and trips the engine.
+  std::vector<std::future<ServeReply>> inflight;
+  for (int i = 0; i < 200; ++i) {
+    inflight.push_back(engine.submit(queries[i % queries.size()]));
+  }
+  for (auto& f : inflight) (void)f.get();
+  EXPECT_EQ(engine.health(), Health::Degraded);
+
+  // While Degraded, low-priority requests are shed outright even though
+  // the queue has free slots by now.
+  SubmitOptions low;
+  low.priority = Priority::Low;
+  EXPECT_EQ(engine.score(queries[0], low).code, ServeCode::Shed);
+
+  // Gentle synchronous traffic completes without sheds; one healthy
+  // window closes the breaker again.
+  std::size_t recoverScores = 0;
+  while (engine.health() != Health::Ready && recoverScores < 500) {
+    ASSERT_EQ(engine.score(queries[recoverScores % queries.size()]).code,
+              ServeCode::Ok);
+    ++recoverScores;
+  }
+  EXPECT_EQ(engine.health(), Health::Ready);
+  engine.drain();
+
+  const ServeStats stats = engine.stats();
+  EXPECT_GE(stats.breakerTrips, 1u);
+  EXPECT_GE(stats.breakerRecoveries, 1u);
+  EXPECT_GE(stats.shedLow, 1u);
+  bool sawTrip = false, sawRecover = false;
+  for (const HealthTransition& t : engine.healthTransitions()) {
+    sawTrip |= t.from == Health::Ready && t.to == Health::Degraded;
+    sawRecover |= t.from == Health::Degraded && t.to == Health::Ready;
+  }
+  EXPECT_TRUE(sawTrip);
+  EXPECT_TRUE(sawRecover);
+}
+
+// The health lattice end to end: construction lands in Ready (via
+// Starting), drain walks Draining -> Drained, and the terminal tail is
+// one-way — the transition log records each step exactly once.
+TEST(ServeEngineTest, HealthWalksLifecycleAndDrainIsTerminal) {
+  ServeConfig config;
+  config.workers = 1;
+  ServeEngine engine(smallModel(), config);
+  EXPECT_EQ(engine.health(), Health::Ready);
+  (void)engine.score(
+      queriesFrom(data::generateTwoGaussians(1, 6, 4.0, 23)).front());
+  engine.drain();
+  EXPECT_EQ(engine.health(), Health::Drained);
+  engine.drain();  // idempotent: no duplicate transitions
+  const auto transitions = engine.healthTransitions();
+  ASSERT_EQ(transitions.size(), 3u);
+  EXPECT_EQ(transitions[0].from, Health::Starting);
+  EXPECT_EQ(transitions[0].to, Health::Ready);
+  EXPECT_EQ(transitions[1].from, Health::Ready);
+  EXPECT_EQ(transitions[1].to, Health::Draining);
+  EXPECT_EQ(transitions[2].from, Health::Draining);
+  EXPECT_EQ(transitions[2].to, Health::Drained);
+  for (std::size_t i = 1; i < transitions.size(); ++i) {
+    EXPECT_GE(transitions[i].atSeconds, transitions[i - 1].atSeconds);
+  }
+  EXPECT_EQ(engine.stats().health, "drained");
+}
+
+// With a trace recorder attached, drain() flushes the health timeline as
+// a dedicated `serve health` lane: one Cat::Serve span per health state,
+// contiguous from engine start to drain.
+TEST(ServeEngineTest, TraceCarriesHealthTimelineLane) {
+  obs::TraceRecorder recorder;
+  ServeConfig config;
+  config.workers = 2;
+  config.trace = &recorder;
+  ServeEngine engine(smallModel(), config);
+  const auto queries = queriesFrom(data::generateTwoGaussians(4, 6, 4.0, 23));
+  for (const auto& q : queries) EXPECT_EQ(engine.score(q).code, ServeCode::Ok);
+  engine.drain();
+
+  const obs::Lane* healthLane = nullptr;
+  for (std::size_t i = 0; i < recorder.laneCount(); ++i) {
+    if (recorder.lane(i).name() == "serve health") {
+      healthLane = &recorder.lane(i);
+    }
+  }
+  ASSERT_NE(healthLane, nullptr);
+  EXPECT_EQ(healthLane->pid(), kServeTracePid);
+  // At minimum the starting, ready and draining states each get a span.
+  ASSERT_GE(healthLane->events().size(), 3u);
+  double prevEnd = 0.0;
+  for (const obs::Event& e : healthLane->events()) {
+    EXPECT_EQ(e.cat, obs::Cat::Serve);
+    EXPECT_GE(e.startSeconds, prevEnd);  // states tile the timeline in order
+    EXPECT_GE(e.endSeconds, e.startSeconds);
+    prevEnd = e.startSeconds;
+  }
+  // Worker batch spans still share the serve pid alongside the new lane.
+  EXPECT_GT(recorder.spanCount(kServeTracePid, obs::Cat::Serve),
+            healthLane->events().size());
 }
 
 // Multi-producer stress (runs under TSan in CI): N producers hammer a
@@ -190,6 +488,7 @@ TEST(ServeEngineTest, ThreadedStressKeepsFullAccounting) {
           case ServeCode::Shed: ++shed; break;
           case ServeCode::Timeout: ++timedOut; break;
           case ServeCode::Stopped: ++stopped; break;
+          case ServeCode::BadRequest: FAIL() << "valid width rejected"; break;
         }
       }
     });

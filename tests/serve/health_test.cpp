@@ -1,0 +1,132 @@
+// Pure-state-machine tests for the overload-protection policies: the
+// circuit breaker's windowed trip/recover hysteresis and the health-state
+// naming used by ServeStats JSON.
+
+#include "casvm/serve/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace casvm::serve {
+namespace {
+
+BreakerConfig tinyWindow() {
+  BreakerConfig config;
+  config.windowRequests = 4;
+  config.maxShedRate = 0.5;
+  config.maxP99Us = 0.0;
+  config.tripWindows = 2;
+  config.recoverWindows = 2;
+  return config;
+}
+
+// Feed one full window of identical outcomes; returns the action emitted
+// when the window closes.
+CircuitBreaker::Action feedWindow(CircuitBreaker& breaker,
+                                  const BreakerConfig& config, bool shed,
+                                  double latencyUs = 10.0) {
+  CircuitBreaker::Action last = CircuitBreaker::Action::None;
+  for (std::uint64_t i = 0; i < config.windowRequests; ++i) {
+    last = breaker.onOutcome(shed, latencyUs);
+  }
+  return last;
+}
+
+TEST(CircuitBreakerTest, DisabledBreakerNeverTrips) {
+  BreakerConfig config = tinyWindow();
+  config.windowRequests = 0;
+  CircuitBreaker breaker(config);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(breaker.onOutcome(true, 0.0), CircuitBreaker::Action::None);
+  }
+  EXPECT_FALSE(breaker.open());
+  EXPECT_EQ(breaker.trips(), 0u);
+}
+
+TEST(CircuitBreakerTest, TripsOnlyAfterConsecutiveBreachingWindows) {
+  const BreakerConfig config = tinyWindow();  // tripWindows = 2
+  CircuitBreaker breaker(config);
+  EXPECT_EQ(feedWindow(breaker, config, /*shed=*/true),
+            CircuitBreaker::Action::None);  // first breach: streak 1
+  EXPECT_FALSE(breaker.open());
+  EXPECT_EQ(feedWindow(breaker, config, /*shed=*/true),
+            CircuitBreaker::Action::Trip);  // second consecutive breach
+  EXPECT_TRUE(breaker.open());
+  EXPECT_EQ(breaker.trips(), 1u);
+  // Further breaching windows while open emit no duplicate Trip.
+  EXPECT_EQ(feedWindow(breaker, config, /*shed=*/true),
+            CircuitBreaker::Action::None);
+  EXPECT_EQ(breaker.trips(), 1u);
+}
+
+TEST(CircuitBreakerTest, HealthyWindowResetsBreachStreak) {
+  const BreakerConfig config = tinyWindow();
+  CircuitBreaker breaker(config);
+  feedWindow(breaker, config, true);   // breach, streak 1
+  feedWindow(breaker, config, false);  // healthy window resets the streak
+  EXPECT_EQ(feedWindow(breaker, config, true),
+            CircuitBreaker::Action::None);  // breach again: streak back to 1
+  EXPECT_FALSE(breaker.open());
+}
+
+TEST(CircuitBreakerTest, RecoversAfterConsecutiveHealthyWindows) {
+  const BreakerConfig config = tinyWindow();  // recoverWindows = 2
+  CircuitBreaker breaker(config);
+  feedWindow(breaker, config, true);
+  feedWindow(breaker, config, true);
+  ASSERT_TRUE(breaker.open());
+  EXPECT_EQ(feedWindow(breaker, config, false),
+            CircuitBreaker::Action::None);  // healthy streak 1
+  EXPECT_TRUE(breaker.open());              // hysteresis: still open
+  EXPECT_EQ(feedWindow(breaker, config, false),
+            CircuitBreaker::Action::Recover);
+  EXPECT_FALSE(breaker.open());
+  EXPECT_EQ(breaker.recoveries(), 1u);
+  // The streaks reset: a fresh trip needs tripWindows breaches again.
+  EXPECT_EQ(feedWindow(breaker, config, true), CircuitBreaker::Action::None);
+  EXPECT_EQ(feedWindow(breaker, config, true), CircuitBreaker::Action::Trip);
+  EXPECT_EQ(breaker.trips(), 2u);
+}
+
+TEST(CircuitBreakerTest, BreachingShedWindowInterruptsRecovery) {
+  const BreakerConfig config = tinyWindow();
+  CircuitBreaker breaker(config);
+  feedWindow(breaker, config, true);
+  feedWindow(breaker, config, true);
+  ASSERT_TRUE(breaker.open());
+  feedWindow(breaker, config, false);  // healthy streak 1
+  feedWindow(breaker, config, true);   // breach resets the healthy streak
+  feedWindow(breaker, config, false);  // healthy streak 1 again
+  EXPECT_TRUE(breaker.open());
+  EXPECT_EQ(feedWindow(breaker, config, false),
+            CircuitBreaker::Action::Recover);
+}
+
+TEST(CircuitBreakerTest, LatencyP99TriggersIndependentlyOfSheds) {
+  BreakerConfig config = tinyWindow();
+  config.maxP99Us = 100.0;
+  CircuitBreaker breaker(config);
+  // No sheds at all, but every completion is 10x over the p99 budget.
+  EXPECT_EQ(feedWindow(breaker, config, false, 1000.0),
+            CircuitBreaker::Action::None);
+  EXPECT_EQ(feedWindow(breaker, config, false, 1000.0),
+            CircuitBreaker::Action::Trip);
+  EXPECT_TRUE(breaker.open());
+  // Fast completions recover it.
+  feedWindow(breaker, config, false, 5.0);
+  EXPECT_EQ(feedWindow(breaker, config, false, 5.0),
+            CircuitBreaker::Action::Recover);
+  EXPECT_FALSE(breaker.open());
+}
+
+TEST(HealthTest, NamesMatchStatsJsonVocabulary) {
+  EXPECT_STREQ(healthName(Health::Starting), "starting");
+  EXPECT_STREQ(healthName(Health::Ready), "ready");
+  EXPECT_STREQ(healthName(Health::Degraded), "degraded");
+  EXPECT_STREQ(healthName(Health::Draining), "draining");
+  EXPECT_STREQ(healthName(Health::Drained), "drained");
+}
+
+}  // namespace
+}  // namespace casvm::serve

@@ -1,0 +1,79 @@
+// ModelSlot: generation numbering, pack pinning across publishes, and the
+// feature-width compatibility contract that keeps admission validation
+// race-free across hot-swaps.
+
+#include "casvm/serve/model_slot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "casvm/core/distributed_model.hpp"
+#include "casvm/data/synth.hpp"
+#include "casvm/solver/smo.hpp"
+#include "casvm/support/error.hpp"
+
+namespace casvm::serve {
+namespace {
+
+CompiledDistributedModel modelWithCols(std::size_t cols,
+                                       std::uint64_t seed = 5) {
+  const auto train = data::generateTwoGaussians(80, cols, 4.0, seed);
+  solver::SolverOptions opts;
+  opts.kernel = kernel::KernelParams::gaussian(0.4);
+  return CompiledDistributedModel::compile(core::DistributedModel::single(
+      solver::SmoSolver(opts).solve(train).model));
+}
+
+TEST(ModelSlotTest, InitialPackIsGenerationOne) {
+  ModelSlot slot(modelWithCols(6));
+  EXPECT_EQ(slot.generation(), 1u);
+  EXPECT_EQ(slot.swaps(), 0u);
+  EXPECT_EQ(slot.cols(), 6u);
+  const auto pack = slot.acquire();
+  ASSERT_NE(pack, nullptr);
+  EXPECT_EQ(pack->generation, 1u);
+  EXPECT_EQ(pack->model.cols(), 6u);
+}
+
+TEST(ModelSlotTest, PublishAdvancesGenerationAndSwaps) {
+  ModelSlot slot(modelWithCols(6));
+  EXPECT_EQ(slot.publish(modelWithCols(6, 7)), 2u);
+  EXPECT_EQ(slot.publish(modelWithCols(6, 9)), 3u);
+  EXPECT_EQ(slot.generation(), 3u);
+  EXPECT_EQ(slot.swaps(), 2u);
+}
+
+// The RCU property: a pin taken before a publish keeps the retired pack
+// alive and intact; a pin taken after sees the new generation.
+TEST(ModelSlotTest, AcquiredPinSurvivesPublish) {
+  ModelSlot slot(modelWithCols(6));
+  const auto before = slot.acquire();
+  const std::size_t svsBefore = before->model.totalSupportVectors();
+  slot.publish(modelWithCols(6, 7));
+  EXPECT_EQ(before->generation, 1u);
+  EXPECT_EQ(before->model.totalSupportVectors(), svsBefore);
+  const auto after = slot.acquire();
+  EXPECT_EQ(after->generation, 2u);
+  EXPECT_NE(before.get(), after.get());
+}
+
+TEST(ModelSlotTest, PublishRejectsMismatchedFeatureWidth) {
+  ModelSlot slot(modelWithCols(6));
+  EXPECT_THROW(slot.publish(modelWithCols(4)), Error);
+  // The failed publish left the current pack untouched.
+  EXPECT_EQ(slot.generation(), 1u);
+  EXPECT_EQ(slot.swaps(), 0u);
+}
+
+// A width-0 pack (no support vectors anywhere) is compatible with any
+// width; the slot adopts the width of the first non-empty pack.
+TEST(ModelSlotTest, EmptySlotAdoptsFirstNonEmptyWidth) {
+  ModelSlot slot((CompiledDistributedModel()));
+  EXPECT_EQ(slot.cols(), 0u);
+  EXPECT_EQ(slot.publish(modelWithCols(6)), 2u);
+  EXPECT_EQ(slot.cols(), 6u);
+  EXPECT_THROW(slot.publish(modelWithCols(4)), Error);
+  EXPECT_EQ(slot.publish(modelWithCols(6, 11)), 3u);
+}
+
+}  // namespace
+}  // namespace casvm::serve

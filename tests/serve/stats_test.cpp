@@ -91,15 +91,38 @@ TEST(ServeStatsTest, JsonHasEveryField) {
   s.elapsedSeconds = 0.5;
   s.qps = 16.0;
   s.latencyP50 = 0.000123;
+  s.badRequests = 3;
+  s.expiredAtAdmission = 1;
+  s.expiredInQueue = 4;
+  s.shedLow = 2;
+  s.brownoutEngaged = 1;
+  s.brownoutBatches = 5;
+  s.breakerTrips = 1;
+  s.breakerRecoveries = 1;
+  s.modelGeneration = 7;
+  s.modelSwaps = 6;
+  s.health = "degraded";
   const std::string json = s.toJson();
   for (const char* key :
        {"\"submitted\": 10", "\"completed\": 8", "\"shed\": 2",
         "\"timed_out\"", "\"rejected_stopped\"", "\"batches\"",
         "\"elapsed_seconds\"", "\"qps\": 16.0", "\"latency_p50_us\": 123.0",
         "\"latency_p95_us\"", "\"latency_p99_us\"", "\"latency_max_us\"",
-        "\"mean_batch_rows\"", "\"batch_rows_p50\"", "\"batch_rows_max\""}) {
+        "\"mean_batch_rows\"", "\"batch_rows_p50\"", "\"batch_rows_max\"",
+        "\"bad_requests\": 3", "\"expired_at_admission\": 1",
+        "\"expired_in_queue\": 4", "\"shed_low\": 2",
+        "\"brownout_engaged\": 1", "\"brownout_batches\": 5",
+        "\"breaker_trips\": 1", "\"breaker_recoveries\": 1",
+        "\"model_generation\": 7", "\"model_swaps\": 6",
+        "\"health\": \"degraded\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
   }
+}
+
+TEST(ServeStatsTest, DefaultHealthIsStarting) {
+  const ServeStats s;
+  EXPECT_EQ(s.health, "starting");
+  EXPECT_NE(s.toJson().find("\"health\": \"starting\""), std::string::npos);
 }
 
 TEST(ServeStatsTest, JsonSurvivesExtremeValues) {

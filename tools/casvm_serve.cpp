@@ -9,14 +9,25 @@
 // the next request) or open-loop (requests dispatched at a fixed target
 // rate regardless of completions, the honest way to observe shedding).
 // Emits BENCH_SERVE.json with client-side throughput, per-code tallies and
-// the engine's own stats snapshot.
+// the engine's own post-drain stats snapshot (health included).
+//
+// Robustness knobs: --swap-every N hot-swaps the model mid-run every N
+// dispatched requests (zero-downtime publish; the engine JSON reports the
+// swap count and final generation), --low-frac sends a fraction of the
+// load as low-priority (shed-first) requests, and --health-json writes the
+// final health/stats snapshot to its own probe file. SIGTERM is a
+// graceful shutdown: dispatch stops, every in-flight future is collected,
+// the engine drains, and the JSON artifacts are still written — the chaos
+// CI job SIGTERMs a run mid-load and asserts exactly that.
 //
 // --smoke is fully self-contained for CI: it trains a tiny model on the
-// `toy` stand-in in-process, runs one closed-loop and one open-loop pass,
-// and fails loudly if any request went unaccounted for.
+// `toy` stand-in in-process, runs one closed-loop pass, one open-loop pass
+// and one open-loop pass with hot-swaps and a priority mix, and fails
+// loudly if any request went unaccounted for.
 
 #include <atomic>
 #include <cinttypes>
+#include <csignal>
 #include <cstdio>
 #include <future>
 #include <thread>
@@ -45,9 +56,19 @@ constexpr const char* kUsage = R"(usage: casvm-serve [options]
   --max-wait-us <u>   micro-batch linger after first request (default 200)
   --queue-cap <q>     admission-control queue bound (default 1024)
   --timeout-us <t>    per-request deadline, 0 = none (default 0)
+  --inject-delay-us <d>  stall each scoring pass (chaos/CI pressure knob)
+  --swap-every <n>    hot-swap the model every n dispatched requests (0 = off)
+  --low-frac <f>      fraction of requests sent low-priority (default 0)
   --out <file>        JSON output path (default BENCH_SERVE.json)
+  --health-json <f>   also write the final engine health/stats snapshot to f
   --smoke             self-contained CI run on the toy stand-in
 )";
+
+// SIGTERM/SIGINT request a graceful shutdown: stop dispatching, collect
+// every outstanding future, drain, write the JSON artifacts, exit 0.
+std::atomic<bool> gStop{false};
+
+void onSignal(int) { gStop.store(true); }
 
 std::vector<std::vector<float>> buildQueries(const data::Dataset& ds) {
   std::vector<std::vector<float>> queries(ds.rows());
@@ -58,23 +79,30 @@ std::vector<std::vector<float>> buildQueries(const data::Dataset& ds) {
   return queries;
 }
 
+struct LoadOptions {
+  std::size_t swapEvery = 0;  ///< publish() every n dispatched requests
+  double lowFrac = 0.0;       ///< fraction of requests sent Priority::Low
+};
+
 struct RunResult {
   std::string mode;
-  std::size_t requests = 0;
+  std::size_t requests = 0;     // dispatched (== target unless interrupted)
   std::size_t concurrency = 0;  // closed loop only
   double rate = 0.0;            // open loop only
   std::uint64_t ok = 0;
   std::uint64_t shedded = 0;
   std::uint64_t timedOut = 0;
   std::uint64_t stopped = 0;
+  std::uint64_t badRequest = 0;
+  bool interrupted = false;
   double clientSeconds = 0.0;
-  serve::ServeStats engine;
+  serve::ServeStats engine;  // post-drain snapshot
 
   double clientQps() const {
     return clientSeconds > 0.0 ? double(ok) / clientSeconds : 0.0;
   }
   bool accounted() const {
-    return ok + shedded + timedOut + stopped == requests;
+    return ok + shedded + timedOut + stopped + badRequest == requests;
   }
 };
 
@@ -84,20 +112,43 @@ void tally(RunResult& r, serve::ServeCode code) {
     case serve::ServeCode::Shed: ++r.shedded; break;
     case serve::ServeCode::Timeout: ++r.timedOut; break;
     case serve::ServeCode::Stopped: ++r.stopped; break;
+    case serve::ServeCode::BadRequest: ++r.badRequest; break;
+  }
+}
+
+serve::SubmitOptions optionsFor(std::size_t i, const LoadOptions& load) {
+  serve::SubmitOptions options;
+  if (load.lowFrac > 0.0 &&
+      double(i % 100) < load.lowFrac * 100.0) {
+    options.priority = serve::Priority::Low;
+  }
+  return options;
+}
+
+/// Hot-swap trigger: every swapEvery-th dispatched request republishes the
+/// model (alternating between two identical packs, so decisions are
+/// unchanged but the generation — and the swap machinery — advances).
+void maybeSwap(serve::ServeEngine& engine,
+               const serve::CompiledDistributedModel& pack, std::size_t i,
+               const LoadOptions& load) {
+  if (load.swapEvery > 0 && i > 0 && i % load.swapEvery == 0) {
+    engine.publish(pack);
   }
 }
 
 /// Closed loop: each client submits, waits for the reply, repeats. Offered
 /// load self-limits to the engine's service rate.
 RunResult runClosed(serve::ServeEngine& engine,
+                    const serve::CompiledDistributedModel& pack,
                     const std::vector<std::vector<float>>& queries,
-                    std::size_t concurrency, std::size_t totalRequests) {
+                    std::size_t concurrency, std::size_t totalRequests,
+                    const LoadOptions& load) {
   RunResult result;
   result.mode = "closed";
-  result.requests = totalRequests;
   result.concurrency = concurrency;
 
   std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> sent{0};
   std::mutex tallyMutex;
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> clients;
@@ -106,10 +157,13 @@ RunResult runClosed(serve::ServeEngine& engine,
     clients.emplace_back([&] {
       RunResult local;
       for (;;) {
+        if (gStop.load()) break;
         const std::size_t i = next.fetch_add(1);
         if (i >= totalRequests) break;
-        const serve::ServeReply reply =
-            engine.score(queries[i % queries.size()]);
+        maybeSwap(engine, pack, i, load);
+        const serve::ServeReply reply = engine.score(
+            queries[i % queries.size()], optionsFor(i, load));
+        sent.fetch_add(1);
         tally(local, reply.code);
       }
       std::lock_guard<std::mutex> lock(tallyMutex);
@@ -117,24 +171,27 @@ RunResult runClosed(serve::ServeEngine& engine,
       result.shedded += local.shedded;
       result.timedOut += local.timedOut;
       result.stopped += local.stopped;
+      result.badRequest += local.badRequest;
     });
   }
   for (auto& c : clients) c.join();
+  result.requests = sent.load();
+  result.interrupted = gStop.load();
   result.clientSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
-  result.engine = engine.stats();
   return result;
 }
 
 /// Open loop: dispatch at the target rate without waiting for replies, so
 /// an overloaded engine sheds instead of silently slowing the generator.
 RunResult runOpen(serve::ServeEngine& engine,
+                  const serve::CompiledDistributedModel& pack,
                   const std::vector<std::vector<float>>& queries, double rate,
-                  std::size_t totalRequests) {
+                  std::size_t totalRequests, const LoadOptions& load,
+                  const char* modeName = "open") {
   RunResult result;
-  result.mode = "open";
-  result.requests = totalRequests;
+  result.mode = modeName;
   result.rate = rate;
 
   const auto period = std::chrono::duration_cast<
@@ -144,23 +201,30 @@ RunResult runOpen(serve::ServeEngine& engine,
   inflight.reserve(totalRequests);
   const auto t0 = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < totalRequests; ++i) {
+    if (gStop.load()) {
+      result.interrupted = true;
+      break;
+    }
     std::this_thread::sleep_until(t0 + period * static_cast<long long>(i));
-    inflight.push_back(engine.submit(queries[i % queries.size()]));
+    maybeSwap(engine, pack, i, load);
+    inflight.push_back(
+        engine.submit(queries[i % queries.size()], optionsFor(i, load)));
   }
+  result.requests = inflight.size();
   for (auto& f : inflight) tally(result, f.get().code);
   result.clientSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
-  result.engine = engine.stats();
   return result;
 }
 
 void printRun(const RunResult& r) {
   std::printf(
       "%-6s  requests %zu  ok %" PRIu64 "  shed %" PRIu64 "  timeout %" PRIu64
-      "  stopped %" PRIu64 "  %.3fs  %.0f qps\n",
+      "  stopped %" PRIu64 "  bad %" PRIu64 "%s  %.3fs  %.0f qps\n",
       r.mode.c_str(), r.requests, r.ok, r.shedded, r.timedOut, r.stopped,
-      r.clientSeconds, r.clientQps());
+      r.badRequest, r.interrupted ? "  [interrupted]" : "", r.clientSeconds,
+      r.clientQps());
   std::printf("        engine %s\n", r.engine.toJson().c_str());
 }
 
@@ -188,8 +252,10 @@ void writeJson(const std::string& path, bool smoke,
     }
     std::fprintf(f,
                  "\"ok\": %" PRIu64 ", \"shed\": %" PRIu64
-                 ", \"timeout\": %" PRIu64 ", \"stopped\": %" PRIu64 ", ",
-                 r.ok, r.shedded, r.timedOut, r.stopped);
+                 ", \"timeout\": %" PRIu64 ", \"stopped\": %" PRIu64
+                 ", \"bad_request\": %" PRIu64 ", \"interrupted\": %s, ",
+                 r.ok, r.shedded, r.timedOut, r.stopped, r.badRequest,
+                 r.interrupted ? "true" : "false");
     std::fprintf(f, "\"client_seconds\": %.6f, \"client_qps\": %.1f,\n",
                  r.clientSeconds, r.clientQps());
     std::fprintf(f, "     \"engine\": %s}%s\n", r.engine.toJson().c_str(),
@@ -198,6 +264,14 @@ void writeJson(const std::string& path, bool smoke,
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("wrote %s (%zu runs)\n", path.c_str(), runs.size());
+}
+
+void writeHealthJson(const std::string& path, const serve::ServeStats& stats) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) throw Error("cannot open " + path + " for writing");
+  std::fprintf(f, "%s\n", stats.toJson().c_str());
+  std::fclose(f);
+  std::printf("wrote %s (health: %s)\n", path.c_str(), stats.health.c_str());
 }
 
 /// Train a small model on the toy stand-in so --smoke needs no files.
@@ -218,6 +292,8 @@ int main(int argc, char** argv) {
   if (args.has("help") || (!smoke && (!args.has("model") || !args.has("data")))) {
     cli::usage(kUsage);
   }
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGINT, onSignal);
 
   try {
     serve::CompiledDistributedModel compiled;
@@ -246,6 +322,11 @@ int main(int argc, char** argv) {
     config.queueCapacity =
         static_cast<std::size_t>(args.getInt("queue-cap", 1024));
     config.requestTimeoutUs = args.getInt("timeout-us", 0);
+    config.injectScoreDelayUs = args.getInt("inject-delay-us", 0);
+
+    LoadOptions load;
+    load.swapEvery = static_cast<std::size_t>(args.getInt("swap-every", 0));
+    load.lowFrac = args.getDouble("low-frac", 0.0);
 
     const std::size_t requests = static_cast<std::size_t>(
         args.getInt("requests", smoke ? 2000 : 20000));
@@ -255,21 +336,49 @@ int main(int argc, char** argv) {
     if (smoke || mode == "closed") {
       serve::ServeEngine engine(compiled, config);
       runs.push_back(runClosed(
-          engine, queries,
-          static_cast<std::size_t>(args.getInt("concurrency", 4)), requests));
+          engine, compiled, queries,
+          static_cast<std::size_t>(args.getInt("concurrency", 4)), requests,
+          load));
       engine.drain();
+      runs.back().engine = engine.stats();
       printRun(runs.back());
     }
     if (smoke || mode == "open") {
       serve::ServeEngine engine(compiled, config);
-      runs.push_back(runOpen(engine, queries,
+      runs.push_back(runOpen(engine, compiled, queries,
                              args.getDouble("rate", smoke ? 20000.0 : 50000.0),
-                             requests));
+                             requests, load));
       engine.drain();
+      runs.back().engine = engine.stats();
+      printRun(runs.back());
+    }
+    if (smoke) {
+      // Robustness pass: open loop with mid-run hot-swaps and a
+      // low-priority mix, on a tighter queue with stalled scoring so the
+      // shed-first and brownout paths see real pressure. Counters land in
+      // the JSON.
+      LoadOptions swapLoad = load;
+      if (swapLoad.swapEvery == 0) swapLoad.swapEvery = 64;
+      if (swapLoad.lowFrac <= 0.0) swapLoad.lowFrac = 0.25;
+      serve::ServeConfig swapConfig = config;
+      swapConfig.queueCapacity = 64;
+      if (swapConfig.injectScoreDelayUs == 0) {
+        swapConfig.injectScoreDelayUs = 2000;
+      }
+      serve::ServeEngine engine(compiled, swapConfig);
+      runs.push_back(runOpen(engine, compiled, queries,
+                             args.getDouble("rate", 20000.0), requests,
+                             swapLoad, "swap"));
+      engine.drain();
+      runs.back().engine = engine.stats();
       printRun(runs.back());
     }
 
     writeJson(args.get("out", "BENCH_SERVE.json"), smoke, compiled, runs);
+    if (args.has("health-json") && !runs.empty()) {
+      writeHealthJson(args.get("health-json", "HEALTH.json"),
+                      runs.back().engine);
+    }
 
     // Admission control promises every request an explicit outcome; a
     // mismatch here means a reply was dropped on the floor.
@@ -279,9 +388,19 @@ int main(int argc, char** argv) {
                      r.mode.c_str());
         return 1;
       }
-      if (smoke && r.ok == 0) {
+      if (smoke && !r.interrupted && r.ok == 0) {
         std::fprintf(stderr, "casvm-serve: %s smoke run scored nothing\n",
                      r.mode.c_str());
+        return 1;
+      }
+      if (r.engine.health != "drained") {
+        std::fprintf(stderr, "casvm-serve: %s run ended with health %s\n",
+                     r.mode.c_str(), r.engine.health.c_str());
+        return 1;
+      }
+      if (smoke && !r.interrupted && r.mode == "swap" &&
+          r.engine.modelSwaps == 0) {
+        std::fprintf(stderr, "casvm-serve: swap run performed no swaps\n");
         return 1;
       }
     }
