@@ -9,6 +9,8 @@
 //   --seed <s>     RNG seed (default 42)
 //   --libsvm <f>   train on a real LIBSVM file instead of the stand-in
 //   --libsvm-test <f>  matching test file (required with --libsvm)
+//   --check        turn the bench's printed claims into hard assertions
+//                  (exit 1 on violation); used by CI
 
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +30,7 @@ struct Options {
   std::uint64_t seed = 42;
   std::string libsvmTrain;
   std::string libsvmTest;
+  bool check = false;
 };
 
 inline Options parseArgs(int argc, char** argv) {
@@ -50,10 +53,12 @@ inline Options parseArgs(int argc, char** argv) {
       opts.libsvmTrain = next("--libsvm");
     } else if (std::strcmp(argv[i], "--libsvm-test") == 0) {
       opts.libsvmTest = next("--libsvm-test");
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      opts.check = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "options: --scale <f> --procs <P> --seed <s> "
-          "--libsvm <train> --libsvm-test <test>\n");
+          "--libsvm <train> --libsvm-test <test> --check\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", argv[i]);

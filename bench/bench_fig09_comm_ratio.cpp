@@ -25,6 +25,8 @@ int main(int argc, char** argv) {
   };
   const Row rows[] = {
       {"dis-smo", core::Method::DisSmo, false},
+      {"dis-smo-shrink", core::Method::DisSmoShrink, false},
+      {"pbm", core::Method::Pbm, false},
       {"cascade", core::Method::Cascade, false},
       {"dc-svm", core::Method::DcSvm, false},
       {"dc-filter", core::Method::DcFilter, false},

@@ -16,30 +16,35 @@ int main(int argc, char** argv) {
 
   const data::NamedDataset nd = bench::loadDataset("ijcnn", opts);
 
-  const core::Method methods[] = {core::Method::DisSmo, core::Method::Cascade,
-                                  core::Method::DcSvm, core::Method::DcFilter,
-                                  core::Method::CpSvm, core::Method::RaCa};
-  const char* paperRows[] = {
-      "34MB / 335,186 ops / 101B",  "8MB / 56 ops / 150,200B",
-      "29MB / 80 ops / 360,734B",   "18MB / 80 ops / 220,449B",
-      "17MB / 24 ops / 709,644B",   "0MB / 0 ops / n/a"};
+  struct Entry {
+    core::Method method;
+    const char* paperRow;  // dash for methods the paper did not measure
+  };
+  const Entry entries[] = {
+      {core::Method::DisSmo, "34MB / 335,186 ops / 101B"},
+      {core::Method::DisSmoShrink, "-"},
+      {core::Method::Pbm, "-"},
+      {core::Method::Cascade, "8MB / 56 ops / 150,200B"},
+      {core::Method::DcSvm, "29MB / 80 ops / 360,734B"},
+      {core::Method::DcFilter, "18MB / 80 ops / 220,449B"},
+      {core::Method::CpSvm, "17MB / 24 ops / 709,644B"},
+      {core::Method::RaCa, "0MB / 0 ops / n/a"},
+  };
 
   TablePrinter table({"method", "amount", "operations", "amount/operation",
                       "paper (amount/ops/per-op)"});
-  int row = 0;
-  for (core::Method method : methods) {
-    const core::TrainConfig cfg = bench::makeConfig(nd, method, opts);
+  for (const Entry& entry : entries) {
+    const core::TrainConfig cfg = bench::makeConfig(nd, entry.method, opts);
     const core::TrainResult res = core::train(nd.train, cfg);
     const auto& traffic = res.runStats.traffic;
     table.addRow(
-        {methodName(method),
+        {methodName(entry.method),
          TablePrinter::fmtBytes(static_cast<double>(traffic.totalBytes())),
          TablePrinter::fmtCount(static_cast<long long>(traffic.totalOps())),
          traffic.totalOps() == 0
              ? "n/a"
              : TablePrinter::fmtBytes(traffic.bytesPerOp()),
-         paperRows[row]});
-    ++row;
+         entry.paperRow});
   }
   table.print();
   bench::note(

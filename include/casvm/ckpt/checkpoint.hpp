@@ -33,6 +33,8 @@ enum class Kind : std::uint32_t {
   SolverState = 3,  ///< mid-solve SMO snapshot
   SubModel = 4,     ///< a completed per-rank sub-model (partitioned methods)
   TreeLayer = 5,    ///< a completed tree layer's merged/filtered output
+  DisSmoState = 6,  ///< a rank's mid-solve Dis-SMO state (alpha/f/active)
+  PbmRound = 7,     ///< a rank's PBM state at the top of an outer round
 };
 
 inline constexpr std::uint32_t kFormatVersion = 1;

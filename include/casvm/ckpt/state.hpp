@@ -49,6 +49,28 @@ PartitionState decodePartition(std::span<const std::byte> payload);
 std::vector<std::byte> encodeSolverState(const solver::SolverSnapshot& snap);
 solver::SolverSnapshot decodeSolverState(std::span<const std::byte> payload);
 
+/// A rank's mid-solve Dis-SMO state. Same payload shape as a solver
+/// snapshot (global iteration, whether shrinking ever engaged, local
+/// alpha/f, local active set) but under its own Kind so a global-method
+/// resume can never misread a partitioned run's solver file. The
+/// replicated elected-row cache is deliberately not saved: rebuilding it
+/// from scratch changes only communication volume, never the trajectory.
+std::vector<std::byte> encodeDisSmoState(const solver::SolverSnapshot& snap);
+solver::SolverSnapshot decodeDisSmoState(std::span<const std::byte> payload);
+
+/// A rank's PBM state at the top of an outer round: the round number, the
+/// iteration tallies accumulated so far, and the local alpha/f slices.
+struct PbmRoundState {
+  std::uint64_t round = 0;
+  long long blockIterations = 0;
+  long long pairIterations = 0;
+  std::vector<double> alpha;
+  std::vector<double> f;
+};
+
+std::vector<std::byte> encodePbmRound(const PbmRoundState& state);
+PbmRoundState decodePbmRound(std::span<const std::byte> payload);
+
 /// A finished per-rank sub-model (partitioned methods): the board deposits
 /// a crashed-then-resumed run would otherwise lose.
 struct SubModelState {

@@ -46,6 +46,14 @@ class CheckpointStore {
   std::optional<std::vector<std::byte>> load(const std::string& name,
                                              Kind kind) const;
 
+  /// Every valid payload of `name` with the expected kind, newest first —
+  /// at most kKeepGenerations entries. Global methods use this to agree on
+  /// a generation all ranks still hold: ranks checkpoint within one save
+  /// interval of each other, so with two kept generations the allreduce-min
+  /// of newest snapshot iterations exists somewhere in every rank's list.
+  std::vector<std::vector<std::byte>> loadGenerations(const std::string& name,
+                                                      Kind kind) const;
+
   /// True when at least one generation file of `name` exists (no
   /// integrity check — use load() to actually trust it).
   bool contains(const std::string& name) const;

@@ -1,12 +1,16 @@
 #pragma once
 
 /// \file method.hpp
-/// The eight distributed SVM training methods this library implements —
-/// the paper's baseline (Dis-SMO), the two prior partitioned methods it
+/// The distributed SVM training methods this library implements — the
+/// paper's baseline (Dis-SMO), the two prior partitioned methods it
 /// re-implements (Cascade, DC-SVM), and its five step-by-step refinements
 /// (DC-Filter, CP-SVM, BKM-CA, FCFS-CA, RA-CA). BKM-CA, FCFS-CA and RA-CA
 /// together constitute CA-SVM; RA-CA is what the paper reports as CA-SVM
-/// in the scaling studies.
+/// in the scaling studies. Two successors from the related work fill the
+/// comm-vs-accuracy middle between chatty Dis-SMO and zero-comm CA-SVM:
+/// Dis-SMO with distributed adaptive shrinking (Narasimhan & Vishnu,
+/// arXiv:1406.5161) and Parallel Block Minimization (Hsieh et al.,
+/// arXiv:1608.02010).
 
 #include <string>
 #include <vector>
@@ -22,6 +26,8 @@ enum class Method {
   BkmCa = 5,     ///< balanced K-means + ratio balance, independent SVMs
   FcfsCa = 6,    ///< FCFS partition + ratio balance, independent SVMs
   RaCa = 7,      ///< random even partition, zero-communication CA-SVM
+  Pbm = 8,       ///< parallel block minimization + global line search
+  DisSmoShrink = 9,  ///< Dis-SMO with distributed adaptive shrinking
 };
 
 /// Canonical lowercase name ("dis-smo", "cascade", ...).
@@ -30,7 +36,10 @@ std::string methodName(Method method);
 /// Inverse of methodName; throws casvm::Error for unknown names.
 Method methodFromName(const std::string& name);
 
-/// All methods in the paper's presentation order.
+/// All methods along the comm-vs-accuracy ladder: Dis-SMO first (one
+/// allreduce per iteration), then its shrinking variant, then PBM (one
+/// allreduce per outer round), then the tree and partitioned methods in
+/// the paper's presentation order.
 std::vector<Method> allMethods();
 
 /// Uses a binary reduction tree across layers (Cascade, DC-SVM, DC-Filter).
@@ -44,5 +53,10 @@ bool usesKmeans(Method method);
 
 /// Member of the CA-SVM family (BKM-CA, FCFS-CA, RA-CA).
 bool isCaSvm(Method method);
+
+/// Solves the single global dual problem with every rank cooperating on
+/// one model (Dis-SMO, Dis-SMO+shrinking, PBM) — as opposed to the tree
+/// and partitioned methods, which solve per-part subproblems.
+bool isGlobalMethod(Method method);
 
 }  // namespace casvm::core

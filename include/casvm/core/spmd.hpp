@@ -58,7 +58,10 @@ struct RankBoard {
         layerRecords(static_cast<std::size_t>(size)),
         retries(static_cast<std::size_t>(size), 0),
         recovered(static_cast<std::size_t>(size), 0),
-        checkpointsLoaded(static_cast<std::size_t>(size), 0) {}
+        checkpointsLoaded(static_cast<std::size_t>(size), 0),
+        auxIterations(static_cast<std::size_t>(size), 0),
+        shrinkEngagedIter(static_cast<std::size_t>(size), -1),
+        rowBcastsSkipped(static_cast<std::size_t>(size), 0) {}
 
   std::vector<solver::Model> models;
   std::vector<std::vector<double>> alphas;
@@ -86,6 +89,17 @@ struct RankBoard {
   std::vector<int> retries;
   std::vector<char> recovered;
   std::vector<long long> checkpointsLoaded;
+
+  /// Secondary iteration counter for methods with two kinds of work:
+  /// PBM records its global pair-correction iterations here (identical on
+  /// every rank) next to the per-rank block-solve iterations above.
+  std::vector<long long> auxIterations;
+  /// First global iteration at which an adaptive shrink pass committed
+  /// (DisSmoShrink), -1 if shrinking never engaged.
+  std::vector<long long> shrinkEngagedIter;
+  /// Elected-row broadcasts served from the replicated cache instead of
+  /// the wire (DisSmoShrink).
+  std::vector<long long> rowBcastsSkipped;
 
   /// Traffic snapshot at the init/train boundary, written by rank 0.
   net::TrafficSnapshot initSnapshot;

@@ -89,6 +89,21 @@ struct TrainConfig {
   int rankRetries = 0;
   /// Virtual-clock backoff charged before retry attempt k (k * this).
   double retryBackoffSeconds = 0.05;
+
+  // --- PBM (Method::Pbm) ---------------------------------------------------
+  /// Outer rounds of block-solve + global line search (the comm model's r;
+  /// the pure pair-correction tail polishes whatever the rounds leave).
+  int pbmRounds = 8;
+  /// Iteration cap per warm-started block solve (0 = the solver's auto
+  /// cap, 100*m_local + 10000).
+  std::size_t pbmInnerIterations = 0;
+  /// Global pair-correction (Dis-SMO) iterations appended to each round to
+  /// move equality-constraint mass between blocks. Generous by default:
+  /// with the replicated row store a correction of an already-seen sample
+  /// costs only the two election allreduces, and letting rounds polish
+  /// converges in fewer rounds — less sync traffic AND fewer block-solve
+  /// iterations than a tight cap.
+  int pbmPairIterations = 256;
 };
 
 /// Per-layer profile of a tree method run (the paper's Table V).
@@ -164,6 +179,15 @@ struct TrainResult {
 
   /// K-means convergence loops (methods that run K-means; 0 otherwise).
   std::size_t kmeansLoops = 0;
+
+  /// First global iteration at which adaptive shrinking committed a pass
+  /// (DisSmoShrink), -1 when it never engaged (other methods: always -1).
+  long long shrinkEngagedIteration = -1;
+  /// Elected-row broadcasts served from the replicated cache instead of
+  /// the wire, summed over ranks (DisSmoShrink; 0 otherwise).
+  long long electedRowBcastsSkipped = 0;
+  /// Global pair-correction iterations (Method::Pbm; 0 otherwise).
+  long long pairIterations = 0;
 
   // --- communication -------------------------------------------------------
   net::TrafficSnapshot initTraffic;   ///< partitioning/distribution traffic

@@ -19,9 +19,14 @@ struct CommModelParams {
   long long m = 0;  ///< training samples
   long long n = 0;  ///< features per sample
   long long s = 0;  ///< support vectors of the full problem
-  long long I = 0;  ///< SMO iterations (Dis-SMO)
+  long long I = 0;  ///< SMO iterations (Dis-SMO; PBM pair corrections)
   long long k = 0;  ///< K-means loops
   int p = 1;        ///< processes
+  long long r = 8;  ///< PBM outer rounds
+  /// Average surviving active-set fraction once adaptive shrinking engages
+  /// (DisSmoShrink): scales the elected-row broadcast volume, since the
+  /// replicated cache absorbs the re-elections of the shrunken core.
+  double sigma = 0.5;
 };
 
 /// Predicted total communication volume in bytes (4-byte words, as in the

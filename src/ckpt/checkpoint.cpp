@@ -18,6 +18,8 @@ bool knownKind(std::uint32_t k) {
     case Kind::SolverState:
     case Kind::SubModel:
     case Kind::TreeLayer:
+    case Kind::DisSmoState:
+    case Kind::PbmRound:
       return true;
   }
   return false;

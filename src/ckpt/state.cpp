@@ -138,6 +138,36 @@ solver::SolverSnapshot decodeSolverState(std::span<const std::byte> payload) {
   return snap;
 }
 
+std::vector<std::byte> encodeDisSmoState(const solver::SolverSnapshot& snap) {
+  return encodeSolverState(snap);
+}
+
+solver::SolverSnapshot decodeDisSmoState(std::span<const std::byte> payload) {
+  return decodeSolverState(payload);
+}
+
+std::vector<std::byte> encodePbmRound(const PbmRoundState& state) {
+  Writer w;
+  w.scalar(state.round);
+  w.scalar(state.blockIterations);
+  w.scalar(state.pairIterations);
+  w.vec(state.alpha);
+  w.vec(state.f);
+  return w.take();
+}
+
+PbmRoundState decodePbmRound(std::span<const std::byte> payload) {
+  Reader r(payload);
+  PbmRoundState state;
+  state.round = r.scalar<std::uint64_t>();
+  state.blockIterations = r.scalar<long long>();
+  state.pairIterations = r.scalar<long long>();
+  state.alpha = r.vec<double>();
+  state.f = r.vec<double>();
+  r.expectEnd();
+  return state;
+}
+
 std::vector<std::byte> encodeSubModel(const SubModelState& state) {
   Writer w;
   w.scalar(state.iterations);

@@ -102,6 +102,29 @@ std::optional<std::vector<std::byte>> CheckpointStore::load(
   return std::nullopt;
 }
 
+std::vector<std::vector<std::byte>> CheckpointStore::loadGenerations(
+    const std::string& name, Kind kind) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::vector<std::byte>> payloads;
+  for (const auto& [gen, path] : generationsOf(name)) {
+    std::optional<Frame> frame;
+    try {
+      frame = decodeFrame(support::readFileBytes(path));
+    } catch (const Error&) {
+      frame = std::nullopt;  // unreadable file == corrupt generation
+    }
+    if (frame && frame->kind == kind) {
+      payloads.push_back(std::move(frame->payload));
+      continue;
+    }
+    ++corruptSkipped_;
+    CASVM_WARN("checkpoint: ignoring corrupt or mismatched generation "
+               << path << (frame ? " (wrong kind)" : " (failed integrity check)")
+               << "; falling back to the previous generation");
+  }
+  return payloads;
+}
+
 bool CheckpointStore::contains(const std::string& name) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return !generationsOf(name).empty();

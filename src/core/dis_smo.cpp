@@ -1,21 +1,41 @@
-// Distributed SMO (the paper's Dis-SMO baseline, after Cao et al. 2006).
+// Distributed SMO (the paper's Dis-SMO baseline, after Cao et al. 2006),
+// plus the adaptive-shrinking variant (Narasimhan & Vishnu 2014).
 //
 // One global SMO solve runs across P ranks, each owning a block of rows.
 // Every iteration performs:
-//   1. local working-set scan over the owned rows,
+//   1. local working-set scan over the owned (active) rows,
 //   2. two allreduce MINLOC/MAXLOC reductions electing (i_high, i_low),
 //   3. two broadcasts shipping the elected samples to everyone,
-//   4. a local gradient update of f over the owned rows (eqn. 5).
+//   4. a local gradient update of f over the owned active rows (eqn. 5).
 // This is exactly the 14 log P t_s + 2 n log P t_w per-iteration pattern of
 // the paper's eqn. (9), and is why Dis-SMO's isoefficiency is W = Omega(P^3).
+//
+// Method::DisSmoShrink adds distributed adaptive shrinking on top: every
+// shrinkInterval iterations the ranks agree (one allreduce pair) on global
+// shrink thresholds, each rank drops its bound-pinned out-of-contention
+// rows, and the scan/gradient work falls to the surviving active set. Once
+// shrinking engages, elections concentrate on the recurring support-vector
+// core, so a replicated elected-row cache starts absorbing the row
+// broadcasts — shrinking cuts both the O(m/P) compute term and the
+// 2n log P t_w bandwidth term of eqn. (9). Before convergence is declared
+// the full gradient is rebuilt from the globally gathered support vectors
+// and every row reactivated, exactly like the serial solver's unshrink.
+//
+// Every branch that changes collective structure (shrink commit, unshrink,
+// convergence, degenerate bail, cache hit/miss) is decided from allreduced
+// or broadcast values, so all ranks take it together — the loop stays
+// deadlock-free by construction.
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
+#include <numeric>
 #include <optional>
+#include <unordered_map>
 
+#include "global_common.hpp"
 #include "methods.hpp"
-#include "casvm/kernel/kernel.hpp"
+#include "casvm/ckpt/state.hpp"
+#include "casvm/ckpt/store.hpp"
 #include "casvm/obs/trace.hpp"
 #include "casvm/support/error.hpp"
 
@@ -23,27 +43,47 @@ namespace casvm::core::detail {
 
 namespace {
 
-constexpr double kInf = std::numeric_limits<double>::infinity();
+/// Replicated cache of elected samples, keyed by the election index
+/// (rank * kRankStride + local row). Engaged once shrinking has fired:
+/// the active set is then dominated by the recurring support-vector core,
+/// so the same rows win election again and again and their broadcasts are
+/// pure waste. Every rank inserts on the same misses and applies the same
+/// alpha updates (both derive from broadcast/allreduced values), so the
+/// cache contents — and therefore hit/miss decisions — are identical
+/// everywhere, keeping the skipped broadcasts collective-safe.
+class ElectedRowCache {
+ public:
+  struct Entry {
+    ElectedMeta meta;
+    std::vector<float> row;
+  };
 
-// Encodes (rank, local index) into the 63-bit index of a ValIdx reduction.
-constexpr long long kRankStride = 1LL << 40;
+  /// Hard entry cap: insertion stops deterministically when full (no
+  /// eviction), so all ranks stop inserting at the same miss.
+  static constexpr std::size_t kMaxEntries = 4096;
 
-// Metadata broadcast with each elected sample.
-struct ElectedMeta {
-  double alpha;
-  double selfDot;
-  double y;
+  Entry* find(long long key) {
+    const auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  void insert(long long key, const ElectedMeta& meta,
+              const std::vector<float>& row) {
+    if (map_.size() >= kMaxEntries) return;
+    map_.emplace(key, Entry{meta, row});
+  }
+
+  /// Keep a cached alpha exact after a step touched its sample. No-op for
+  /// uncached keys. Unshrinking never moves alphas, so steps are the only
+  /// writers and cached metadata can never go stale.
+  void updateAlpha(long long key, double alpha) {
+    const auto it = map_.find(key);
+    if (it != map_.end()) it->second.meta.alpha = alpha;
+  }
+
+ private:
+  std::unordered_map<long long, Entry> map_;
 };
-
-constexpr double kBoundSlack = 1e-10;
-
-inline bool inHighSet(std::int8_t y, double alpha, double C, double eps) {
-  return (y == 1 && alpha < C - eps) || (y == -1 && alpha > eps);
-}
-
-inline bool inLowSet(std::int8_t y, double alpha, double C, double eps) {
-  return (y == 1 && alpha > eps) || (y == -1 && alpha < C - eps);
-}
 
 }  // namespace
 
@@ -61,19 +101,80 @@ void runDisSmo(net::Comm& comm, const MethodContext& ctx) {
   comm.faultCheckpoint("train");
 
   const solver::SolverOptions& opts = ctx.config.solver;
-  const double C = opts.C;
-  const double boundEps = kBoundSlack * C;
+  const double cPos = opts.C * opts.positiveWeight;
+  const double cNeg = opts.C * opts.negativeWeight;
+  const double boundEps = kGlobalBoundSlack * std::max(cPos, cNeg);
   const double tau = opts.tolerance;
   const kernel::Kernel kern(opts.kernel);
   const std::size_t mLocal = local.rows();
   const std::size_t n = local.cols();
+  const bool shrinking = ctx.config.method == Method::DisSmoShrink;
+
+  const GlobalDual prob{local, kern, cPos, cNeg, boundEps, tau};
 
   std::vector<double> alpha(mLocal, 0.0);
   std::vector<double> f(mLocal);
   for (std::size_t i = 0; i < mLocal; ++i) f[i] = -double(local.label(i));
 
-  const long long globalM =
-      comm.allreduceSum(static_cast<long long>(mLocal));
+  std::vector<std::size_t> active(mLocal);
+  std::iota(active.begin(), active.end(), 0);
+  bool everShrunk = false;
+  std::size_t startIter = 0;
+  long long shrinkEngaged = -1;    ///< iteration the first shrink committed
+  long long rowBcastsSkipped = 0;  ///< elected-row broadcasts served by cache
+
+  ckpt::CheckpointStore* store = ctx.config.checkpoints;
+  const std::string solverName = "solver.r" + std::to_string(rank);
+
+  if (store != nullptr && ctx.config.resume) {
+    // Cross-process resume. Snapshots are written in lock-step (aligned at
+    // iteration multiples, and the blocking collectives keep ranks within
+    // one iteration of each other), so the allreduce-min of each rank's
+    // newest snapshot iteration is a generation every rank still holds —
+    // the store keeps two. The agreement is double-checked: a rank missing
+    // the agreed generation (e.g. a corrupt file) vetoes the restore and
+    // everyone starts fresh together.
+    std::vector<solver::SolverSnapshot> snaps;
+    for (const auto& payload :
+         store->loadGenerations(solverName, ckpt::Kind::DisSmoState)) {
+      solver::SolverSnapshot snap = ckpt::decodeDisSmoState(payload);
+      // A snapshot of a different placement (row-count mismatch) is stale.
+      if (snap.alpha.size() == mLocal) snaps.push_back(std::move(snap));
+    }
+    long long newest = -1;
+    for (const auto& s : snaps) {
+      newest = std::max(newest, static_cast<long long>(s.iteration));
+    }
+    const long long agreed =
+        comm.allreduce(newest, [](long long a, long long b) {
+          return a < b ? a : b;
+        });
+    if (agreed > 0) {
+      const solver::SolverSnapshot* chosen = nullptr;
+      for (const auto& s : snaps) {
+        if (static_cast<long long>(s.iteration) == agreed) chosen = &s;
+      }
+      int canUse = chosen != nullptr ? 1 : 0;
+      canUse = comm.allreduce(canUse, [](int a, int b) { return a < b ? a : b; });
+      if (canUse != 0) {
+        alpha = chosen->alpha;
+        f = chosen->f;
+        active = chosen->active;
+        everShrunk = chosen->everShrunk;
+        startIter = chosen->iteration;
+        ++board.checkpointsLoaded[urank];
+        // Re-engage the elected-row cache where the interrupted run had
+        // it. The cache itself is deliberately not checkpointed —
+        // rebuilding it from scratch changes only communication volume,
+        // never the trajectory.
+        if (shrinking && everShrunk) {
+          shrinkEngaged = static_cast<long long>(startIter);
+        }
+      }
+    }
+  }
+
+  const long long globalM = comm.allreduceSum(static_cast<long long>(mLocal));
   const std::size_t maxIters =
       opts.maxIterations > 0
           ? opts.maxIterations
@@ -81,25 +182,111 @@ void runDisSmo(net::Comm& comm, const MethodContext& ctx) {
 
   std::vector<float> xHigh(n), xLow(n);
   double bHigh = 0.0, bLow = 0.0;
-  long long iters = 0;
+  long long iters = static_cast<long long>(startIter);
+  ElectedRowCache rowCache;
+
+  // Rebuild the gradient of shrunk-out rows and reactivate everything.
+  // Collective (one allgatherv round shipping the global support vectors);
+  // callers gate it on `everShrunk`, which is derived from allreduced
+  // values and therefore identical on every rank — never on the local
+  // active size, which may legitimately differ.
+  auto unshrink = [&] {
+    std::vector<std::size_t> nzIdx;
+    for (std::size_t i = 0; i < mLocal; ++i) {
+      if (alpha[i] != 0.0) nzIdx.push_back(i);
+    }
+    std::vector<float> rowsFlat(nzIdx.size() * n, 0.0f);
+    std::vector<double> coefs(nzIdx.size());
+    std::vector<double> dots(nzIdx.size());
+    for (std::size_t k = 0; k < nzIdx.size(); ++k) {
+      const std::size_t j = nzIdx[k];
+      local.copyRowDense(j, std::span<float>(rowsFlat).subspan(k * n, n));
+      coefs[k] = alpha[j] * double(local.label(j));
+      dots[k] = local.selfDot(j);
+    }
+    const std::vector<float> allRows = comm.allgatherv(rowsFlat);
+    const std::vector<double> allCoefs = comm.allgatherv(coefs);
+    const std::vector<double> allDots = comm.allgatherv(dots);
+
+    std::vector<bool> isActive(mLocal, false);
+    for (std::size_t i : active) isActive[i] = true;
+    const std::span<const float> rows(allRows);
+    for (std::size_t i = 0; i < mLocal; ++i) {
+      if (isActive[i]) continue;
+      double fi = -double(local.label(i));
+      for (std::size_t j = 0; j < allCoefs.size(); ++j) {
+        fi += allCoefs[j] *
+              kern.evalWith(local, i, rows.subspan(j * n, n), allDots[j]);
+      }
+      f[i] = fi;
+    }
+    active.resize(mLocal);
+    std::iota(active.begin(), active.end(), 0);
+  };
+
+  // Fetch an elected sample: through the replicated cache once shrinking
+  // engaged, by owner broadcast otherwise. Hit/miss decisions replicate
+  // exactly, so the skipped broadcasts stay collective-safe.
+  auto fetchElected = [&](long long key, int owner, std::size_t li,
+                          ElectedMeta& meta, std::vector<float>& x,
+                          bool cacheOn) {
+    if (cacheOn) {
+      if (ElectedRowCache::Entry* hit = rowCache.find(key)) {
+        meta = hit->meta;
+        x = hit->row;
+        ++rowBcastsSkipped;
+        return;
+      }
+    }
+    if (rank == owner) {
+      meta = {alpha[li], local.selfDot(li), double(local.label(li))};
+      local.copyRowDense(li, x);
+    }
+    comm.bcast(meta, owner);
+    comm.bcast(x, owner);
+    if (cacheOn) rowCache.insert(key, meta, x);
+  };
 
   obs::Lane* lane = comm.traceLane();
   constexpr std::size_t kProgressInterval = 512;
   std::optional<PhaseSpan> solvePhase;
   solvePhase.emplace(comm, "solve");
 
-  for (std::size_t it = 0; it < maxIters; ++it) {
-    // 1. Local scan for the maximal violating pair over owned rows.
-    double localHigh = kInf, localLow = -kInf;
+  bool degenerateRetried = false;
+  for (std::size_t it = startIter; it < maxIters; ++it) {
+    // Snapshot at the top of the iteration, before any of its state
+    // mutates — restoring here and continuing replays the run bitwise.
+    // Skipped at iteration 0 and at the resume iteration itself (that
+    // snapshot is already durable). Durable-first ordering: the fault
+    // checkpoint fires only after the snapshot is on disk, so a crash at
+    // phase=solve is exactly resumable.
+    if (store != nullptr && ctx.config.checkpointEvery > 0 && it != 0 &&
+        it != startIter && it % ctx.config.checkpointEvery == 0) {
+      solver::SolverSnapshot snap;
+      snap.iteration = it;
+      snap.everShrunk = everShrunk;
+      snap.alpha = alpha;
+      snap.f = f;
+      snap.active = active;
+      store->save(solverName, ckpt::Kind::DisSmoState,
+                  ckpt::encodeDisSmoState(snap));
+      comm.faultCheckpoint("solve");
+    }
+
+    // 1. Local scan for the maximal violating pair over the active rows,
+    // against the per-class boxes (weighted problems shrink or stretch
+    // each class's side of the box independently).
+    double localHigh = kGlobalInf, localLow = -kGlobalInf;
     long long localHighIdx = -1, localLowIdx = -1;
-    for (std::size_t i = 0; i < mLocal; ++i) {
+    for (std::size_t i : active) {
       const std::int8_t y = local.label(i);
       const double a = alpha[i];
-      if (inHighSet(y, a, C, boundEps) && f[i] < localHigh) {
+      const double ci = prob.boxOf(i);
+      if (globalInHighSet(y, a, ci, boundEps) && f[i] < localHigh) {
         localHigh = f[i];
         localHighIdx = rank * kRankStride + static_cast<long long>(i);
       }
-      if (inLowSet(y, a, C, boundEps) && f[i] > localLow) {
+      if (globalInLowSet(y, a, ci, boundEps) && f[i] > localLow) {
         localLow = f[i];
         localLowIdx = rank * kRankStride + static_cast<long long>(i);
       }
@@ -110,13 +297,24 @@ void runDisSmo(net::Comm& comm, const MethodContext& ctx) {
     const net::Comm::ValIdx low = comm.allreduceMaxloc(localLow, localLowIdx);
     bHigh = high.value;
     bLow = low.value;
-    if (bLow <= bHigh + 2.0 * tau) break;
+    if (bLow <= bHigh + 2.0 * tau) {
+      // Converged over the (possibly shrunk) active set. The shrink rules
+      // are heuristics: rebuild the full problem and re-check before
+      // declaring victory. One reconstruction per convergence attempt.
+      if (everShrunk) {
+        unshrink();
+        everShrunk = false;
+        continue;
+      }
+      break;
+    }
 
     // Both thresholds are finite past the convergence check (an empty
-    // candidate set leaves one at +-inf, which takes the break above).
+    // candidate set leaves one at +-inf, which takes the branch above).
     if (lane != nullptr && it % kProgressInterval == 0) {
       lane->progress(virtualNow(comm), static_cast<std::int64_t>(it),
-                     static_cast<std::int64_t>(mLocal), bLow - bHigh, 0.0);
+                     static_cast<std::int64_t>(active.size()), bLow - bHigh,
+                     0.0);
     }
 
     const int ownerHigh = static_cast<int>(high.index / kRankStride);
@@ -124,24 +322,14 @@ void runDisSmo(net::Comm& comm, const MethodContext& ctx) {
     const auto localHighI = static_cast<std::size_t>(high.index % kRankStride);
     const auto localLowI = static_cast<std::size_t>(low.index % kRankStride);
 
-    // 3. Owners ship the elected samples (values + label + alpha + norm).
+    // 3. Ship (or recall) the elected samples.
+    const bool cacheOn = shrinking && shrinkEngaged >= 0;
     ElectedMeta metaHigh{}, metaLow{};
-    if (rank == ownerHigh) {
-      metaHigh = {alpha[localHighI], local.selfDot(localHighI),
-                  double(local.label(localHighI))};
-      local.copyRowDense(localHighI, xHigh);
-    }
-    comm.bcast(metaHigh, ownerHigh);
-    comm.bcast(xHigh, ownerHigh);
-    if (rank == ownerLow) {
-      metaLow = {alpha[localLowI], local.selfDot(localLowI),
-                 double(local.label(localLowI))};
-      local.copyRowDense(localLowI, xLow);
-    }
-    comm.bcast(metaLow, ownerLow);
-    comm.bcast(xLow, ownerLow);
+    fetchElected(high.index, ownerHigh, localHighI, metaHigh, xHigh, cacheOn);
+    fetchElected(low.index, ownerLow, localLowI, metaLow, xLow, cacheOn);
 
-    // Every rank computes the identical two-variable step (eqns. 6-7).
+    // Every rank computes the identical two-variable step (eqns. 6-7),
+    // clipped to the per-class boxes.
     const double kHH = kern.evalVectors(xHigh, metaHigh.selfDot, xHigh,
                                         metaHigh.selfDot);
     const double kLL =
@@ -151,44 +339,131 @@ void runDisSmo(net::Comm& comm, const MethodContext& ctx) {
     double eta = kHH + kLL - 2.0 * kHL;
     if (eta < 1e-12) eta = 1e-12;
 
+    const double cHigh = prob.boxFor(metaHigh.y);
+    const double cLow = prob.boxFor(metaLow.y);
     const double s = metaHigh.y * metaLow.y;
     double lo, hi;
     if (s < 0.0) {
       lo = std::max(0.0, metaLow.alpha - metaHigh.alpha);
-      hi = std::min(C, C + metaLow.alpha - metaHigh.alpha);
+      hi = std::min(cLow, cHigh + metaLow.alpha - metaHigh.alpha);
     } else {
-      lo = std::max(0.0, metaHigh.alpha + metaLow.alpha - C);
-      hi = std::min(C, metaHigh.alpha + metaLow.alpha);
+      lo = std::max(0.0, metaHigh.alpha + metaLow.alpha - cHigh);
+      hi = std::min(cLow, metaHigh.alpha + metaLow.alpha);
     }
     double aLowNew = metaLow.alpha + metaLow.y * (bHigh - bLow) / eta;
     aLowNew = std::clamp(aLowNew, lo, hi);
     const double dLow = aLowNew - metaLow.alpha;
-    if (std::abs(dLow) < 1e-14) break;  // pinned pair: numerical convergence
+    if (std::abs(dLow) < 1e-14) {
+      // Degenerate step: the maximal violating pair is pinned and cannot
+      // move. While shrunk this can be an artifact of the shrunk set (the
+      // sample that would free the pair was shrunk away): restore the full
+      // problem and retry once before giving up. Both the bail and the
+      // retry derive from broadcast values — every rank takes them together.
+      if (everShrunk && !degenerateRetried) {
+        unshrink();
+        everShrunk = false;
+        degenerateRetried = true;
+        continue;
+      }
+      break;
+    }
     const double dHigh = -s * dLow;
 
-    if (rank == ownerHigh) {
-      double a = alpha[localHighI] + dHigh;
-      if (a < boundEps) a = 0.0;
-      if (a > C - boundEps) a = C;
-      alpha[localHighI] = a;
-    }
-    if (rank == ownerLow) {
-      double a = alpha[localLowI] + dLow;
-      if (a < boundEps) a = 0.0;
-      if (a > C - boundEps) a = C;
-      alpha[localLowI] = a;
-    }
+    // Snap to the per-class box against accumulated floating-point drift.
+    // Every rank computes the identical snapped alphas; the owners commit
+    // and the cache (replicated) tracks both keys.
+    double aHighNew = metaHigh.alpha + dHigh;
+    aLowNew = metaLow.alpha + dLow;
+    if (aLowNew < boundEps) aLowNew = 0.0;
+    if (aLowNew > cLow - boundEps) aLowNew = cLow;
+    if (aHighNew < boundEps) aHighNew = 0.0;
+    if (aHighNew > cHigh - boundEps) aHighNew = cHigh;
+    if (rank == ownerHigh) alpha[localHighI] = aHighNew;
+    if (rank == ownerLow) alpha[localLowI] = aLowNew;
+    rowCache.updateAlpha(high.index, aHighNew);
+    rowCache.updateAlpha(low.index, aLowNew);
 
-    // 4. Local gradient update (eqn. 5) over the owned block: the 2mn/P
-    // term of eqn. (9).
+    // 4. Local gradient update (eqn. 5) over the owned active rows: the
+    // 2mn/P term of eqn. (9), cut to the surviving fraction once shrunk.
     const double coefHigh = dHigh * metaHigh.y;
     const double coefLow = dLow * metaLow.y;
-    for (std::size_t i = 0; i < mLocal; ++i) {
+    for (std::size_t i : active) {
       f[i] += coefHigh * kern.evalWith(local, i, xHigh, metaHigh.selfDot) +
               coefLow * kern.evalWith(local, i, xLow, metaLow.selfDot);
     }
     ++iters;
+
+    // 5. Periodic shrink pass (DisSmoShrink only): agree on global
+    // thresholds over the post-update gradient, filter locally with the
+    // serial solver's keep() rules, then commit only on a globally agreed
+    // decision — the commit condition compares allreduced counts, so the
+    // active sets shrink (or don't) in unison.
+    if (shrinking && (it + 1) % opts.shrinkInterval == 0) {
+      double sHighLocal = kGlobalInf, sLowLocal = -kGlobalInf;
+      for (std::size_t k : active) {
+        const std::int8_t y = local.label(k);
+        const double a = alpha[k];
+        const double ck = prob.boxOf(k);
+        if (globalInHighSet(y, a, ck, boundEps)) {
+          sHighLocal = std::min(sHighLocal, f[k]);
+        }
+        if (globalInLowSet(y, a, ck, boundEps)) {
+          sLowLocal = std::max(sLowLocal, f[k]);
+        }
+      }
+      const double sHigh = comm.allreduce(
+          sHighLocal, [](double a, double b) { return std::min(a, b); });
+      const double sLow = comm.allreduce(
+          sLowLocal, [](double a, double b) { return std::max(a, b); });
+      if (sLow > sHigh + 2.0 * tau) {
+        const auto keep = [&](std::size_t i) {
+          const std::int8_t y = local.label(i);
+          const double a = alpha[i];
+          const double ci = prob.boxOf(i);
+          if (a <= boundEps) {
+            // Lower bound: only ever a high candidate (y=+1) / low (y=-1).
+            if (y == 1 && f[i] > sLow + tau) return false;
+            if (y == -1 && f[i] < sHigh - tau) return false;
+          } else if (a >= ci - boundEps) {
+            // Upper bound: only ever a low candidate (y=+1) / high (y=-1).
+            if (y == 1 && f[i] < sHigh - tau) return false;
+            if (y == -1 && f[i] > sLow + tau) return false;
+          }
+          return true;
+        };
+        std::vector<std::size_t> stillActive;
+        stillActive.reserve(active.size());
+        for (std::size_t i : active) {
+          if (keep(i)) stillActive.push_back(i);
+        }
+        const long long globalKeep =
+            comm.allreduceSum(static_cast<long long>(stillActive.size()));
+        const long long globalActive =
+            comm.allreduceSum(static_cast<long long>(active.size()));
+        // Never shrink below a workable global core, and only commit a
+        // pass that actually dropped something somewhere.
+        if (globalKeep >= 2 && globalKeep < globalActive) {
+          active = std::move(stillActive);
+          everShrunk = true;
+          if (shrinkEngaged < 0) shrinkEngaged = static_cast<long long>(it);
+        }
+      }
+    }
   }
+
+  // Loop exits (iteration cap, degenerate bail) can leave rows shrunk out
+  // with stale gradients; the bias fallback below and the reported state
+  // must see the full problem.
+  if (everShrunk) {
+    unshrink();
+    everShrunk = false;
+  }
+
+  // A warm start or degenerate box can leave an elected set empty and its
+  // threshold at +-inf; fall back to finite KKT bounds like the serial
+  // solver, with one allreduce pair in the both-empty case.
+  ensureFiniteThresholds(comm, local, f, bHigh, bLow);
+
   solvePhase.reset();  // end the "solve" span before train-end bookkeeping
 
   markTrainEnd(comm, ctx);
@@ -209,6 +484,8 @@ void runDisSmo(net::Comm& comm, const MethodContext& ctx) {
                                       std::move(alphaY), bias);
   board.iterations[urank] = iters;
   board.svs[urank] = static_cast<long long>(svIdx.size());
+  board.shrinkEngagedIter[urank] = shrinkEngaged;
+  board.rowBcastsSkipped[urank] = rowBcastsSkipped;
 }
 
 }  // namespace casvm::core::detail

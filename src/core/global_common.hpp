@@ -1,0 +1,313 @@
+#pragma once
+
+// Shared primitives of the global methods (Dis-SMO, Dis-SMO + shrinking,
+// PBM): the (rank, local index) election encoding, the elected-sample
+// metadata that travels with each broadcast, the per-class box-membership
+// predicates mirroring src/solver/smo.cpp, the distributed finite-bias
+// fallback, and the global maximal-violating-pair step PBM reuses for its
+// cross-block correction iterations. Everything here is collective-safe by
+// construction: every decision derives from allreduce results, so all ranks
+// take identical branches.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "casvm/data/dataset.hpp"
+#include "casvm/kernel/kernel.hpp"
+#include "casvm/net/comm.hpp"
+
+namespace casvm::core::detail {
+
+inline constexpr double kGlobalInf = std::numeric_limits<double>::infinity();
+
+/// Encodes (rank, local index) into the 63-bit index of a ValIdx reduction.
+inline constexpr long long kRankStride = 1LL << 40;
+
+/// Relative slack treating alphas within eps of a box bound as *at* the
+/// bound (same constant as the serial solver's kBoundSlack).
+inline constexpr double kGlobalBoundSlack = 1e-10;
+
+/// Metadata broadcast with each elected sample.
+struct ElectedMeta {
+  double alpha;
+  double selfDot;
+  double y;
+};
+
+/// Membership in the high set under the per-class box `ci`.
+inline bool globalInHighSet(std::int8_t y, double alpha, double ci,
+                            double eps) {
+  return (y == 1 && alpha < ci - eps) || (y == -1 && alpha > eps);
+}
+
+/// Membership in the low set: mirror condition for the lower threshold.
+inline bool globalInLowSet(std::int8_t y, double alpha, double ci,
+                           double eps) {
+  return (y == 1 && alpha > eps) || (y == -1 && alpha < ci - eps);
+}
+
+/// The one global dual problem the ranks cooperate on: the local block,
+/// the kernel, and the per-class boxes.
+struct GlobalDual {
+  const data::Dataset& local;
+  const kernel::Kernel& kern;
+  double cPos;
+  double cNeg;
+  double boundEps;
+  double tau;
+
+  double boxOf(std::size_t i) const {
+    return local.label(i) == 1 ? cPos : cNeg;
+  }
+  double boxFor(double y) const { return y > 0.0 ? cPos : cNeg; }
+};
+
+/// Finite-bias fallback, distributed (ported from src/solver/smo.cpp).
+/// An empty high/low elected set leaves a threshold at +-inf and the
+/// midpoint bias would be NaN/inf. An empty high set means every sample
+/// only upper-bounds b, so the tightest bound -bLow is a valid bias; the
+/// empty-low case mirrors it. Both empty (degenerate box) brackets b with
+/// the global gradient range — the only case needing communication, and
+/// every rank reaches it together because bHigh/bLow are allreduce
+/// results.
+inline void ensureFiniteThresholds(net::Comm& comm,
+                                   const data::Dataset& local,
+                                   const std::vector<double>& f,
+                                   double& bHigh, double& bLow) {
+  if (std::isfinite(bHigh) && std::isfinite(bLow)) return;
+  if (std::isfinite(bLow)) {
+    bHigh = bLow;
+  } else if (std::isfinite(bHigh)) {
+    bLow = bHigh;
+  } else {
+    double lo = kGlobalInf, hi = -kGlobalInf;
+    for (std::size_t i = 0; i < local.rows(); ++i) {
+      lo = std::min(lo, f[i]);
+      hi = std::max(hi, f[i]);
+    }
+    bHigh = comm.allreduce(lo, [](double a, double b) { return std::min(a, b); });
+    bLow = comm.allreduce(hi, [](double a, double b) { return std::max(a, b); });
+  }
+}
+
+/// Replicated per-sample store keyed by the global
+/// rank * kRankStride + localIdx encoding. A sample's features, squared
+/// norm and label never change during training, so once a sample has
+/// crossed the wire every rank keeps a copy and skips all future transfers
+/// of it: PBM's round sync ships only samples the store has not seen, and
+/// a pair-correction election of a stored sample costs no broadcast at all.
+/// The store also mirrors each stored sample's CURRENT alpha — every alpha
+/// write is either a two-variable pair step or a beta-scaled line-search
+/// step, both computed bitwise-identically on every rank from collective
+/// values, so the callers re-apply the same update to the store via
+/// updateAlpha() and the mirror never goes stale. Insertions only ever
+/// process broadcast or allgathered payloads in their collective order,
+/// which keeps the store bitwise-identical across ranks and makes
+/// contains()/fetchElected() collective-safe branch conditions. When full
+/// (kMaxRows, identical everywhere) inserts become no-ops and the affected
+/// samples simply keep paying the transfer.
+class GlobalRowStore {
+ public:
+  explicit GlobalRowStore(std::size_t n) : n_(n) {}
+
+  bool contains(long long key) const { return index_.count(key) != 0; }
+
+  /// Borrow the cached row (no copy); false and untouched outputs on miss.
+  /// The pointer is invalidated by the next insert().
+  bool lookup(long long key, const float*& x, double& selfDot) const {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    x = rows_.data() + it->second * n_;
+    selfDot = dots_[it->second];
+    return true;
+  }
+
+  /// Serve an election from the mirror: copy the row into `out`, fill the
+  /// metadata (current alpha, self-dot, label) and count the avoided
+  /// broadcast pair. False and untouched outputs on miss.
+  bool fetchElected(long long key, std::span<float> out, ElectedMeta& meta) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    std::copy_n(rows_.data() + it->second * n_, n_, out.data());
+    meta = {alphas_[it->second], dots_[it->second], ys_[it->second]};
+    ++hits_;
+    return true;
+  }
+
+  /// Current label and alpha of a stored sample (for replicated updates).
+  bool alphaOf(long long key, double& y, double& alpha) const {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    y = ys_[it->second];
+    alpha = alphas_[it->second];
+    return true;
+  }
+
+  void insert(long long key, std::span<const float> x, double selfDot,
+              double y, double alpha) {
+    if (index_.size() >= kMaxRows || index_.count(key) != 0) return;
+    index_.emplace(key, dots_.size());
+    rows_.insert(rows_.end(), x.begin(), x.end());
+    dots_.push_back(selfDot);
+    ys_.push_back(y);
+    alphas_.push_back(alpha);
+  }
+
+  /// Mirror an alpha write every rank just computed identically (no-op for
+  /// samples the store never accepted).
+  void updateAlpha(long long key, double alpha) {
+    const auto it = index_.find(key);
+    if (it != index_.end()) alphas_[it->second] = alpha;
+  }
+
+  /// Row broadcasts avoided by fetchElected() hits (reported per rank).
+  long long hits() const { return hits_; }
+
+ private:
+  static constexpr std::size_t kMaxRows = 1u << 20;
+  std::size_t n_;
+  std::unordered_map<long long, std::size_t> index_;  ///< key -> slot
+  std::vector<float> rows_;  ///< slot-major flat feature storage
+  std::vector<double> dots_;
+  std::vector<double> ys_;
+  std::vector<double> alphas_;  ///< mirrored current alphas
+  long long hits_ = 0;
+};
+
+enum class PairStepResult {
+  Stepped,     ///< one two-variable step was applied everywhere
+  Converged,   ///< global bLow <= bHigh + 2*tau
+  Degenerate,  ///< the elected pair is pinned and cannot move
+};
+
+/// One global maximal-violating-pair step over ALL local rows (no
+/// shrinking): local scan, MINLOC/MAXLOC election, elected-sample
+/// broadcasts, the identical two-variable step on every rank, and the
+/// local gradient update. This is one Dis-SMO iteration; PBM runs it as
+/// its cross-block correction, which moves equality-constraint mass
+/// between blocks (the per-block solves can't). `bHigh`/`bLow` are left
+/// holding the election thresholds, so the caller's convergence state and
+/// final bias always reflect the latest global scan. With a `store` an
+/// election of a mirrored sample costs no broadcast at all (row, label and
+/// self-dot are immutable; the mirrored alpha is kept current by the
+/// replicated updateAlpha calls below), and first-time samples are
+/// inserted right after their broadcast.
+inline PairStepResult globalPairStep(net::Comm& comm, const GlobalDual& p,
+                                     std::vector<double>& alpha,
+                                     std::vector<double>& f,
+                                     std::vector<float>& xHigh,
+                                     std::vector<float>& xLow,
+                                     double& bHigh, double& bLow,
+                                     GlobalRowStore* store = nullptr) {
+  const int rank = comm.rank();
+  const data::Dataset& local = p.local;
+  const std::size_t mLocal = local.rows();
+
+  double localHigh = kGlobalInf, localLow = -kGlobalInf;
+  long long localHighIdx = -1, localLowIdx = -1;
+  for (std::size_t i = 0; i < mLocal; ++i) {
+    const std::int8_t y = local.label(i);
+    const double a = alpha[i];
+    const double ci = p.boxOf(i);
+    if (globalInHighSet(y, a, ci, p.boundEps) && f[i] < localHigh) {
+      localHigh = f[i];
+      localHighIdx = rank * kRankStride + static_cast<long long>(i);
+    }
+    if (globalInLowSet(y, a, ci, p.boundEps) && f[i] > localLow) {
+      localLow = f[i];
+      localLowIdx = rank * kRankStride + static_cast<long long>(i);
+    }
+  }
+
+  const net::Comm::ValIdx high = comm.allreduceMinloc(localHigh, localHighIdx);
+  const net::Comm::ValIdx low = comm.allreduceMaxloc(localLow, localLowIdx);
+  bHigh = high.value;
+  bLow = low.value;
+  if (bLow <= bHigh + 2.0 * p.tau) return PairStepResult::Converged;
+
+  const int ownerHigh = static_cast<int>(high.index / kRankStride);
+  const int ownerLow = static_cast<int>(low.index / kRankStride);
+  const auto localHighI = static_cast<std::size_t>(high.index % kRankStride);
+  const auto localLowI = static_cast<std::size_t>(low.index % kRankStride);
+
+  ElectedMeta metaHigh{}, metaLow{};
+  if (store == nullptr || !store->fetchElected(high.index, xHigh, metaHigh)) {
+    if (rank == ownerHigh) {
+      metaHigh = {alpha[localHighI], local.selfDot(localHighI),
+                  double(local.label(localHighI))};
+      local.copyRowDense(localHighI, xHigh);
+    }
+    comm.bcast(metaHigh, ownerHigh);
+    comm.bcast(xHigh, ownerHigh);
+    if (store != nullptr) {
+      store->insert(high.index, xHigh, metaHigh.selfDot, metaHigh.y,
+                    metaHigh.alpha);
+    }
+  }
+  if (store == nullptr || !store->fetchElected(low.index, xLow, metaLow)) {
+    if (rank == ownerLow) {
+      metaLow = {alpha[localLowI], local.selfDot(localLowI),
+                 double(local.label(localLowI))};
+      local.copyRowDense(localLowI, xLow);
+    }
+    comm.bcast(metaLow, ownerLow);
+    comm.bcast(xLow, ownerLow);
+    if (store != nullptr) {
+      store->insert(low.index, xLow, metaLow.selfDot, metaLow.y,
+                    metaLow.alpha);
+    }
+  }
+
+  const double kHH =
+      p.kern.evalVectors(xHigh, metaHigh.selfDot, xHigh, metaHigh.selfDot);
+  const double kLL =
+      p.kern.evalVectors(xLow, metaLow.selfDot, xLow, metaLow.selfDot);
+  const double kHL =
+      p.kern.evalVectors(xHigh, metaHigh.selfDot, xLow, metaLow.selfDot);
+  double eta = kHH + kLL - 2.0 * kHL;
+  if (eta < 1e-12) eta = 1e-12;
+
+  const double cHigh = p.boxFor(metaHigh.y);
+  const double cLow = p.boxFor(metaLow.y);
+  const double s = metaHigh.y * metaLow.y;
+  double lo, hi;
+  if (s < 0.0) {
+    lo = std::max(0.0, metaLow.alpha - metaHigh.alpha);
+    hi = std::min(cLow, cHigh + metaLow.alpha - metaHigh.alpha);
+  } else {
+    lo = std::max(0.0, metaHigh.alpha + metaLow.alpha - cHigh);
+    hi = std::min(cLow, metaHigh.alpha + metaLow.alpha);
+  }
+  double aLowNew = metaLow.alpha + metaLow.y * (bHigh - bLow) / eta;
+  aLowNew = std::clamp(aLowNew, lo, hi);
+  const double dLow = aLowNew - metaLow.alpha;
+  if (std::abs(dLow) < 1e-14) return PairStepResult::Degenerate;
+  const double dHigh = -s * dLow;
+
+  // Every rank computes the identical snapped alphas; the owners commit.
+  double aHighNew = metaHigh.alpha + dHigh;
+  if (aLowNew < p.boundEps) aLowNew = 0.0;
+  if (aLowNew > cLow - p.boundEps) aLowNew = cLow;
+  if (aHighNew < p.boundEps) aHighNew = 0.0;
+  if (aHighNew > cHigh - p.boundEps) aHighNew = cHigh;
+  if (rank == ownerHigh) alpha[localHighI] = aHighNew;
+  if (rank == ownerLow) alpha[localLowI] = aLowNew;
+  if (store != nullptr) {
+    store->updateAlpha(high.index, aHighNew);
+    store->updateAlpha(low.index, aLowNew);
+  }
+
+  const double coefHigh = dHigh * metaHigh.y;
+  const double coefLow = dLow * metaLow.y;
+  for (std::size_t i = 0; i < mLocal; ++i) {
+    f[i] += coefHigh * p.kern.evalWith(local, i, xHigh, metaHigh.selfDot) +
+            coefLow * p.kern.evalWith(local, i, xLow, metaLow.selfDot);
+  }
+  return PairStepResult::Stepped;
+}
+
+}  // namespace casvm::core::detail

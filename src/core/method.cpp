@@ -14,6 +14,8 @@ std::string methodName(Method method) {
     case Method::BkmCa: return "bkm-ca";
     case Method::FcfsCa: return "fcfs-ca";
     case Method::RaCa: return "ra-ca";
+    case Method::Pbm: return "pbm";
+    case Method::DisSmoShrink: return "dis-smo-shrink";
   }
   throw Error("unknown method");
 }
@@ -27,8 +29,10 @@ Method methodFromName(const std::string& name) {
 }
 
 std::vector<Method> allMethods() {
-  return {Method::DisSmo, Method::Cascade, Method::DcSvm, Method::DcFilter,
-          Method::CpSvm,  Method::BkmCa,   Method::FcfsCa, Method::RaCa};
+  return {Method::DisSmo, Method::DisSmoShrink, Method::Pbm,
+          Method::Cascade, Method::DcSvm,       Method::DcFilter,
+          Method::CpSvm,   Method::BkmCa,       Method::FcfsCa,
+          Method::RaCa};
 }
 
 bool isTreeMethod(Method method) {
@@ -49,6 +53,11 @@ bool usesKmeans(Method method) {
 bool isCaSvm(Method method) {
   return method == Method::BkmCa || method == Method::FcfsCa ||
          method == Method::RaCa;
+}
+
+bool isGlobalMethod(Method method) {
+  return method == Method::DisSmo || method == Method::DisSmoShrink ||
+         method == Method::Pbm;
 }
 
 }  // namespace casvm::core

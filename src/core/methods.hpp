@@ -31,7 +31,13 @@ void markInitEnd(net::Comm& comm, const MethodContext& ctx);
 /// Mark the end of the training phase for this rank.
 void markTrainEnd(net::Comm& comm, const MethodContext& ctx);
 
+/// Dis-SMO and its adaptive-shrinking variant (DisSmoShrink): one global
+/// SMO solve in lock-step collectives, with periodic globally-agreed
+/// shrink passes and an elected-row broadcast cache in the shrink variant.
 void runDisSmo(net::Comm& comm, const MethodContext& ctx);
+/// Parallel Block Minimization: per-rank warm-started block solves joined
+/// by a global line search each round, plus pair-correction iterations.
+void runPbm(net::Comm& comm, const MethodContext& ctx);
 void runTree(net::Comm& comm, const MethodContext& ctx);
 void runPartitioned(net::Comm& comm, const MethodContext& ctx);
 

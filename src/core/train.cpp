@@ -34,6 +34,17 @@ std::vector<data::Dataset> initialPlacement(const data::Dataset& trainSet,
   } else if (config.method == Method::RaCa) {
     // casvm1: everything starts on rank 0.
     blocks[0] = trainSet;
+  } else if (config.method == Method::Pbm) {
+    // PBM warm-starts a serial SMO on every block each round: random even
+    // parts keep each block two-class (a contiguous slice of a sorted
+    // dataset would hand a rank a single-class block it cannot solve).
+    const cluster::Partition part =
+        cluster::randomPartition(trainSet, P, config.seed);
+    const auto groups = part.groups();
+    for (int r = 0; r < P; ++r) {
+      blocks[static_cast<std::size_t>(r)] =
+          trainSet.subset(groups[static_cast<std::size_t>(r)]);
+    }
   } else {
     // Even contiguous blocks, the standard distributed starting layout.
     const cluster::Partition part = cluster::blockPartition(trainSet, P);
@@ -83,6 +94,9 @@ std::uint64_t runFingerprint(const data::Dataset& trainSet,
   appendScalar(bytes, static_cast<std::uint8_t>(s.shrinking));
   appendScalar(bytes, static_cast<std::uint64_t>(s.shrinkInterval));
   appendScalar(bytes, static_cast<std::uint64_t>(config.checkpointEvery));
+  appendScalar(bytes, static_cast<std::int64_t>(config.pbmRounds));
+  appendScalar(bytes, static_cast<std::uint64_t>(config.pbmInnerIterations));
+  appendScalar(bytes, static_cast<std::int64_t>(config.pbmPairIterations));
   appendScalar(bytes, static_cast<std::uint64_t>(trainSet.rows()));
   appendScalar(bytes, static_cast<std::uint64_t>(trainSet.cols()));
   appendScalar(bytes, static_cast<std::uint64_t>(trainSet.positives()));
@@ -228,7 +242,7 @@ TrainResult assembleFromBoard(const TrainConfig& config, RankBoard& board,
   }
 
   // --- model assembly ------------------------------------------------------
-  if (config.method == Method::DisSmo) {
+  if (isGlobalMethod(config.method)) {
     data::Dataset svs;
     std::vector<double> alphaY;
     for (int r = 0; r < P; ++r) {
@@ -294,10 +308,25 @@ TrainResult assembleFromBoard(const TrainConfig& config, RankBoard& board,
                                       board.kmeansLoops.end());
 
   // --- iterations ------------------------------------------------------------
-  if (config.method == Method::DisSmo) {
+  if (config.method == Method::DisSmo ||
+      config.method == Method::DisSmoShrink) {
+    // Lock-step global iterations: every rank executed the same count, so
+    // the total IS the critical path (rank 0's counter is authoritative).
     out.iterationsPerRank = board.iterations;
     out.totalIterations = board.iterations[0];
     out.criticalIterations = board.iterations[0];
+  } else if (config.method == Method::Pbm) {
+    // Block solves run in parallel per rank; the pair corrections are
+    // lock-step global iterations shared by everyone (rank 0's counter).
+    out.iterationsPerRank = board.iterations;
+    out.pairIterations = board.auxIterations[0];
+    long long maxBlock = 0;
+    for (long long it : board.iterations) {
+      out.totalIterations += it;
+      maxBlock = std::max(maxBlock, it);
+    }
+    out.totalIterations += board.auxIterations[0];
+    out.criticalIterations = maxBlock + board.auxIterations[0];
   } else if (isTreeMethod(config.method)) {
     int maxLayer = 0;
     for (const auto& records : board.layerRecords) {
@@ -328,6 +357,12 @@ TrainResult assembleFromBoard(const TrainConfig& config, RankBoard& board,
     }
   }
 
+  // --- shrinking / caching detail (DisSmoShrink, Pbm; inert elsewhere) -----
+  out.shrinkEngagedIteration = board.shrinkEngagedIter[0];
+  for (long long skipped : board.rowBcastsSkipped) {
+    out.electedRowBcastsSkipped += skipped;
+  }
+
   return out;
 }
 
@@ -342,7 +377,11 @@ void runMethod(net::Comm& comm, const MethodContext& ctx) {
   comm.faultCheckpoint("init");
   switch (ctx.config.method) {
     case Method::DisSmo:
+    case Method::DisSmoShrink:
       runDisSmo(comm, ctx);
+      break;
+    case Method::Pbm:
+      runPbm(comm, ctx);
       break;
     case Method::Cascade:
     case Method::DcSvm:

@@ -13,10 +13,27 @@ double predictedCommBytes(core::Method method, const CommModelParams& q) {
   const double p = static_cast<double>(q.p);
   constexpr double w = 4.0;  // bytes per word, as in the paper's example
 
+  const double r = static_cast<double>(q.r);
+  const double sigma = q.sigma;
+
   switch (method) {
     case core::Method::DisSmo:
       // Theta(26Ip + 2pm + 4mn)
       return w * (26.0 * I * p + 2.0 * p * m + 4.0 * m * n);
+    case core::Method::DisSmoShrink:
+      // Same election scalars every iteration, but the elected-row
+      // payload (the 4mn term: I ~ m iterations x 2 rows x n words)
+      // shrinks to the surviving fraction sigma once the replicated cache
+      // engages: Theta(26Ip + 2pm + 4mn*sigma).
+      return w * (26.0 * I * p + 2.0 * p * m + 4.0 * m * n * sigma);
+    case core::Method::Pbm:
+      // The replicated row store ships each changed sample's features once
+      // for the whole run (~the SV set, 2sn words with self-dots); every
+      // round re-syncs (key, coefficient) pairs (4rs words) plus the
+      // line-search scalars, and the I pair corrections pay Dis-SMO's
+      // scalar price with their row broadcasts absorbed by the store:
+      // O(2sn + 4rs + 26Ip + 6rp).
+      return w * (2.0 * s * n + 4.0 * r * s + 26.0 * I * p + 6.0 * r * p);
     case core::Method::Cascade:
       // O(3mn + 3m + 3sn)
       return w * (3.0 * m * n + 3.0 * m + 3.0 * s * n);
@@ -42,6 +59,9 @@ double predictedCommBytes(core::Method method, const CommModelParams& q) {
 const char* commFormula(core::Method method) {
   switch (method) {
     case core::Method::DisSmo: return "Theta(26Ip + 2pm + 4mn)";
+    case core::Method::DisSmoShrink:
+      return "Theta(26Ip + 2pm + 4mn*sigma)";
+    case core::Method::Pbm: return "O(2sn + 4rs + 26Ip + 6rp)";
     case core::Method::Cascade: return "O(3mn + 3m + 3sn)";
     case core::Method::DcSvm: return "Theta(9mn + 12m + 2kpn)";
     case core::Method::DcFilter: return "O(6mn + 7m + 3sn + 2kpn)";

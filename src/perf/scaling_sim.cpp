@@ -137,6 +137,46 @@ ModeledTime modeledTrainTime(core::Method method,
       t.comm = iters * perIterComm;
       return t;
     }
+    case core::Method::DisSmoShrink: {
+      // Dis-SMO with adaptive shrinking: elections still happen every
+      // iteration, but after shrinking engages the gradient update runs
+      // over the surviving active fraction and the replicated elected-row
+      // cache absorbs most sample broadcasts. Model both with a fixed
+      // surviving fraction of one half, averaged over the run.
+      constexpr double sigma = 0.5;
+      const double iters = smoIters(cal, m, false);
+      t.compute = iters * cal.secPerIterRow * (m / P) * (0.5 + 0.5 * sigma);
+      const double perIterComm =
+          lg * (4.0 * cal.cost.messageSeconds(16.0) +  // minloc/maxloc
+                2.0 * sigma *
+                    cal.cost.messageSeconds(4.0 * n + 24.0));  // samples
+      t.comm = iters * perIterComm;
+      return t;
+    }
+    case core::Method::Pbm: {
+      // A handful of outer rounds: a warm-started local solve per round
+      // (iterations scale with the LOCAL block), one allgatherv of the
+      // changed rows plus line-search scalars, and a short pair-correction
+      // tail. The replicated row store means the sample payload (~ the SV
+      // set) crosses once for the whole run; later rounds re-sync only
+      // (key, coefficient) pairs, and the tail's row broadcasts are
+      // absorbed too, leaving its scalar elections and 24B metadata.
+      constexpr double rounds = 8.0;
+      constexpr double pairPerRound = 64.0;
+      t.compute = smoCompute(cal, m / P, false) +
+                  (rounds - 1.0) * smoCompute(cal, m / P, true);
+      const double changedBytes = cal.svFraction * m * sampleBytes;
+      const double coefBytes = cal.svFraction * m * 16.0;
+      t.comm = lg * cal.cost.messageSeconds(changedBytes);
+      t.comm += rounds * lg * (cal.cost.messageSeconds(coefBytes) +
+                               2.0 * cal.cost.messageSeconds(16.0));
+      const double pairIters = rounds * pairPerRound;
+      t.compute += pairIters * cal.secPerIterRow * (m / P);
+      t.comm += pairIters * lg *
+                (4.0 * cal.cost.messageSeconds(16.0) +
+                 2.0 * cal.cost.messageSeconds(24.0));
+      return t;
+    }
     case core::Method::Cascade:
     case core::Method::DcSvm:
     case core::Method::DcFilter: {

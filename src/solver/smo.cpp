@@ -165,6 +165,7 @@ SolverResult SmoSolver::solve(const data::Dataset& ds,
 
   std::size_t iter = startIter;
   bool converged = false;
+  bool degenerateRetried = false;
   double bHigh = 0.0, bLow = 0.0;
 
   for (; iter < maxIters; ++iter) {
@@ -290,9 +291,17 @@ SolverResult SmoSolver::solve(const data::Dataset& ds,
     if (std::abs(dLow) < 1e-14) {
       // Degenerate step: the maximal violating pair is pinned at the box
       // and cannot move. With bound-slack set membership this should not
-      // occur; bail out without claiming convergence.
+      // occur on the full problem — but while shrunk it can be an artifact
+      // of the shrunk set (the sample that would free the pair was shrunk
+      // away), so restore the full problem and retry once before giving up.
       cache.unpin(iHigh);
       cache.unpin(iLow);
+      if (active.size() < m && !degenerateRetried) {
+        unshrink();
+        everShrunk = false;
+        degenerateRetried = true;
+        continue;
+      }
       break;
     }
     const double dHigh = -s * dLow;

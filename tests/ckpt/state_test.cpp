@@ -66,6 +66,48 @@ TEST(StateCodecTest, SolverStateRoundTripIsBitwise) {
   EXPECT_EQ(back.active, snap.active);
 }
 
+TEST(StateCodecTest, DisSmoStateRoundTripIsBitwise) {
+  solver::SolverSnapshot snap;
+  snap.iteration = 123;
+  snap.everShrunk = true;
+  snap.alpha = {2.0 / 7.0, 0.0, std::nextafter(0.5, 1.0)};
+  snap.f = {-1e-300, 3e17, 0.25};
+  snap.active = {1, 2};
+  const solver::SolverSnapshot back =
+      decodeDisSmoState(encodeDisSmoState(snap));
+  EXPECT_EQ(back.iteration, snap.iteration);
+  EXPECT_EQ(back.everShrunk, snap.everShrunk);
+  EXPECT_EQ(back.alpha, snap.alpha);
+  EXPECT_EQ(back.f, snap.f);
+  EXPECT_EQ(back.active, snap.active);
+}
+
+TEST(StateCodecTest, PbmRoundRoundTripIsBitwise) {
+  PbmRoundState state;
+  state.round = 5;
+  state.blockIterations = 4321;
+  state.pairIterations = 987;
+  state.alpha = {1.0 / 3.0, 0.0, std::nextafter(1.0, 0.0)};
+  state.f = {std::acos(-1.0), -2e-17};
+  const PbmRoundState back = decodePbmRound(encodePbmRound(state));
+  EXPECT_EQ(back.round, state.round);
+  EXPECT_EQ(back.blockIterations, state.blockIterations);
+  EXPECT_EQ(back.pairIterations, state.pairIterations);
+  EXPECT_EQ(back.alpha, state.alpha);
+  EXPECT_EQ(back.f, state.f);
+}
+
+TEST(StateCodecTest, TruncatedPbmRoundThrowsNotCrashes) {
+  PbmRoundState state;
+  state.alpha = {1.0, 2.0};
+  state.f = {3.0, 4.0};
+  const auto bytes = encodePbmRound(state);
+  for (std::size_t cut = 0; cut < bytes.size(); cut += 3) {
+    EXPECT_THROW((void)decodePbmRound(std::span(bytes).first(cut)), Error)
+        << "cut=" << cut;
+  }
+}
+
 TEST(StateCodecTest, SubModelRoundTripIsBitwise) {
   SubModelState state;
   state.model = trainedModel();

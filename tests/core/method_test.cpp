@@ -7,10 +7,12 @@
 namespace casvm::core {
 namespace {
 
-TEST(MethodTest, EightMethodsInPaperOrder) {
+TEST(MethodTest, TenMethodsOnTheCommLadder) {
   const auto all = allMethods();
-  ASSERT_EQ(all.size(), 8u);
+  ASSERT_EQ(all.size(), 10u);
   EXPECT_EQ(all.front(), Method::DisSmo);
+  EXPECT_EQ(all[1], Method::DisSmoShrink);
+  EXPECT_EQ(all[2], Method::Pbm);
   EXPECT_EQ(all.back(), Method::RaCa);
 }
 
@@ -31,11 +33,19 @@ TEST(MethodTest, UnknownNameThrows) {
 
 TEST(MethodTest, TraitsPartitionTheMethods) {
   for (Method m : allMethods()) {
-    const int kinds = (m == Method::DisSmo ? 1 : 0) +
+    const int kinds = (isGlobalMethod(m) ? 1 : 0) +
                       (isTreeMethod(m) ? 1 : 0) +
                       (isPartitionedMethod(m) ? 1 : 0);
     EXPECT_EQ(kinds, 1) << methodName(m);
   }
+}
+
+TEST(MethodTest, GlobalMethods) {
+  EXPECT_TRUE(isGlobalMethod(Method::DisSmo));
+  EXPECT_TRUE(isGlobalMethod(Method::DisSmoShrink));
+  EXPECT_TRUE(isGlobalMethod(Method::Pbm));
+  EXPECT_FALSE(isGlobalMethod(Method::Cascade));
+  EXPECT_FALSE(isGlobalMethod(Method::RaCa));
 }
 
 TEST(MethodTest, KmeansUsers) {

@@ -159,8 +159,65 @@ INSTANTIATE_TEST_SUITE_P(
                    "solve2"},
         // DC-Filter: K-means partition checkpoint + per-layer filtering.
         ResumeCase{Method::DcFilter, true, "crash:rank=0,phase=solve,nth=2",
-                   "solve2"}),
+                   "solve2"},
+        // Global methods: every rank snapshots in lock-step, so a resume
+        // re-enters the synchronized loop at a common iteration; the
+        // elected-row cache is rebuilt, changing only the traffic.
+        ResumeCase{Method::DisSmo, true, "crash:rank=1,phase=solve,nth=2",
+                   "solve2"},
+        ResumeCase{Method::DisSmo, false, "crash:rank=2,phase=solve,nth=1",
+                   "solve1"},
+        ResumeCase{Method::DisSmoShrink, true,
+                   "crash:rank=1,phase=solve,nth=2", "solve2"},
+        ResumeCase{Method::Pbm, true, "crash:rank=1,phase=solve,nth=2",
+                   "solve2"},
+        ResumeCase{Method::Pbm, false, "crash:rank=3,phase=solve,nth=1",
+                   "solve1"}),
     resumeCaseName);
+
+// ---------------------------------------------------------------------------
+// Shrink-engaged resume: the interrupt fires AFTER adaptive shrinking has
+// committed a pass, so the restored active set is the shrunk one
+// ---------------------------------------------------------------------------
+
+TEST(ResumeTest, ShrinkEngagedDisSmoResumesBitwiseExact) {
+  auto shrinkConfig = [] {
+    TrainConfig cfg = baseConfig(Method::DisSmoShrink, true);
+    cfg.solver.shrinkInterval = 64;
+    cfg.checkpointEvery = 96;  // second snapshot lands after the first pass
+    return cfg;
+  };
+  const TrainResult reference = train(toy().train, shrinkConfig());
+  ASSERT_GE(reference.shrinkEngagedIteration, 0)
+      << "cadence too slow: shrinking never engaged, test is vacuous";
+  const std::vector<std::byte> expected = reference.model.pack();
+
+  const std::string dir = freshDir("resume_shrink_engaged");
+  ckpt::CheckpointStore store(dir);
+  TrainConfig crashed = shrinkConfig();
+  crashed.checkpoints = &store;
+  crashed.faults = net::FaultPlan::parse("crash:rank=1,phase=solve,nth=2");
+  bool interrupted = false;
+  try {
+    (void)train(toy().train, crashed);
+  } catch (const std::exception&) {
+    interrupted = true;
+  }
+  ASSERT_TRUE(interrupted);
+
+  TrainConfig resumed = shrinkConfig();
+  resumed.checkpoints = &store;
+  resumed.resume = true;
+  const TrainResult res = train(toy().train, resumed);
+  EXPECT_TRUE(res.resumed);
+  // The engagement iteration is a per-run statistic: a resume that
+  // restores an already-shrunk snapshot reports its own (later)
+  // engagement, not the original one. What must survive is the state —
+  // everShrunk and the shrunk active set ride the snapshot, so the
+  // trajectory (and hence the model) is bitwise the uninterrupted one.
+  EXPECT_GE(res.shrinkEngagedIteration, 0);
+  EXPECT_EQ(res.model.pack(), expected);
+}
 
 // ---------------------------------------------------------------------------
 // Resume of a completed run short-circuits from checkpoints

@@ -414,6 +414,34 @@ TEST(SmoShrinkingTest, KktStillHoldsAfterShrinking) {
   EXPECT_LE(bLow, bHigh + 2.0 * opts.tolerance + 1e-6);
 }
 
+TEST(SmoShrinkingTest, DegenerateStepWhileShrunkUnshrinksAndRecovers) {
+  // Regression: when the maximal violating pair over the SHRUNK set is
+  // pinned at the box and cannot move, the solver used to bail out of the
+  // whole solve — but the pair is often only stuck because the sample that
+  // would free it was shrunk away. The solver must restore the full
+  // problem and retry once before giving up. Stress the path with a very
+  // aggressive shrink cadence and asymmetric per-class boxes (the small
+  // negative box pins negatives almost immediately) across several draws;
+  // a premature bail shows up as non-convergence or a worse objective
+  // than the shrinking-off reference.
+  for (int seed : {3, 11, 19, 27}) {
+    const auto ds = data::generateTwoGaussians(240, 4, 1.5, seed);
+    SolverOptions plain = gaussianOptions(0.5, 1.0);
+    plain.positiveWeight = 3.0;
+    plain.negativeWeight = 0.05;
+    SolverOptions shrunk = plain;
+    shrunk.shrinking = true;
+    shrunk.shrinkInterval = 10;
+    const SolverResult a = SmoSolver(plain).solve(ds);
+    const SolverResult b = SmoSolver(shrunk).solve(ds);
+    ASSERT_TRUE(a.converged) << "seed " << seed;
+    EXPECT_TRUE(b.converged) << "seed " << seed;
+    EXPECT_NEAR(a.objective, b.objective,
+                1e-3 * std::max(1.0, std::abs(a.objective)))
+        << "seed " << seed;
+  }
+}
+
 TEST(SmoShrinkingTest, WarmStartComposesWithShrinking) {
   const auto nd = data::standin("toy", 0.5);
   SolverOptions opts = gaussianOptions(nd.suggestedGamma);

@@ -4,8 +4,9 @@
 //               --gamma 0.5 --C 1 --out model.bin
 //   casvm-train --standin ijcnn --method cp-svm --out model.bin
 //
-// Any of the paper's eight methods can be selected; the model file is the
-// DistributedModel serialization readable by casvm-predict.
+// Any registered method can be selected — the paper's eight plus the two
+// middle-ground global methods (dis-smo-shrink, pbm); the model file is
+// the DistributedModel serialization readable by casvm-predict.
 
 #include <cstdio>
 #include <optional>
@@ -26,8 +27,9 @@ constexpr const char* kUsage = R"(usage: casvm-train [options]
   --standin <name>     built-in synthetic dataset (adult, epsilon, face,
                        gisette, ijcnn, usps, webspam, forest, toy)
   --scale <f>          stand-in scale factor (default 1.0)
-  --method <name>      dis-smo | cascade | dc-svm | dc-filter | cp-svm |
-                       bkm-ca | fcfs-ca | ra-ca (default ra-ca)
+  --method <name>      dis-smo | dis-smo-shrink | pbm | cascade | dc-svm |
+                       dc-filter | cp-svm | bkm-ca | fcfs-ca | ra-ca
+                       (default ra-ca)
   --procs <P>          simulated ranks (default 8)
   --kernel <name>      linear | polynomial | gaussian | sigmoid
   --gamma <g>          Gaussian gamma (default 1/features)
@@ -37,7 +39,12 @@ constexpr const char* kUsage = R"(usage: casvm-train [options]
   --w-pos / --w-neg    per-class C weights (default 1.0)
   --tolerance <t>      KKT tolerance (default 1e-3)
   --shrinking          enable shrinking in the sub-solver
+  --shrink-interval <n> iterations between shrink passes (serial shrinking
+                       and dis-smo-shrink; default 1000)
+  --dis-shrink         shorthand for --method dis-smo-shrink
   --cascade-passes <n> Cascade feedback passes (default 1)
+  --pbm-rounds <n>     PBM outer block-solve rounds (default 8)
+  --pbm-pair-iters <n> PBM pair corrections per round (default 256)
   --seed <s>           RNG seed (default 42)
   --fault-spec <s>     injected fault schedule, e.g.
                        "crash:rank=2,phase=train;slow:rank=1,factor=4"
@@ -112,7 +119,8 @@ void flushTraceOnFailure(const casvm::obs::TraceRecorder* recorder,
 
 int main(int argc, char** argv) {
   using namespace casvm;
-  const cli::Args args(argc, argv, {"shrinking", "help", "resume"});
+  const cli::Args args(argc, argv,
+                       {"shrinking", "dis-shrink", "help", "resume"});
   if (args.has("help") || argc == 1) cli::usage(kUsage);
 
   try {
@@ -134,10 +142,15 @@ int main(int argc, char** argv) {
     }
 
     core::TrainConfig cfg;
-    cfg.method = core::methodFromName(args.get("method", "ra-ca"));
+    cfg.method = args.has("dis-shrink")
+                     ? core::Method::DisSmoShrink
+                     : core::methodFromName(args.get("method", "ra-ca"));
     cfg.processes = static_cast<int>(args.getInt("procs", 8));
     cfg.seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
     cfg.cascadePasses = static_cast<int>(args.getInt("cascade-passes", 1));
+    cfg.pbmRounds = static_cast<int>(args.getInt("pbm-rounds", cfg.pbmRounds));
+    cfg.pbmPairIterations = static_cast<int>(
+        args.getInt("pbm-pair-iters", cfg.pbmPairIterations));
     cfg.faults = cli::faultPlanFromArgs(args);
 
     const std::string kernelName = args.get("kernel", "gaussian");
@@ -159,6 +172,9 @@ int main(int argc, char** argv) {
     cfg.solver.negativeWeight = args.getDouble("w-neg", 1.0);
     cfg.solver.tolerance = args.getDouble("tolerance", 1e-3);
     cfg.solver.shrinking = args.has("shrinking");
+    cfg.solver.shrinkInterval = static_cast<std::size_t>(
+        args.getInt("shrink-interval",
+                    static_cast<long long>(cfg.solver.shrinkInterval)));
 
     std::optional<ckpt::CheckpointStore> store;
     if (args.has("checkpoint-dir")) {
