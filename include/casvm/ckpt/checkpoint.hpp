@@ -35,6 +35,7 @@ enum class Kind : std::uint32_t {
   TreeLayer = 5,    ///< a completed tree layer's merged/filtered output
   DisSmoState = 6,  ///< a rank's mid-solve Dis-SMO state (alpha/f/active)
   PbmRound = 7,     ///< a rank's PBM state at the top of an outer round
+  LowRankFactor = 8,  ///< a rank's Nyström factor (casvm::lowrank)
 };
 
 inline constexpr std::uint32_t kFormatVersion = 1;

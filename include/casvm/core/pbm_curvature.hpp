@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file pbm_curvature.hpp
+/// Distributed curvature for PBM's global line search: h = c^T K c over the
+/// round's s changed samples.
+///
+/// The naive replicated evaluation is O(s^2) kernel evaluations on EVERY
+/// rank; distributing it drops each rank to O(s^2 / P) at the cost of one
+/// s-word allgatherv. The decomposition is per-sample terms
+///
+///     t_a = c_a^2 K(x_a, x_a) + sum_{b > a} 2 c_a c_b K(x_a, x_b)
+///
+/// (diagonal plus this sample's slice of the upper triangle), with
+/// h = sum_a t_a. Determinism contract: rank r owns the contiguous index
+/// block [r*s/P, (r+1)*s/P); each t_a accumulates its b-loop serially
+/// ascending; the allgatherv concatenates the blocks back into ascending-a
+/// order; and the final reduction is a serial left-to-right sum. Every rank
+/// therefore computes the bitwise-identical h, for ANY process count —
+/// P = 1 and P = 64 agree to the last bit, because the per-term grouping
+/// and the term-sum order never depend on P.
+///
+/// Exposed as free functions (not buried in the PBM body) so tests can
+/// assert the fixed-order-reduction property directly.
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "casvm/kernel/kernel.hpp"
+
+namespace casvm::core {
+
+/// Row accessor: borrowed feature view of changed sample `j`.
+using PbmRowFn = std::function<std::span<const float>(std::size_t)>;
+
+/// Curvature terms t_a for a in [begin, end) — one rank's contiguous share.
+/// `coefs[a]` is c_a = y_a * Delta_a and `rowDot[a]` the row's self-dot.
+inline std::vector<double> pbmCurvatureTerms(const kernel::Kernel& kern,
+                                             std::span<const double> coefs,
+                                             const PbmRowFn& rowOf,
+                                             std::span<const double> rowDot,
+                                             std::size_t begin,
+                                             std::size_t end) {
+  std::vector<double> terms;
+  terms.reserve(end - begin);
+  const std::size_t s = coefs.size();
+  for (std::size_t a = begin; a < end; ++a) {
+    double t = coefs[a] * coefs[a] *
+               kern.evalVectors(rowOf(a), rowDot[a], rowOf(a), rowDot[a]);
+    for (std::size_t b = a + 1; b < s; ++b) {
+      t += 2.0 * coefs[a] * coefs[b] *
+           kern.evalVectors(rowOf(a), rowDot[a], rowOf(b), rowDot[b]);
+    }
+    terms.push_back(t);
+  }
+  return terms;
+}
+
+/// Serial left-to-right sum of the concatenated terms (the fixed-order
+/// reduction every rank replays identically).
+inline double pbmCurvatureSum(std::span<const double> terms) {
+  double h = 0.0;
+  for (double t : terms) h += t;
+  return h;
+}
+
+/// The contiguous index block rank r owns out of s samples: [first, last).
+inline std::pair<std::size_t, std::size_t> pbmCurvatureBlock(std::size_t s,
+                                                             int rank,
+                                                             int procs) {
+  const auto ur = static_cast<std::size_t>(rank);
+  const auto up = static_cast<std::size_t>(procs);
+  return {s * ur / up, s * (ur + 1) / up};
+}
+
+}  // namespace casvm::core

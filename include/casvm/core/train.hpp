@@ -11,10 +11,12 @@
 
 #include <cstdint>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "casvm/core/distributed_model.hpp"
 #include "casvm/core/method.hpp"
+#include "casvm/lowrank/landmarks.hpp"
 #include "casvm/net/comm.hpp"
 #include "casvm/solver/smo.hpp"
 
@@ -27,6 +29,16 @@ class CheckpointStore;
 }
 
 namespace casvm::core {
+
+/// Kernel matrix the sub-solvers train against (see TrainConfig below).
+enum class SolverBackend : std::uint8_t {
+  Exact = 0,    ///< evaluate K(x_i, x_j) on demand (the default)
+  Nystrom = 1,  ///< train against the low-rank K̃ = Z·Zᵀ (casvm::lowrank)
+};
+
+/// Stable names for CLI flags and run fingerprints.
+const char* backendName(SolverBackend backend);
+SolverBackend backendFromName(std::string_view name);
 
 struct TrainConfig {
   Method method = Method::RaCa;
@@ -104,6 +116,25 @@ struct TrainConfig {
   /// converges in fewer rounds — less sync traffic AND fewer block-solve
   /// iterations than a tight cap.
   int pbmPairIterations = 256;
+
+  // --- solver backend (casvm::lowrank) -------------------------------------
+  /// Which kernel matrix the sub-solvers train against. Exact evaluates
+  /// K(x_i, x_j) on demand; Nystrom trains against the low-rank
+  /// approximation K̃ = Z·Zᵀ (see lowrank/nystrom.hpp) — per-cluster
+  /// landmark factors on the partitioned/tree paths, one global landmark
+  /// set on Dis-SMO — trading ≤~1% accuracy for row fills over r ≪ n
+  /// columns. Model extraction and prediction stay exact either way.
+  /// Method::Pbm does not support the Nyström backend (its replicated
+  /// line search is defined over exact cross-block rows) and rejects it.
+  SolverBackend solverBackend = SolverBackend::Exact;
+  /// Landmarks per factor (per cluster on partitioned/tree paths, total
+  /// across ranks on Dis-SMO). The effective rank can be lower after
+  /// eigenvalue truncation.
+  std::size_t nystromLandmarks = 64;
+  /// Landmark selection strategy (uniform | kmeans++).
+  lowrank::LandmarkStrategy nystromStrategy = lowrank::LandmarkStrategy::KmeansPP;
+  /// Relative eigenvalue floor for the factor's rank truncation.
+  double nystromEigenFloor = 1e-10;
 };
 
 /// Per-layer profile of a tree method run (the paper's Table V).

@@ -52,4 +52,14 @@ const StandinSpec& standinSpec(const std::string& name);
 NamedDataset standin(const std::string& name, double scale = 1.0,
                      std::uint64_t seed = 42);
 
+/// Generate a stand-in at an explicit sample count through the chunked
+/// generator (bounded memory; deterministic at any chunk size). Train rows
+/// are [0, samples) of one virtual sample set and the held-out test rows
+/// follow at [samples, samples + max(16, samples/5)). This is the
+/// million-sample entry point: unlike standin() it never materializes a
+/// joint train+test buffer. Throws casvm::Error above the 2^24-sample
+/// generator budget.
+NamedDataset standinSized(const std::string& name, std::size_t samples,
+                          std::uint64_t seed = 42);
+
 }  // namespace casvm::data

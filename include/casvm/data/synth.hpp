@@ -56,6 +56,21 @@ struct MixtureSpec {
 /// (spec, spec.seed).
 Dataset generateMixture(const MixtureSpec& spec);
 
+/// Rows [begin, begin + count) of the virtual sample set described by
+/// `spec` (`spec.samples` is the virtual total; the window must fit in it).
+/// The component geometry (centers, dominant labels, hyperplane, sparse
+/// supports) derives from Rng(spec.seed) exactly as in generateMixture,
+/// then every sample draws from its own counter-derived RNG stream — so
+/// the output is invariant in the chunking: generating [0, m) in one call
+/// or as any partition into consecutive chunks produces bitwise-identical
+/// rows. This is how million-sample stand-ins are produced without ever
+/// materializing more than the requested window. Note the per-sample
+/// streams differ from generateMixture's single sequential stream: a full
+/// window draws the same distribution but is not byte-equal to
+/// generateMixture(spec).
+Dataset generateMixtureChunk(const MixtureSpec& spec, std::size_t begin,
+                             std::size_t count);
+
 /// Two well-separated Gaussians, one per class; the easiest sanity-check
 /// dataset (linearly separable with margin ~ separation).
 Dataset generateTwoGaussians(std::size_t samples, std::size_t features,

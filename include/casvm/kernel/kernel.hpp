@@ -123,6 +123,15 @@ class Kernel {
            std::span<const std::size_t> subset, std::span<double> out,
            RowWorkspace& ws) const;
 
+  /// Fill out[j] = K(xj, x) for all j against an external dense vector x
+  /// with precomputed ||x||^2 — a whole-column evaluation of evalWith().
+  /// Dense fills stream through the workspace's blocked matrix copy with
+  /// the same tile micro-kernel as row(); sparse fills run each row's
+  /// nonzeros against x. Bitwise-identical to calling evalWith per row.
+  /// The low-rank backend uses this to materialize K(:, landmark) columns.
+  void rowWith(const data::Dataset& ds, std::span<const float> x,
+               double xSelfDot, std::span<double> out, RowWorkspace& ws) const;
+
   /// Fill out[j] = K(xj, xj) for all j from the dataset's cached squared
   /// norms — no dot products. The SMO second-order working-set selection
   /// reads the kernel diagonal for every candidate on every iteration;

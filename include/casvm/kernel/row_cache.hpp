@@ -8,6 +8,9 @@
 /// of frequently re-selected working-set members without materializing the
 /// m x m kernel matrix (LIBSVM uses the same strategy).
 ///
+/// Rows are produced by a RowSource (see row_source.hpp): the exact kernel
+/// by default, or a low-rank approximation with the same row interface.
+///
 /// Pinning contract: the solver holds spans to at most two rows of one
 /// iteration simultaneously. It pins each row right after fetching it and
 /// unpins both before the next fetch; a pinned row is never evicted, so an
@@ -26,12 +29,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "casvm/data/dataset.hpp"
 #include "casvm/kernel/kernel.hpp"
+#include "casvm/kernel/row_source.hpp"
 
 namespace casvm::kernel {
 
@@ -39,11 +44,16 @@ namespace casvm::kernel {
 /// Not thread-safe; each solver instance owns its cache.
 class RowCache {
  public:
-  /// `budgetBytes` bounds the cached data (each row is rows()*8 bytes);
-  /// at least TWO row slots are always granted, because SMO holds spans to
-  /// the high and low rows of one iteration simultaneously.
+  /// Cache over the exact kernel of `ds`. `budgetBytes` bounds the cached
+  /// data (each row is rows()*8 bytes); at least TWO row slots are always
+  /// granted, because SMO holds spans to the high and low rows of one
+  /// iteration simultaneously.
   RowCache(const Kernel& kernel, const data::Dataset& ds,
            std::size_t budgetBytes);
+
+  /// Cache over an arbitrary row producer (exact or low-rank); `source`
+  /// must outlive the cache.
+  RowCache(RowSource& source, std::size_t budgetBytes);
 
   /// Kernel row i (length = dataset rows); computed on miss, LRU-evicted.
   /// The span stays valid until its row is evicted; pinned rows are never
@@ -100,11 +110,9 @@ class RowCache {
   /// indexed under i and moved to the front of the LRU list.
   Slot& claimSlot(std::size_t i);
 
-  const Kernel& kernel_;
-  const data::Dataset& ds_;
-  /// Fill accelerator (blocked matrix copy + scratch); lives as long as the
-  /// cache so its one-time build cost amortizes over every miss.
-  RowWorkspace workspace_;
+  /// Backing storage for the legacy (Kernel, Dataset) constructor.
+  std::unique_ptr<ExactRowSource> ownedExact_;
+  RowSource* src_;
   std::size_t capacityRows_;
   std::list<Slot> lru_;  // front = most recent
   std::unordered_map<std::size_t, std::list<Slot>::iterator> index_;

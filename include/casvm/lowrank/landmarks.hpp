@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file landmarks.hpp
+/// Landmark selection for the Nyström low-rank kernel backend.
+///
+/// A landmark set is a small subset of training rows whose kernel columns
+/// span the approximation (see nystrom.hpp). Selection is deterministic in
+/// the seed, so every rank of an SPMD run (and every resume of a
+/// checkpointed one) picks the same landmarks.
+///
+/// Composition with the paper's partitioners: the partitioned methods
+/// (CP-SVM, BKM/FCFS/RA CA-SVM) and the tree methods call selection on each
+/// rank's *local* block, which after clustering IS one cluster — so "one
+/// landmark set per cluster" falls out of the data placement. K-means++
+/// seeding then spreads the landmarks over that cluster's own geometry,
+/// exactly the per-cluster low-rank structure the DC-SVM analysis
+/// (arXiv:1311.0914) predicts.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "casvm/data/dataset.hpp"
+
+namespace casvm::lowrank {
+
+enum class LandmarkStrategy : std::uint8_t {
+  /// Uniform sample without replacement.
+  Uniform = 0,
+  /// K-means++ D² seeding: each next landmark is drawn with probability
+  /// proportional to its squared distance from the chosen set. Spreads
+  /// landmarks over the data's geometry; the better default.
+  KmeansPP = 1,
+};
+
+std::string strategyName(LandmarkStrategy strategy);
+LandmarkStrategy strategyFromName(const std::string& name);
+
+/// Select `count` distinct landmark row indices from `ds` (ascending,
+/// deterministic in `seed`). `count` is clamped to ds.rows().
+std::vector<std::size_t> selectLandmarks(const data::Dataset& ds,
+                                         std::size_t count,
+                                         LandmarkStrategy strategy,
+                                         std::uint64_t seed);
+
+/// Landmark rows materialized as dense float vectors with cached squared
+/// norms — self-contained (no Dataset reference), so a set can cross rank
+/// boundaries: the global-landmark Dis-SMO path allgathers exactly these
+/// fields and every rank rebuilds the identical mixing matrix from them.
+struct LandmarkSet {
+  std::size_t features = 0;
+  std::vector<float> rows;       ///< count x features, row-major
+  std::vector<double> selfDots;  ///< ||row_l||², one per landmark
+
+  std::size_t count() const { return selfDots.size(); }
+  std::span<const float> row(std::size_t l) const {
+    return std::span<const float>(rows).subspan(l * features, features);
+  }
+};
+
+/// Densify the given rows of `ds` into a LandmarkSet.
+LandmarkSet extractLandmarks(const data::Dataset& ds,
+                             std::span<const std::size_t> indices);
+
+}  // namespace casvm::lowrank

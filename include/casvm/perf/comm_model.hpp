@@ -27,6 +27,12 @@ struct CommModelParams {
   /// (DisSmoShrink): scales the elected-row broadcast volume, since the
   /// replicated cache absorbs the re-elections of the shrunken core.
   double sigma = 0.5;
+  /// Nyström landmarks when the run used the low-rank backend (0 = exact).
+  /// Only the Dis-SMO family pays extra: one allgatherv replicating the L
+  /// landmark rows (n words each, plus self-dots) on all p ranks at
+  /// startup — pL(n+2) words. The partitioned and tree methods build
+  /// per-cluster factors from purely local rows, adding zero volume.
+  long long L = 0;
 };
 
 /// Predicted total communication volume in bytes (4-byte words, as in the

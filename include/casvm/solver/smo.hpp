@@ -19,6 +19,7 @@
 
 #include "casvm/data/dataset.hpp"
 #include "casvm/kernel/kernel.hpp"
+#include "casvm/kernel/row_source.hpp"
 #include "casvm/solver/model.hpp"
 
 namespace casvm::obs {
@@ -96,6 +97,13 @@ struct SolverOptions {
   /// the same dataset and options, or the result is meaningless. The
   /// pointee must outlive the call.
   const SolverSnapshot* resumeFrom = nullptr;
+  /// Where the solver's kernel rows and diagonal come from. nullptr (the
+  /// default) means the exact kernel of `ds`; the low-rank backend passes a
+  /// lowrank::LowRankKernel here so every row fill becomes a Z·Zᵀ tile-dot.
+  /// The source's rows() must equal ds.rows() and the pointee must outlive
+  /// the call. Model extraction always uses the exact kernel over the
+  /// support vectors regardless (train-approximate, predict-exact).
+  kernel::RowSource* rowSource = nullptr;
 };
 
 struct SolverResult {

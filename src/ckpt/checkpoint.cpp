@@ -20,6 +20,7 @@ bool knownKind(std::uint32_t k) {
     case Kind::TreeLayer:
     case Kind::DisSmoState:
     case Kind::PbmRound:
+    case Kind::LowRankFactor:
       return true;
   }
   return false;

@@ -36,6 +36,7 @@
 #include "methods.hpp"
 #include "casvm/ckpt/state.hpp"
 #include "casvm/ckpt/store.hpp"
+#include "casvm/lowrank/nystrom.hpp"
 #include "casvm/obs/trace.hpp"
 #include "casvm/support/error.hpp"
 
@@ -112,6 +113,37 @@ void runDisSmo(net::Comm& comm, const MethodContext& ctx) {
 
   const GlobalDual prob{local, kern, cPos, cNeg, boundEps, tau};
 
+  // Low-rank backend: ONE global landmark set shared by every rank. Each
+  // rank selects its deterministic share of the L landmarks from its own
+  // block, an allgatherv concatenates the shares in rank order, and every
+  // rank builds its local Z against the identical set. The z-map of a
+  // broadcast row is then the same bytes everywhere, so the elected-pair
+  // step (eta, deltas) stays replicated — the collective-safety invariant
+  // survives the approximation. Per-rank landmark sets would break it:
+  // K̃ would differ by rank and elections would diverge.
+  const bool lowrankOn = ctx.config.solverBackend == SolverBackend::Nystrom;
+  std::optional<lowrank::NystromFactor> lrFactor;
+  if (lowrankOn) {
+    PhaseSpan span(comm, "lowrank");
+    const int P = comm.size();
+    const std::size_t L = ctx.config.nystromLandmarks;
+    std::size_t share = L / static_cast<std::size_t>(P) +
+                        (static_cast<std::size_t>(rank) < L % static_cast<std::size_t>(P) ? 1 : 0);
+    share = std::min(share, mLocal);
+    const std::vector<std::size_t> mineIdx = lowrank::selectLandmarks(
+        local, share, ctx.config.nystromStrategy,
+        ctx.config.seed ^ (0x9E3779B97F4A7C15ull *
+                           static_cast<std::uint64_t>(rank + 1)));
+    const lowrank::LandmarkSet localSet =
+        lowrank::extractLandmarks(local, mineIdx);
+    lowrank::LandmarkSet globalSet;
+    globalSet.features = n;
+    globalSet.rows = comm.allgatherv(localSet.rows);
+    globalSet.selfDots = comm.allgatherv(localSet.selfDots);
+    lrFactor = lowrank::NystromFactor::buildWithLandmarks(
+        kern, local, std::move(globalSet), ctx.config.nystromEigenFloor);
+  }
+
   std::vector<double> alpha(mLocal, 0.0);
   std::vector<double> f(mLocal);
   for (std::size_t i = 0; i < mLocal; ++i) f[i] = -double(local.label(i));
@@ -185,6 +217,18 @@ void runDisSmo(net::Comm& comm, const MethodContext& ctx) {
   long long iters = static_cast<long long>(startIter);
   ElectedRowCache rowCache;
 
+  // z-space images of the elected pair (low-rank backend only) and the
+  // fixed-order dot over them. Identical on every rank: the z-map is
+  // deterministic in the broadcast bytes.
+  const std::size_t zRank = lowrankOn ? lrFactor->rank() : 0;
+  std::vector<double> zHigh(zRank), zLow(zRank);
+  const auto zdotVec = [](std::span<const double> a,
+                          std::span<const double> b) {
+    double s = 0.0;
+    for (std::size_t k = 0; k < a.size(); ++k) s += a[k] * b[k];
+    return s;
+  };
+
   // Rebuild the gradient of shrunk-out rows and reactivate everything.
   // Collective (one allgatherv round shipping the global support vectors);
   // callers gate it on `everShrunk`, which is derived from allreduced
@@ -211,14 +255,37 @@ void runDisSmo(net::Comm& comm, const MethodContext& ctx) {
     std::vector<bool> isActive(mLocal, false);
     for (std::size_t i : active) isActive[i] = true;
     const std::span<const float> rows(allRows);
-    for (std::size_t i = 0; i < mLocal; ++i) {
-      if (isActive[i]) continue;
-      double fi = -double(local.label(i));
+    if (lowrankOn) {
+      // Rebuild against the SAME K̃ the iterations used: map every gathered
+      // support vector into z-space once, then each stale gradient is a
+      // sum of z-dots. Mixing exact rows into an approximate trajectory
+      // would desynchronize f from the alphas that produced it.
+      const std::size_t r = lrFactor->rank();
+      std::vector<double> zAll(allCoefs.size() * r);
       for (std::size_t j = 0; j < allCoefs.size(); ++j) {
-        fi += allCoefs[j] *
-              kern.evalWith(local, i, rows.subspan(j * n, n), allDots[j]);
+        lrFactor->map(kern, rows.subspan(j * n, n), allDots[j],
+                      std::span<double>(zAll).subspan(j * r, r));
       }
-      f[i] = fi;
+      for (std::size_t i = 0; i < mLocal; ++i) {
+        if (isActive[i]) continue;
+        double fi = -double(local.label(i));
+        for (std::size_t j = 0; j < allCoefs.size(); ++j) {
+          fi += allCoefs[j] *
+                lrFactor->zdot(i, std::span<const double>(zAll)
+                                      .subspan(j * r, r));
+        }
+        f[i] = fi;
+      }
+    } else {
+      for (std::size_t i = 0; i < mLocal; ++i) {
+        if (isActive[i]) continue;
+        double fi = -double(local.label(i));
+        for (std::size_t j = 0; j < allCoefs.size(); ++j) {
+          fi += allCoefs[j] *
+                kern.evalWith(local, i, rows.subspan(j * n, n), allDots[j]);
+        }
+        f[i] = fi;
+      }
     }
     active.resize(mLocal);
     std::iota(active.begin(), active.end(), 0);
@@ -329,13 +396,21 @@ void runDisSmo(net::Comm& comm, const MethodContext& ctx) {
     fetchElected(low.index, ownerLow, localLowI, metaLow, xLow, cacheOn);
 
     // Every rank computes the identical two-variable step (eqns. 6-7),
-    // clipped to the per-class boxes.
-    const double kHH = kern.evalVectors(xHigh, metaHigh.selfDot, xHigh,
-                                        metaHigh.selfDot);
-    const double kLL =
-        kern.evalVectors(xLow, metaLow.selfDot, xLow, metaLow.selfDot);
-    const double kHL =
-        kern.evalVectors(xHigh, metaHigh.selfDot, xLow, metaLow.selfDot);
+    // clipped to the per-class boxes. Low-rank: eta is computed in z-space
+    // so it matches the K̃ the gradient updates use — K̃ is PSD, so eta
+    // stays non-negative and the usual floor applies.
+    double kHH, kLL, kHL;
+    if (lowrankOn) {
+      lrFactor->map(kern, xHigh, metaHigh.selfDot, zHigh);
+      lrFactor->map(kern, xLow, metaLow.selfDot, zLow);
+      kHH = zdotVec(zHigh, zHigh);
+      kLL = zdotVec(zLow, zLow);
+      kHL = zdotVec(zHigh, zLow);
+    } else {
+      kHH = kern.evalVectors(xHigh, metaHigh.selfDot, xHigh, metaHigh.selfDot);
+      kLL = kern.evalVectors(xLow, metaLow.selfDot, xLow, metaLow.selfDot);
+      kHL = kern.evalVectors(xHigh, metaHigh.selfDot, xLow, metaLow.selfDot);
+    }
     double eta = kHH + kLL - 2.0 * kHL;
     if (eta < 1e-12) eta = 1e-12;
 
@@ -387,9 +462,18 @@ void runDisSmo(net::Comm& comm, const MethodContext& ctx) {
     // 2mn/P term of eqn. (9), cut to the surviving fraction once shrunk.
     const double coefHigh = dHigh * metaHigh.y;
     const double coefLow = dLow * metaLow.y;
-    for (std::size_t i : active) {
-      f[i] += coefHigh * kern.evalWith(local, i, xHigh, metaHigh.selfDot) +
-              coefLow * kern.evalWith(local, i, xLow, metaLow.selfDot);
+    if (lowrankOn) {
+      // The m·r/P replacement for the 2mn/P term: two z-dots per owned
+      // active row instead of two n-wide kernel evaluations.
+      for (std::size_t i : active) {
+        f[i] += coefHigh * lrFactor->zdot(i, zHigh) +
+                coefLow * lrFactor->zdot(i, zLow);
+      }
+    } else {
+      for (std::size_t i : active) {
+        f[i] += coefHigh * kern.evalWith(local, i, xHigh, metaHigh.selfDot) +
+                coefLow * kern.evalWith(local, i, xLow, metaLow.selfDot);
+      }
     }
     ++iters;
 

@@ -19,6 +19,8 @@
 #include "casvm/cluster/balanced_kmeans.hpp"
 #include "casvm/cluster/fcfs.hpp"
 #include "casvm/cluster/kmeans.hpp"
+#include "casvm/lowrank/lowrank_kernel.hpp"
+#include "casvm/lowrank/nystrom.hpp"
 #include "methods.hpp"
 #include "casvm/support/error.hpp"
 
@@ -251,6 +253,49 @@ void runPartitioned(net::Comm& comm, const MethodContext& ctx) {
         };
       }
 
+      // Low-rank backend: this rank's partition IS its cluster, so the
+      // per-cluster Nyström factor is built right here from local rows —
+      // zero communication, composing with whichever partitioner ran
+      // above. The factor is durable (Kind::LowRankFactor): a retry or
+      // resume restores it instead of rebuilding, and because the build is
+      // deterministic both paths yield the bitwise-identical factor.
+      std::optional<lowrank::LowRankKernel> lowrankSource;
+      const std::string factorName = "lowrank" + rankTag;
+      if (ctx.config.solverBackend == SolverBackend::Nystrom &&
+          mine.rows() > 0) {
+        std::optional<lowrank::NystromFactor> factor;
+        if (store != nullptr && (ctx.config.resume || attempt > 0)) {
+          if (const auto payload =
+                  store->load(factorName, ckpt::Kind::LowRankFactor)) {
+            lowrank::NystromFactor restored =
+                lowrank::NystromFactor::decode(*payload);
+            if (restored.rows() == mine.rows()) {
+              factor = std::move(restored);
+              ++board.checkpointsLoaded[urank];
+            }
+          }
+        }
+        if (!factor.has_value()) {
+          PhaseSpan span(comm, "lowrank");
+          lowrank::NystromOptions nopts;
+          nopts.landmarks = ctx.config.nystromLandmarks;
+          nopts.strategy = ctx.config.nystromStrategy;
+          nopts.eigenFloor = ctx.config.nystromEigenFloor;
+          // Salt the seed per rank so each cluster selects its own
+          // landmarks independently.
+          nopts.seed = ctx.config.seed ^ (0x9E3779B97F4A7C15ull *
+                                          static_cast<std::uint64_t>(rank + 1));
+          const kernel::Kernel kern(sopts.kernel);
+          factor = lowrank::NystromFactor::build(kern, mine, nopts);
+          if (store != nullptr) {
+            store->save(factorName, ckpt::Kind::LowRankFactor,
+                        factor->encode());
+          }
+        }
+        lowrankSource.emplace(std::move(*factor));
+        sopts.rowSource = &*lowrankSource;
+      }
+
       LocalSolve solve;
       {
         PhaseSpan span(comm, "solve");
@@ -265,6 +310,7 @@ void runPartitioned(net::Comm& comm, const MethodContext& ctx) {
         store->save(modelName, ckpt::Kind::SubModel,
                     ckpt::encodeSubModel(sub));
         store->remove(solverName);  // mid-solve state is now obsolete
+        store->remove(factorName);  // so is the low-rank factor
       }
       markTrainEnd(comm, ctx);
 

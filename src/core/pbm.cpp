@@ -41,12 +41,17 @@
 #include "methods.hpp"
 #include "casvm/ckpt/state.hpp"
 #include "casvm/ckpt/store.hpp"
+#include "casvm/core/pbm_curvature.hpp"
 #include "casvm/obs/trace.hpp"
 #include "casvm/support/error.hpp"
 
 namespace casvm::core::detail {
 
 void runPbm(net::Comm& comm, const MethodContext& ctx) {
+  // Defense in depth — train() rejects this combination up front.
+  CASVM_CHECK(ctx.config.solverBackend != SolverBackend::Nystrom,
+              "PBM does not support the Nystrom backend: its replicated "
+              "line search is defined over exact cross-block kernel rows");
   const int rank = comm.rank();
   const auto urank = static_cast<std::size_t>(rank);
   const data::Dataset& local = ctx.initialBlocks[urank];
@@ -259,17 +264,20 @@ void runPbm(net::Comm& comm, const MethodContext& ctx) {
       return std::span<const float>(rowPtr[j], n);
     };
 
-    // Curvature h = c^T K c, identical on every rank from the resolved
-    // rows (symmetry: diagonal plus twice the upper triangle).
-    double h = 0.0;
-    for (std::size_t a = 0; a < sGlobal; ++a) {
-      h += allCoefs[a] * allCoefs[a] *
-           kern.evalVectors(rowOf(a), rowDot[a], rowOf(a), rowDot[a]);
-      for (std::size_t b = a + 1; b < sGlobal; ++b) {
-        h += 2.0 * allCoefs[a] * allCoefs[b] *
-             kern.evalVectors(rowOf(a), rowDot[a], rowOf(b), rowDot[b]);
-      }
-    }
+    // Curvature h = c^T K c, distributed: each rank evaluates only its
+    // contiguous share of the per-sample terms (O(s^2 / P) kernel
+    // evaluations instead of the full O(s^2) replicated on everyone), one
+    // allgatherv concatenates the terms back in ascending-a order, and the
+    // serial left-to-right term sum makes h bitwise-identical on every
+    // rank — and invariant in P (see pbm_curvature.hpp).
+    const auto [aBegin, aEnd] =
+        pbmCurvatureBlock(sGlobal, rank, comm.size());
+    const std::vector<double> myTerms = pbmCurvatureTerms(
+        kern, allCoefs, rowOf, rowDot, aBegin, aEnd);
+    const std::vector<double> allTerms = comm.allgatherv(myTerms);
+    CASVM_ASSERT(allTerms.size() == sGlobal,
+                 "curvature terms lost in the allgatherv");
+    const double h = pbmCurvatureSum(allTerms);
     const double beta =
         h > 1e-300 ? std::clamp(g / h, 0.0, 1.0) : (g > 0.0 ? 1.0 : 0.0);
 

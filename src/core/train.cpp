@@ -97,6 +97,10 @@ std::uint64_t runFingerprint(const data::Dataset& trainSet,
   appendScalar(bytes, static_cast<std::int64_t>(config.pbmRounds));
   appendScalar(bytes, static_cast<std::uint64_t>(config.pbmInnerIterations));
   appendScalar(bytes, static_cast<std::int64_t>(config.pbmPairIterations));
+  appendScalar(bytes, static_cast<std::uint8_t>(config.solverBackend));
+  appendScalar(bytes, static_cast<std::uint64_t>(config.nystromLandmarks));
+  appendScalar(bytes, static_cast<std::uint8_t>(config.nystromStrategy));
+  appendScalar(bytes, config.nystromEigenFloor);
   appendScalar(bytes, static_cast<std::uint64_t>(trainSet.rows()));
   appendScalar(bytes, static_cast<std::uint64_t>(trainSet.cols()));
   appendScalar(bytes, static_cast<std::uint64_t>(trainSet.positives()));
@@ -112,6 +116,23 @@ long long LayerStatsMaxOf(const std::vector<long long>& v) {
 }
 
 }  // namespace
+
+const char* backendName(SolverBackend backend) {
+  switch (backend) {
+    case SolverBackend::Exact:
+      return "exact";
+    case SolverBackend::Nystrom:
+      return "nystrom";
+  }
+  return "exact";
+}
+
+SolverBackend backendFromName(std::string_view name) {
+  if (name == "exact") return SolverBackend::Exact;
+  if (name == "nystrom") return SolverBackend::Nystrom;
+  CASVM_CHECK(false, "unknown solver backend (expected exact|nystrom)");
+  return SolverBackend::Exact;
+}
 
 long long LayerStats::maxIterations() const {
   return LayerStatsMaxOf(iterationsPerNode);
@@ -138,6 +159,13 @@ TrainResult train(const data::Dataset& trainSet, const TrainConfig& config) {
   CASVM_CHECK(P >= 1, "need at least one process");
   CASVM_CHECK(trainSet.rows() >= static_cast<std::size_t>(P),
               "fewer samples than processes");
+  if (config.solverBackend == SolverBackend::Nystrom) {
+    CASVM_CHECK(config.method != Method::Pbm,
+                "PBM does not support the Nystrom backend: its replicated "
+                "line search is defined over exact cross-block kernel rows");
+    CASVM_CHECK(config.nystromLandmarks > 0,
+                "the Nystrom backend needs at least one landmark");
+  }
 
   // Checkpoint-directory identity: a fresh run stamps the directory with
   // the run's fingerprint; a resume refuses to blend state from a different

@@ -17,6 +17,8 @@
 #include "casvm/ckpt/state.hpp"
 #include "casvm/ckpt/store.hpp"
 #include "casvm/cluster/kmeans.hpp"
+#include "casvm/lowrank/lowrank_kernel.hpp"
+#include "casvm/lowrank/nystrom.hpp"
 #include "methods.hpp"
 #include "casvm/support/error.hpp"
 
@@ -230,6 +232,51 @@ void runTree(net::Comm& comm, const MethodContext& ctx) {
             comm.faultCheckpoint("solve");
           };
         }
+        // Low-rank backend: each layer's merged working set is this rank's
+        // cluster at that depth, so a fresh per-layer factor keeps the
+        // approximation anchored to the data actually being solved. The
+        // factor is durable per (rank, layer); a mid-layer resume restores
+        // it, and the deterministic build makes restore == rebuild bitwise.
+        std::optional<lowrank::LowRankKernel> lowrankSource;
+        const std::string factorName =
+            "lowrank" + rankTag + ".l" + std::to_string(globalLayer);
+        if (ctx.config.solverBackend == SolverBackend::Nystrom &&
+            current.rows() > 0) {
+          std::optional<lowrank::NystromFactor> factor;
+          if (store != nullptr && ctx.config.resume) {
+            if (const auto payload =
+                    store->load(factorName, ckpt::Kind::LowRankFactor)) {
+              lowrank::NystromFactor restored =
+                  lowrank::NystromFactor::decode(*payload);
+              if (restored.rows() == current.rows()) {
+                factor = std::move(restored);
+                ++board.checkpointsLoaded[urank];
+              }
+            }
+          }
+          if (!factor.has_value()) {
+            PhaseSpan span(comm, "lowrank", globalLayer);
+            lowrank::NystromOptions nopts;
+            nopts.landmarks = ctx.config.nystromLandmarks;
+            nopts.strategy = ctx.config.nystromStrategy;
+            nopts.eigenFloor = ctx.config.nystromEigenFloor;
+            // Salt the seed per (rank, layer): every layer's working set is
+            // a different cluster and selects its own landmarks.
+            const std::uint64_t salt =
+                (static_cast<std::uint64_t>(rank) << 32) |
+                static_cast<std::uint64_t>(globalLayer);
+            nopts.seed = ctx.config.seed ^ (0x9E3779B97F4A7C15ull * (salt + 1));
+            const kernel::Kernel kern(sopts.kernel);
+            factor = lowrank::NystromFactor::build(kern, current, nopts);
+            if (store != nullptr) {
+              store->save(factorName, ckpt::Kind::LowRankFactor,
+                          factor->encode());
+            }
+          }
+          lowrankSource.emplace(std::move(*factor));
+          sopts.rowSource = &*lowrankSource;
+        }
+
         const double t0 = virtualNow(comm);
         LocalSolve solve;
         {
@@ -281,6 +328,7 @@ void runTree(net::Comm& comm, const MethodContext& ctx) {
           store->save(layerName, ckpt::Kind::TreeLayer,
                       ckpt::encodeTreeLayer(state));
           store->remove(solverName);  // mid-solve state is now obsolete
+          store->remove(factorName);  // so is the layer's low-rank factor
         }
 
         if (layer == layers) {

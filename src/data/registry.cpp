@@ -9,6 +9,11 @@ namespace casvm::data {
 
 namespace {
 
+/// Hard sample budget for any generated stand-in (train + test combined
+/// stay well under size_t/row-buffer limits for every registered feature
+/// count). 2^24 ~ 16.8M samples — far above the paper's largest set.
+constexpr std::size_t kMaxStandinSamples = std::size_t{1} << 24;
+
 MixtureSpec mixture(std::size_t samples, std::size_t features,
                     std::size_t clusters, double positiveFraction,
                     double labelNoise, double sparsity = 0.0,
@@ -86,13 +91,22 @@ const StandinSpec& standinSpec(const std::string& name) {
 
 NamedDataset standin(const std::string& name, double scale,
                      std::uint64_t seed) {
-  CASVM_CHECK(scale > 0.0, "scale must be positive");
+  CASVM_CHECK(std::isfinite(scale) && scale > 0.0,
+              "scale must be positive and finite");
   const StandinSpec& spec = standinSpec(name);
+
+  // Validate the scaled count BEFORE any buffer is sized from it: a
+  // hostile scale (1e15, inf) would otherwise overflow the llround and
+  // size the sample buffers from garbage. The comparison runs in double,
+  // where it is exact for every representable budget violation.
+  const double requested = static_cast<double>(spec.mixture.samples) * scale;
+  CASVM_CHECK(requested <= static_cast<double>(kMaxStandinSamples),
+              "scaled stand-in sample count exceeds the generator budget "
+              "(2^24 samples)");
 
   MixtureSpec trainSpec = spec.mixture;
   trainSpec.samples = std::max<std::size_t>(
-      16, static_cast<std::size_t>(std::llround(
-              static_cast<double>(spec.mixture.samples) * scale)));
+      16, static_cast<std::size_t>(std::llround(requested)));
   trainSpec.seed = seed;
 
   MixtureSpec testSpec = trainSpec;
@@ -115,6 +129,32 @@ NamedDataset standin(const std::string& name, double scale,
   out.name = name;
   out.train = joint.subset(trainIdx);
   out.test = joint.subset(testIdx);
+  out.suggestedGamma = spec.gamma;
+  out.suggestedC = spec.C;
+  return out;
+}
+
+NamedDataset standinSized(const std::string& name, std::size_t samples,
+                          std::uint64_t seed) {
+  CASVM_CHECK(samples >= 16, "stand-in needs at least 16 samples");
+  CASVM_CHECK(samples <= kMaxStandinSamples,
+              "requested stand-in sample count exceeds the generator budget "
+              "(2^24 samples)");
+  const StandinSpec& spec = standinSpec(name);
+
+  // One virtual sample set: train rows are [0, samples), the held-out test
+  // rows follow at [samples, samples + testRows). Each part is generated
+  // directly through the chunked generator — no joint buffer, no subset
+  // copy — so peak memory is the part being built, million-sample safe.
+  MixtureSpec gen = spec.mixture;
+  const std::size_t testRows = std::max<std::size_t>(16, samples / 5);
+  gen.samples = samples + testRows;
+  gen.seed = seed;
+
+  NamedDataset out;
+  out.name = name;
+  out.train = generateMixtureChunk(gen, 0, samples);
+  out.test = generateMixtureChunk(gen, samples, testRows);
   out.suggestedGamma = spec.gamma;
   out.suggestedC = spec.C;
   return out;

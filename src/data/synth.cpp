@@ -9,6 +9,180 @@
 
 namespace casvm::data {
 
+namespace {
+
+void validateMixtureSpec(const MixtureSpec& spec) {
+  CASVM_CHECK(spec.samples > 0 && spec.features > 0 && spec.clusters > 0,
+              "mixture spec must be non-degenerate");
+  CASVM_CHECK(spec.positiveFraction >= 0.0 && spec.positiveFraction <= 1.0,
+              "positiveFraction must be in [0, 1]");
+  CASVM_CHECK(spec.sparsity >= 0.0 && spec.sparsity < 1.0,
+              "sparsity must be in [0, 1)");
+}
+
+/// The sample-count-independent part of the mixture, drawn from Rng(seed)
+/// in exactly the order generateMixture draws it — so the chunked and
+/// one-shot generators see the identical geometry.
+struct MixtureGeometry {
+  std::vector<double> centers;               ///< k x n component centers
+  std::vector<std::int8_t> componentLabel;   ///< dominant label per component
+  double expressedPositive = 0.0;            ///< positive share the labels express
+  std::vector<double> hyperplane;            ///< global separator (uncorrelated mode)
+  std::vector<std::vector<bool>> support;    ///< per-component feature supports
+};
+
+MixtureGeometry mixtureGeometry(const MixtureSpec& spec, Rng& rng) {
+  const std::size_t n = spec.features;
+  const std::size_t k = spec.clusters;
+  MixtureGeometry geo;
+
+  // Component centers, redrawn while they violate the separation floor.
+  geo.centers.resize(k * n);
+  for (std::size_t c = 0; c < k; ++c) {
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      for (std::size_t f = 0; f < n; ++f) {
+        geo.centers[c * n + f] = rng.normal(0.0, spec.centerSpread);
+      }
+      if (spec.minCenterSeparation <= 0.0) break;
+      bool ok = true;
+      for (std::size_t other = 0; other < c && ok; ++other) {
+        double d2 = 0.0;
+        for (std::size_t f = 0; f < n; ++f) {
+          const double diff =
+              geo.centers[c * n + f] - geo.centers[other * n + f];
+          d2 += diff * diff;
+        }
+        ok = d2 >= spec.minCenterSeparation * spec.minCenterSeparation;
+      }
+      if (ok) break;  // keep this draw (or give up after 100 attempts)
+    }
+  }
+
+  // Per-component dominant labels (see generateMixture for the rationale).
+  geo.componentLabel.assign(k, -1);
+  {
+    const std::size_t positives = static_cast<std::size_t>(
+        std::round(spec.positiveFraction * static_cast<double>(k)));
+    std::vector<std::size_t> order(k);
+    std::iota(order.begin(), order.end(), 0);
+    std::shuffle(order.begin(), order.end(), rng);
+    for (std::size_t i = 0; i < positives && i < k; ++i) {
+      geo.componentLabel[order[i]] = 1;
+    }
+  }
+  geo.expressedPositive =
+      static_cast<double>(std::count(geo.componentLabel.begin(),
+                                     geo.componentLabel.end(), 1)) /
+      static_cast<double>(k);
+
+  // Global separating hyperplane (used when labels are not cluster-tied).
+  geo.hyperplane.resize(n);
+  for (double& w : geo.hyperplane) w = rng.normal();
+
+  // Per-component feature supports for the structured-sparsity mode.
+  if (spec.sparsity > 0.0 && spec.clusterSparsePattern) {
+    const auto keep = static_cast<std::size_t>(std::llround(
+        (1.0 - spec.sparsity) * static_cast<double>(spec.features)));
+    geo.support.assign(k, std::vector<bool>(n, false));
+    for (std::size_t c = 0; c < k; ++c) {
+      for (std::size_t f :
+           rng.sampleWithoutReplacement(n, std::max<std::size_t>(1, keep))) {
+        geo.support[c][f] = true;
+      }
+    }
+  }
+  return geo;
+}
+
+/// Draw one sample from its own RNG stream against the shared geometry.
+/// The draw order matches generateMixture's per-sample body exactly.
+void drawSample(const MixtureSpec& spec, const MixtureGeometry& geo,
+                Rng& rng, float* row, std::int8_t& label) {
+  const std::size_t n = spec.features;
+  const std::size_t comp = static_cast<std::size_t>(rng.below(spec.clusters));
+  double proj = 0.0;
+  for (std::size_t f = 0; f < n; ++f) {
+    const double x =
+        geo.centers[comp * n + f] + rng.normal(0.0, spec.clusterSpread);
+    row[f] = static_cast<float>(x);
+    proj += geo.hyperplane[f] * x;
+  }
+
+  std::int8_t y;
+  if (spec.clusterCorrelatedLabels) {
+    y = geo.componentLabel[comp];
+    const double target = spec.positiveFraction;
+    const double expressed = geo.expressedPositive;
+    if (expressed < target && y == -1) {
+      const double deficit = (target - expressed) / (1.0 - expressed);
+      if (rng.bernoulli(deficit)) y = 1;
+    } else if (expressed > target && y == 1) {
+      const double excess = (expressed - target) / expressed;
+      if (rng.bernoulli(excess)) y = -1;
+    }
+  } else {
+    y = proj >= 0.0 ? 1 : -1;
+  }
+  if (rng.bernoulli(spec.labelNoise)) y = static_cast<std::int8_t>(-y);
+  label = y;
+
+  if (spec.sparsity > 0.0) {
+    if (spec.clusterSparsePattern) {
+      for (std::size_t f = 0; f < n; ++f) {
+        if (!geo.support[comp][f]) row[f] = 0.0f;
+      }
+    } else {
+      for (std::size_t f = 0; f < n; ++f) {
+        if (rng.bernoulli(spec.sparsity)) row[f] = 0.0f;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Dataset generateMixtureChunk(const MixtureSpec& spec, std::size_t begin,
+                             std::size_t count) {
+  validateMixtureSpec(spec);
+  CASVM_CHECK(count > 0, "empty chunk requested");
+  CASVM_CHECK(begin + count >= begin && begin + count <= spec.samples,
+              "chunk window exceeds the spec's virtual sample count");
+  Rng geoRng(spec.seed);
+  const MixtureGeometry geo = mixtureGeometry(spec, geoRng);
+
+  const std::size_t n = spec.features;
+  std::vector<float> values(count * n);
+  std::vector<std::int8_t> labels(count);
+  for (std::size_t c = 0; c < count; ++c) {
+    const std::size_t i = begin + c;
+    // One independent stream per virtual sample index: the same i always
+    // yields the same row, whatever chunk it lands in.
+    Rng rng(spec.seed ^
+            (0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(i) + 1)));
+    drawSample(spec, geo, rng, values.data() + c * n, labels[c]);
+  }
+
+  if (!spec.sparseOutput) {
+    return Dataset::fromDense(n, std::move(values), std::move(labels));
+  }
+
+  std::vector<std::size_t> rowPtr{0};
+  std::vector<std::uint32_t> colIdx;
+  std::vector<float> sparseVals;
+  for (std::size_t c = 0; c < count; ++c) {
+    const float* row = values.data() + c * n;
+    for (std::size_t f = 0; f < n; ++f) {
+      if (row[f] != 0.0f) {
+        colIdx.push_back(static_cast<std::uint32_t>(f));
+        sparseVals.push_back(row[f]);
+      }
+    }
+    rowPtr.push_back(colIdx.size());
+  }
+  return Dataset::fromSparse(n, std::move(rowPtr), std::move(colIdx),
+                             std::move(sparseVals), std::move(labels));
+}
+
 Dataset generateMixture(const MixtureSpec& spec) {
   CASVM_CHECK(spec.samples > 0 && spec.features > 0 && spec.clusters > 0,
               "mixture spec must be non-degenerate");

@@ -308,6 +308,44 @@ void Kernel::row(const data::Dataset& ds, std::size_t i,
   transformSubset(ds, i, subset, out);
 }
 
+void Kernel::rowWith(const data::Dataset& ds, std::span<const float> x,
+                     double xSelfDot, std::span<double> out,
+                     RowWorkspace& ws) const {
+  CASVM_CHECK(out.size() == ds.rows(), "kernel column output has wrong length");
+  CASVM_CHECK(x.size() == ds.cols(), "external vector has wrong length");
+  ws.bind(ds);
+  const std::size_t m = ds.rows();
+  if (ds.storage() == data::Storage::Dense) {
+    for (std::size_t k = 0; k < ws.cols_; ++k) ws.xd_[k] = double(x[k]);
+    tile::dotFn()(ws.tiles_.data(), ws.xd_.data(), ws.rows_, ws.cols_,
+                  out.data());
+  } else {
+    for (std::size_t j = 0; j < m; ++j) out[j] = ds.dotWith(j, x);
+  }
+  // Transform with the external vector's self-dot on the x side; same
+  // per-row dispatch shape as transformRow.
+  switch (params_.type) {
+    case KernelType::Linear:
+      break;
+    case KernelType::Polynomial:
+      for (std::size_t j = 0; j < m; ++j) {
+        out[j] = std::pow(params_.a * out[j] + params_.r, params_.degree);
+      }
+      break;
+    case KernelType::Gaussian:
+      for (std::size_t j = 0; j < m; ++j) {
+        const double d2 = ds.selfDot(j) + xSelfDot - 2.0 * out[j];
+        out[j] = std::exp(-params_.gamma * (d2 > 0.0 ? d2 : 0.0));
+      }
+      break;
+    case KernelType::Sigmoid:
+      for (std::size_t j = 0; j < m; ++j) {
+        out[j] = std::tanh(params_.a * out[j] + params_.r);
+      }
+      break;
+  }
+}
+
 void Kernel::diagonal(const data::Dataset& ds, std::span<double> out) const {
   CASVM_CHECK(out.size() == ds.rows(), "kernel diagonal output has wrong length");
   const std::size_t m = ds.rows();

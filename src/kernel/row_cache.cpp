@@ -9,9 +9,18 @@ namespace casvm::kernel {
 
 RowCache::RowCache(const Kernel& kernel, const data::Dataset& ds,
                    std::size_t budgetBytes)
-    : kernel_(kernel), ds_(ds) {
-  const std::size_t rowBytes = std::max<std::size_t>(1, ds.rows()) * sizeof(double);
+    : ownedExact_(std::make_unique<ExactRowSource>(kernel, ds)),
+      src_(ownedExact_.get()) {
+  const std::size_t rowBytes =
+      std::max<std::size_t>(1, src_->rows()) * sizeof(double);
   // Two-slot floor: callers may hold spans to two rows at once (SMO).
+  capacityRows_ = std::max<std::size_t>(2, budgetBytes / rowBytes);
+}
+
+RowCache::RowCache(RowSource& source, std::size_t budgetBytes)
+    : src_(&source) {
+  const std::size_t rowBytes =
+      std::max<std::size_t>(1, src_->rows()) * sizeof(double);
   capacityRows_ = std::max<std::size_t>(2, budgetBytes / rowBytes);
 }
 
@@ -34,13 +43,13 @@ RowCache::Slot& RowCache::claimSlot(std::size_t i) {
     // pins and the two-slot capacity floor, but stay safe): grow past the
     // budget for this fill rather than corrupt a live span.
   }
-  lru_.push_front(Slot{i, std::vector<double>(ds_.rows()), 0, false, 0});
+  lru_.push_front(Slot{i, std::vector<double>(src_->rows()), 0, false, 0});
   index_[i] = lru_.begin();
   return lru_.front();
 }
 
 std::span<const double> RowCache::row(std::size_t i) {
-  CASVM_CHECK(i < ds_.rows(), "kernel row out of range");
+  CASVM_CHECK(i < src_->rows(), "kernel row out of range");
   if (auto it = index_.find(i); it != index_.end()) {
     Slot& slot = *it->second;
     lru_.splice(lru_.begin(), lru_, it->second);
@@ -50,14 +59,14 @@ std::span<const double> RowCache::row(std::size_t i) {
     }
     // A partial fill cannot serve a full-row read: upgrade in place.
     ++misses_;
-    kernel_.row(ds_, i, slot.values, workspace_);
+    src_->fillRow(i, slot.values);
     slot.partial = false;
     slot.generation = nextGeneration_++;
     return slot.values;
   }
   ++misses_;
   Slot& slot = claimSlot(i);
-  kernel_.row(ds_, i, slot.values, workspace_);
+  src_->fillRow(i, slot.values);
   slot.partial = false;
   slot.generation = nextGeneration_++;
   return slot.values;
@@ -65,7 +74,7 @@ std::span<const double> RowCache::row(std::size_t i) {
 
 std::span<const double> RowCache::row(std::size_t i,
                                       std::span<const std::size_t> active) {
-  CASVM_CHECK(i < ds_.rows(), "kernel row out of range");
+  CASVM_CHECK(i < src_->rows(), "kernel row out of range");
   if (auto it = index_.find(i); it != index_.end()) {
     // Full rows serve any index set; a partial fill serves subsets of the
     // set it was computed with, which holds while the active set only
@@ -75,13 +84,11 @@ std::span<const double> RowCache::row(std::size_t i,
     return it->second->values;
   }
   ++misses_;
-  // For dense storage the full-row fill runs through the tiled micro-kernel
-  // (~5x the per-element speed of the scalar subset fill), so a partial fill
-  // only pays off once the active set has shrunk well below the row length.
-  // Sparse subset fills stream just the active rows' nonzeros and always win.
-  if (ds_.storage() == data::Storage::Dense && active.size() * 4 >= ds_.rows()) {
+  // The source knows whether its full-row fill (e.g. the dense tiled
+  // micro-kernel) beats a scalar subset fill of this many entries.
+  if (src_->preferFullFill(active.size())) {
     Slot& slot = claimSlot(i);
-    kernel_.row(ds_, i, slot.values, workspace_);
+    src_->fillRow(i, slot.values);
     slot.partial = false;
     slot.generation = nextGeneration_++;
     return slot.values;
@@ -94,7 +101,7 @@ std::span<const double> RowCache::row(std::size_t i,
   std::fill(slot.values.begin(), slot.values.end(),
             std::numeric_limits<double>::quiet_NaN());
 #endif
-  kernel_.row(ds_, i, active, slot.values, workspace_);
+  src_->fillRowSubset(i, active, slot.values);
   slot.partial = true;
   slot.generation = nextGeneration_++;
   return slot.values;

@@ -15,17 +15,24 @@ double predictedCommBytes(core::Method method, const CommModelParams& q) {
 
   const double r = static_cast<double>(q.r);
   const double sigma = q.sigma;
+  // Low-rank backend startup cost (Dis-SMO family only): the global
+  // landmark allgatherv replicates L rows of n words plus self-dots on
+  // every rank. Zero for the exact backend and for the per-cluster
+  // (partitioned/tree) factor builds, which touch no wire.
+  const double landmarkWords =
+      q.L > 0 ? p * static_cast<double>(q.L) * (n + 2.0) : 0.0;
 
   switch (method) {
     case core::Method::DisSmo:
-      // Theta(26Ip + 2pm + 4mn)
-      return w * (26.0 * I * p + 2.0 * p * m + 4.0 * m * n);
+      // Theta(26Ip + 2pm + 4mn) [+ pL(n+2) with the Nystrom backend]
+      return w * (26.0 * I * p + 2.0 * p * m + 4.0 * m * n + landmarkWords);
     case core::Method::DisSmoShrink:
       // Same election scalars every iteration, but the elected-row
       // payload (the 4mn term: I ~ m iterations x 2 rows x n words)
       // shrinks to the surviving fraction sigma once the replicated cache
       // engages: Theta(26Ip + 2pm + 4mn*sigma).
-      return w * (26.0 * I * p + 2.0 * p * m + 4.0 * m * n * sigma);
+      return w * (26.0 * I * p + 2.0 * p * m + 4.0 * m * n * sigma +
+                  landmarkWords);
     case core::Method::Pbm:
       // The replicated row store ships each changed sample's features once
       // for the whole run (~the SV set, 2sn words with self-dots); every

@@ -68,13 +68,22 @@ SolverResult SmoSolver::solve(const data::Dataset& ds,
   const double boundEps = kBoundSlack * std::max(cPos, cNeg);
   const double tau = options_.tolerance;
   const kernel::Kernel kern(options_.kernel);
-  kernel::RowCache cache(kern, ds, options_.cacheBytes);
+  // Row producer: the exact kernel unless the caller supplied a source
+  // (e.g. the Nyström low-rank factor). The cache and the diagonal both
+  // come from the same source, so selection and the two-variable step see
+  // one consistent (approximate or exact) kernel matrix.
+  kernel::ExactRowSource exactSource(kern, ds);
+  kernel::RowSource* src =
+      options_.rowSource != nullptr ? options_.rowSource : &exactSource;
+  CASVM_CHECK(src->rows() == m,
+              "solver row source does not match the dataset row count");
+  kernel::RowCache cache(*src, options_.cacheBytes);
 
-  // Kernel diagonal, computed once from the cached squared norms. The
-  // second-order working-set selection reads K_jj for every candidate on
-  // every iteration; without this it costs a full dot product each time.
+  // Kernel diagonal, computed once. The second-order working-set selection
+  // reads K_jj for every candidate on every iteration; without this it
+  // costs a full dot product each time.
   std::vector<double> diag(m);
-  kern.diagonal(ds, diag);
+  src->fillDiagonal(diag);
 
   auto boxOf = [&](std::size_t i) {
     return ds.label(i) == 1 ? cPos : cNeg;

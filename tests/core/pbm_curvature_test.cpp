@@ -1,0 +1,117 @@
+// PBM distributed curvature (h = c^T K c) fixed-order reduction:
+//
+//  * Correctness: the term decomposition sums to the naive quadratic form.
+//  * P-invariance: concatenating the per-rank blocks and replaying the
+//    serial left-to-right sum yields the BITWISE-identical h for any
+//    process count — the property PBM's replicated line search needs so
+//    every rank picks the identical step without a broadcast.
+
+#include "casvm/core/pbm_curvature.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <random>
+#include <vector>
+
+#include "casvm/kernel/kernel.hpp"
+
+namespace casvm::core {
+namespace {
+
+struct CurvatureFixture {
+  std::size_t s = 23;
+  std::size_t n = 7;
+  std::vector<float> rows;      // s x n
+  std::vector<double> rowDot;   // ||x_a||^2
+  std::vector<double> coefs;    // c_a
+  kernel::Kernel kern{kernel::KernelParams::gaussian(0.5)};
+
+  CurvatureFixture() {
+    std::mt19937_64 rng(13);
+    std::uniform_real_distribution<float> feat(-1.0f, 1.0f);
+    std::uniform_real_distribution<double> coef(-2.0, 2.0);
+    rows.resize(s * n);
+    for (float& v : rows) v = feat(rng);
+    rowDot.resize(s);
+    for (std::size_t a = 0; a < s; ++a) {
+      double d = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        d += static_cast<double>(rows[a * n + j]) * rows[a * n + j];
+      }
+      rowDot[a] = d;
+    }
+    coefs.resize(s);
+    for (double& c : coefs) c = coef(rng);
+  }
+
+  PbmRowFn rowOf() const {
+    return [this](std::size_t a) {
+      return std::span<const float>(rows).subspan(a * n, n);
+    };
+  }
+};
+
+TEST(PbmCurvatureTest, TermsSumToTheQuadraticForm) {
+  const CurvatureFixture fx;
+  const std::vector<double> terms =
+      pbmCurvatureTerms(fx.kern, fx.coefs, fx.rowOf(), fx.rowDot, 0, fx.s);
+  const double h = pbmCurvatureSum(terms);
+
+  double naive = 0.0;
+  for (std::size_t a = 0; a < fx.s; ++a) {
+    for (std::size_t b = 0; b < fx.s; ++b) {
+      naive += fx.coefs[a] * fx.coefs[b] *
+               fx.kern.evalVectors(fx.rowOf()(a), fx.rowDot[a], fx.rowOf()(b),
+                                   fx.rowDot[b]);
+    }
+  }
+  EXPECT_NEAR(h, naive, 1e-10 * std::max(1.0, std::abs(naive)));
+  EXPECT_GE(h, -1e-9) << "Gaussian kernel curvature should be PSD";
+}
+
+TEST(PbmCurvatureTest, BlocksPartitionEveryIndexExactlyOnce) {
+  for (const int P : {1, 2, 3, 4, 7, 16, 64}) {
+    std::size_t covered = 0;
+    std::size_t expectedBegin = 0;
+    for (int r = 0; r < P; ++r) {
+      const auto [first, last] = pbmCurvatureBlock(23, r, P);
+      EXPECT_EQ(first, expectedBegin) << "gap or overlap at rank " << r;
+      EXPECT_LE(first, last);
+      covered += last - first;
+      expectedBegin = last;
+    }
+    EXPECT_EQ(covered, 23u) << "P=" << P;
+    EXPECT_EQ(expectedBegin, 23u) << "P=" << P;
+  }
+}
+
+TEST(PbmCurvatureTest, CurvatureIsBitwiseInvariantInProcessCount) {
+  const CurvatureFixture fx;
+  const std::vector<double> reference =
+      pbmCurvatureTerms(fx.kern, fx.coefs, fx.rowOf(), fx.rowDot, 0, fx.s);
+  const double hReference = pbmCurvatureSum(reference);
+
+  for (const int P : {1, 2, 3, 4, 7, 16}) {
+    // Emulate the allgatherv: per-rank blocks concatenated ascending.
+    std::vector<double> gathered;
+    for (int r = 0; r < P; ++r) {
+      const auto [first, last] = pbmCurvatureBlock(fx.s, r, P);
+      const std::vector<double> mine = pbmCurvatureTerms(
+          fx.kern, fx.coefs, fx.rowOf(), fx.rowDot, first, last);
+      gathered.insert(gathered.end(), mine.begin(), mine.end());
+    }
+    ASSERT_EQ(gathered.size(), fx.s) << "P=" << P;
+    for (std::size_t a = 0; a < fx.s; ++a) {
+      EXPECT_EQ(gathered[a], reference[a])
+          << "term " << a << " differs bitwise at P=" << P;
+    }
+    EXPECT_EQ(pbmCurvatureSum(gathered), hReference)
+        << "h differs bitwise at P=" << P;
+  }
+}
+
+}  // namespace
+}  // namespace casvm::core

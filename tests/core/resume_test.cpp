@@ -77,6 +77,7 @@ struct ResumeCase {
   bool gaussian;
   const char* faultSpec;  ///< how the first run is interrupted
   const char* tag;        ///< test-name suffix
+  bool nystrom = false;   ///< run with the low-rank solver backend
 };
 
 class ResumeEquivalenceTest : public ::testing::TestWithParam<ResumeCase> {};
@@ -85,15 +86,26 @@ std::string resumeCaseName(const ::testing::TestParamInfo<ResumeCase>& info) {
   std::string name = methodName(info.param.method) + "_" +
                      (info.param.gaussian ? "gaussian" : "linear") + "_" +
                      info.param.tag;
+  if (info.param.nystrom) name += "_nystrom";
   for (char& c : name) {
     if (c == '-') c = '_';
   }
   return name;
 }
 
+TrainConfig configFor(const ResumeCase& rc) {
+  TrainConfig cfg = baseConfig(rc.method, rc.gaussian);
+  if (rc.nystrom) {
+    cfg.solverBackend = SolverBackend::Nystrom;
+    cfg.nystromLandmarks = 48;
+  }
+  return cfg;
+}
+
 TEST_P(ResumeEquivalenceTest, InterruptedRunResumesBitwiseExact) {
   const ResumeCase& rc = GetParam();
-  const std::vector<std::byte> expected = baselineModel(rc.method, rc.gaussian);
+  const std::vector<std::byte> expected =
+      train(toy().train, configFor(rc)).model.pack();
 
   const std::string dir =
       freshDir(std::string("resume_") + resumeCaseName(
@@ -103,7 +115,7 @@ TEST_P(ResumeEquivalenceTest, InterruptedRunResumesBitwiseExact) {
   // First run: interrupted by the injected fault. Partitioned methods
   // tolerate the crash (degraded run); tree methods fail fast — either way
   // the checkpoints written before the crash survive on disk.
-  TrainConfig crashed = baseConfig(rc.method, rc.gaussian);
+  TrainConfig crashed = configFor(rc);
   crashed.checkpoints = &store;
   crashed.faults = net::FaultPlan::parse(rc.faultSpec);
   bool interrupted = false;
@@ -120,7 +132,7 @@ TEST_P(ResumeEquivalenceTest, InterruptedRunResumesBitwiseExact) {
   ASSERT_TRUE(interrupted) << "injected fault never fired: " << rc.faultSpec;
 
   // Second run: resume from the checkpoint directory, no faults.
-  TrainConfig resumed = baseConfig(rc.method, rc.gaussian);
+  TrainConfig resumed = configFor(rc);
   resumed.checkpoints = &store;
   resumed.resume = true;
   const TrainResult res = train(toy().train, resumed);
@@ -172,7 +184,18 @@ INSTANTIATE_TEST_SUITE_P(
         ResumeCase{Method::Pbm, true, "crash:rank=1,phase=solve,nth=2",
                    "solve2"},
         ResumeCase{Method::Pbm, false, "crash:rank=3,phase=solve,nth=1",
-                   "solve1"}),
+                   "solve1"},
+        // Nystrom backend: the checkpointed factor restores bitwise on the
+        // partitioned path, rebuilds deterministically per tree layer, and
+        // the global-landmark Dis-SMO path re-derives the identical factor
+        // from the run seed — either way the resumed trajectory (and the
+        // model) is bitwise the uninterrupted one.
+        ResumeCase{Method::BkmCa, true, "crash:rank=1,phase=solve,nth=2",
+                   "solve2", true},
+        ResumeCase{Method::Cascade, true, "crash:rank=0,phase=solve,nth=2",
+                   "solve2", true},
+        ResumeCase{Method::DisSmo, true, "crash:rank=1,phase=solve,nth=2",
+                   "solve2", true}),
     resumeCaseName);
 
 // ---------------------------------------------------------------------------

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 
 #include "casvm/support/error.hpp"
 
@@ -89,6 +90,50 @@ TEST(RegistryTest, BothClassesInEveryStandin) {
 TEST(RegistryTest, InvalidScaleThrows) {
   EXPECT_THROW((void)standin("toy", 0.0), Error);
   EXPECT_THROW((void)standin("toy", -1.0), Error);
+}
+
+TEST(RegistryTest, HostileScalesAreRejectedBeforeBufferSizing) {
+  // A hostile scale must hit a named check, not overflow llround and size
+  // a buffer from garbage.
+  EXPECT_THROW((void)standin("epsilon", 1e15), Error);
+  EXPECT_THROW((void)standin("toy", 1e300), Error);
+  EXPECT_THROW((void)standin("toy",
+                             std::numeric_limits<double>::infinity()),
+               Error);
+  EXPECT_THROW((void)standin("toy",
+                             std::numeric_limits<double>::quiet_NaN()),
+               Error);
+}
+
+TEST(RegistryTest, SizedStandinHasExplicitTrainCount) {
+  const NamedDataset nd = standinSized("toy", 500, 7);
+  EXPECT_EQ(nd.train.rows(), 500u);
+  EXPECT_EQ(nd.test.rows(), 100u);  // max(16, samples/5)
+  EXPECT_EQ(nd.train.cols(), standinSpec("toy").mixture.features);
+  EXPECT_GT(nd.train.positives(), 0u);
+  EXPECT_GT(nd.train.negatives(), 0u);
+  EXPECT_GT(nd.suggestedGamma, 0.0);
+}
+
+TEST(RegistryTest, SizedStandinIsDeterministicInSeed) {
+  const NamedDataset a = standinSized("ijcnn", 300, 5);
+  const NamedDataset b = standinSized("ijcnn", 300, 5);
+  ASSERT_EQ(a.train.rows(), b.train.rows());
+  for (std::size_t i = 0; i < a.train.rows(); ++i) {
+    ASSERT_EQ(a.train.selfDot(i), b.train.selfDot(i)) << i;
+  }
+}
+
+TEST(RegistryTest, SizedStandinPreservesSparseStorage) {
+  const NamedDataset nd = standinSized("webspam", 200, 3);
+  EXPECT_EQ(nd.train.storage(), Storage::Sparse);
+  EXPECT_EQ(nd.test.storage(), Storage::Sparse);
+}
+
+TEST(RegistryTest, SizedStandinGuardsItsBudget) {
+  EXPECT_THROW((void)standinSized("toy", 8), Error);  // below the 16 floor
+  EXPECT_THROW((void)standinSized("toy", (std::size_t{1} << 24) + 1), Error);
+  EXPECT_THROW((void)standinSized("nope", 500), Error);
 }
 
 }  // namespace

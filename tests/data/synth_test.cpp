@@ -179,5 +179,100 @@ TEST(SplitTest, InvalidFractionThrows) {
   EXPECT_THROW((void)trainTestSplit(10, -0.1, 7), Error);
 }
 
+// ---------------------------------------------------------------------------
+// Chunked generation: counter-derived sample streams, so the output is
+// invariant in how the window is split into chunks
+// ---------------------------------------------------------------------------
+
+MixtureSpec chunkSpec(bool sparse) {
+  MixtureSpec spec;
+  spec.samples = 600;
+  spec.features = 10;
+  spec.clusters = 4;
+  spec.minCenterSeparation = 3.0;
+  spec.seed = 21;
+  if (sparse) {
+    spec.sparsity = 0.5;
+    spec.clusterSparsePattern = true;
+    spec.sparseOutput = true;
+  }
+  return spec;
+}
+
+void expectSameRows(const Dataset& a, std::size_t ai, const Dataset& b,
+                    std::size_t bi) {
+  ASSERT_EQ(a.label(ai), b.label(bi));
+  ASSERT_EQ(a.selfDot(ai), b.selfDot(bi)) << "self-dot differs bitwise";
+  std::vector<float> ra(a.cols(), 0.0f);
+  std::vector<float> rb(b.cols(), 0.0f);
+  a.copyRowDense(ai, ra);
+  b.copyRowDense(bi, rb);
+  ASSERT_EQ(ra, rb) << "features differ bitwise";
+}
+
+TEST(ChunkTest, ChunkingIsInvariantInChunkSize) {
+  for (const bool sparse : {false, true}) {
+    const MixtureSpec spec = chunkSpec(sparse);
+    const Dataset whole = generateMixtureChunk(spec, 0, spec.samples);
+    ASSERT_EQ(whole.rows(), spec.samples);
+    for (const std::size_t chunk : {1ul, 7ul, 100ul, 600ul}) {
+      std::size_t row = 0;
+      for (std::size_t begin = 0; begin < spec.samples;) {
+        const std::size_t count = std::min(chunk, spec.samples - begin);
+        const Dataset part = generateMixtureChunk(spec, begin, count);
+        ASSERT_EQ(part.rows(), count);
+        for (std::size_t i = 0; i < count; ++i, ++row) {
+          expectSameRows(whole, row, part, i);
+        }
+        begin += count;
+      }
+    }
+  }
+}
+
+TEST(ChunkTest, WindowsAreIndependentOfTheRest) {
+  // A middle window matches the corresponding rows of the full set — each
+  // sample's stream is derived from its global index, not from how many
+  // samples were drawn before it.
+  const MixtureSpec spec = chunkSpec(false);
+  const Dataset whole = generateMixtureChunk(spec, 0, spec.samples);
+  const Dataset middle = generateMixtureChunk(spec, 250, 100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    expectSameRows(whole, 250 + i, middle, i);
+  }
+}
+
+TEST(ChunkTest, DeterministicInSeedAndDifferentAcrossSeeds) {
+  MixtureSpec spec = chunkSpec(false);
+  const Dataset a = generateMixtureChunk(spec, 100, 50);
+  const Dataset b = generateMixtureChunk(spec, 100, 50);
+  for (std::size_t i = 0; i < 50; ++i) expectSameRows(a, i, b, i);
+  spec.seed = 22;
+  const Dataset c = generateMixtureChunk(spec, 100, 50);
+  bool anyDiffer = false;
+  for (std::size_t i = 0; i < 50 && !anyDiffer; ++i) {
+    anyDiffer = a.selfDot(i) != c.selfDot(i);
+  }
+  EXPECT_TRUE(anyDiffer);
+}
+
+TEST(ChunkTest, BothClassesAndClusterStructureSurvive) {
+  const MixtureSpec spec = chunkSpec(false);
+  const Dataset ds = generateMixtureChunk(spec, 0, spec.samples);
+  EXPECT_GT(ds.positives(), spec.samples / 5);
+  EXPECT_GT(ds.negatives(), spec.samples / 5);
+}
+
+TEST(ChunkTest, InvalidWindowsThrow) {
+  const MixtureSpec spec = chunkSpec(false);
+  EXPECT_THROW((void)generateMixtureChunk(spec, 0, 0), Error);
+  EXPECT_THROW((void)generateMixtureChunk(spec, 0, spec.samples + 1), Error);
+  EXPECT_THROW((void)generateMixtureChunk(spec, spec.samples, 1), Error);
+  // begin + count overflow must be caught, not wrapped.
+  EXPECT_THROW((void)generateMixtureChunk(
+                   spec, static_cast<std::size_t>(-1), 2),
+               Error);
+}
+
 }  // namespace
 }  // namespace casvm::data

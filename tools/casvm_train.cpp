@@ -27,6 +27,8 @@ constexpr const char* kUsage = R"(usage: casvm-train [options]
   --standin <name>     built-in synthetic dataset (adult, epsilon, face,
                        gisette, ijcnn, usps, webspam, forest, toy)
   --scale <f>          stand-in scale factor (default 1.0)
+  --samples <m>        exact stand-in sample count via the chunked
+                       generator (overrides --scale; million-sample safe)
   --method <name>      dis-smo | dis-smo-shrink | pbm | cascade | dc-svm |
                        dc-filter | cp-svm | bkm-ca | fcfs-ca | ra-ca
                        (default ra-ca)
@@ -42,6 +44,11 @@ constexpr const char* kUsage = R"(usage: casvm-train [options]
   --shrink-interval <n> iterations between shrink passes (serial shrinking
                        and dis-smo-shrink; default 1000)
   --dis-shrink         shorthand for --method dis-smo-shrink
+  --backend <name>     exact | nystrom: kernel the sub-solvers train
+                       against (default exact; nystrom trains on the
+                       low-rank K ~ Z Z^T, prediction stays exact)
+  --landmarks <L>      Nystrom landmarks per factor (default 64)
+  --landmark-strategy <s> uniform | kmeans++ (default kmeans++)
   --cascade-passes <n> Cascade feedback passes (default 1)
   --pbm-rounds <n>     PBM outer block-solve rounds (default 8)
   --pbm-pair-iters <n> PBM pair corrections per round (default 256)
@@ -131,9 +138,15 @@ int main(int argc, char** argv) {
       train = data::readLibsvmFile(args.get("data", ""));
       defaultGamma = 1.0 / static_cast<double>(train.cols());
     } else if (args.has("standin")) {
-      const data::NamedDataset nd = data::standin(
-          args.get("standin", "toy"), args.getDouble("scale", 1.0),
-          static_cast<std::uint64_t>(args.getInt("seed", 42)));
+      const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
+      const data::NamedDataset nd =
+          args.has("samples")
+              ? data::standinSized(
+                    args.get("standin", "toy"),
+                    static_cast<std::size_t>(args.getInt("samples", 4000)),
+                    seed)
+              : data::standin(args.get("standin", "toy"),
+                              args.getDouble("scale", 1.0), seed);
       train = nd.train;
       test = nd.test;
       defaultGamma = nd.suggestedGamma;
@@ -151,6 +164,12 @@ int main(int argc, char** argv) {
     cfg.pbmRounds = static_cast<int>(args.getInt("pbm-rounds", cfg.pbmRounds));
     cfg.pbmPairIterations = static_cast<int>(
         args.getInt("pbm-pair-iters", cfg.pbmPairIterations));
+    cfg.solverBackend = core::backendFromName(args.get("backend", "exact"));
+    cfg.nystromLandmarks = static_cast<std::size_t>(
+        args.getInt("landmarks",
+                    static_cast<long long>(cfg.nystromLandmarks)));
+    cfg.nystromStrategy = lowrank::strategyFromName(
+        args.get("landmark-strategy", "kmeans++"));
     cfg.faults = cli::faultPlanFromArgs(args);
 
     const std::string kernelName = args.get("kernel", "gaussian");
@@ -200,6 +219,11 @@ int main(int argc, char** argv) {
     std::printf("training: %zu samples x %zu features, method %s, P=%d\n",
                 train.rows(), train.cols(),
                 core::methodName(cfg.method).c_str(), cfg.processes);
+    if (cfg.solverBackend == core::SolverBackend::Nystrom) {
+      std::printf("backend: nystrom (%zu landmarks per factor, %s)\n",
+                  cfg.nystromLandmarks,
+                  lowrank::strategyName(cfg.nystromStrategy).c_str());
+    }
     std::optional<core::TrainResult> trained;
     try {
       trained = core::train(train, cfg);
