@@ -74,6 +74,20 @@ struct TrainConfig {
   net::FaultPlan faults;
   /// Engine deadlock watchdog timeout in wall seconds (<= 0 disables).
   double watchdogSeconds = 30.0;
+
+  // --- transport (casvm::net backends) -------------------------------------
+  /// Delivery backend: Thread (default, one thread per rank, bitwise the
+  /// historical behaviour) or Proc (one forked worker process per rank
+  /// over shared-memory rings, with supervised respawn and heartbeats —
+  /// required for the kill:/hang: fault kinds, which deliver real
+  /// signals). Excluded from the run fingerprint: the trained model is
+  /// transport-invariant, so checkpoints interoperate across backends.
+  net::TransportKind transport = net::TransportKind::Thread;
+  /// Heartbeat cadence, receive timeout and respawn backoff for the proc
+  /// backend (validated when the engine is configured).
+  net::TransportTuning transportTuning;
+  /// Supervisor lifecycle log file (proc backend; empty = stderr).
+  std::string supervisorLog;
   /// Optional trace recorder: when set, the engine opens one lane per rank
   /// and the run emits comm-op spans, phase spans and solver progress
   /// events into it (see casvm/obs/trace.hpp). Must outlive train().

@@ -24,7 +24,7 @@
 #include <atomic>
 #include <cstring>
 #include <functional>
-#include <mutex>
+#include <memory>
 #include <type_traits>
 #include <vector>
 
@@ -33,6 +33,7 @@
 #include "casvm/net/fault.hpp"
 #include "casvm/net/mailbox.hpp"
 #include "casvm/net/traffic.hpp"
+#include "casvm/net/transport.hpp"
 #include "casvm/support/error.hpp"
 
 namespace casvm::obs {
@@ -42,43 +43,59 @@ class TraceRecorder;
 
 namespace casvm::net {
 
-/// State shared by all ranks of one Engine::run invocation.
+class ThreadTransport;
+
+/// State shared by all ranks of one Engine::run invocation. Delivery and
+/// failure flags live in the Transport backend; the World owns the traffic
+/// matrix (or a view of the backend's shared storage) and the injector.
 class World {
  public:
+  /// Default backend: the World owns an in-process ThreadTransport. This
+  /// is the pre-transport-refactor constructor, kept so direct World
+  /// construction (tests, benches) is unchanged.
   World(int size, CostModel cost, FaultInjector* injector = nullptr);
+  /// Run on an externally owned backend (e.g. a ProcTransport shared with
+  /// the supervisor). `transport` must outlive the World.
+  World(int size, CostModel cost, FaultInjector* injector,
+        Transport* transport);
+  ~World();
 
   int size() const { return size_; }
   const CostModel& cost() const { return cost_; }
   TrafficMatrix& traffic() { return traffic_; }
+  Transport& transport() { return *transport_; }
+
+  /// Direct mailbox access; valid on the thread backend only (used by the
+  /// Engine's deadlock watchdog and the mailbox-level tests).
   Mailbox& mailbox(int rank);
 
   /// Fault schedule of this run, or nullptr when none is installed.
   FaultInjector* injector() const { return injector_; }
 
   /// Mark the run as failed; wakes every blocked recv with an error.
-  void abortAll();
+  void abortAll() { transport_->abortAll(); }
   /// True once abortAll() has been called (any rank failed fatally).
-  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+  bool aborted() const { return transport_->aborted(); }
 
   /// Mark one rank as failed WITHOUT aborting the run: peers blocked on a
   /// message from it are woken with an error naming `reason`, and future
   /// waits on it fail immediately. Messages it sent before dying are still
   /// delivered. This is the per-rank failure state that lets the
   /// communication-avoiding methods survive a crash.
-  void markFailed(int rank, const std::string& reason);
-  bool rankFailed(int rank) const;
+  void markFailed(int rank, const std::string& reason) {
+    transport_->markFailed(rank, reason);
+  }
+  bool rankFailed(int rank) const { return transport_->rankFailed(rank); }
   /// Ranks marked failed so far, in ascending order.
-  std::vector<int> failedRanks() const;
+  std::vector<int> failedRanks() const { return transport_->failedRanks(); }
 
  private:
   int size_;
   CostModel cost_;
+  std::unique_ptr<ThreadTransport> ownedTransport_;
+  Transport* transport_;
   TrafficMatrix traffic_;
-  std::vector<Mailbox> mailboxes_;
   FaultInjector* injector_ = nullptr;
-  std::atomic<bool> aborted_{false};
-  mutable std::mutex failMutex_;
-  std::vector<char> failed_;
 };
 
 /// Element types that can cross rank boundaries.
@@ -579,13 +596,59 @@ struct RunStats {
   double totalComputeSeconds() const;
 };
 
-/// Spawns `size` rank threads and runs an SPMD function on each.
+/// Spawns `size` ranks — threads on the default backend, forked worker
+/// processes on the proc backend — and runs an SPMD function on each.
 class Engine {
  public:
   explicit Engine(int size, CostModel cost = {});
 
   int size() const { return size_; }
   const CostModel& cost() const { return cost_; }
+
+  /// Select the delivery backend for subsequent run() calls. The thread
+  /// backend (default) keeps every existing behaviour bitwise; the proc
+  /// backend forks one worker per rank, replaces the deadlock watchdog
+  /// with heartbeats + bounded receives, and supervises worker lifecycle
+  /// (crash/hang detection, respawn, degraded fallback). `tuning` is
+  /// validated here so hostile values fail at configuration time.
+  void setTransport(TransportKind kind, TransportTuning tuning = {}) {
+    tuning.validate();
+    transportKind_ = kind;
+    tuning_ = tuning;
+  }
+  TransportKind transportKind() const { return transportKind_; }
+  const TransportTuning& transportTuning() const { return tuning_; }
+
+  /// Cross-process result marshalling (proc backend): `serialize` runs in
+  /// the worker after its SPMD function returns (or crashes tolerably) and
+  /// packs the rank's side effects; `absorb` runs in the supervisor with
+  /// those bytes once the worker resolves. Without a channel the proc
+  /// backend still runs, but rank side effects die with the worker.
+  struct ResultChannel {
+    std::function<std::vector<std::byte>(int rank)> serialize;
+    std::function<void(int rank, const std::vector<std::byte>&)> absorb;
+  };
+  void setResultChannel(ResultChannel channel) {
+    resultChannel_ = std::move(channel);
+  }
+
+  /// Respawn entry for a rank whose worker process died (proc backend):
+  /// called instead of the run function with the 1-based respawn attempt.
+  /// Must be collective-free — its peers are mid-run and will not re-enter
+  /// any collective — which is what the partitioned methods' checkpointed
+  /// local resume provides. Without a respawn function (or with the budget
+  /// exhausted) a dead rank falls through to the degraded/abort path.
+  void setRespawnFn(std::function<void(Comm&, int attempt)> fn) {
+    respawnFn_ = std::move(fn);
+  }
+  /// Respawns allowed per rank before the degraded fallback (proc backend).
+  void setRespawnBudget(int budget) { respawnBudget_ = budget; }
+
+  /// Append supervisor lifecycle events (spawn, death taxonomy, respawn,
+  /// fallback) to this file (proc backend; empty = stderr logging only).
+  void setSupervisorLogPath(std::string path) {
+    supervisorLogPath_ = std::move(path);
+  }
 
   /// Install a deterministic fault schedule for subsequent run() calls
   /// (an empty plan clears it). Injector state resets every run, so the
@@ -623,12 +686,21 @@ class Engine {
   RunStats run(const std::function<void(Comm&)>& fn);
 
  private:
+  RunStats runThread(const std::function<void(Comm&)>& fn);
+  RunStats runProc(const std::function<void(Comm&)>& fn);
+
   int size_;
   CostModel cost_;
   FaultPlan faultPlan_;
   bool tolerateRankFailures_ = false;
   double watchdogSeconds_ = 30.0;
   obs::TraceRecorder* trace_ = nullptr;
+  TransportKind transportKind_ = TransportKind::Thread;
+  TransportTuning tuning_;
+  ResultChannel resultChannel_;
+  std::function<void(Comm&, int)> respawnFn_;
+  int respawnBudget_ = 0;
+  std::string supervisorLogPath_;
 };
 
 }  // namespace casvm::net

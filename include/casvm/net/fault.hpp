@@ -52,6 +52,8 @@ enum class FaultKind {
   DropMessage,   ///< matching message is silently lost
   DelayMessage,  ///< matching message arrives extra virtual seconds late
   SlowRank,      ///< rank's compute is scaled by `factor` on the clock
+  KillRank,      ///< raise(SIGKILL) on a real worker process (proc only)
+  HangRank,      ///< raise(SIGSTOP) on a real worker process (proc only)
 };
 
 /// One clause of a fault schedule. Fields are interpreted per kind; see
@@ -97,11 +99,23 @@ struct FaultPlan {
   ///   "drop:src=0,prob=0.25"         a quarter of rank 0's sends are lost
   ///   "delay:src=1,dst=0,seconds=1e-3"  +1ms virtual latency on 1->0
   ///   "slow:rank=3,factor=4"         rank 3 computes 4x slower
+  ///   "kill:rank=2,phase=solve"      rank 2's process takes SIGKILL at
+  ///                                  its first solve checkpoint
+  ///   "hang:rank=1,op=7"             rank 1's process takes SIGSTOP at
+  ///                                  its 7th comm op (a real hang)
+  /// kill/hang accept the same op=/phase=/nth=/times= placement as crash,
+  /// but deliver a real signal to a real worker process, so they only work
+  /// on the process transport; the thread backend rejects such a plan by
+  /// name before running.
   /// Malformed input throws casvm::Error naming the offending token and
   /// listing the valid kinds/keys. Phase labels are free-form (any
   /// faultCheckpoint() label matches); the training driver defines
   /// "init", "train" and "solve".
   static FaultPlan parse(const std::string& text, std::uint64_t seed = 0);
+
+  /// True when the plan holds kill/hang clauses, which signal real worker
+  /// processes and therefore need the process transport.
+  bool requiresProcessTransport() const;
 
   /// Round-trippable textual form ("" for an empty plan).
   std::string describe() const;
@@ -139,14 +153,26 @@ class FaultInjector {
   /// Compute-clock multiplier for `rank` (product of SlowRank clauses).
   double computeScale(int rank) const;
 
+  /// Arm kill/hang clauses to deliver real signals (raise(SIGKILL) /
+  /// raise(SIGSTOP)) to the calling process. Only the process transport's
+  /// worker processes call this; in the default mode a firing kill/hang
+  /// clause throws a casvm::Error naming the proc-transport requirement,
+  /// as a backstop behind the Engine's up-front plan rejection.
+  void enableProcessSignals() { processSignals_ = true; }
+
   const FaultPlan& plan() const { return plan_; }
 
  private:
   /// Count one comm op for `rank` and throw if a CrashAtOp clause matches.
   void countOp(int rank);
 
+  /// Deliver a firing kill/hang clause: real signal under process-signals
+  /// mode, named error otherwise.
+  [[noreturn]] void fireSignalFault(int rank, const FaultSpec& spec);
+
   FaultPlan plan_;
   int size_;
+  bool processSignals_ = false;
   std::vector<long long> opCount_;    ///< per rank; own-thread access only
   std::vector<long long> matchCount_; ///< per (clause, sender); sender thread
   std::vector<Rng> senderRng_;        ///< per sender; own-thread access only

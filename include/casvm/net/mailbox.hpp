@@ -20,6 +20,7 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,12 @@ class Mailbox {
   /// Throws casvm::Error if abort() is called while waiting (run failure)
   /// or if `src` is marked dead with no message left to deliver.
   Message take(int src, int tag);
+
+  /// Bounded-wait take(): same matching and failure semantics, but returns
+  /// nullopt once `timeoutMs` elapse with no message. The process
+  /// transport's replacement for unbounded blocking — a vanished peer
+  /// surfaces as a timeout instead of a deadlock.
+  std::optional<Message> takeFor(int src, int tag, int timeoutMs);
 
   /// Number of queued messages across all (src, tag) queues.
   std::size_t pending() const;

@@ -1,0 +1,127 @@
+#pragma once
+
+/// \file proc_transport.hpp
+/// Multi-process delivery backend for casvm::net.
+///
+/// One anonymous MAP_SHARED arena, created by the supervisor BEFORE any
+/// fork, holds everything the worker processes share:
+///
+///   - a control block: the run-wide abort flag, one heartbeat timestamp
+///     per rank (CLOCK_MONOTONIC milliseconds, stamped by each worker's
+///     receiver thread), and per-rank failure flags with a fixed-size
+///     reason string (written before the flag's release-store, so readers
+///     that observe the flag also observe the reason);
+///   - the P x P traffic counters, exposed through trafficBytesStorage()
+///     so every process records into ONE matrix and the supervisor's
+///     final TrafficSnapshot is byte-identical to the thread backend's;
+///   - P x P single-producer/single-consumer byte rings (producer = the
+///     sender process's main thread, consumer = the receiver process's
+///     drain thread). A message is framed as a fixed header {payload
+///     bytes, tag, sender virtual time} plus the payload, written in
+///     chunks so frames larger than a ring still flow; the reader keeps a
+///     per-edge reassembly state machine and never blocks on a partial
+///     frame.
+///
+/// Each worker calls attachWorker(rank) after fork, which starts a drain
+/// thread: it moves complete frames from every inbound ring into a local
+/// Mailbox (reusing the thread backend's matching, FIFO and fail-source
+/// semantics), stamps the rank's heartbeat, and propagates the shared
+/// abort/failure flags into the mailbox so blocked receives wake exactly
+/// like they do in-process. take() is a bounded wait: a peer that died or
+/// hung surfaces as a named timeout error after commTimeoutMs instead of
+/// a silent deadlock — this replaces the thread backend's watchdog.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "casvm/net/mailbox.hpp"
+#include "casvm/net/transport.hpp"
+
+namespace casvm::net {
+
+class ProcTransport final : public Transport {
+ public:
+  /// Create the shared arena. Must happen in the supervisor process
+  /// before the first fork so every worker inherits the mapping.
+  ProcTransport(int size, TransportTuning tuning);
+  ~ProcTransport() override;
+
+  ProcTransport(const ProcTransport&) = delete;
+  ProcTransport& operator=(const ProcTransport&) = delete;
+
+  int size() const override { return size_; }
+  void put(int src, int dst, int tag, Message msg) override;
+  Message take(int self, int src, int tag) override;
+  void abortAll() override;
+  bool aborted() const override;
+  void markFailed(int rank, const std::string& reason) override;
+  bool rankFailed(int rank) const override;
+  std::vector<int> failedRanks() const override;
+  std::atomic<std::size_t>* trafficBytesStorage() override;
+  std::atomic<std::size_t>* trafficOpsStorage() override;
+
+  const TransportTuning& tuning() const { return tuning_; }
+
+  // --- worker-side lifecycle (call in the child, after fork) ---------------
+
+  /// Start this process's drain thread for `rank`. take() is only valid
+  /// between attachWorker() and detachWorker().
+  void attachWorker(int rank);
+
+  /// Stop the drain thread. Idempotent; also run by the destructor.
+  void detachWorker();
+
+  // --- supervisor-side helpers ---------------------------------------------
+
+  /// Stamp `rank`'s heartbeat now. The supervisor calls this right before
+  /// spawning (or respawning) a worker so the staleness clock starts at
+  /// the spawn, not at some stale value from a previous incarnation.
+  void beatNow(int rank);
+
+  /// Milliseconds since `rank` last stamped its heartbeat.
+  long long heartbeatAgeMs(int rank) const;
+
+  /// Drop everything queued toward `rank` (head := tail on its inbound
+  /// rings) before a respawn: bytes addressed to the dead incarnation are
+  /// undeliverable, and a partially written frame must not be parsed as a
+  /// header by the replacement's drain thread.
+  void resetInbound(int rank);
+
+ private:
+  struct Ring;
+  struct Control;
+  struct EdgeReader;
+
+  Ring& ring(int src, int dst) const;
+  bool drainEdge(int src);
+  void drainLoop();
+  bool sharedAborted() const;
+  bool writeChunked(Ring& ring, int dst, const void* data, std::size_t len);
+  std::string failureReason(int rank) const;
+
+  int size_;
+  TransportTuning tuning_;
+
+  void* arena_ = nullptr;
+  std::size_t arenaBytes_ = 0;
+  Control* control_ = nullptr;
+  std::atomic<std::size_t>* trafficBytes_ = nullptr;
+  std::atomic<std::size_t>* trafficOps_ = nullptr;
+  std::byte* ringsBase_ = nullptr;
+  std::size_t ringStride_ = 0;
+
+  // Local (per-process) worker state.
+  int self_ = -1;
+  Mailbox mailbox_;
+  std::thread drainThread_;
+  std::atomic<bool> stopDrain_{false};
+  std::vector<EdgeReader> readers_;
+  bool localAborted_ = false;
+  std::vector<char> localFailed_;
+};
+
+}  // namespace casvm::net

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file thread_transport.hpp
+/// The in-process transport backend: one Mailbox per rank thread, shared
+/// failure flags. This is the original "minimpi" delivery path, extracted
+/// behind the Transport interface verbatim so every existing test, table
+/// reproduction and traffic count stays bitwise-identical on it.
+
+#include <mutex>
+#include <vector>
+
+#include "casvm/net/transport.hpp"
+
+namespace casvm::net {
+
+class ThreadTransport final : public Transport {
+ public:
+  explicit ThreadTransport(int size);
+
+  int size() const override { return size_; }
+  void put(int src, int dst, int tag, Message msg) override;
+  Message take(int self, int src, int tag) override;
+  void abortAll() override;
+  bool aborted() const override {
+    return aborted_.load(std::memory_order_acquire);
+  }
+  void markFailed(int rank, const std::string& reason) override;
+  bool rankFailed(int rank) const override;
+  std::vector<int> failedRanks() const override;
+
+  /// Direct mailbox access for the Engine's deadlock watchdog and the
+  /// mailbox-level tests (wait state, pending queues, op counts). Only the
+  /// thread backend has per-rank mailboxes to expose.
+  Mailbox& mailbox(int rank);
+
+ private:
+  int size_;
+  std::vector<Mailbox> mailboxes_;
+  std::atomic<bool> aborted_{false};
+  mutable std::mutex failMutex_;
+  std::vector<char> failed_;
+};
+
+}  // namespace casvm::net

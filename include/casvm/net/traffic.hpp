@@ -40,6 +40,17 @@ class TrafficMatrix {
  public:
   explicit TrafficMatrix(int size);
 
+  /// Non-owning view over externally allocated counter arrays (P*P cells
+  /// each), used by the process transport to place the counters in shared
+  /// memory so every worker process records into one matrix. The storage
+  /// must outlive the view and be zero-initialised by its creator; the
+  /// view never resets it (a respawned worker attaches mid-run).
+  TrafficMatrix(int size, std::atomic<std::size_t>* bytes,
+                std::atomic<std::size_t>* ops);
+
+  TrafficMatrix(TrafficMatrix&&) = default;
+  TrafficMatrix& operator=(TrafficMatrix&&) = default;
+
   /// Record one message of `bytes` payload bytes from src to dst.
   void record(int src, int dst, std::size_t bytes);
 
@@ -53,8 +64,10 @@ class TrafficMatrix {
 
  private:
   int size_;
-  std::unique_ptr<std::atomic<std::size_t>[]> bytes_;
-  std::unique_ptr<std::atomic<std::size_t>[]> ops_;
+  std::unique_ptr<std::atomic<std::size_t>[]> ownedBytes_;
+  std::unique_ptr<std::atomic<std::size_t>[]> ownedOps_;
+  std::atomic<std::size_t>* bytes_ = nullptr;  ///< owned or external
+  std::atomic<std::size_t>* ops_ = nullptr;
 };
 
 }  // namespace casvm::net

@@ -32,6 +32,7 @@
 /// seconds since engine start for serve workers. Each lane gets its own
 /// pid in the Chrome export, so the timelines never mix.
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -108,6 +109,10 @@ class Lane {
     events_.push_back(e);
   }
 
+  /// Append a fully populated event (shard absorption; `e.name` must
+  /// outlive the recorder like every other name).
+  void record(const Event& e) { events_.push_back(e); }
+
   int pid() const { return pid_; }
   int tid() const { return tid_; }
   const std::string& name() const { return name_; }
@@ -153,9 +158,27 @@ class TraceRecorder {
   /// chromeTraceJson() written to `path`; throws casvm::Error on IO failure.
   void writeChromeTrace(const std::string& path) const;
 
+  /// Serialize every lane and event into a flat, self-describing byte
+  /// blob. This is how per-process trace shards cross the process
+  /// boundary on the proc transport: each worker encodes its local
+  /// recorder and the supervisor absorbs the shards into the run's
+  /// recorder.
+  std::vector<std::byte> encodeShard() const;
+
+  /// Append the lanes of an encoded shard to this recorder. Event names
+  /// are re-interned into recorder-owned storage (the shard's `name`
+  /// pointers belonged to another process); malformed input throws
+  /// casvm::Error.
+  void absorbShard(const std::vector<std::byte>& shard);
+
  private:
+  /// Recorder-owned copy of `name`, deduplicated; valid for the
+  /// recorder's lifetime, satisfying Event::name's contract.
+  const char* intern(const std::string& name);
+
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<std::unique_ptr<std::string>> interned_;
 };
 
 }  // namespace casvm::obs

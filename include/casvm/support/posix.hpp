@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file posix.hpp
+/// EINTR-safe wrappers over the handful of POSIX calls the process
+/// transport and its supervisor depend on. Signals are routine in that
+/// world — SIGCHLD from dying workers, SIGKILL/SIGSTOP raised by chaos
+/// faults — so every blocking syscall here retries on EINTR instead of
+/// surfacing a spurious short transfer or failure to the caller.
+
+#include <sys/types.h>
+
+#include <cstddef>
+
+namespace casvm::support {
+
+/// read() exactly `len` bytes into `buf`, retrying on EINTR and resuming
+/// after short reads. Returns the number of bytes read: `len` on success,
+/// fewer only if EOF arrived first, and throws casvm::Error on any other
+/// read error.
+std::size_t readFull(int fd, void* buf, std::size_t len);
+
+/// write() exactly `len` bytes from `buf`, retrying on EINTR and short
+/// writes. Throws casvm::Error if the descriptor rejects the write (e.g.
+/// EPIPE after the peer process died).
+void writeFull(int fd, const void* buf, std::size_t len);
+
+/// waitpid() retrying on EINTR. Returns the waitpid() result (pid, 0 for
+/// WNOHANG-with-no-change, or -1 with errno != EINTR preserved).
+pid_t waitpidRetry(pid_t pid, int* status, int options);
+
+}  // namespace casvm::support

@@ -41,6 +41,14 @@ void runPbm(net::Comm& comm, const MethodContext& ctx);
 void runTree(net::Comm& comm, const MethodContext& ctx);
 void runPartitioned(net::Comm& comm, const MethodContext& ctx);
 
+/// Respawn entry for the proc transport (partitioned methods only): a
+/// replacement worker re-derives its rank's partition and sub-model from
+/// the newest checkpoints with NO collectives (peers are mid-solve and
+/// will not re-enter one). `attempt` is the 1-based respawn count. Throws
+/// net::RankCrash when no partition checkpoint exists — the rank then
+/// falls through to the engine's degraded path.
+void resumeRankLocal(net::Comm& comm, const MethodContext& ctx, int attempt);
+
 /// Dispatch to the method body for `ctx.config.method`.
 void runMethod(net::Comm& comm, const MethodContext& ctx);
 
@@ -49,9 +57,15 @@ void runMethod(net::Comm& comm, const MethodContext& ctx);
 /// filled by the caller, which owns the engine. `failures` lists ranks that
 /// crashed under fault tolerance: their board slots are unfinished, so the
 /// assembly routes the model around them and marks the result degraded.
+/// `totalTrainRows` is the true training-set size, used as the covered-
+/// fraction denominator: on the process transport a killed worker's
+/// `board.samples` deposit dies with it, so summing board slots would
+/// silently drop the dead partition from the total. Pass -1 to fall back
+/// to the board sum (exact whenever every rank deposited).
 TrainResult assembleFromBoard(const TrainConfig& config, RankBoard& board,
                               int P,
-                              const std::vector<net::RankFailure>& failures = {});
+                              const std::vector<net::RankFailure>& failures = {},
+                              long long totalTrainRows = -1);
 
 /// Deterministic initial per-rank data placement for a method run.
 std::vector<data::Dataset> placementFor(const data::Dataset& trainSet,

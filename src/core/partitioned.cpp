@@ -332,4 +332,133 @@ void runPartitioned(net::Comm& comm, const MethodContext& ctx) {
   }
 }
 
+void resumeRankLocal(net::Comm& comm, const MethodContext& ctx, int attempt) {
+  // Collective-free by construction: this runs in a respawned worker whose
+  // peers are mid-solve (or finished) and will never re-enter a collective
+  // with us. Everything below is checkpoint loads and local compute, which
+  // is exactly what the partitioned methods' training phase consists of —
+  // the property that makes a real process kill survivable at all.
+  const int rank = comm.rank();
+  const auto urank = static_cast<std::size_t>(rank);
+  RankBoard& board = ctx.board;
+  ckpt::CheckpointStore* store = ctx.config.checkpoints;
+  CASVM_CHECK(store != nullptr,
+              "resumeRankLocal needs a checkpoint store (the driver only "
+              "installs a respawn entry when one is configured)");
+  const std::string rankTag = ".r" + std::to_string(rank);
+  const std::string partName = "part" + rankTag;
+  const std::string solverName = "solver" + rankTag;
+  const std::string modelName = "model" + rankTag;
+  const std::string factorName = "lowrank" + rankTag;
+
+  // The partition is the resume anchor: without it there is no local data
+  // to retrain on, so the rank stays dead and the run degrades around it.
+  std::optional<ckpt::PartitionState> part;
+  if (const auto payload = store->load(partName, ckpt::Kind::Partition)) {
+    part = ckpt::decodePartition(*payload);
+  }
+  if (!part.has_value()) {
+    throw net::RankCrash(
+        rank, "respawned rank " + std::to_string(rank) +
+                  " found no partition checkpoint to resume from (the worker "
+                  "died before the partition phase completed)");
+  }
+  data::Dataset mine = std::move(part->local);
+  std::vector<float> myCenter = std::move(part->center);
+  board.kmeansLoops[urank] = part->kmeansLoops;
+  ++board.checkpointsLoaded[urank];
+  board.samples[urank] = static_cast<long long>(mine.rows());
+  board.positives[urank] = static_cast<long long>(mine.positives());
+  // The respawned incarnation's clock starts fresh; its init phase is the
+  // checkpoint load that just happened. No instrumentation fence — that is
+  // a collective, and the fence already ran in the first incarnation.
+  board.initEndVirtual[urank] = virtualNow(comm);
+
+  // The previous incarnation may have finished the solve and died between
+  // the sub-model save and its result frame — then the work is done.
+  if (const auto payload = store->load(modelName, ckpt::Kind::SubModel)) {
+    ckpt::SubModelState sub = ckpt::decodeSubModel(*payload);
+    ++board.checkpointsLoaded[urank];
+    markTrainEnd(comm, ctx);
+    board.models[urank] = std::move(sub.model);
+    board.centers[urank] = std::move(myCenter);
+    board.iterations[urank] = 0;
+    board.svs[urank] = sub.svs;
+    board.retries[urank] = attempt;
+    board.recovered[urank] = 1;
+    return;
+  }
+
+  solver::SolverOptions sopts = ctx.config.solver;
+  if (comm.traceLane() != nullptr) {
+    sopts.trace = comm.traceLane();
+    sopts.traceTimeOffset = virtualNow(comm);
+  }
+  std::optional<solver::SolverSnapshot> resumeSnap;
+  if (const auto payload = store->load(solverName, ckpt::Kind::SolverState)) {
+    resumeSnap = ckpt::decodeSolverState(*payload);
+    if (resumeSnap->alpha.size() == mine.rows()) {
+      ++board.checkpointsLoaded[urank];
+    } else {
+      resumeSnap.reset();  // stale snapshot of a different part
+    }
+  }
+  if (resumeSnap.has_value()) sopts.resumeFrom = &*resumeSnap;
+  sopts.snapshotInterval = ctx.config.checkpointEvery;
+  sopts.snapshotSink = [&](const solver::SolverSnapshot& snap) {
+    store->save(solverName, ckpt::Kind::SolverState,
+                ckpt::encodeSolverState(snap));
+  };
+
+  std::optional<lowrank::LowRankKernel> lowrankSource;
+  if (ctx.config.solverBackend == SolverBackend::Nystrom && mine.rows() > 0) {
+    std::optional<lowrank::NystromFactor> factor;
+    if (const auto payload =
+            store->load(factorName, ckpt::Kind::LowRankFactor)) {
+      lowrank::NystromFactor restored =
+          lowrank::NystromFactor::decode(*payload);
+      if (restored.rows() == mine.rows()) {
+        factor = std::move(restored);
+        ++board.checkpointsLoaded[urank];
+      }
+    }
+    if (!factor.has_value()) {
+      PhaseSpan span(comm, "lowrank");
+      lowrank::NystromOptions nopts;
+      nopts.landmarks = ctx.config.nystromLandmarks;
+      nopts.strategy = ctx.config.nystromStrategy;
+      nopts.eigenFloor = ctx.config.nystromEigenFloor;
+      nopts.seed = ctx.config.seed ^ (0x9E3779B97F4A7C15ull *
+                                      static_cast<std::uint64_t>(rank + 1));
+      const kernel::Kernel kern(sopts.kernel);
+      factor = lowrank::NystromFactor::build(kern, mine, nopts);
+      store->save(factorName, ckpt::Kind::LowRankFactor, factor->encode());
+    }
+    lowrankSource.emplace(std::move(*factor));
+    sopts.rowSource = &*lowrankSource;
+  }
+
+  LocalSolve solve;
+  {
+    PhaseSpan span(comm, "solve");
+    solve = trainLocalSvm(mine, sopts);
+  }
+
+  ckpt::SubModelState sub;
+  sub.model = solve.model;
+  sub.iterations = solve.iterations;
+  sub.svs = solve.svs;
+  store->save(modelName, ckpt::Kind::SubModel, ckpt::encodeSubModel(sub));
+  store->remove(solverName);
+  store->remove(factorName);
+  markTrainEnd(comm, ctx);
+
+  board.models[urank] = solve.model;
+  board.centers[urank] = std::move(myCenter);
+  board.iterations[urank] = solve.iterations;
+  board.svs[urank] = solve.svs;
+  board.retries[urank] = attempt;
+  board.recovered[urank] = 1;
+}
+
 }  // namespace casvm::core::detail

@@ -8,6 +8,7 @@
 #include "casvm/cluster/partition.hpp"
 #include "casvm/support/checksum.hpp"
 #include "casvm/support/error.hpp"
+#include "board_codec.hpp"
 #include "methods.hpp"
 
 namespace casvm::core {
@@ -210,6 +211,31 @@ TrainResult train(const data::Dataset& trainSet, const TrainConfig& config) {
   // rank only costs its own partition; tree methods and Dis-SMO need every
   // rank and must fail fast instead.
   engine.setTolerateRankFailures(isPartitionedMethod(config.method));
+  engine.setTransport(config.transport, config.transportTuning);
+  if (config.transport == net::TransportKind::Proc) {
+    // Workers are separate processes: board writes die with the worker, so
+    // each rank ships its slots back through the engine's result channel.
+    net::Engine::ResultChannel channel;
+    channel.serialize = [&board](int rank) {
+      return detail::encodeBoardSlot(board, rank);
+    };
+    channel.absorb = [&board](int rank, const std::vector<std::byte>& bytes) {
+      detail::absorbBoardSlot(board, rank, bytes);
+    };
+    engine.setResultChannel(std::move(channel));
+    engine.setSupervisorLogPath(config.supervisorLog);
+    // A killed worker can be respawned against the newest agreed
+    // checkpoint generation — but only for the partitioned methods, whose
+    // training phase is collective-free (the checkpoint store is what the
+    // replacement resumes from).
+    if (config.checkpoints != nullptr && config.rankRetries > 0 &&
+        isPartitionedMethod(config.method)) {
+      engine.setRespawnBudget(config.rankRetries);
+      engine.setRespawnFn([&mctx](net::Comm& comm, int attempt) {
+        detail::resumeRankLocal(comm, mctx, attempt);
+      });
+    }
+  }
   net::RunStats stats = engine.run(
       [&](net::Comm& comm) { detail::runMethod(comm, mctx); });
 
@@ -217,8 +243,9 @@ TrainResult train(const data::Dataset& trainSet, const TrainConfig& config) {
               "every rank crashed — no surviving partition to build a "
               "model from");
 
-  TrainResult out = detail::assembleFromBoard(config, board, P,
-                                              stats.failures);
+  TrainResult out = detail::assembleFromBoard(
+      config, board, P, stats.failures,
+      static_cast<long long>(trainSet.rows()));
   out.runStats = stats;
   out.wallSeconds = stats.wallSeconds;
 
@@ -240,7 +267,8 @@ namespace detail {
 
 TrainResult assembleFromBoard(const TrainConfig& config, RankBoard& board,
                               int P,
-                              const std::vector<net::RankFailure>& failures) {
+                              const std::vector<net::RankFailure>& failures,
+                              long long totalTrainRows) {
   TrainResult out;
   out.method = config.method;
 
@@ -303,6 +331,10 @@ TrainResult assembleFromBoard(const TrainConfig& config, RankBoard& board,
         centers.push_back(board.centers[ur]);
       }
     }
+    // On the process transport a SIGKILLed rank never deposited its
+    // sample count, so the board sum under-reports the total; the caller
+    // passes the true dataset size to keep the fraction honest.
+    if (totalTrainRows >= 0) totalSamples = totalTrainRows;
     if (totalSamples > 0) {
       out.coveredFraction =
           static_cast<double>(coveredSamples) / static_cast<double>(totalSamples);

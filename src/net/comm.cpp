@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "casvm/net/thread_transport.hpp"
 #include "casvm/obs/trace.hpp"
 
 namespace casvm::net {
@@ -46,47 +47,45 @@ std::string badUserTag(const char* op, int tag) {
 
 }  // namespace
 
+namespace {
+
+/// World's traffic matrix: private storage by default, a view over the
+/// backend's shared counters when it provides them (proc arena).
+TrafficMatrix trafficFor(int size, Transport* transport) {
+  std::atomic<std::size_t>* bytes = transport->trafficBytesStorage();
+  std::atomic<std::size_t>* ops = transport->trafficOpsStorage();
+  if (bytes != nullptr && ops != nullptr) {
+    return TrafficMatrix(size, bytes, ops);
+  }
+  return TrafficMatrix(size);
+}
+
+}  // namespace
+
 World::World(int size, CostModel cost, FaultInjector* injector)
-    : size_(size), cost_(cost), traffic_(size),
-      mailboxes_(static_cast<std::size_t>(size)), injector_(injector),
-      failed_(static_cast<std::size_t>(size), 0) {
+    : size_(size), cost_(cost),
+      ownedTransport_(std::make_unique<ThreadTransport>(size)),
+      transport_(ownedTransport_.get()), traffic_(size), injector_(injector) {
   CASVM_CHECK(size > 0, "world needs at least one rank");
 }
 
+World::World(int size, CostModel cost, FaultInjector* injector,
+             Transport* transport)
+    : size_(size), cost_(cost), transport_(transport),
+      traffic_(trafficFor(size, transport)), injector_(injector) {
+  CASVM_CHECK(size > 0, "world needs at least one rank");
+  CASVM_CHECK(transport != nullptr && transport->size() == size,
+              "world/transport size mismatch");
+}
+
+World::~World() = default;
+
 Mailbox& World::mailbox(int rank) {
   CASVM_ASSERT(rank >= 0 && rank < size_, "rank out of range");
-  return mailboxes_[static_cast<std::size_t>(rank)];
-}
-
-void World::abortAll() {
-  aborted_.store(true, std::memory_order_release);
-  for (auto& mb : mailboxes_) mb.abort();
-}
-
-void World::markFailed(int rank, const std::string& reason) {
-  CASVM_ASSERT(rank >= 0 && rank < size_, "rank out of range");
-  {
-    std::lock_guard<std::mutex> lock(failMutex_);
-    failed_[static_cast<std::size_t>(rank)] = 1;
-  }
-  // Wake anyone blocked on (or about to block on) a message from the dead
-  // rank; messages it sent before dying remain deliverable.
-  for (auto& mb : mailboxes_) mb.failSource(rank, reason);
-}
-
-bool World::rankFailed(int rank) const {
-  CASVM_ASSERT(rank >= 0 && rank < size_, "rank out of range");
-  std::lock_guard<std::mutex> lock(failMutex_);
-  return failed_[static_cast<std::size_t>(rank)] != 0;
-}
-
-std::vector<int> World::failedRanks() const {
-  std::lock_guard<std::mutex> lock(failMutex_);
-  std::vector<int> out;
-  for (int r = 0; r < size_; ++r) {
-    if (failed_[static_cast<std::size_t>(r)] != 0) out.push_back(r);
-  }
-  return out;
+  auto* threads = dynamic_cast<ThreadTransport*>(transport_);
+  CASVM_CHECK(threads != nullptr,
+              "World::mailbox is only available on the thread transport");
+  return threads->mailbox(rank);
 }
 
 void Comm::sendRaw(int dst, int tag, const void* data, std::size_t bytes) {
@@ -116,7 +115,8 @@ void Comm::sendRaw(int dst, int tag, const void* data, std::size_t bytes) {
   // even when the message is dropped: the bytes left this rank's NIC.
   world_->traffic().record(worldSrc, worldDst, bytes);
   if (!verdict.drop) {
-    world_->mailbox(worldDst).put(worldSrc, contextTag(tag), std::move(msg));
+    world_->transport().put(worldSrc, worldDst, contextTag(tag),
+                            std::move(msg));
   }
 }
 
@@ -129,7 +129,7 @@ Message Comm::recvRaw(int src, int tag) {
     injector->onRecv(worldRank());  // may throw RankCrash
   }
   Message msg =
-      world_->mailbox(worldRank()).take(toWorld(src), contextTag(tag));
+      world_->transport().take(worldRank(), toWorld(src), contextTag(tag));
   if (lane_ != nullptr) traceBytes_ += msg.payload.size();
   // If the sender finished later than our local virtual now, we were
   // waiting: advance to the arrival time (the wait shows up as comm time).
@@ -170,17 +170,18 @@ void Comm::instrumentationFence(const std::function<void()>& atRoot) {
   const int members = size();
   const int rootWorld = toWorld(0);
   const int fenceTag = contextTag(tagFence);
+  Transport& transport = world_->transport();
   if (rank_ == 0) {
     for (int r = 1; r < members; ++r) {
-      (void)world_->mailbox(rootWorld).take(toWorld(r), fenceTag);
+      (void)transport.take(rootWorld, toWorld(r), fenceTag);
     }
     if (atRoot) atRoot();
     for (int r = 1; r < members; ++r) {
-      world_->mailbox(toWorld(r)).put(rootWorld, fenceTag, Message{});
+      transport.put(rootWorld, toWorld(r), fenceTag, Message{});
     }
   } else {
-    world_->mailbox(rootWorld).put(worldRank(), fenceTag, Message{});
-    (void)world_->mailbox(worldRank()).take(rootWorld, fenceTag);
+    transport.put(worldRank(), rootWorld, fenceTag, Message{});
+    (void)transport.take(worldRank(), rootWorld, fenceTag);
   }
 }
 

@@ -1,6 +1,10 @@
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
+#include <cstring>
 #include <mutex>
 #include <optional>
 #include <sstream>
@@ -8,8 +12,11 @@
 #include <thread>
 
 #include "casvm/net/comm.hpp"
+#include "casvm/net/proc_transport.hpp"
+#include "casvm/net/supervisor.hpp"
 #include "casvm/obs/trace.hpp"
 #include "casvm/support/log.hpp"
+#include "casvm/support/posix.hpp"
 #include "casvm/support/timer.hpp"
 
 namespace casvm::net {
@@ -35,6 +42,18 @@ Engine::Engine(int size, CostModel cost) : size_(size), cost_(cost) {
 }
 
 RunStats Engine::run(const std::function<void(Comm&)>& fn) {
+  if (transportKind_ == TransportKind::Thread) {
+    CASVM_CHECK(!faultPlan_.requiresProcessTransport(),
+                "fault plan contains kill/hang clauses, which deliver real "
+                "signals to worker processes; they require the process "
+                "transport (--transport proc), but the thread backend is "
+                "selected (" + faultPlan_.describe() + ")");
+    return runThread(fn);
+  }
+  return runProc(fn);
+}
+
+RunStats Engine::runThread(const std::function<void(Comm&)>& fn) {
   std::optional<FaultInjector> injector;
   if (!faultPlan_.empty()) injector.emplace(faultPlan_, size_);
   World world(size_, cost_, injector ? &*injector : nullptr);
@@ -244,6 +263,262 @@ RunStats Engine::run(const std::function<void(Comm&)>& fn) {
     stats.waitSeconds.push_back(clock.waitSeconds());
   }
   stats.traffic = world.traffic().snapshot();
+  for (const auto& crash : crashes) {
+    if (crash) stats.failures.push_back(*crash);
+  }
+  return stats;
+}
+
+// --- proc backend -----------------------------------------------------------
+
+namespace {
+
+// Result-frame payload codec. A worker packs its outcome into a byte
+// payload (doubles and u64-length-prefixed blobs), the supervisor parses
+// it back; every read is bounds-checked because the bytes crossed a
+// process boundary.
+
+void putF64(std::vector<std::byte>& out, double v) {
+  const std::size_t off = out.size();
+  out.resize(off + sizeof v);
+  std::memcpy(out.data() + off, &v, sizeof v);
+}
+
+void putBlob(std::vector<std::byte>& out, const std::vector<std::byte>& blob) {
+  const std::uint64_t len = blob.size();
+  const std::size_t off = out.size();
+  out.resize(off + sizeof len + blob.size());
+  std::memcpy(out.data() + off, &len, sizeof len);
+  if (!blob.empty()) {
+    std::memcpy(out.data() + off + sizeof len, blob.data(), blob.size());
+  }
+}
+
+void putStr(std::vector<std::byte>& out, const std::string& s) {
+  std::vector<std::byte> blob(s.size());
+  if (!s.empty()) std::memcpy(blob.data(), s.data(), s.size());
+  putBlob(out, blob);
+}
+
+struct FrameCursor {
+  const std::vector<std::byte>& buf;
+  std::size_t off = 0;
+
+  double f64() {
+    CASVM_CHECK(off + sizeof(double) <= buf.size(),
+                "worker result frame truncated");
+    double v = 0.0;
+    std::memcpy(&v, buf.data() + off, sizeof v);
+    off += sizeof v;
+    return v;
+  }
+
+  std::vector<std::byte> blob() {
+    CASVM_CHECK(off + sizeof(std::uint64_t) <= buf.size(),
+                "worker result frame truncated");
+    std::uint64_t len = 0;
+    std::memcpy(&len, buf.data() + off, sizeof len);
+    off += sizeof len;
+    CASVM_CHECK(off + len <= buf.size(), "worker result frame truncated");
+    std::vector<std::byte> b(buf.begin() + static_cast<std::ptrdiff_t>(off),
+                             buf.begin() +
+                                 static_cast<std::ptrdiff_t>(off + len));
+    off += len;
+    return b;
+  }
+
+  std::string str() {
+    const std::vector<std::byte> b = blob();
+    return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+  }
+};
+
+/// One complete [type u8][len u64][payload] frame on the result pipe.
+void writeFrame(int fd, char type, const std::vector<std::byte>& payload) {
+  std::vector<std::byte> wire(1 + sizeof(std::uint64_t) + payload.size());
+  wire[0] = static_cast<std::byte>(type);
+  const std::uint64_t len = payload.size();
+  std::memcpy(wire.data() + 1, &len, sizeof len);
+  if (!payload.empty()) {
+    std::memcpy(wire.data() + 1 + sizeof len, payload.data(), payload.size());
+  }
+  support::writeFull(fd, wire.data(), wire.size());
+}
+
+}  // namespace
+
+RunStats Engine::runProc(const std::function<void(Comm&)>& fn) {
+  ProcTransport transport(size_, tuning_);
+  Supervisor::Options opts;
+  opts.tuning = tuning_;
+  opts.respawnBudget = respawnBudget_;
+  opts.allowRespawn = static_cast<bool>(respawnFn_) && respawnBudget_ > 0;
+  opts.tolerateFailures = tolerateRankFailures_;
+  opts.logPath = supervisorLogPath_;
+  Supervisor supervisor(transport, opts);
+
+  // Runs in the forked worker process. Everything it touches is either
+  // the shared arena (transport) or this process's copy-on-write memory;
+  // the only channels back to the supervisor are the arena and the one
+  // result frame written at the end.
+  const auto childMain = [&](int rank, int attempt, int resultFd) {
+    transport.attachWorker(rank);
+
+    // The fault schedule only arms the first incarnation: deterministic
+    // kill/crash clauses must not re-fire in the respawned worker, or a
+    // respawn budget of N would just die N+1 times at the same op.
+    std::optional<FaultInjector> injector;
+    if (attempt == 0 && !faultPlan_.empty()) {
+      injector.emplace(faultPlan_, size_);
+      injector->enableProcessSignals();
+    }
+    World world(size_, cost_, injector ? &*injector : nullptr, &transport);
+
+    // Trace events are recorded into a process-local shard and shipped in
+    // the result frame; the supervisor merges shards rank by rank.
+    obs::TraceRecorder localTrace;
+    obs::Lane* lane = nullptr;
+    if (trace_ != nullptr) {
+      lane = &localTrace.addLane(rank, 0, "rank " + std::to_string(rank));
+    }
+
+    VirtualClock clock;
+    if (injector) clock.setComputeScale(injector->computeScale(rank));
+    clock.start();
+    Comm comm(&world, rank, &clock);
+    comm.setTraceLane(lane);
+
+    char type = 'R';
+    std::string errorMsg;
+    try {
+      if (attempt == 0) {
+        fn(comm);
+      } else {
+        respawnFn_(comm, attempt);
+      }
+      clock.sampleCompute();
+    } catch (const RankCrash& e) {
+      clock.sampleCompute();
+      errorMsg = e.what();
+      if (tolerateRankFailures_) {
+        type = 'C';
+        world.markFailed(rank, errorMsg);
+      } else {
+        type = 'E';
+        world.abortAll();
+      }
+    } catch (const std::exception& e) {
+      type = 'E';
+      errorMsg = e.what();
+      world.abortAll();
+    }
+
+    std::vector<std::byte> payload;
+    if (type != 'R') putStr(payload, errorMsg);
+    if (type != 'E') {
+      putF64(payload, clock.computeSeconds());
+      putF64(payload, clock.commSeconds());
+      putF64(payload, clock.waitSeconds());
+      putBlob(payload, resultChannel_.serialize
+                           ? resultChannel_.serialize(rank)
+                           : std::vector<std::byte>{});
+      putBlob(payload, trace_ != nullptr ? localTrace.encodeShard()
+                                         : std::vector<std::byte>{});
+    }
+    writeFrame(resultFd, type, payload);
+    transport.detachWorker();
+  };
+
+  WallTimer wall;
+  const std::vector<Supervisor::RankOutcome> outcomes =
+      supervisor.run(childMain);
+  const double wallSeconds = wall.seconds();
+
+  std::vector<std::optional<std::string>> errors(
+      static_cast<std::size_t>(size_));
+  std::vector<std::optional<RankFailure>> crashes(
+      static_cast<std::size_t>(size_));
+  std::vector<double> computeSeconds(static_cast<std::size_t>(size_), 0.0);
+  std::vector<double> commSeconds(static_cast<std::size_t>(size_), 0.0);
+  std::vector<double> waitSeconds(static_cast<std::size_t>(size_), 0.0);
+  bool failed = false;
+
+  for (int r = 0; r < size_; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    const Supervisor::RankOutcome& o = outcomes[i];
+    if (!o.resolved) {
+      // Finally dead without a frame: the supervisor already either marked
+      // the rank failed (tolerated) or aborted the run.
+      if (tolerateRankFailures_) {
+        crashes[i] = RankFailure{r, o.deathReason};
+      } else {
+        errors[i] = o.deathReason;
+        failed = true;
+      }
+      continue;
+    }
+    FrameCursor cur{o.frame.payload};
+    if (o.frame.type == 'E') {
+      errors[i] = cur.str();
+      failed = true;
+      continue;
+    }
+    CASVM_CHECK(o.frame.type == 'R' || o.frame.type == 'C',
+                "worker result frame has unknown type '" +
+                    std::string(1, o.frame.type) + "'");
+    if (o.frame.type == 'C') crashes[i] = RankFailure{r, cur.str()};
+    computeSeconds[i] = cur.f64();
+    commSeconds[i] = cur.f64();
+    waitSeconds[i] = cur.f64();
+    const std::vector<std::byte> board = cur.blob();
+    const std::vector<std::byte> shard = cur.blob();
+    if (resultChannel_.absorb && !board.empty()) {
+      resultChannel_.absorb(r, board);
+    }
+    if (trace_ != nullptr && !shard.empty()) trace_->absorbShard(shard);
+  }
+
+  if (failed) {
+    // Same root-cause selection as the thread backend: prefer a message
+    // naming the injected fault, then any non-cascade error.
+    std::string best;
+    bool bestNamesFault = false;
+    bool bestIsCascade = true;
+    for (int r = 0; r < size_; ++r) {
+      const auto& err = errors[static_cast<std::size_t>(r)];
+      if (!err) continue;
+      const bool cascade = isCascadeError(*err);
+      const bool fault = namesInjectedFault(*err);
+      const bool better = best.empty() || (fault && !bestNamesFault) ||
+                          (!bestNamesFault && bestIsCascade && !cascade);
+      if (better) {
+        best = "rank " + std::to_string(r) + ": " + *err;
+        bestNamesFault = fault;
+        bestIsCascade = cascade;
+        if (fault) break;
+      }
+    }
+    if (!bestNamesFault) {
+      for (const auto& crash : crashes) {
+        if (!crash) continue;
+        best += (best.empty() ? "" : "; after ") + crash->reason;
+        break;
+      }
+    }
+    throw Error("engine run failed: " + best);
+  }
+
+  RunStats stats;
+  stats.size = size_;
+  stats.wallSeconds = wallSeconds;
+  stats.computeSeconds = std::move(computeSeconds);
+  stats.commSeconds = std::move(commSeconds);
+  stats.waitSeconds = std::move(waitSeconds);
+  // The traffic counters live in the shared arena, so the supervisor sees
+  // exactly what the workers recorded — snapshot through a view.
+  stats.traffic = TrafficMatrix(size_, transport.trafficBytesStorage(),
+                                transport.trafficOpsStorage())
+                      .snapshot();
   for (const auto& crash : crashes) {
     if (crash) stats.failures.push_back(*crash);
   }

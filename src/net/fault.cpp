@@ -1,5 +1,6 @@
 #include "casvm/net/fault.hpp"
 
+#include <csignal>
 #include <cstdlib>
 #include <sstream>
 
@@ -55,6 +56,7 @@ const char* validKeysFor(const std::string& kind) {
   if (kind == "drop") return "src, dst, nth, prob";
   if (kind == "delay") return "src, dst, nth, prob, seconds";
   if (kind == "slow") return "rank, factor";
+  if (kind == "kill" || kind == "hang") return "rank, op, phase, nth, times";
   return "";
 }
 
@@ -73,7 +75,7 @@ bool keyValidFor(const std::string& kind, const std::string& key) {
   return false;
 }
 
-constexpr const char* kValidKinds = "crash, drop, delay, slow";
+constexpr const char* kValidKinds = "crash, drop, delay, slow, kill, hang";
 constexpr const char* kDriverPhases =
     "the training driver defines phases 'init', 'train' and 'solve'";
 
@@ -97,6 +99,10 @@ FaultSpec parseClause(const std::string& raw) {
     spec.kind = FaultKind::DelayMessage;
   } else if (kind == "slow") {
     spec.kind = FaultKind::SlowRank;
+  } else if (kind == "kill") {
+    spec.kind = FaultKind::KillRank;
+  } else if (kind == "hang") {
+    spec.kind = FaultKind::HangRank;
   } else {
     throw Error("fault spec: unknown fault kind '" + kind + "' in clause '" +
                 clause + "' (valid kinds: " + kValidKinds + ")");
@@ -146,14 +152,19 @@ FaultSpec parseClause(const std::string& raw) {
   switch (spec.kind) {
     case FaultKind::CrashAtOp:
     case FaultKind::CrashAtPhase:
+    case FaultKind::KillRank:
+    case FaultKind::HangRank:
       CASVM_CHECK(spec.rank >= 0,
-                  "fault spec: crash clause needs rank= ('" + clause + "')");
+                  "fault spec: " + kind + " clause needs rank= ('" + clause +
+                      "')");
       CASVM_CHECK(haveOp != havePhase,
-                  "fault spec: crash clause needs exactly one of op= "
+                  "fault spec: " + kind + " clause needs exactly one of op= "
                   "(1-based comm-op index) or phase= (checkpoint label; " +
                   std::string(kDriverPhases) + ") ('" + clause + "')");
       if (havePhase) {
-        spec.kind = FaultKind::CrashAtPhase;
+        if (spec.kind == FaultKind::CrashAtOp) {
+          spec.kind = FaultKind::CrashAtPhase;
+        }
         CASVM_CHECK(!spec.phase.empty(),
                     "fault spec: phase= needs a label (" +
                         std::string(kDriverPhases) + ") ('" + clause + "')");
@@ -165,9 +176,10 @@ FaultSpec parseClause(const std::string& raw) {
                         clause + "')");
       } else {
         CASVM_CHECK(spec.op >= 1,
-                    "fault spec: crash op= is 1-based ('" + clause + "')");
+                    "fault spec: " + kind + " op= is 1-based ('" + clause +
+                        "')");
         CASVM_CHECK(spec.nth == 0 && spec.times == 1,
-                    "fault spec: nth=/times= apply to phase crashes only "
+                    "fault spec: nth=/times= apply to phase placement only "
                     "('" + clause + "')");
       }
       break;
@@ -227,6 +239,18 @@ std::string FaultSpec::describe() const {
     case FaultKind::SlowRank:
       out << "slow:rank=" << rank << ",factor=" << factor;
       break;
+    case FaultKind::KillRank:
+    case FaultKind::HangRank:
+      out << (kind == FaultKind::KillRank ? "kill:rank=" : "hang:rank=")
+          << rank;
+      if (phase.empty()) {
+        out << ",op=" << op;
+      } else {
+        out << ",phase=" << phase;
+        if (nth > 1) out << ",nth=" << nth;
+        if (times != 1) out << ",times=" << times;
+      }
+      break;
   }
   return out.str();
 }
@@ -239,6 +263,15 @@ FaultPlan FaultPlan::parse(const std::string& text, std::uint64_t seed) {
     plan.faults.push_back(parseClause(clause));
   }
   return plan;
+}
+
+bool FaultPlan::requiresProcessTransport() const {
+  for (const FaultSpec& spec : faults) {
+    if (spec.kind == FaultKind::KillRank || spec.kind == FaultKind::HangRank) {
+      return true;
+    }
+  }
+  return false;
 }
 
 std::string FaultPlan::describe() const {
@@ -256,7 +289,9 @@ FaultInjector::FaultInjector(FaultPlan plan, int worldSize)
   for (const FaultSpec& spec : plan_.faults) {
     const bool ranked = spec.kind == FaultKind::CrashAtOp ||
                         spec.kind == FaultKind::CrashAtPhase ||
-                        spec.kind == FaultKind::SlowRank;
+                        spec.kind == FaultKind::SlowRank ||
+                        spec.kind == FaultKind::KillRank ||
+                        spec.kind == FaultKind::HangRank;
     if (ranked) {
       CASVM_CHECK(spec.rank < size_,
                   "fault spec targets rank " + std::to_string(spec.rank) +
@@ -278,6 +313,26 @@ FaultInjector::FaultInjector(FaultPlan plan, int worldSize)
   }
 }
 
+void FaultInjector::fireSignalFault(int rank, const FaultSpec& spec) {
+  if (!processSignals_) {
+    // Backstop: the Engine refuses such plans on the thread backend before
+    // any rank runs, so reaching this without process-signals mode means a
+    // caller bypassed that check.
+    throw Error("fault spec: " +
+                std::string(spec.kind == FaultKind::KillRank ? "kill"
+                                                             : "hang") +
+                " faults deliver real process signals and require the "
+                "process transport (--transport proc) (" +
+                spec.describe() + ")");
+  }
+  std::raise(spec.kind == FaultKind::KillRank ? SIGKILL : SIGSTOP);
+  // Only reachable for a hang the supervisor chose to resume rather than
+  // kill; unwind the rank like a crash so the run stays well-defined.
+  throw RankCrash(rank, "injected fault: rank " + std::to_string(rank) +
+                            " resumed after an injected hang (" +
+                            spec.describe() + ")");
+}
+
 void FaultInjector::countOp(int rank) {
   const long long op = ++opCount_[static_cast<std::size_t>(rank)];
   for (const FaultSpec& spec : plan_.faults) {
@@ -286,6 +341,11 @@ void FaultInjector::countOp(int rank) {
       throw RankCrash(rank, "injected fault: rank " + std::to_string(rank) +
                                 " crashed at comm op " + std::to_string(op) +
                                 " (" + spec.describe() + ")");
+    }
+    if ((spec.kind == FaultKind::KillRank ||
+         spec.kind == FaultKind::HangRank) &&
+        spec.rank == rank && spec.phase.empty() && spec.op == op) {
+      fireSignalFault(rank, spec);
     }
   }
 }
@@ -324,10 +384,11 @@ void FaultInjector::onRecv(int rank) { countOp(rank); }
 void FaultInjector::atPhase(int rank, const std::string& label) {
   for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
     const FaultSpec& spec = plan_.faults[i];
-    if (spec.kind != FaultKind::CrashAtPhase || spec.rank != rank ||
-        spec.phase != label) {
-      continue;
-    }
+    const bool phased = spec.kind == FaultKind::CrashAtPhase ||
+                        ((spec.kind == FaultKind::KillRank ||
+                          spec.kind == FaultKind::HangRank) &&
+                         !spec.phase.empty());
+    if (!phased || spec.rank != rank || spec.phase != label) continue;
     // Entry counter for this (clause, rank); the matchCount_ stripe is
     // free here because only drop/delay clauses use it on the send path.
     const long long entry =
@@ -336,6 +397,7 @@ void FaultInjector::atPhase(int rank, const std::string& label) {
     const long long first = spec.nth > 0 ? spec.nth : 1;
     if (entry < first) continue;
     if (spec.times > 0 && entry >= first + spec.times) continue;
+    if (spec.kind != FaultKind::CrashAtPhase) fireSignalFault(rank, spec);
     throw RankCrash(rank, "injected fault: rank " + std::to_string(rank) +
                               " crashed at phase '" + label + "' (" +
                               spec.describe() + ")");

@@ -1,5 +1,7 @@
 #include "casvm/net/mailbox.hpp"
 
+#include <chrono>
+
 #include "casvm/support/error.hpp"
 
 namespace casvm::net {
@@ -33,6 +35,36 @@ Message Mailbox::take(int src, int tag) {
   if (it == queues_.end() || it->second.empty()) {
     // No message will ever arrive: prefer the per-rank root cause (a dead
     // peer) over the generic whole-run abort.
+    auto dead = deadSources_.find(src);
+    if (dead != deadSources_.end()) {
+      throw Error("peer rank " + std::to_string(src) +
+                  " failed while this rank was waiting for its message: " +
+                  dead->second);
+    }
+    CASVM_ASSERT(aborted_, "spurious wake without message");
+    throw Error("casvm::net run aborted while waiting for a message");
+  }
+  Message msg = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) queues_.erase(it);
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  return msg;
+}
+
+std::optional<Message> Mailbox::takeFor(int src, int tag, int timeoutMs) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const Key k = key(src, tag);
+  wait_ = WaitState{true, src, tag};
+  const bool ready =
+      cv_.wait_for(lock, std::chrono::milliseconds(timeoutMs), [&] {
+        if (aborted_ || deadSources_.count(src) > 0) return true;
+        auto it = queues_.find(k);
+        return it != queues_.end() && !it->second.empty();
+      });
+  wait_ = WaitState{};
+  auto it = queues_.find(k);
+  if (it == queues_.end() || it->second.empty()) {
+    if (!ready) return std::nullopt;
     auto dead = deadSources_.find(src);
     if (dead != deadSources_.end()) {
       throw Error("peer rank " + std::to_string(src) +

@@ -1,0 +1,112 @@
+#include "casvm/net/thread_transport.hpp"
+
+#include "casvm/support/error.hpp"
+
+namespace casvm::net {
+
+const char* transportName(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::Thread:
+      return "thread";
+    case TransportKind::Proc:
+      return "proc";
+  }
+  return "thread";
+}
+
+TransportKind transportFromName(std::string_view name) {
+  if (name == "thread") return TransportKind::Thread;
+  if (name == "proc") return TransportKind::Proc;
+  CASVM_CHECK(false, "unknown transport '" + std::string(name) +
+                         "' (expected thread|proc)");
+  return TransportKind::Thread;
+}
+
+void TransportTuning::validate() const {
+  // Hostile-value guard: each knob individually named so a bad flag fails
+  // with its own range, and the ranges keep staleAfterMs()/
+  // backoffForAttemptMs() arithmetic far from overflow.
+  CASVM_CHECK(heartbeatMs >= 1 && heartbeatMs <= 60'000,
+              "transport tuning: heartbeat-ms must be in [1, 60000], got " +
+                  std::to_string(heartbeatMs));
+  CASVM_CHECK(
+      commTimeoutMs >= 1 && commTimeoutMs <= 86'400'000,
+      "transport tuning: comm-timeout-ms must be in [1, 86400000], got " +
+          std::to_string(commTimeoutMs));
+  CASVM_CHECK(
+      respawnBackoffMs >= 0 && respawnBackoffMs <= 60'000,
+      "transport tuning: respawn-backoff-ms must be in [0, 60000], got " +
+          std::to_string(respawnBackoffMs));
+}
+
+int TransportTuning::staleAfterMs() const {
+  // A worker refreshes its heartbeat every heartbeatMs; give it a generous
+  // margin before declaring a hang so a descheduled-but-healthy worker on
+  // a loaded CI box is not killed by mistake.
+  const long long stale = 10LL * heartbeatMs;
+  return static_cast<int>(stale < 500 ? 500 : stale);
+}
+
+int TransportTuning::backoffForAttemptMs(int attempt) const {
+  if (respawnBackoffMs == 0 || attempt <= 0) return 0;
+  // Exponential with a hard cap; the shift is bounded so the arithmetic
+  // cannot overflow no matter how many respawns a budget allows.
+  const int shift = attempt - 1 > 10 ? 10 : attempt - 1;
+  const long long backoff = static_cast<long long>(respawnBackoffMs) << shift;
+  constexpr long long kCapMs = 10'000;
+  return static_cast<int>(backoff > kCapMs ? kCapMs : backoff);
+}
+
+ThreadTransport::ThreadTransport(int size)
+    : size_(size), mailboxes_(static_cast<std::size_t>(size)),
+      failed_(static_cast<std::size_t>(size), 0) {
+  CASVM_CHECK(size > 0, "transport needs at least one rank");
+}
+
+Mailbox& ThreadTransport::mailbox(int rank) {
+  CASVM_ASSERT(rank >= 0 && rank < size_, "rank out of range");
+  return mailboxes_[static_cast<std::size_t>(rank)];
+}
+
+void ThreadTransport::put(int src, int dst, int tag, Message msg) {
+  CASVM_ASSERT(dst >= 0 && dst < size_, "rank out of range");
+  mailboxes_[static_cast<std::size_t>(dst)].put(src, tag, std::move(msg));
+}
+
+Message ThreadTransport::take(int self, int src, int tag) {
+  CASVM_ASSERT(self >= 0 && self < size_, "rank out of range");
+  return mailboxes_[static_cast<std::size_t>(self)].take(src, tag);
+}
+
+void ThreadTransport::abortAll() {
+  aborted_.store(true, std::memory_order_release);
+  for (auto& mb : mailboxes_) mb.abort();
+}
+
+void ThreadTransport::markFailed(int rank, const std::string& reason) {
+  CASVM_ASSERT(rank >= 0 && rank < size_, "rank out of range");
+  {
+    std::lock_guard<std::mutex> lock(failMutex_);
+    failed_[static_cast<std::size_t>(rank)] = 1;
+  }
+  // Wake anyone blocked on (or about to block on) a message from the dead
+  // rank; messages it sent before dying remain deliverable.
+  for (auto& mb : mailboxes_) mb.failSource(rank, reason);
+}
+
+bool ThreadTransport::rankFailed(int rank) const {
+  CASVM_ASSERT(rank >= 0 && rank < size_, "rank out of range");
+  std::lock_guard<std::mutex> lock(failMutex_);
+  return failed_[static_cast<std::size_t>(rank)] != 0;
+}
+
+std::vector<int> ThreadTransport::failedRanks() const {
+  std::lock_guard<std::mutex> lock(failMutex_);
+  std::vector<int> out;
+  for (int r = 0; r < size_; ++r) {
+    if (failed_[static_cast<std::size_t>(r)] != 0) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace casvm::net

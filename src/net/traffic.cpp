@@ -79,9 +79,22 @@ TrafficSnapshot TrafficSnapshot::since(const TrafficSnapshot& earlier) const {
 TrafficMatrix::TrafficMatrix(int size) : size_(size) {
   CASVM_CHECK(size > 0, "traffic matrix needs at least one rank");
   const std::size_t cells = static_cast<std::size_t>(size) * size;
-  bytes_ = std::make_unique<std::atomic<std::size_t>[]>(cells);
-  ops_ = std::make_unique<std::atomic<std::size_t>[]>(cells);
+  ownedBytes_ = std::make_unique<std::atomic<std::size_t>[]>(cells);
+  ownedOps_ = std::make_unique<std::atomic<std::size_t>[]>(cells);
+  bytes_ = ownedBytes_.get();
+  ops_ = ownedOps_.get();
   reset();
+}
+
+TrafficMatrix::TrafficMatrix(int size, std::atomic<std::size_t>* bytes,
+                             std::atomic<std::size_t>* ops)
+    : size_(size), bytes_(bytes), ops_(ops) {
+  CASVM_CHECK(size > 0, "traffic matrix needs at least one rank");
+  CASVM_CHECK(bytes != nullptr && ops != nullptr,
+              "traffic matrix view needs external storage");
+  // Deliberately no reset(): several views share one live matrix (every
+  // worker process plus the supervisor), and a view constructed mid-run —
+  // a respawned worker — must not wipe the counters recorded so far.
 }
 
 void TrafficMatrix::record(int src, int dst, std::size_t bytes) {

@@ -1,0 +1,52 @@
+#include "casvm/support/posix.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "casvm/support/error.hpp"
+
+namespace casvm::support {
+
+std::size_t readFull(int fd, void* buf, std::size_t len) {
+  std::size_t done = 0;
+  char* out = static_cast<char*>(buf);
+  while (done < len) {
+    const ssize_t n = ::read(fd, out + done, len - done);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) break;  // EOF
+    if (errno == EINTR) continue;
+    throw Error(std::string("readFull: read failed: ") + std::strerror(errno));
+  }
+  return done;
+}
+
+void writeFull(int fd, const void* buf, std::size_t len) {
+  std::size_t done = 0;
+  const char* in = static_cast<const char*>(buf);
+  while (done < len) {
+    const ssize_t n = ::write(fd, in + done, len - done);
+    if (n >= 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw Error(std::string("writeFull: write failed: ") +
+                std::strerror(errno));
+  }
+}
+
+pid_t waitpidRetry(pid_t pid, int* status, int options) {
+  for (;;) {
+    const pid_t r = ::waitpid(pid, status, options);
+    if (r >= 0 || errno != EINTR) return r;
+  }
+}
+
+}  // namespace casvm::support

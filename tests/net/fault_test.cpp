@@ -114,7 +114,7 @@ TEST(FaultPlanTest, TimesAndNthRejectedOutsidePhaseCrashes) {
   EXPECT_THROW(FaultPlan::parse("crash:rank=1,op=2,nth=3"), Error);
   EXPECT_THROW(FaultPlan::parse("crash:rank=1,op=2,times=2"), Error);
   const std::string what = parseErrorOf("crash:rank=1,op=2,times=2");
-  EXPECT_NE(what.find("phase crashes only"), std::string::npos);
+  EXPECT_NE(what.find("phase placement only"), std::string::npos);
   // Negative windows are nonsense at parse time, not mid-run.
   EXPECT_THROW(FaultPlan::parse("crash:rank=1,phase=solve,nth=-1"), Error);
   EXPECT_THROW(FaultPlan::parse("crash:rank=1,phase=solve,times=-2"), Error);
@@ -124,6 +124,52 @@ TEST(FaultPlanTest, TargetsOutsideWorldRejectedAtInjectorConstruction) {
   EXPECT_THROW(FaultInjector(FaultPlan::parse("crash:rank=4,op=1"), 4), Error);
   EXPECT_THROW(FaultInjector(FaultPlan::parse("drop:src=9,dst=0"), 4), Error);
   EXPECT_NO_THROW(FaultInjector(FaultPlan::parse("crash:rank=3,op=1"), 4));
+  EXPECT_THROW(FaultInjector(FaultPlan::parse("kill:rank=4,op=1"), 4), Error);
+}
+
+TEST(FaultPlanTest, KillAndHangParseAndRoundTrip) {
+  const FaultPlan plan = FaultPlan::parse(
+      "kill:rank=2,phase=solve;hang:rank=1,op=7;"
+      "kill:rank=0,phase=train,nth=2,times=3");
+  ASSERT_EQ(plan.faults.size(), 3u);
+  EXPECT_EQ(plan.faults[0].kind, FaultKind::KillRank);
+  EXPECT_EQ(plan.faults[0].phase, "solve");
+  EXPECT_EQ(plan.faults[1].kind, FaultKind::HangRank);
+  EXPECT_EQ(plan.faults[1].op, 7);
+  EXPECT_EQ(plan.faults[2].nth, 2);
+  EXPECT_EQ(plan.faults[2].times, 3);
+  EXPECT_TRUE(plan.requiresProcessTransport());
+  EXPECT_FALSE(FaultPlan::parse("crash:rank=1,op=5;drop:src=0")
+                   .requiresProcessTransport());
+  const FaultPlan again = FaultPlan::parse(plan.describe());
+  EXPECT_EQ(again.describe(), plan.describe());
+}
+
+TEST(FaultPlanTest, KillAndHangShareCrashPlacementValidation) {
+  EXPECT_THROW(FaultPlan::parse("kill:op=1"), Error);           // no rank
+  EXPECT_THROW(FaultPlan::parse("kill:rank=1"), Error);         // no op/phase
+  EXPECT_THROW(FaultPlan::parse("hang:rank=1,op=2,phase=x"), Error);  // both
+  EXPECT_THROW(FaultPlan::parse("hang:rank=1,op=0"), Error);    // 1-based
+  EXPECT_THROW(FaultPlan::parse("kill:rank=1,seconds=2"), Error);  // bad key
+}
+
+TEST(FaultInjectorTest, KillWithoutProcessSignalsThrowsNamedError) {
+  // Without process-signals mode a firing kill/hang clause must explain
+  // that it needs the process transport, not deliver a signal.
+  FaultInjector killer(FaultPlan::parse("kill:rank=0,op=1"), 2);
+  try {
+    killer.onSend(0, 1);
+    FAIL() << "expected the kill clause to throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--transport proc"), std::string::npos);
+    EXPECT_NE(what.find("kill:rank=0,op=1"), std::string::npos);
+  }
+  FaultInjector hanger(FaultPlan::parse("hang:rank=1,phase=solve"), 2);
+  EXPECT_THROW(hanger.atPhase(1, "solve"), Error);
+  // Non-matching ranks and phases are unaffected.
+  EXPECT_NO_THROW(hanger.atPhase(0, "solve"));
+  EXPECT_NO_THROW(hanger.atPhase(1, "init"));
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,214 @@
+// Transport parity: every collective and the point-to-point tag contract
+// must behave identically on the thread and proc backends — bitwise-equal
+// payloads and an identical TrafficSnapshot. The digests each rank
+// computes are shipped back from the worker processes through the
+// engine's result channel (on the thread backend the ranks write the
+// parent's memory directly, so the same harness covers both).
+//
+// Note: gtest assertions inside the rank body would be lost in a forked
+// worker; bodies only compute digests, and all assertions run in the
+// parent.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "casvm/net/comm.hpp"
+
+namespace casvm::net {
+namespace {
+
+using RankBody = std::function<void(Comm&, std::vector<double>&)>;
+
+struct BackendResult {
+  std::vector<std::vector<double>> digests;
+  TrafficSnapshot traffic;
+};
+
+BackendResult runOn(TransportKind kind, int size, const RankBody& body) {
+  Engine engine(size);
+  TransportTuning tuning;
+  tuning.commTimeoutMs = 20000;
+  engine.setTransport(kind, tuning);
+  std::vector<std::vector<double>> digests(static_cast<std::size_t>(size));
+  Engine::ResultChannel channel;
+  channel.serialize = [&](int rank) {
+    const auto& d = digests[static_cast<std::size_t>(rank)];
+    std::vector<std::byte> out(d.size() * sizeof(double));
+    if (!out.empty()) std::memcpy(out.data(), d.data(), out.size());
+    return out;
+  };
+  channel.absorb = [&](int rank, const std::vector<std::byte>& bytes) {
+    auto& d = digests[static_cast<std::size_t>(rank)];
+    d.resize(bytes.size() / sizeof(double));
+    if (!bytes.empty()) std::memcpy(d.data(), bytes.data(), bytes.size());
+  };
+  engine.setResultChannel(std::move(channel));
+  const RunStats stats = engine.run([&](Comm& comm) {
+    body(comm, digests[static_cast<std::size_t>(comm.rank())]);
+  });
+  return {std::move(digests), stats.traffic};
+}
+
+/// Run `body` on both backends and require bitwise-identical digests and
+/// an identical traffic matrix (bytes AND ops, every edge).
+void expectParity(int size, const RankBody& body) {
+  const BackendResult thread = runOn(TransportKind::Thread, size, body);
+  const BackendResult proc = runOn(TransportKind::Proc, size, body);
+  ASSERT_EQ(thread.digests.size(), proc.digests.size());
+  for (std::size_t r = 0; r < thread.digests.size(); ++r) {
+    const auto& a = thread.digests[r];
+    const auto& b = proc.digests[r];
+    ASSERT_EQ(a.size(), b.size()) << "rank " << r << " digest length differs";
+    if (!a.empty()) {
+      EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(double)))
+          << "rank " << r << " digest differs bitwise";
+    }
+  }
+  EXPECT_EQ(thread.traffic.size, proc.traffic.size);
+  EXPECT_EQ(thread.traffic.bytes, proc.traffic.bytes)
+      << "per-edge byte counts differ between backends";
+  EXPECT_EQ(thread.traffic.ops, proc.traffic.ops)
+      << "per-edge message counts differ between backends";
+}
+
+TEST(TransportParityTest, BcastScalarAndVector) {
+  expectParity(4, [](Comm& comm, std::vector<double>& digest) {
+    double x = comm.rank() == 1 ? 0.5 : -1.0;
+    comm.bcast(x, 1);
+    std::vector<double> v;
+    if (comm.rank() == 0) v = {1.25, -2.5, 1e300, 0.0};
+    comm.bcast(v, 0);
+    digest.push_back(x);
+    digest.insert(digest.end(), v.begin(), v.end());
+  });
+}
+
+TEST(TransportParityTest, ReduceAndAllreduce) {
+  expectParity(4, [](Comm& comm, std::vector<double>& digest) {
+    const double mine = 1.0 / (comm.rank() + 3);
+    const double sum =
+        comm.reduce(mine, [](double a, double b) { return a + b; }, 2);
+    const double all = comm.allreduceSum(mine);
+    std::vector<double> v = {mine, -mine, double(comm.rank())};
+    v = comm.allreduce(v, [](double a, double b) { return a > b ? a : b; });
+    digest.push_back(sum);
+    digest.push_back(all);
+    digest.insert(digest.end(), v.begin(), v.end());
+  });
+}
+
+TEST(TransportParityTest, GatherScattervRoundTrip) {
+  expectParity(4, [](Comm& comm, std::vector<double>& digest) {
+    const auto all = comm.gather(double(comm.rank()) * 1.5, 1);
+    digest.insert(digest.end(), all.begin(), all.end());
+    // Variable-length parts, including an empty one.
+    std::vector<double> mine(static_cast<std::size_t>(comm.rank()),
+                             double(comm.rank()) + 0.25);
+    const auto parts = comm.gatherv(mine, 0);
+    for (const auto& p : parts) digest.insert(digest.end(), p.begin(), p.end());
+    const auto back = comm.scatterv(parts, 0);
+    digest.insert(digest.end(), back.begin(), back.end());
+  });
+}
+
+TEST(TransportParityTest, AllgatherAndAllgatherv) {
+  expectParity(4, [](Comm& comm, std::vector<double>& digest) {
+    const auto all = comm.allgather(double(comm.rank()) - 0.5);
+    digest.insert(digest.end(), all.begin(), all.end());
+    std::vector<double> mine(static_cast<std::size_t>(4 - comm.rank()),
+                             1.0 / (comm.rank() + 1));
+    const auto flat = comm.allgatherv(mine);
+    digest.insert(digest.end(), flat.begin(), flat.end());
+  });
+}
+
+TEST(TransportParityTest, Alltoallv) {
+  expectParity(4, [](Comm& comm, std::vector<double>& digest) {
+    std::vector<std::vector<double>> parts(4);
+    for (int dst = 0; dst < 4; ++dst) {
+      parts[static_cast<std::size_t>(dst)].assign(
+          static_cast<std::size_t>(dst + 1), comm.rank() * 10.0 + dst);
+    }
+    const auto got = comm.alltoallv(std::move(parts));
+    for (const auto& p : got) digest.insert(digest.end(), p.begin(), p.end());
+  });
+}
+
+TEST(TransportParityTest, BarrierAndLocReductions) {
+  expectParity(4, [](Comm& comm, std::vector<double>& digest) {
+    comm.barrier();
+    const auto mn =
+        comm.allreduceMinloc(double((comm.rank() * 7) % 5), comm.rank());
+    comm.barrier();
+    const auto mx =
+        comm.allreduceMaxloc(double((comm.rank() * 3) % 4), comm.rank());
+    digest.push_back(mn.value);
+    digest.push_back(double(mn.index));
+    digest.push_back(mx.value);
+    digest.push_back(double(mx.index));
+  });
+}
+
+// The point-to-point tag contract: matching is exact on (src, tag) and
+// FIFO per queue, so a receiver can take tags out of send order.
+TEST(TransportParityTest, TagContractOutOfOrderAndFifo) {
+  expectParity(2, [](Comm& comm, std::vector<double>& digest) {
+    const int peer = 1 - comm.rank();
+    comm.send(peer, 1.0 + comm.rank(), /*tag=*/7);
+    comm.send(peer, 2.0 + comm.rank(), /*tag=*/3);
+    comm.send(peer, 3.0 + comm.rank(), /*tag=*/7);
+    // Take the lone tag-3 message first, then the two tag-7 messages,
+    // which must arrive in their send order.
+    digest.push_back(comm.recv<double>(peer, 3));
+    digest.push_back(comm.recv<double>(peer, 7));
+    digest.push_back(comm.recv<double>(peer, 7));
+  });
+}
+
+TEST(TransportParityTest, SplitSubCommunicators) {
+  expectParity(4, [](Comm& comm, std::vector<double>& digest) {
+    Comm half = comm.split(comm.rank() % 2, comm.rank());
+    const double sum = half.allreduceSum(double(comm.rank()) + 1.0);
+    comm.barrier();
+    const double whole = comm.allreduceSum(sum);
+    digest.push_back(sum);
+    digest.push_back(whole);
+  });
+}
+
+// A payload much larger than one shared-memory ring (256 KiB) must flow
+// through the proc backend in chunks and still arrive bitwise-intact.
+TEST(TransportParityTest, PayloadLargerThanRingFlowsChunked) {
+  expectParity(2, [](Comm& comm, std::vector<double>& digest) {
+    std::vector<double> big;
+    if (comm.rank() == 0) {
+      big.resize(100000);  // 800 KB
+      for (std::size_t i = 0; i < big.size(); ++i) {
+        big[i] = double(i) * 0.75 - 1000.0;
+      }
+    }
+    comm.bcast(big, 0);
+    double acc = 0.0;
+    for (double v : big) acc += v;
+    digest.push_back(acc);
+    digest.push_back(big.front());
+    digest.push_back(big.back());
+  });
+}
+
+TEST(TransportParityTest, ZeroLengthMessages) {
+  expectParity(2, [](Comm& comm, std::vector<double>& digest) {
+    std::vector<double> empty;
+    comm.bcast(empty, 0);
+    const auto flat = comm.allgatherv(empty);
+    digest.push_back(double(empty.size()));
+    digest.push_back(double(flat.size()));
+  });
+}
+
+}  // namespace
+}  // namespace casvm::net

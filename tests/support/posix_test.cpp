@@ -1,0 +1,196 @@
+// EINTR-safety tests for casvm::support's POSIX wrappers: a pipe with a
+// deliberately tiny kernel buffer plus a thread hammering the caller with
+// SIGUSR1 guarantees the underlying read()/write() calls get interrupted
+// mid-transfer, which is exactly the condition the wrappers must absorb.
+
+#include "casvm/support/posix.hpp"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "casvm/support/error.hpp"
+
+namespace casvm::support {
+namespace {
+
+void noopHandler(int) {}
+
+// Install SIGUSR1 without SA_RESTART so blocking syscalls really do
+// return EINTR instead of being transparently restarted by the kernel.
+struct InterruptingHandler {
+  InterruptingHandler() {
+    struct sigaction sa {};
+    sa.sa_handler = noopHandler;
+    sa.sa_flags = 0;
+    sigemptyset(&sa.sa_mask);
+    EXPECT_EQ(0, sigaction(SIGUSR1, &sa, &old_));
+  }
+  ~InterruptingHandler() { sigaction(SIGUSR1, &old_, nullptr); }
+  struct sigaction old_ {};
+};
+
+// Fires SIGUSR1 at `target` every ~200us until stopped.
+class SignalStorm {
+ public:
+  explicit SignalStorm(pthread_t target) : target_(target) {
+    thread_ = std::thread([this] {
+      while (!stop_.load(std::memory_order_relaxed)) {
+        pthread_kill(target_, SIGUSR1);
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+  }
+  ~SignalStorm() {
+    stop_.store(true, std::memory_order_relaxed);
+    thread_.join();
+  }
+
+ private:
+  pthread_t target_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+std::vector<char> patternBytes(std::size_t n) {
+  std::vector<char> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = static_cast<char>((i * 131 + 7) & 0xff);
+  }
+  return data;
+}
+
+TEST(PosixTest, WriteFullSurvivesSignalsAndBackpressure) {
+  InterruptingHandler handler;
+  int fds[2];
+  ASSERT_EQ(0, pipe(fds));
+#ifdef F_SETPIPE_SZ
+  fcntl(fds[1], F_SETPIPE_SZ, 4096);  // small buffer => many short writes
+#endif
+
+  const std::vector<char> sent = patternBytes(1 << 20);
+  std::vector<char> received(sent.size());
+
+  // Reader drains slowly on another thread so the writer blocks and gets
+  // interrupted while blocked.
+  std::thread reader([&] {
+    std::size_t got = 0;
+    while (got < received.size()) {
+      const ssize_t n = ::read(fds[0], received.data() + got,
+                               std::min<std::size_t>(2048, received.size() - got));
+      if (n > 0) {
+        got += static_cast<std::size_t>(n);
+      } else if (n < 0 && errno != EINTR) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  });
+
+  {
+    SignalStorm storm(pthread_self());
+    writeFull(fds[1], sent.data(), sent.size());
+  }
+  close(fds[1]);
+  reader.join();
+  close(fds[0]);
+
+  EXPECT_EQ(0, std::memcmp(sent.data(), received.data(), sent.size()));
+}
+
+TEST(PosixTest, ReadFullSurvivesSignalsAndShortReads) {
+  InterruptingHandler handler;
+  int fds[2];
+  ASSERT_EQ(0, pipe(fds));
+
+  const std::vector<char> sent = patternBytes(1 << 19);
+
+  // Writer dribbles the payload in small chunks so the reader blocks
+  // between chunks and takes signals while blocked.
+  std::thread writer([&] {
+    std::size_t put = 0;
+    while (put < sent.size()) {
+      const std::size_t chunk = std::min<std::size_t>(1024, sent.size() - put);
+      const ssize_t n = ::write(fds[1], sent.data() + put, chunk);
+      if (n > 0) {
+        put += static_cast<std::size_t>(n);
+      } else if (n < 0 && errno != EINTR) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    close(fds[1]);
+  });
+
+  std::vector<char> received(sent.size());
+  {
+    SignalStorm storm(pthread_self());
+    const std::size_t got = readFull(fds[0], received.data(), received.size());
+    EXPECT_EQ(sent.size(), got);
+  }
+  writer.join();
+  close(fds[0]);
+
+  EXPECT_EQ(0, std::memcmp(sent.data(), received.data(), sent.size()));
+}
+
+TEST(PosixTest, ReadFullReportsEofShort) {
+  int fds[2];
+  ASSERT_EQ(0, pipe(fds));
+  ASSERT_EQ(3, ::write(fds[1], "abc", 3));
+  close(fds[1]);
+
+  char buf[16];
+  EXPECT_EQ(3u, readFull(fds[0], buf, sizeof buf));
+  EXPECT_EQ(0, std::memcmp(buf, "abc", 3));
+  close(fds[0]);
+}
+
+TEST(PosixTest, WriteFullThrowsOnClosedPipe) {
+  // EPIPE must surface as an error, not a hang; ignore the signal so the
+  // write returns -1/EPIPE instead of killing the process.
+  struct sigaction ign {}, old {};
+  ign.sa_handler = SIG_IGN;
+  sigaction(SIGPIPE, &ign, &old);
+
+  int fds[2];
+  ASSERT_EQ(0, pipe(fds));
+  close(fds[0]);
+  const std::vector<char> data(4096, 'x');
+  EXPECT_THROW(writeFull(fds[1], data.data(), data.size()), Error);
+  close(fds[1]);
+
+  sigaction(SIGPIPE, &old, nullptr);
+}
+
+TEST(PosixTest, WaitpidRetrySurvivesSignals) {
+  InterruptingHandler handler;
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    usleep(100 * 1000);  // keep the parent waiting long enough to be hit
+    _exit(42);
+  }
+
+  int status = 0;
+  pid_t reaped = -1;
+  {
+    SignalStorm storm(pthread_self());
+    reaped = waitpidRetry(child, &status, 0);
+  }
+  EXPECT_EQ(child, reaped);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(42, WEXITSTATUS(status));
+}
+
+}  // namespace
+}  // namespace casvm::support

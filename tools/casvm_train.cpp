@@ -9,6 +9,7 @@
 // the DistributedModel serialization readable by casvm-predict.
 
 #include <cstdio>
+#include <limits>
 #include <optional>
 
 #include "casvm/ckpt/store.hpp"
@@ -55,7 +56,9 @@ constexpr const char* kUsage = R"(usage: casvm-train [options]
   --seed <s>           RNG seed (default 42)
   --fault-spec <s>     injected fault schedule, e.g.
                        "crash:rank=2,phase=train;slow:rank=1,factor=4"
-                       (partitioned methods degrade, others fail fast)
+                       (partitioned methods degrade, others fail fast);
+                       kill:/hang: clauses deliver real SIGKILL/SIGSTOP
+                       and need --transport proc
   --fault-seed <s>     seed for probabilistic fault clauses (default 0)
   --checkpoint-dir <d> persist training state into <d> (crash-consistent,
                        CRC-guarded); enables --resume and --rank-retries
@@ -63,7 +66,19 @@ constexpr const char* kUsage = R"(usage: casvm-train [options]
   --resume             restart from the newest consistent checkpoints in
                        --checkpoint-dir (bitwise-identical final model)
   --rank-retries <n>   in-run retry budget per crashed rank before the
-                       degraded path (partitioned methods; default 0)
+                       degraded path (partitioned methods; default 0).
+                       Under --transport proc this is also the respawn
+                       budget for killed worker processes
+  --transport <name>   thread | proc: rank delivery backend (default
+                       thread). proc forks one worker process per rank
+                       over shared-memory rings, with per-rank heartbeats
+                       and supervised respawn
+  --heartbeat-ms <n>   proc worker heartbeat cadence (default 50; a rank
+                       is declared hung past 10x this, floor 500ms)
+  --comm-timeout-ms <n> proc bounded-receive timeout (default 30000)
+  --respawn-backoff-ms <n> base respawn delay, doubled per attempt
+                       (default 50)
+  --supervisor-log <f> append proc supervisor lifecycle events to <f>
   --trace <file>       write a Chrome trace (chrome://tracing) of the run
                        (flushed even when the run aborts)
   --metrics-json <file> write per-rank/per-phase metrics as JSON
@@ -209,6 +224,34 @@ int main(int argc, char** argv) {
     // Retries work without a store too — each attempt just re-solves from
     // scratch instead of resuming from a snapshot.
     cfg.rankRetries = static_cast<int>(args.getInt("rank-retries", 0));
+
+    const std::string transportName = args.get("transport", "thread");
+    if (transportName == "proc") {
+      cfg.transport = net::TransportKind::Proc;
+    } else if (transportName != "thread") {
+      throw Error("unknown transport '" + transportName +
+                  "' (expected thread|proc)");
+    }
+    // Bounds-check before narrowing so a hostile 64-bit value cannot wrap
+    // into a plausible tuning number; validate() then enforces the real
+    // operational ranges with named errors.
+    const auto tuningMs = [&](const char* name, int fallback) {
+      const long long v = args.getInt(name, fallback);
+      if (v < std::numeric_limits<int>::min() ||
+          v > std::numeric_limits<int>::max()) {
+        throw Error(std::string("--") + name + " value " + std::to_string(v) +
+                    " is out of range");
+      }
+      return static_cast<int>(v);
+    };
+    cfg.transportTuning.heartbeatMs =
+        tuningMs("heartbeat-ms", cfg.transportTuning.heartbeatMs);
+    cfg.transportTuning.commTimeoutMs =
+        tuningMs("comm-timeout-ms", cfg.transportTuning.commTimeoutMs);
+    cfg.transportTuning.respawnBackoffMs =
+        tuningMs("respawn-backoff-ms", cfg.transportTuning.respawnBackoffMs);
+    cfg.transportTuning.validate();
+    cfg.supervisorLog = args.get("supervisor-log", "");
 
     std::optional<obs::TraceRecorder> recorder;
     if (args.has("trace") || args.has("metrics-json")) {
